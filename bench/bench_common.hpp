@@ -1,0 +1,210 @@
+// Shared infrastructure for the experiment harnesses (one binary per paper
+// table/figure; see DESIGN.md §3).
+//
+// Each harness builds the paper's filter lineup at a given (memory, k, g)
+// configuration, runs the Sec. IV protocol (insert test set, one churn
+// update period, stream the query set), and reports false positive rate
+// and access statistics. Filters are type-erased behind FilterHandle so a
+// harness can iterate a heterogeneous lineup; the latency bench
+// (fig08/micro) deliberately bypasses the erasure and times concrete types.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+#include "common/stopwatch.hpp"
+#include "common/table.hpp"
+#include "core/mpcbf.hpp"
+#include "filters/counting_bloom.hpp"
+#include "filters/dlcbf.hpp"
+#include "filters/pcbf.hpp"
+#include "filters/vicbf.hpp"
+#include "metrics/access_stats.hpp"
+#include "workload/churn.hpp"
+#include "workload/string_sets.hpp"
+
+namespace mpcbf::bench {
+
+/// Type-erased filter handle for heterogeneous experiment lineups.
+struct FilterHandle {
+  std::string name;
+  std::function<bool(std::string_view)> insert;
+  std::function<bool(std::string_view)> contains;
+  std::function<bool(std::string_view)> erase;
+  std::function<metrics::AccessStats*()> stats;
+  std::function<std::size_t()> memory_bits;
+  std::function<std::uint64_t()> overflows;  ///< 0 for filters without
+};
+
+template <typename F>
+FilterHandle wrap_filter(std::string name, std::shared_ptr<F> f) {
+  FilterHandle h;
+  h.name = std::move(name);
+  h.insert = [f](std::string_view key) {
+    if constexpr (std::is_void_v<decltype(f->insert(key))>) {
+      f->insert(key);
+      return true;
+    } else {
+      return f->insert(key);
+    }
+  };
+  h.contains = [f](std::string_view key) { return f->contains(key); };
+  h.erase = [f](std::string_view key) {
+    if constexpr (requires { f->erase(key); }) {
+      if constexpr (std::is_void_v<decltype(f->erase(key))>) {
+        f->erase(key);
+        return true;
+      } else {
+        return f->erase(key);
+      }
+    } else {
+      return false;
+    }
+  };
+  h.stats = [f]() { return &f->stats(); };
+  h.memory_bits = [f]() { return f->memory_bits(); };
+  h.overflows = [f]() -> std::uint64_t {
+    if constexpr (requires { f->overflow_events(); }) {
+      return f->overflow_events();
+    } else {
+      return 0;
+    }
+  };
+  return h;
+}
+
+/// The paper's standard lineup at one memory size: CBF, PCBF-1, PCBF-2,
+/// MPCBF-1, MPCBF-2 (plus MPCBF-3 when `with_g3`). All share `seed`.
+inline std::vector<FilterHandle> paper_lineup(std::size_t memory_bits,
+                                              unsigned k, std::size_t n,
+                                              std::uint64_t seed,
+                                              bool with_g3 = false) {
+  std::vector<FilterHandle> lineup;
+  lineup.push_back(wrap_filter(
+      "CBF", std::make_shared<filters::CountingBloomFilter>(
+                 filters::CbfConfig{memory_bits, k, 4, seed, true, false})));
+  lineup.push_back(wrap_filter(
+      "PCBF-1", std::make_shared<filters::Pcbf>(
+                    filters::PcbfConfig{memory_bits, k, 1, 64, 4, seed, true})));
+  if (k >= 2) {
+    lineup.push_back(wrap_filter(
+        "PCBF-2",
+        std::make_shared<filters::Pcbf>(
+            filters::PcbfConfig{memory_bits, k, 2, 64, 4, seed, true})));
+  }
+  core::MpcbfConfig mcfg;
+  mcfg.memory_bits = memory_bits;
+  mcfg.k = k;
+  mcfg.g = 1;
+  mcfg.expected_n = n;
+  mcfg.seed = seed;
+  // Rare word overflows (the heuristic tolerates ~1 per filter) go to the
+  // stash so measured FPR reflects the structure, not dropped elements.
+  mcfg.policy = core::OverflowPolicy::kStash;
+  lineup.push_back(
+      wrap_filter("MPCBF-1", std::make_shared<core::Mpcbf<64>>(mcfg)));
+  if (k >= 2) {
+    mcfg.g = 2;
+    lineup.push_back(
+        wrap_filter("MPCBF-2", std::make_shared<core::Mpcbf<64>>(mcfg)));
+  }
+  if (with_g3 && k >= 3) {
+    mcfg.g = 3;
+    lineup.push_back(
+        wrap_filter("MPCBF-3", std::make_shared<core::Mpcbf<64>>(mcfg)));
+  }
+  return lineup;
+}
+
+/// Result of one Sec.-IV-protocol run for one filter.
+struct RunResult {
+  double fpr = 0.0;
+  std::size_t false_negatives = 0;
+  double query_accesses = 0.0;
+  double query_bandwidth = 0.0;
+  double update_accesses = 0.0;
+  double update_bandwidth = 0.0;
+  std::uint64_t overflows = 0;
+  double query_seconds = 0.0;
+};
+
+/// Runs the paper's synthetic protocol on one filter: insert `test_set`,
+/// run one churn period (delete/insert `churn_batch`), then stream
+/// `queries` and measure. Update stats cover inserts+churn; query stats
+/// cover the query stream only.
+inline RunResult run_protocol(const FilterHandle& f,
+                              const std::vector<std::string>& test_set,
+                              const std::vector<std::string>& replacements,
+                              const workload::QuerySet& queries,
+                              std::size_t churn_batch, std::uint64_t seed) {
+  RunResult r;
+  std::vector<std::string> live = test_set;
+  for (const auto& key : live) {
+    (void)f.insert(key);
+  }
+  util::Xoshiro256 rng(seed);
+  std::size_t cursor = 0;
+  // One update period, as in Sec. IV-A. The churn driver needs concrete
+  // insert/erase; adapt through the handle.
+  struct HandleRef {
+    const FilterHandle& h;
+    bool insert(std::string_view k) { return h.insert(k); }
+    bool erase(std::string_view k) { return h.erase(k); }
+  } ref{f};
+  (void)workload::run_churn_round(ref, live, replacements, cursor,
+                                  churn_batch, rng);
+
+  r.update_accesses = f.stats()->mean_update_accesses();
+  r.update_bandwidth = f.stats()->mean_update_bandwidth();
+  f.stats()->reset();
+
+  // Query stream. Note: ground truth for FPR is membership in the
+  // *original* test set per the query-set labels; churn replaced a random
+  // subset, so recompute truth against `live`.
+  std::unordered_set<std::string_view> live_set(live.begin(), live.end());
+  std::size_t fp = 0;
+  std::size_t non_members = 0;
+  util::Stopwatch watch;
+  for (std::size_t i = 0; i < queries.queries.size(); ++i) {
+    const bool hit = f.contains(queries.queries[i]);
+    const bool member = live_set.contains(queries.queries[i]);
+    if (member) {
+      if (!hit) ++r.false_negatives;
+    } else {
+      ++non_members;
+      if (hit) ++fp;
+    }
+  }
+  r.query_seconds = watch.elapsed_seconds();
+  r.fpr = non_members == 0
+              ? 0.0
+              : static_cast<double>(fp) / static_cast<double>(non_members);
+  r.query_accesses = f.stats()->mean_query_accesses();
+  r.query_bandwidth = f.stats()->mean_query_bandwidth();
+  r.overflows = f.overflows();
+  return r;
+}
+
+/// Paper-style memory axis: megabits. The paper sweeps 4.0–8.0 Mb
+/// (synthetic) and 8.0–16.0 Mb (traces).
+inline std::size_t megabits(double mb) {
+  return static_cast<std::size_t>(mb * 1024.0 * 1024.0);
+}
+
+inline std::string format_mb(std::size_t bits) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f", static_cast<double>(bits) /
+                                             (1024.0 * 1024.0));
+  return buf;
+}
+
+}  // namespace mpcbf::bench

@@ -1,0 +1,45 @@
+// Figure 2 — false positive rates of CBF, PCBF-1 and PCBF-2 with
+// different word sizes (analytic, eqs. 1-3).
+//
+// Series: for each word size w in {16, 32, 64, 128} and memory 4.0-8.0 Mb
+// (n = 100K elements, k = 3), the model FPR of PCBF-1/PCBF-2 versus the
+// standard CBF. Expected shape: PCBF is always above CBF; the gap shrinks
+// as w grows (PCBF converges to CBF).
+//
+// Usage: bench_fig02_pcbf_fpr [--n 100000] [--k 3] [--csv fig02.csv]
+#include "bench_common.hpp"
+#include "model/fpr_model.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mpcbf;
+  util::CliArgs args(argc, argv);
+  const std::uint64_t n = args.get_uint("n", 100000);
+  const unsigned k = static_cast<unsigned>(args.get_uint("k", 3));
+  const std::string csv = args.get_string("csv", "");
+  args.reject_unknown({"n", "k", "csv"});
+
+  std::cout << "=== Figure 2: FPR of CBF vs PCBF-1/PCBF-2, varying word "
+               "size (model) ===\n";
+  std::cout << "n=" << n << " k=" << k << "\n\n";
+
+  util::Table table({"mem(Mb)", "CBF", "PCBF-1 w16", "PCBF-2 w16",
+                     "PCBF-1 w32", "PCBF-2 w32", "PCBF-1 w64", "PCBF-2 w64",
+                     "PCBF-1 w128", "PCBF-2 w128"});
+
+  for (double mb = 4.0; mb <= 8.01; mb += 0.5) {
+    const std::size_t memory = bench::megabits(mb);
+    table.row().add(bench::format_mb(memory));
+    table.adde(model::fpr_bloom(n, memory / 4, k));
+    for (unsigned w : {16u, 32u, 64u, 128u}) {
+      const std::uint64_t l = memory / w;
+      table.adde(model::fpr_pcbf1(n, l, w / 4, k));
+      table.adde(model::fpr_pcbf_g(n, l, w / 4, k, 2));
+    }
+  }
+  table.emit(csv);
+
+  std::cout << "\nShape check: every PCBF column should dominate (be worse "
+               "than)\nthe CBF column, with the gap narrowing as w grows "
+               "(Sec. III-A).\n";
+  return 0;
+}

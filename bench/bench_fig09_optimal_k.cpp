@@ -1,0 +1,40 @@
+// Figure 9 — optimal number of hash functions minimizing the FPR, as a
+// function of memory, for CBF and MPCBF-1/2/3 (brute-force search over the
+// analytic models, Sec. IV-C).
+//
+// Expected shape: CBF's optimal k grows with memory (~(m/n)·ln2, from ~6
+// at 4 Mb to ~12 at 8 Mb for n=100K); MPCBF's optimal k stays nearly
+// constant (~3 for MPCBF-1, ~4-5 for MPCBF-2, ~5 for MPCBF-3).
+//
+// Usage: bench_fig09_optimal_k [--n 100000] [--w 64] [--csv fig09.csv]
+#include "bench_common.hpp"
+#include "model/optimal_k.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mpcbf;
+  util::CliArgs args(argc, argv);
+  const std::uint64_t n = args.get_uint("n", 100000);
+  const unsigned w = static_cast<unsigned>(args.get_uint("w", 64));
+  const std::string csv = args.get_string("csv", "");
+  args.reject_unknown({"n", "w", "csv"});
+
+  std::cout << "=== Figure 9: optimal k vs memory (model search) ===\n";
+  std::cout << "n=" << n << " w=" << w << "\n\n";
+
+  util::Table table({"mem(Mb)", "CBF k*", "MPCBF-1 k*", "MPCBF-2 k*",
+                     "MPCBF-3 k*"});
+
+  for (double mb = 4.0; mb <= 8.01; mb += 0.5) {
+    const std::size_t memory = bench::megabits(mb);
+    table.row().add(bench::format_mb(memory));
+    table.add(model::optimal_k_cbf(memory, n).k);
+    for (unsigned g : {1u, 2u, 3u}) {
+      table.add(model::optimal_k_mpcbf(memory, w, n, g).k);
+    }
+  }
+  table.emit(csv);
+
+  std::cout << "\nShape check: CBF's k* climbs ~6 -> ~12 across the sweep; "
+               "MPCBF k* stays\nnearly flat (3 / 4-5 / 5), Sec. IV-C.\n";
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Figure 11 — query overhead with optimal k: (a) measured memory accesses
+// per query and (b) access bandwidth (hash bits per query), as functions
+// of memory, for CBF (at its optimal k) and MPCBF-1/2/3 (at theirs).
+//
+// Expected shape: CBF's accesses/query climb with its optimal k (~5.2 to
+// ~10 across the sweep); MPCBF-1/2/3 hold constant ~1.0 / ~1.8 / ~2.6.
+// Bandwidth behaves the same way.
+//
+// Usage: bench_fig11_query_overhead [--n 40000] [--queries 400000]
+//        [--full] [--seed 3] [--csv fig11.csv]
+//        (--full = n=100000, 1M queries; memory scales with n to keep the
+//         paper's m/n regime)
+#include "bench_common.hpp"
+#include "model/optimal_k.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mpcbf;
+  util::CliArgs args(argc, argv);
+  const bool full = args.get_bool("full");
+  const std::size_t n = args.get_uint("n", full ? 100000 : 40000);
+  const std::size_t num_queries =
+      args.get_uint("queries", full ? 1000000 : 400000);
+  const std::uint64_t seed = args.get_uint("seed", 3);
+  const std::string csv = args.get_string("csv", "");
+  args.reject_unknown({"n", "queries", "full", "seed", "csv"});
+
+  std::cout << "=== Figure 11: query overhead with optimal k ===\n";
+  std::cout << "n=" << n << " queries=" << num_queries << " seed=" << seed
+            << "\n\n";
+
+  const auto test_set = workload::generate_unique_strings(n, 5, seed);
+  const auto queries =
+      workload::build_query_set(test_set, num_queries, 0.8, seed + 1);
+  const double scale = static_cast<double>(n) / 100000.0;
+
+  util::Table table({"mem(Mb@100K)", "CBF k*", "CBF acc", "CBF bw",
+                     "MP1 k*", "MP1 acc", "MP1 bw", "MP2 k*", "MP2 acc",
+                     "MP2 bw", "MP3 k*", "MP3 acc", "MP3 bw"});
+
+  for (double mb = 4.0; mb <= 8.01; mb += 1.0) {
+    const auto memory =
+        static_cast<std::size_t>(mb * 1024 * 1024 * scale);
+    table.row().addf(mb, 1);
+
+    const auto cbf_opt = model::optimal_k_cbf(memory, n);
+    filters::CountingBloomFilter cbf(memory, cbf_opt.k, seed);
+    for (const auto& key : test_set) cbf.insert(key);
+    cbf.stats().reset();
+    for (const auto& q : queries.queries) (void)cbf.contains(q);
+    table.add(cbf_opt.k);
+    table.addf(cbf.stats().mean_query_accesses(), 2);
+    table.addf(cbf.stats().mean_query_bandwidth(), 1);
+
+    for (unsigned g : {1u, 2u, 3u}) {
+      const auto opt = model::optimal_k_mpcbf(memory, 64, n, g);
+      core::MpcbfConfig mcfg;
+      mcfg.memory_bits = memory;
+      mcfg.k = opt.k;
+      mcfg.g = g;
+      mcfg.expected_n = n;
+      mcfg.seed = seed;
+      mcfg.policy = core::OverflowPolicy::kStash;
+      core::Mpcbf<64> mp(mcfg);
+      for (const auto& key : test_set) mp.insert(key);
+      mp.stats().reset();
+      for (const auto& q : queries.queries) (void)mp.contains(q);
+      table.add(opt.k);
+      table.addf(mp.stats().mean_query_accesses(), 2);
+      table.addf(mp.stats().mean_query_bandwidth(), 1);
+    }
+  }
+  table.emit(csv);
+
+  std::cout << "\nShape check: CBF accesses/query track its growing k* "
+               "(~5-10); MPCBF-g stay\nnear 1.0/1.8/2.6 across the whole "
+               "sweep (Fig. 11a); bandwidth likewise (11b).\n";
+  return 0;
+}

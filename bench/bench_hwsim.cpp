@@ -1,0 +1,107 @@
+// Hardware projection — the experiment the paper's platform-in-progress
+// would have run (Sec. IV-B): sustained lookup throughput of CBF vs
+// MPCBF-1/2/3 on a banked on-chip SRAM, across bank counts and k, plus a
+// line-rate feasibility check (100GbE at minimum-size packets needs
+// 148.8 M lookups/s).
+//
+// Word addresses come from the real filters' hash derivation; the SRAM
+// model is deterministic (see src/hwsim/sram_pipeline.hpp), so the table
+// is exactly reproducible.
+//
+// Usage: bench_hwsim [--keys 50000] [--clock-ghz 1.0] [--latency 2]
+//        [--seed 12] [--csv hwsim.csv]
+#include "bench_common.hpp"
+#include "hwsim/op_trace.hpp"
+#include "hwsim/sram_pipeline.hpp"
+#include "model/optimal_k.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mpcbf;
+  util::CliArgs args(argc, argv);
+  const std::size_t num_keys = args.get_uint("keys", 50000);
+  const double clock_ghz = args.get_double("clock-ghz", 1.0);
+  const unsigned latency =
+      static_cast<unsigned>(args.get_uint("latency", 2));
+  const std::uint64_t seed = args.get_uint("seed", 12);
+  const std::string csv = args.get_string("csv", "");
+  args.reject_unknown({"keys", "clock-ghz", "latency", "seed", "csv"});
+
+  constexpr double kLineRateMpps = 148.8;  // 100GbE @ 64B packets
+
+  std::cout << "=== Hardware projection: banked-SRAM lookup throughput "
+               "===\n";
+  std::cout << "keys=" << num_keys << " clock=" << clock_ghz
+            << " GHz, access latency=" << latency << " cycles, line rate "
+            << kLineRateMpps << " Mpps (100GbE @64B)\n\n";
+
+  const auto keys = workload::generate_unique_strings(num_keys, 5, seed);
+
+  // Filter geometry at 6 Mb / 100K elements (the paper's mid sweep).
+  const std::size_t memory = bench::megabits(6.0);
+  const std::size_t m_counters = memory / 4;
+  const std::size_t l_words = memory / 64;
+  const unsigned n_max = model::n_max_heuristic(100000, l_words, 1);
+  const unsigned b1 = model::b1_improved(64, 3, 1, n_max);
+
+  const auto cbf3 = hwsim::cbf_query_trace(keys, m_counters, 3, seed + 1);
+  const auto cbf12 = hwsim::cbf_query_trace(keys, m_counters, 12, seed + 1);
+  const auto mp1 =
+      hwsim::mpcbf_query_trace(keys, l_words, 3, 1, b1, seed + 1);
+  const auto mp2 =
+      hwsim::mpcbf_query_trace(keys, l_words, 4, 2, b1, seed + 1);
+  const auto mp3 =
+      hwsim::mpcbf_query_trace(keys, l_words, 5, 3, b1, seed + 1);
+
+  util::Table table({"banks", "CBF k=3", "CBF k=12(opt)", "MPCBF-1",
+                     "MPCBF-2", "MPCBF-3", "line-rate @100GbE"});
+
+  for (unsigned banks : {1u, 2u, 4u, 8u, 16u}) {
+    hwsim::SramConfig cfg;
+    cfg.banks = banks;
+    cfg.access_latency = latency;
+    cfg.clock_ghz = clock_ghz;
+    hwsim::SramPipeline sim(cfg);
+
+    const double t_cbf3 = sim.run(cbf3).mops_per_second(clock_ghz);
+    const double t_cbf12 = sim.run(cbf12).mops_per_second(clock_ghz);
+    const double t_mp1 = sim.run(mp1).mops_per_second(clock_ghz);
+    const double t_mp2 = sim.run(mp2).mops_per_second(clock_ghz);
+    const double t_mp3 = sim.run(mp3).mops_per_second(clock_ghz);
+
+    table.row().add(banks);
+    table.addf(t_cbf3, 0).addf(t_cbf12, 0).addf(t_mp1, 0).addf(t_mp2, 0);
+    table.addf(t_mp3, 0);
+    std::string who;
+    if (t_mp1 >= kLineRateMpps) who += "MP1 ";
+    if (t_mp2 >= kLineRateMpps) who += "MP2 ";
+    if (t_mp3 >= kLineRateMpps) who += "MP3 ";
+    if (t_cbf3 >= kLineRateMpps) who += "CBF3 ";
+    if (t_cbf12 >= kLineRateMpps) who += "CBF12";
+    table.add(who.empty() ? "none" : who);
+  }
+  table.emit(csv);
+
+  // Updates: read-modify-write per word (two port slots) — the hardware
+  // Table II. Shown at the mid bank count.
+  std::cout << "\n--- update (insert/delete) throughput at 4 banks ---\n";
+  {
+    hwsim::SramConfig cfg;
+    cfg.banks = 4;
+    cfg.access_latency = latency;
+    hwsim::SramPipeline sim(cfg);
+    util::Table upd({"op", "CBF k=3", "MPCBF-1", "MPCBF-2"});
+    upd.row().add("update Mops/s");
+    upd.addf(sim.run(hwsim::as_updates(cbf3)).mops_per_second(clock_ghz), 0);
+    upd.addf(sim.run(hwsim::as_updates(mp1)).mops_per_second(clock_ghz), 0);
+    upd.addf(sim.run(hwsim::as_updates(mp2)).mops_per_second(clock_ghz), 0);
+    upd.emit("");
+  }
+
+  std::cout << "\n(Mops/s, sustained.) Expected shape: MPCBF-1 pins the "
+               "dispatch limit (1 lookup/cycle)\nat every bank count; CBF "
+               "needs ~k bank slots per lookup, so it requires k+ banks\n"
+               "to approach the same rate — and optimal-k CBF (k~12) is "
+               "hopeless on small SRAMs.\nThis is the quantified version "
+               "of the paper's Sec. I motivation.\n";
+  return 0;
+}

@@ -1,0 +1,191 @@
+// Microbenchmarks (google-benchmark): per-operation latency of every
+// filter in the lineup — insert, positive query, negative query, delete —
+// plus the HCBF word primitives the core is built from. Complements the
+// figure benches: Fig. 8 measures a realistic mixed stream; these isolate
+// single-operation cost.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/hcbf.hpp"
+#include "core/mpcbf.hpp"
+#include "filters/blocked_bloom.hpp"
+#include "filters/bloom.hpp"
+#include "filters/counting_bloom.hpp"
+#include "filters/dlcbf.hpp"
+#include "filters/pcbf.hpp"
+#include "filters/vicbf.hpp"
+#include "workload/string_sets.hpp"
+
+namespace {
+
+using namespace mpcbf;
+
+constexpr std::size_t kMemory = 1u << 22;  // 4 Mb
+constexpr std::size_t kN = 50000;
+
+const std::vector<std::string>& members() {
+  static const auto v = workload::generate_unique_strings(kN, 5, 12345);
+  return v;
+}
+
+const std::vector<std::string>& probes() {
+  static const auto v = workload::generate_unique_strings(kN, 7, 54321);
+  return v;
+}
+
+template <typename Filter>
+void fill(Filter& f) {
+  for (const auto& key : members()) {
+    (void)f.insert(key);
+  }
+}
+
+template <typename MakeFilter>
+void query_positive(benchmark::State& state, MakeFilter make) {
+  auto f = make();
+  fill(*f);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f->contains(members()[i]));
+    i = (i + 1) % members().size();
+  }
+}
+
+template <typename MakeFilter>
+void query_negative(benchmark::State& state, MakeFilter make) {
+  auto f = make();
+  fill(*f);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f->contains(probes()[i]));
+    i = (i + 1) % probes().size();
+  }
+}
+
+template <typename MakeFilter>
+void insert_erase(benchmark::State& state, MakeFilter make) {
+  auto f = make();
+  fill(*f);
+  std::size_t i = 0;
+  // insert/erase return void on some filters and bool on others.
+  const auto sink = [](auto&& expr) {
+    if constexpr (!std::is_void_v<decltype(expr())>) {
+      benchmark::DoNotOptimize(expr());
+    } else {
+      expr();
+    }
+  };
+  for (auto _ : state) {
+    sink([&] { return f->insert(probes()[i]); });
+    sink([&] { return f->erase(probes()[i]); });
+    i = (i + 1) % probes().size();
+  }
+}
+
+auto make_cbf = [] {
+  return std::make_unique<filters::CountingBloomFilter>(kMemory, 3);
+};
+auto make_pcbf1 = [] { return std::make_unique<filters::Pcbf>(kMemory, 3, 1); };
+auto make_pcbf2 = [] { return std::make_unique<filters::Pcbf>(kMemory, 3, 2); };
+auto make_mp1 = [] {
+  return std::make_unique<core::Mpcbf<64>>(
+      core::MpcbfConfig{kMemory, 3, 1, kN, 0,
+                        core::OverflowPolicy::kStash,
+                        0x9E3779B97F4A7C15ULL, true});
+};
+auto make_mp2 = [] {
+  return std::make_unique<core::Mpcbf<64>>(
+      core::MpcbfConfig{kMemory, 3, 2, kN, 0,
+                        core::OverflowPolicy::kStash,
+                        0x9E3779B97F4A7C15ULL, true});
+};
+auto make_dlcbf = [] {
+  filters::DlcbfConfig cfg;
+  cfg.memory_bits = kMemory;
+  return std::make_unique<filters::Dlcbf>(cfg);
+};
+auto make_vicbf = [] {
+  filters::VicbfConfig cfg;
+  cfg.memory_bits = kMemory;
+  return std::make_unique<filters::Vicbf>(cfg);
+};
+
+void BM_CBF_QueryPositive(benchmark::State& s) { query_positive(s, make_cbf); }
+void BM_CBF_QueryNegative(benchmark::State& s) { query_negative(s, make_cbf); }
+void BM_CBF_InsertErase(benchmark::State& s) { insert_erase(s, make_cbf); }
+void BM_PCBF1_QueryPositive(benchmark::State& s) { query_positive(s, make_pcbf1); }
+void BM_PCBF1_QueryNegative(benchmark::State& s) { query_negative(s, make_pcbf1); }
+void BM_PCBF1_InsertErase(benchmark::State& s) { insert_erase(s, make_pcbf1); }
+void BM_PCBF2_QueryPositive(benchmark::State& s) { query_positive(s, make_pcbf2); }
+void BM_MPCBF1_QueryPositive(benchmark::State& s) { query_positive(s, make_mp1); }
+void BM_MPCBF1_QueryNegative(benchmark::State& s) { query_negative(s, make_mp1); }
+void BM_MPCBF1_InsertErase(benchmark::State& s) { insert_erase(s, make_mp1); }
+void BM_MPCBF2_QueryPositive(benchmark::State& s) { query_positive(s, make_mp2); }
+void BM_MPCBF2_QueryNegative(benchmark::State& s) { query_negative(s, make_mp2); }
+void BM_MPCBF2_InsertErase(benchmark::State& s) { insert_erase(s, make_mp2); }
+void BM_DLCBF_QueryPositive(benchmark::State& s) { query_positive(s, make_dlcbf); }
+void BM_DLCBF_InsertErase(benchmark::State& s) { insert_erase(s, make_dlcbf); }
+void BM_VICBF_QueryPositive(benchmark::State& s) { query_positive(s, make_vicbf); }
+void BM_VICBF_InsertErase(benchmark::State& s) { insert_erase(s, make_vicbf); }
+
+BENCHMARK(BM_CBF_QueryPositive);
+BENCHMARK(BM_CBF_QueryNegative);
+BENCHMARK(BM_CBF_InsertErase);
+BENCHMARK(BM_PCBF1_QueryPositive);
+BENCHMARK(BM_PCBF1_QueryNegative);
+BENCHMARK(BM_PCBF1_InsertErase);
+BENCHMARK(BM_PCBF2_QueryPositive);
+BENCHMARK(BM_MPCBF1_QueryPositive);
+BENCHMARK(BM_MPCBF1_QueryNegative);
+BENCHMARK(BM_MPCBF1_InsertErase);
+BENCHMARK(BM_MPCBF2_QueryPositive);
+BENCHMARK(BM_MPCBF2_QueryNegative);
+BENCHMARK(BM_MPCBF2_InsertErase);
+BENCHMARK(BM_DLCBF_QueryPositive);
+BENCHMARK(BM_DLCBF_InsertErase);
+BENCHMARK(BM_VICBF_QueryPositive);
+BENCHMARK(BM_VICBF_InsertErase);
+
+// --- HCBF word primitives -----------------------------------------------
+
+void BM_HcbfWord_IncrementDecrement(benchmark::State& state) {
+  core::HcbfWord<64> w(40);
+  unsigned pos = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(w.increment(pos));
+    benchmark::DoNotOptimize(w.decrement(pos));
+    pos = (pos + 7) % 40;
+  }
+}
+BENCHMARK(BM_HcbfWord_IncrementDecrement);
+
+void BM_HcbfWord_CounterRead(benchmark::State& state) {
+  core::HcbfWord<64> w(40);
+  for (unsigned i = 0; i < 8; ++i) {
+    (void)w.increment(i * 5);
+    (void)w.increment(i * 5);
+  }
+  unsigned pos = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(w.counter(pos));
+    pos = (pos + 5) % 40;
+  }
+}
+BENCHMARK(BM_HcbfWord_CounterRead);
+
+void BM_WordBitset_InsertRemove(benchmark::State& state) {
+  bits::WordBitset<64> w;
+  for (unsigned i = 0; i < 32; i += 2) w.set(i);
+  for (auto _ : state) {
+    w.insert_zero_at(17);
+    benchmark::DoNotOptimize(w.remove_bit_at(17));
+  }
+}
+BENCHMARK(BM_WordBitset_InsertRemove);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+// Query-mix sensitivity — why measured accesses/query differ between
+// workloads (our Table III vs the paper's): negative queries short-circuit,
+// positive queries scan all k positions, so the mean access count is a
+// weighted blend controlled by the member fraction of the query stream.
+// This bench sweeps that fraction 0%..100% for the paper lineup and shows
+// that MPCBF-1 alone is flat at exactly 1.0 — its cost is mix-independent,
+// the deployment-friendly property.
+//
+// Usage: bench_query_mix [--n 50000] [--queries 200000] [--mem-mb 6]
+//        [--seed 13] [--csv mix.csv]
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mpcbf;
+  util::CliArgs args(argc, argv);
+  const std::size_t n = args.get_uint("n", 50000);
+  const std::size_t num_queries = args.get_uint("queries", 200000);
+  const double mem_mb = args.get_double("mem-mb", 6.0);
+  const std::uint64_t seed = args.get_uint("seed", 13);
+  const std::string csv = args.get_string("csv", "");
+  args.reject_unknown({"n", "queries", "mem-mb", "seed", "csv"});
+
+  const auto memory = static_cast<std::size_t>(
+      mem_mb * 1024 * 1024 * (static_cast<double>(n) / 100000.0));
+  std::cout << "=== Query-mix sensitivity: accesses/query vs member "
+               "fraction (k=3) ===\n";
+  std::cout << "n=" << n << " queries=" << num_queries << " memory@100K="
+            << mem_mb << " Mb seed=" << seed << "\n\n";
+
+  const auto keys = workload::generate_unique_strings(n, 5, seed);
+
+  util::Table table({"member %", "CBF", "PCBF-1", "PCBF-2", "MPCBF-1",
+                     "MPCBF-2"});
+
+  for (const double member_fraction : {0.0, 0.2, 0.5, 0.8, 1.0}) {
+    const auto qs = workload::build_query_set(keys, num_queries,
+                                              member_fraction, seed + 1);
+    auto lineup = bench::paper_lineup(memory, 3, n, seed + 2);
+    table.row().addf(member_fraction * 100, 0);
+    for (auto& f : lineup) {
+      for (const auto& key : keys) {
+        (void)f.insert(key);
+      }
+      f.stats()->reset();
+      for (const auto& q : qs.queries) {
+        (void)f.contains(q);
+      }
+      table.addf(f.stats()->mean_query_accesses(), 2);
+    }
+  }
+  table.emit(csv);
+
+  std::cout << "\nShape check: CBF climbs from ~1.1 (all-negative, "
+               "short-circuit at the first\nzero) to ~3.0 (all-positive); "
+               "MPCBF-2/PCBF-2 climb 1.x -> ~2; MPCBF-1 and\nPCBF-1 are "
+               "flat at exactly 1.00 — the access cost the paper "
+               "guarantees\nindependent of traffic composition.\n";
+  return 0;
+}

@@ -1,0 +1,141 @@
+// Table IV — reduce-side join performance in MapReduce with filter
+// pushdown: no filter vs CBF vs MPCBF-1 vs MPCBF-2.
+//
+// Paper's measured values (3-node Hadoop, NBER patent data, for shape):
+//   filter FPR: 35.7% (CBF) -> 9.7% (MPCBF-1) -> 4.4% (MPCBF-2)
+//   map-output reduction vs CBF: 26.7% (MPCBF-1) / 30.3% (MPCBF-2)
+//   total-time reduction vs CBF: 14.3% / 15.2%
+//
+// Our substitution (DESIGN.md §4): synthetic NBER-like data (71,661 join
+// keys; 16.5M citations at --full, 1/16 scale by default) joined in the
+// in-process MapReduce engine. The filter is sized tight (default 10
+// bits/key) so the CBF's FPR lands in the paper's ~30% regime.
+//
+// Usage: bench_table4_mapreduce_join [--full] [--bits-per-key 10]
+//        [--reducers 4] [--seed 8] [--csv table4.csv]
+#include "bench_common.hpp"
+#include "mapreduce/join.hpp"
+#include "workload/patent_data.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mpcbf;
+  util::CliArgs args(argc, argv);
+  const bool full = args.get_bool("full");
+  const std::size_t bits_per_key = args.get_uint("bits-per-key", 10);
+  const unsigned reducers =
+      static_cast<unsigned>(args.get_uint("reducers", 4));
+  const std::uint64_t seed = args.get_uint("seed", 8);
+  const std::string csv = args.get_string("csv", "");
+  args.reject_unknown({"full", "bits-per-key", "reducers", "seed", "csv"});
+
+  workload::PatentDataConfig dcfg =
+      full ? workload::PatentDataConfig::paper_scale()
+           : workload::PatentDataConfig{};
+  dcfg.seed = seed;
+
+  std::cout << "=== Table IV: reduce-side join with filter pushdown ===\n";
+  std::cout << "patents=" << dcfg.num_patents
+            << " citations=" << dcfg.num_citations
+            << " hit_fraction=" << dcfg.hit_fraction
+            << " filter=" << bits_per_key << " bits/key seed=" << seed
+            << "\n\n";
+
+  const auto data = workload::PatentData::generate(dcfg);
+  const std::size_t filter_bits = dcfg.num_patents * bits_per_key;
+
+  filters::CountingBloomFilter cbf(filter_bits, 3, seed);
+  // In the software MapReduce setting one memory access fetches a 64-byte
+  // cache line, so the MPCBF word is 512 bits: at Table IV's very tight
+  // ~10 bits/key, a wide word amortizes the hierarchy reservation's
+  // Poisson variance (k·n_max/w shrinks as w grows), which is what keeps
+  // MPCBF below CBF in this regime.
+  core::MpcbfConfig mcfg;
+  mcfg.memory_bits = filter_bits;
+  mcfg.k = 3;
+  mcfg.g = 1;
+  mcfg.expected_n = dcfg.num_patents;
+  mcfg.seed = seed;
+  mcfg.policy = core::OverflowPolicy::kStash;
+  core::Mpcbf<512> mp1(mcfg);
+  mcfg.g = 2;
+  core::Mpcbf<512> mp2(mcfg);
+  for (const auto& p : data.patents) {
+    cbf.insert(p.id);
+    mp1.insert(p.id);
+    mp2.insert(p.id);
+  }
+
+  mr::JobConfig jcfg;
+  jcfg.num_reducers = reducers;
+
+  struct Row {
+    const char* name;
+    mr::Prefilter filter;
+  };
+  const Row rows[] = {
+      {"no filter", nullptr},
+      {"CBF", [&](std::string_view key) { return cbf.contains(key); }},
+      {"MPCBF-1", [&](std::string_view key) { return mp1.contains(key); }},
+      {"MPCBF-2", [&](std::string_view key) { return mp2.contains(key); }},
+  };
+
+  util::Table table({"filter", "filter FPR", "map outputs",
+                     "output cut vs CBF", "shuffle bytes", "joined rows",
+                     "total time(s)", "time cut vs CBF"});
+
+  std::uint64_t cbf_map_outputs = 0;
+  double cbf_time = 0.0;
+  std::uint64_t expected_rows = data.hit_count();
+  for (const auto& row : rows) {
+    const auto stats = mr::run_reduce_side_join(data, row.filter, jcfg);
+    if (stats.joined_rows != expected_rows) {
+      std::cerr << "ERROR: join result changed under filter " << row.name
+                << " (" << stats.joined_rows << " != " << expected_rows
+                << ")\n";
+      return 1;
+    }
+    double fpr = 0.0;
+    if (stats.filter_probes != 0) {
+      const auto non_hits = stats.filter_probes - data.hit_count();
+      fpr = non_hits == 0
+                ? 0.0
+                : static_cast<double>(stats.filter_passes -
+                                      data.hit_count()) /
+                      static_cast<double>(non_hits);
+    }
+    if (std::string(row.name) == "CBF") {
+      cbf_map_outputs = stats.counters.map_output_records;
+      cbf_time = stats.counters.total_seconds;
+    }
+    table.row().add(row.name);
+    table.addf(fpr * 100.0, 1);
+    table.add(stats.counters.map_output_records);
+    if (cbf_map_outputs != 0 && std::string(row.name) != "no filter" &&
+        std::string(row.name) != "CBF") {
+      table.addf((1.0 - static_cast<double>(
+                            stats.counters.map_output_records) /
+                            static_cast<double>(cbf_map_outputs)) *
+                     100.0,
+                 1);
+    } else {
+      table.add("--");
+    }
+    table.add(stats.counters.shuffle_bytes);
+    table.add(stats.joined_rows);
+    table.addf(stats.counters.total_seconds, 3);
+    if (cbf_time > 0.0 && std::string(row.name) != "no filter" &&
+        std::string(row.name) != "CBF") {
+      table.addf((1.0 - stats.counters.total_seconds / cbf_time) * 100.0,
+                 1);
+    } else {
+      table.add("--");
+    }
+  }
+  table.emit(csv);
+
+  std::cout << "\nShape check vs Table IV: FPR drops steeply CBF -> "
+               "MPCBF-1 -> MPCBF-2;\nmap outputs and total time fall "
+               "accordingly; joined rows identical for all\nvariants (the "
+               "join stays exact).\n";
+  return 0;
+}

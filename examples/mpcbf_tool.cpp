@@ -1,0 +1,187 @@
+// mpcbf_tool — command-line front end for building, querying, planning
+// and persisting MPCBF filters. The kind of utility an operator uses to
+// pre-build a filter offline (e.g. the patent-key filter of Sec. V) and
+// ship it to consumers.
+//
+// Subcommands:
+//   plan  --n N --fpr F [--accesses G]        size a filter from the model
+//   build --keys FILE --out FILTER [...]      build & save from a key file
+//   query --filter FILTER --keys FILE         membership-check a key file
+//   merge --a F1 --b F2 --out F3              counter-wise union of filters
+//   stats --filter FILTER                     print a saved filter's layout
+//
+// Key files are newline-separated keys.
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "core/mpcbf.hpp"
+#include "model/planner.hpp"
+
+namespace {
+
+std::vector<std::string> read_keys(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open key file: " + path);
+  std::vector<std::string> keys;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) keys.push_back(line);
+  }
+  return keys;
+}
+
+int cmd_plan(const mpcbf::util::CliArgs& args) {
+  mpcbf::model::PlanRequirements req;
+  req.expected_n = args.get_uint("n", 100000);
+  req.target_fpr = args.get_double("fpr", 1e-3);
+  req.max_accesses = static_cast<unsigned>(args.get_uint("accesses", 1));
+  const auto plan = mpcbf::model::plan_mpcbf(req);
+  const auto cbf = mpcbf::model::plan_cbf(req);
+  if (!plan.feasible) {
+    std::cerr << "no feasible MPCBF configuration within the memory cap\n";
+    return 1;
+  }
+  std::cout << "MPCBF-" << plan.g << ": " << plan.memory_bits / 8 / 1024
+            << " KiB, k=" << plan.k << ", n_max=" << plan.n_max
+            << ", b1=" << plan.b1 << ", predicted fpr="
+            << plan.predicted_fpr << " ("
+            << plan.bits_per_element(req.expected_n) << " bits/element)\n";
+  if (cbf.feasible) {
+    std::cout << "CBF (for comparison): " << cbf.memory_bits / 8 / 1024
+              << " KiB at k=" << cbf.k << " (" << cbf.k
+              << " memory accesses/query vs MPCBF's " << plan.g << ")\n";
+  }
+  return 0;
+}
+
+int cmd_build(const mpcbf::util::CliArgs& args) {
+  const auto keys = read_keys(args.get_string("keys", ""));
+  mpcbf::core::MpcbfConfig cfg;
+  // --expected-n sizes the per-word capacity for a larger future
+  // population (e.g. the total after merging several shards).
+  cfg.expected_n = args.get_uint("expected-n", keys.size());
+  cfg.k = static_cast<unsigned>(args.get_uint("k", 3));
+  cfg.g = static_cast<unsigned>(args.get_uint("g", 1));
+  cfg.memory_bits = args.get_uint("memory-bits", 0);
+  if (cfg.memory_bits == 0) {
+    // No size given: plan one from the target FPR.
+    mpcbf::model::PlanRequirements req;
+    req.expected_n = keys.size();
+    req.target_fpr = args.get_double("fpr", 1e-3);
+    req.max_accesses = cfg.g;
+    const auto plan = mpcbf::model::plan_mpcbf(req);
+    if (!plan.feasible) {
+      std::cerr << "no feasible configuration for target fpr\n";
+      return 1;
+    }
+    cfg.memory_bits = plan.memory_bits;
+    cfg.k = plan.k;
+    cfg.g = plan.g;
+  }
+  cfg.policy = mpcbf::core::OverflowPolicy::kStash;
+  mpcbf::core::Mpcbf<64> filter(cfg);
+  for (const auto& key : keys) {
+    filter.insert(key);
+  }
+  const std::string out = args.get_string("out", "filter.mpcbf");
+  std::ofstream os(out, std::ios::binary);
+  filter.save(os);
+  std::cout << "built " << out << ": " << filter.size() << " keys in "
+            << filter.memory_bits() / 8 / 1024 << " KiB (k=" << filter.k()
+            << ", g=" << filter.g() << ", b1=" << filter.b1()
+            << ", stash=" << filter.stash_size() << ")\n";
+  return 0;
+}
+
+int cmd_query(const mpcbf::util::CliArgs& args) {
+  std::ifstream is(args.get_string("filter", "filter.mpcbf"),
+                   std::ios::binary);
+  if (!is) {
+    std::cerr << "cannot open filter file\n";
+    return 1;
+  }
+  auto filter = mpcbf::core::Mpcbf<64>::load(is);
+  const auto keys = read_keys(args.get_string("keys", ""));
+  std::size_t hits = 0;
+  for (const auto& key : keys) {
+    const bool hit = filter.contains(key);
+    hits += hit;
+    if (args.get_bool("verbose")) {
+      std::cout << (hit ? "+ " : "- ") << key << "\n";
+    }
+  }
+  std::cout << hits << "/" << keys.size() << " keys positive\n";
+  return 0;
+}
+
+int cmd_merge(const mpcbf::util::CliArgs& args) {
+  std::ifstream a_in(args.get_string("a", ""), std::ios::binary);
+  std::ifstream b_in(args.get_string("b", ""), std::ios::binary);
+  if (!a_in || !b_in) {
+    std::cerr << "cannot open input filters (--a / --b)\n";
+    return 1;
+  }
+  auto a = mpcbf::core::Mpcbf<64>::load(a_in);
+  const auto b = mpcbf::core::Mpcbf<64>::load(b_in);
+  if (!a.compatible(b)) {
+    std::cerr << "filters have different layouts/seeds; cannot merge\n";
+    return 1;
+  }
+  if (!a.merge(b)) {
+    std::cerr << "merge would overflow a word; rebuild with more memory\n";
+    return 1;
+  }
+  const std::string out = args.get_string("out", "merged.mpcbf");
+  std::ofstream os(out, std::ios::binary);
+  a.save(os);
+  std::cout << "merged " << a.size() << " keys into " << out << "\n";
+  return 0;
+}
+
+int cmd_stats(const mpcbf::util::CliArgs& args) {
+  std::ifstream is(args.get_string("filter", "filter.mpcbf"),
+                   std::ios::binary);
+  if (!is) {
+    std::cerr << "cannot open filter file\n";
+    return 1;
+  }
+  const auto filter = mpcbf::core::Mpcbf<64>::load(is);
+  std::cout << "words:          " << filter.num_words() << " x 64 bits\n"
+            << "memory:         " << filter.memory_bits() / 8 / 1024
+            << " KiB\n"
+            << "k / g:          " << filter.k() << " / " << filter.g() << "\n"
+            << "b1 / n_max:     " << filter.b1() << " / " << filter.n_max()
+            << "\n"
+            << "elements:       " << filter.size() << "\n"
+            << "hierarchy bits: " << filter.total_hierarchy_bits() << " ("
+            << "max/word " << filter.max_word_hierarchy_bits() << ")\n"
+            << "stash entries:  " << filter.stash_size() << "\n"
+            << "valid:          " << (filter.validate() ? "yes" : "NO") << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: mpcbf_tool <plan|build|query|stats> [flags]\n";
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  mpcbf::util::CliArgs args(argc - 1, argv + 1);
+  try {
+    if (cmd == "plan") return cmd_plan(args);
+    if (cmd == "build") return cmd_build(args);
+    if (cmd == "query") return cmd_query(args);
+    if (cmd == "merge") return cmd_merge(args);
+    if (cmd == "stats") return cmd_stats(args);
+    std::cerr << "unknown subcommand: " << cmd << "\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Builds everything, runs the full test suite, then regenerates every
+# paper table/figure into results/ (text + per-bench CSV where supported).
+# Pass --full to run the paper-scale workloads (slower).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FULL_FLAG=""
+if [[ "${1:-}" == "--full" ]]; then
+  FULL_FLAG="--full"
+fi
+
+cmake -B build -G Ninja -DCMAKE_BUILD_TYPE=Release
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+mkdir -p results
+for bench in build/bench/bench_*; do
+  name=$(basename "$bench")
+  echo "== $name"
+  case "$name" in
+    bench_micro_ops)
+      "$bench" --benchmark_min_time=0.2 | tee "results/$name.txt"
+      ;;
+    bench_fig07*|bench_fig08*|bench_fig11*|bench_fig12*|bench_table3*|bench_table4*)
+      "$bench" $FULL_FLAG | tee "results/$name.txt"
+      ;;
+    *)
+      "$bench" | tee "results/$name.txt"
+      ;;
+  esac
+done
+
+echo "All benches complete; outputs in results/."

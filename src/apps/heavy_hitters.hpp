@@ -1,0 +1,120 @@
+// Heavy-hitter detection on top of MPCBF multiplicity estimates — the
+// "flow measurement system" application the paper's Sec. IV-D simulates
+// (its trace protocol "simulates a flow measurement system that measures
+// the Internet traffic of 200K flows in CBF").
+//
+// The sketch counts every key occurrence in an MPCBF (count() gives a
+// conservative, never-undercounting estimate, exactly like a count-min
+// row) and tracks the current top-k candidates in a small exact map that
+// admits a key once its estimate crosses the running threshold. Decay is
+// supported by erasing old occurrences (the counting filter's raison
+// d'être — a plain Bloom filter cannot age anything out).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/mpcbf.hpp"
+
+namespace mpcbf::apps {
+
+struct HeavyHitter {
+  std::string key;
+  std::uint64_t estimate = 0;  ///< conservative (never an undercount)
+};
+
+class HeavyHitterSketch {
+ public:
+  struct Config {
+    std::size_t memory_bits = 1 << 20;
+    unsigned k = 3;
+    unsigned g = 1;
+    std::size_t expected_distinct = 10000;
+    /// Keys whose estimate reaches this multiplicity become candidates.
+    std::uint64_t threshold = 8;
+    std::uint64_t seed = 0x4EA11;
+  };
+
+  explicit HeavyHitterSketch(const Config& cfg)
+      : threshold_(cfg.threshold), filter_(make_filter(cfg)) {}
+
+  /// Records one occurrence of `key`.
+  void add(std::string_view key) {
+    ++total_;
+    (void)filter_.insert(key);
+    const std::uint32_t estimate = filter_.count(key);
+    if (estimate >= threshold_) {
+      auto [it, inserted] = candidates_.try_emplace(std::string(key), 0);
+      it->second = std::max<std::uint64_t>(it->second, estimate);
+    }
+  }
+
+  /// Ages out one previously added occurrence (sliding-window decay).
+  void remove(std::string_view key) {
+    if (total_ > 0) --total_;
+    (void)filter_.erase(key);
+    auto it = candidates_.find(std::string(key));
+    if (it != candidates_.end()) {
+      const std::uint32_t estimate = filter_.count(key);
+      if (estimate < threshold_) {
+        candidates_.erase(it);
+      } else {
+        it->second = estimate;
+      }
+    }
+  }
+
+  /// The current top-n candidates by (refreshed) estimate, descending.
+  [[nodiscard]] std::vector<HeavyHitter> top(std::size_t n) const {
+    std::vector<HeavyHitter> out;
+    out.reserve(candidates_.size());
+    for (const auto& [key, recorded] : candidates_) {
+      out.push_back(HeavyHitter{key, filter_.count(key)});
+    }
+    std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+      return a.estimate != b.estimate ? a.estimate > b.estimate
+                                      : a.key < b.key;
+    });
+    if (out.size() > n) out.resize(n);
+    return out;
+  }
+
+  [[nodiscard]] std::uint64_t total_occurrences() const noexcept {
+    return total_;
+  }
+  [[nodiscard]] std::size_t candidate_count() const noexcept {
+    return candidates_.size();
+  }
+  [[nodiscard]] std::uint64_t threshold() const noexcept {
+    return threshold_;
+  }
+  [[nodiscard]] const core::Mpcbf<64>& filter() const noexcept {
+    return filter_;
+  }
+
+ private:
+  static core::Mpcbf<64> make_filter(const Config& cfg) {
+    core::MpcbfConfig mcfg;
+    mcfg.memory_bits = cfg.memory_bits;
+    mcfg.k = cfg.k;
+    mcfg.g = cfg.g;
+    mcfg.expected_n = cfg.expected_distinct;
+    mcfg.seed = cfg.seed;
+    // Hot keys stack many increments into their words; the stash absorbs
+    // what the heuristic capacity cannot, so estimates stay conservative
+    // rather than silently dropping occurrences.
+    mcfg.policy = core::OverflowPolicy::kStash;
+    return core::Mpcbf<64>(mcfg);
+  }
+
+  std::uint64_t threshold_;
+  std::uint64_t total_ = 0;
+  core::Mpcbf<64> filter_;
+  std::unordered_map<std::string, std::uint64_t> candidates_;
+};
+
+}  // namespace mpcbf::apps

@@ -1,0 +1,171 @@
+// Longest Prefix Matching with per-length membership filters —
+// Dharmapurikar, Krishnamurthy & Taylor's scheme (SIGCOMM 2003, the
+// paper's ref. [4]), built here over MPCBF.
+//
+// One filter per prefix length summarizes the prefixes of that length;
+// the exact routes live in per-length hash tables (the scheme's off-chip
+// memory). A lookup queries the filters for every length (on a line card:
+// in parallel, on-chip), then probes the exact tables only for lengths
+// whose filter answered positive, from longest to shortest, stopping at
+// the first real match. Filters never cause wrong results — a false
+// positive costs one wasted off-chip probe, a property the lookup
+// statistics expose.
+//
+// Route updates (BGP add/withdraw) delete from the filters, which is why
+// the scheme needs *counting* filters — and why the paper's fast, accurate
+// CBF replacement matters here: the filter probes are the on-chip
+// bottleneck, and MPCBF answers each in one memory access.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/mpcbf.hpp"
+#include "workload/route_table.hpp"
+
+namespace mpcbf::apps {
+
+struct LpmConfig {
+  /// Supported prefix lengths (inclusive).
+  unsigned min_length = 8;
+  unsigned max_length = 32;
+  /// Filter memory per prefix length, in bits.
+  std::size_t filter_bits_per_length = 1 << 16;
+  /// Expected prefixes per length (for the filters' capacity heuristic).
+  std::size_t expected_per_length = 4000;
+  unsigned k = 3;
+  unsigned g = 1;
+  std::uint64_t seed = 0x10F4;
+};
+
+struct LpmStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t filter_positives = 0;  ///< lengths flagged by filters
+  std::uint64_t table_probes = 0;      ///< exact (off-chip) probes actually made
+  std::uint64_t wasted_probes = 0;     ///< probes caused by filter false positives
+  std::uint64_t hits = 0;
+
+  [[nodiscard]] double probes_per_lookup() const {
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(table_probes) /
+                              static_cast<double>(lookups);
+  }
+};
+
+class LpmTable {
+ public:
+  explicit LpmTable(const LpmConfig& cfg) : cfg_(cfg) {
+    if (cfg.min_length < 1 || cfg.max_length > 32 ||
+        cfg.min_length > cfg.max_length) {
+      throw std::invalid_argument("LpmTable: bad length range");
+    }
+    const unsigned lengths = cfg.max_length - cfg.min_length + 1;
+    filters_.reserve(lengths);
+    for (unsigned i = 0; i < lengths; ++i) {
+      core::MpcbfConfig mcfg;
+      mcfg.memory_bits = cfg.filter_bits_per_length;
+      mcfg.k = cfg.k;
+      mcfg.g = cfg.g;
+      mcfg.expected_n = cfg.expected_per_length;
+      mcfg.seed = cfg.seed + i;
+      // Losing a route to word overflow would black-hole traffic.
+      mcfg.policy = core::OverflowPolicy::kStash;
+      filters_.emplace_back(mcfg);
+    }
+    tables_.resize(lengths);
+  }
+
+  /// Installs a route. Duplicate (prefix, length) updates the next hop
+  /// without re-inserting into the filter.
+  void add_route(std::uint32_t prefix, unsigned length,
+                 std::uint32_t next_hop) {
+    check_length(length);
+    prefix &= workload::RouteTable::mask_of(length);
+    auto& table = tables_[index_of(length)];
+    const auto [it, inserted] = table.try_emplace(prefix, next_hop);
+    if (!inserted) {
+      it->second = next_hop;
+      return;
+    }
+    filters_[index_of(length)].insert(key_of(prefix));
+    ++num_routes_;
+  }
+
+  /// Withdraws a route; returns false if it was not installed.
+  bool remove_route(std::uint32_t prefix, unsigned length) {
+    check_length(length);
+    prefix &= workload::RouteTable::mask_of(length);
+    auto& table = tables_[index_of(length)];
+    const auto it = table.find(prefix);
+    if (it == table.end()) return false;
+    table.erase(it);
+    filters_[index_of(length)].erase(key_of(prefix));
+    --num_routes_;
+    return true;
+  }
+
+  /// Longest-prefix lookup. Exact by construction; `stats` (optional)
+  /// accumulates the probe accounting.
+  [[nodiscard]] std::optional<std::uint32_t> lookup(
+      std::uint32_t addr, LpmStats* stats = nullptr) const {
+    if (stats != nullptr) ++stats->lookups;
+    // Phase 1 (on-chip): query every length's filter.
+    // Phase 2 (off-chip): probe flagged lengths, longest first.
+    std::optional<std::uint32_t> result;
+    for (unsigned length = cfg_.max_length;; --length) {
+      const std::uint32_t prefix =
+          addr & workload::RouteTable::mask_of(length);
+      if (filters_[index_of(length)].contains(key_of(prefix))) {
+        if (stats != nullptr) ++stats->filter_positives;
+        const auto& table = tables_[index_of(length)];
+        if (stats != nullptr) ++stats->table_probes;
+        const auto it = table.find(prefix);
+        if (it != table.end()) {
+          result = it->second;
+          if (stats != nullptr) ++stats->hits;
+          break;
+        }
+        if (stats != nullptr) ++stats->wasted_probes;
+      }
+      if (length == cfg_.min_length) break;
+    }
+    return result;
+  }
+
+  [[nodiscard]] std::size_t num_routes() const noexcept {
+    return num_routes_;
+  }
+  [[nodiscard]] std::size_t filter_memory_bits() const {
+    std::size_t total = 0;
+    for (const auto& f : filters_) total += f.memory_bits();
+    return total;
+  }
+  [[nodiscard]] const core::Mpcbf<64>& filter_for(unsigned length) const {
+    check_length(length);
+    return filters_[index_of(length)];
+  }
+
+ private:
+  void check_length(unsigned length) const {
+    if (length < cfg_.min_length || length > cfg_.max_length) {
+      throw std::invalid_argument("LpmTable: prefix length out of range");
+    }
+  }
+  [[nodiscard]] unsigned index_of(unsigned length) const noexcept {
+    return length - cfg_.min_length;
+  }
+  [[nodiscard]] static std::string_view key_of(
+      const std::uint32_t& prefix) noexcept {
+    return {reinterpret_cast<const char*>(&prefix), sizeof(prefix)};
+  }
+
+  LpmConfig cfg_;
+  std::vector<core::Mpcbf<64>> filters_;
+  std::vector<std::unordered_map<std::uint32_t, std::uint32_t>> tables_;
+  std::size_t num_routes_ = 0;
+};
+
+}  // namespace mpcbf::apps

@@ -1,0 +1,6 @@
+#include "bitvec/bit_vector.hpp"
+
+// BitVector is fully inline; this translation unit exists so the target has
+// a home for future out-of-line additions and to anchor the header's
+// compilation in the library build.
+namespace mpcbf::bits {}

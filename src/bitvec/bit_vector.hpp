@@ -1,0 +1,67 @@
+// Packed bit vector — the membership vector of the plain Bloom filter and
+// the per-word layout unit of the blocked (BF-1/BF-g) filters.
+#pragma once
+
+#include <bit>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mpcbf::bits {
+
+class BitVector {
+ public:
+  BitVector() = default;
+
+  explicit BitVector(std::size_t num_bits)
+      : num_bits_(num_bits), limbs_((num_bits + 63) / 64, 0) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return num_bits_; }
+
+  [[nodiscard]] bool test(std::size_t i) const noexcept {
+    assert(i < num_bits_);
+    return (limbs_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  void set(std::size_t i) noexcept {
+    assert(i < num_bits_);
+    limbs_[i >> 6] |= std::uint64_t{1} << (i & 63);
+  }
+
+  void clear(std::size_t i) noexcept {
+    assert(i < num_bits_);
+    limbs_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+  }
+
+  void reset() noexcept {
+    for (auto& l : limbs_) l = 0;
+  }
+
+  /// Number of set bits.
+  [[nodiscard]] std::size_t count() const noexcept {
+    std::size_t c = 0;
+    for (auto l : limbs_) c += static_cast<std::size_t>(std::popcount(l));
+    return c;
+  }
+
+  /// Fill ratio (set bits / total bits); the quantity the Bloom FPR
+  /// formula (1 - e^{-kn/m})^k estimates.
+  [[nodiscard]] double fill_ratio() const noexcept {
+    return num_bits_ == 0
+               ? 0.0
+               : static_cast<double>(count()) / static_cast<double>(num_bits_);
+  }
+
+  /// Memory footprint of the payload in bits (what the paper calls
+  /// "memory consumption").
+  [[nodiscard]] std::size_t memory_bits() const noexcept {
+    return limbs_.size() * 64;
+  }
+
+ private:
+  std::size_t num_bits_ = 0;
+  std::vector<std::uint64_t> limbs_;
+};
+
+}  // namespace mpcbf::bits

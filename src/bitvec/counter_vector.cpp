@@ -1,0 +1,48 @@
+#include "bitvec/counter_vector.hpp"
+
+#include <stdexcept>
+
+#include "io/binary.hpp"
+
+namespace mpcbf::bits {
+
+namespace {
+constexpr char kMagic[9] = "MPCBCNT1";
+}  // namespace
+
+void CounterVector::save(std::ostream& os) const {
+  io::write_magic(os, kMagic);
+  io::write_pod<std::uint64_t>(os, num_counters_);
+  io::write_pod<std::uint32_t>(os, bits_);
+  io::write_pod<std::uint64_t>(os, saturations_);
+  io::write_pod<std::uint64_t>(os, underflows_);
+  io::write_pod_vector(os, limbs_);
+}
+
+CounterVector CounterVector::load(std::istream& is) {
+  io::expect_magic(is, kMagic);
+  const auto num_counters = io::read_pod<std::uint64_t>(is);
+  const auto bits = io::read_pod<std::uint32_t>(is);
+  if (bits < 1 || bits > 16) {
+    throw std::runtime_error("CounterVector::load: bad counter width");
+  }
+  CounterVector v(num_counters, bits);
+  v.saturations_ = io::read_pod<std::uint64_t>(is);
+  v.underflows_ = io::read_pod<std::uint64_t>(is);
+  auto limbs = io::read_pod_vector<std::uint64_t>(is, 1ull << 40);
+  if (limbs.size() != v.limbs_.size()) {
+    throw std::runtime_error("CounterVector::load: payload size mismatch");
+  }
+  v.limbs_ = std::move(limbs);
+  return v;
+}
+
+std::size_t CounterVector::nonzero_count() const noexcept {
+  std::size_t c = 0;
+  for (std::size_t i = 0; i < num_counters_; ++i) {
+    if (get(i) != 0) ++c;
+  }
+  return c;
+}
+
+}  // namespace mpcbf::bits

@@ -1,0 +1,123 @@
+// Packed c-bit saturating counter vector — the membership structure of the
+// standard CBF and of the partitioned PCBF baselines.
+//
+// Counters saturate at 2^c - 1 on increment; a saturated counter is never
+// decremented (the standard CBF overflow discipline: once a counter sticks
+// at max it stays there, trading a permanent false-positive contribution
+// for never producing a false negative). Saturation events are counted so
+// experiments can report them.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+namespace mpcbf::bits {
+
+class CounterVector {
+ public:
+  CounterVector() = default;
+
+  /// `num_counters` counters of `bits_per_counter` (1..16) bits each.
+  CounterVector(std::size_t num_counters, unsigned bits_per_counter)
+      : num_counters_(num_counters),
+        bits_(bits_per_counter),
+        max_value_((std::uint32_t{1} << bits_per_counter) - 1),
+        limbs_((num_counters * bits_per_counter + 63) / 64, 0) {
+    assert(bits_per_counter >= 1 && bits_per_counter <= 16);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return num_counters_; }
+  [[nodiscard]] unsigned bits_per_counter() const noexcept { return bits_; }
+  [[nodiscard]] std::uint32_t max_value() const noexcept { return max_value_; }
+
+  [[nodiscard]] std::uint32_t get(std::size_t i) const noexcept {
+    assert(i < num_counters_);
+    const std::size_t bit = i * bits_;
+    const std::size_t limb = bit >> 6;
+    const unsigned off = bit & 63;
+    std::uint64_t v = limbs_[limb] >> off;
+    if (off + bits_ > 64) {
+      v |= limbs_[limb + 1] << (64 - off);
+    }
+    return static_cast<std::uint32_t>(v) & max_value_;
+  }
+
+  void set(std::size_t i, std::uint32_t value) noexcept {
+    assert(i < num_counters_ && value <= max_value_);
+    const std::size_t bit = i * bits_;
+    const std::size_t limb = bit >> 6;
+    const unsigned off = bit & 63;
+    const std::uint64_t mask = static_cast<std::uint64_t>(max_value_) << off;
+    limbs_[limb] = (limbs_[limb] & ~mask) |
+                   (static_cast<std::uint64_t>(value) << off);
+    if (off + bits_ > 64) {
+      const unsigned spill = off + bits_ - 64;
+      const std::uint64_t hi_mask = (std::uint64_t{1} << spill) - 1;
+      limbs_[limb + 1] = (limbs_[limb + 1] & ~hi_mask) |
+                         (static_cast<std::uint64_t>(value) >> (bits_ - spill));
+    }
+  }
+
+  /// Saturating increment; returns the new value. Records a saturation
+  /// event when the counter was already at max.
+  std::uint32_t increment(std::size_t i) noexcept {
+    const std::uint32_t v = get(i);
+    if (v == max_value_) {
+      ++saturations_;
+      return v;
+    }
+    set(i, v + 1);
+    return v + 1;
+  }
+
+  /// Decrement honoring the saturation discipline: a counter at max is
+  /// left untouched, a counter at zero reports underflow via the return
+  /// value (false) and is left at zero.
+  bool decrement(std::size_t i) noexcept {
+    const std::uint32_t v = get(i);
+    if (v == max_value_) return true;  // sticky — see class comment
+    if (v == 0) {
+      ++underflows_;
+      return false;
+    }
+    set(i, v - 1);
+    return true;
+  }
+
+  void reset() noexcept {
+    for (auto& l : limbs_) l = 0;
+    saturations_ = 0;
+    underflows_ = 0;
+  }
+
+  [[nodiscard]] std::uint64_t saturations() const noexcept {
+    return saturations_;
+  }
+  [[nodiscard]] std::uint64_t underflows() const noexcept {
+    return underflows_;
+  }
+
+  /// Counters currently non-zero.
+  [[nodiscard]] std::size_t nonzero_count() const noexcept;
+
+  [[nodiscard]] std::size_t memory_bits() const noexcept {
+    return num_counters_ * bits_;
+  }
+
+  /// Binary persistence (layout + payload + saturation/underflow counts).
+  void save(std::ostream& os) const;
+  static CounterVector load(std::istream& is);
+
+ private:
+  std::size_t num_counters_ = 0;
+  unsigned bits_ = 4;
+  std::uint32_t max_value_ = 15;
+  std::vector<std::uint64_t> limbs_;
+  std::uint64_t saturations_ = 0;
+  std::uint64_t underflows_ = 0;
+};
+
+}  // namespace mpcbf::bits

@@ -1,0 +1,105 @@
+// Minimal command-line flag parser for bench and example binaries.
+//
+// Supports `--name value`, `--name=value`, and boolean `--name`. Unknown
+// flags are an error so typos in experiment parameters fail loudly instead
+// of silently running the wrong configuration.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mpcbf::util {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv) {
+    program_ = argc > 0 ? argv[0] : "";
+    for (int i = 1; i < argc; ++i) {
+      std::string_view arg = argv[i];
+      if (!arg.starts_with("--")) {
+        positional_.emplace_back(arg);
+        continue;
+      }
+      arg.remove_prefix(2);
+      if (auto eq = arg.find('='); eq != std::string_view::npos) {
+        values_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
+      } else if (i + 1 < argc && std::string_view(argv[i + 1]).substr(0, 2) != "--") {
+        values_[std::string(arg)] = argv[++i];
+      } else {
+        values_[std::string(arg)] = "true";
+      }
+    }
+  }
+
+  [[nodiscard]] bool has(const std::string& name) const {
+    return values_.contains(name);
+  }
+
+  [[nodiscard]] std::string get_string(const std::string& name,
+                                       std::string default_value) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? std::move(default_value) : it->second;
+  }
+
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t default_value) const {
+    auto it = values_.find(name);
+    if (it == values_.end()) return default_value;
+    return std::stoll(it->second);
+  }
+
+  [[nodiscard]] std::uint64_t get_uint(const std::string& name,
+                                       std::uint64_t default_value) const {
+    auto it = values_.find(name);
+    if (it == values_.end()) return default_value;
+    return std::stoull(it->second);
+  }
+
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double default_value) const {
+    auto it = values_.find(name);
+    if (it == values_.end()) return default_value;
+    return std::stod(it->second);
+  }
+
+  [[nodiscard]] bool get_bool(const std::string& name,
+                              bool default_value = false) const {
+    auto it = values_.find(name);
+    if (it == values_.end()) return default_value;
+    return it->second != "false" && it->second != "0";
+  }
+
+  /// Throws if any parsed flag name is not in `allowed` — call after all
+  /// get_* calls with the full set of flags the binary understands.
+  void reject_unknown(const std::vector<std::string>& allowed) const {
+    for (const auto& [name, value] : values_) {
+      bool ok = false;
+      for (const auto& a : allowed) {
+        if (a == name) {
+          ok = true;
+          break;
+        }
+      }
+      if (!ok) {
+        throw std::invalid_argument("unknown flag --" + name);
+      }
+    }
+  }
+
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+  [[nodiscard]] const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace mpcbf::util

@@ -1,0 +1,107 @@
+// Aligned-text and CSV table emission for the experiment harnesses.
+//
+// Every bench binary prints its results both as a human-readable aligned
+// table (stdout) and, when --csv <path> is given, as machine-readable CSV so
+// figures can be regenerated from the raw series.
+#pragma once
+
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace mpcbf::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  /// Starts a new row; subsequent add() calls fill its cells left-to-right.
+  Table& row() {
+    rows_.emplace_back();
+    return *this;
+  }
+
+  Table& add(const std::string& cell) {
+    rows_.back().push_back(cell);
+    return *this;
+  }
+
+  Table& add(const char* cell) { return add(std::string(cell)); }
+
+  template <typename T>
+  Table& add(T value) {
+    std::ostringstream os;
+    os << value;
+    return add(os.str());
+  }
+
+  /// Fixed-precision numeric cell.
+  Table& addf(double value, int precision = 4) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return add(os.str());
+  }
+
+  /// Scientific-notation cell, the natural format for false positive rates.
+  Table& adde(double value, int precision = 3) {
+    std::ostringstream os;
+    os << std::scientific << std::setprecision(precision) << value;
+    return add(os.str());
+  }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      widths[c] = headers_[c].size();
+    }
+    for (const auto& r : rows_) {
+      for (std::size_t c = 0; c < r.size() && c < widths.size(); ++c) {
+        widths[c] = std::max(widths[c], r[c].size());
+      }
+    }
+    auto emit = [&](const std::vector<std::string>& cells) {
+      for (std::size_t c = 0; c < cells.size(); ++c) {
+        os << std::left << std::setw(static_cast<int>(widths[c]) + 2)
+           << cells[c];
+      }
+      os << '\n';
+    };
+    emit(headers_);
+    std::size_t total = 2 * headers_.size();
+    for (auto w : widths) total += w;
+    os << std::string(total, '-') << '\n';
+    for (const auto& r : rows_) emit(r);
+  }
+
+  void write_csv(const std::string& path) const {
+    std::ofstream out(path);
+    auto emit = [&](const std::vector<std::string>& cells) {
+      for (std::size_t c = 0; c < cells.size(); ++c) {
+        if (c) out << ',';
+        out << cells[c];
+      }
+      out << '\n';
+    };
+    emit(headers_);
+    for (const auto& r : rows_) emit(r);
+  }
+
+  /// Prints the table and, when csv_path is non-empty, also writes CSV.
+  void emit(const std::string& csv_path) const {
+    print();
+    if (!csv_path.empty()) {
+      write_csv(csv_path);
+      std::cout << "[csv written to " << csv_path << "]\n";
+    }
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mpcbf::util

@@ -1,0 +1,74 @@
+// Fixed-size thread pool used by the MapReduce engine and parallel benches.
+//
+// Deliberately simple (mutex + condition variable, FIFO queue): the
+// experiment hosts have few cores and the tasks we submit are coarse
+// (whole map/reduce partitions), so a lock-free or work-stealing design
+// would add risk without measurable benefit. See CP.1/CP.20 of the C++
+// Core Guidelines: data is handed to tasks by value, joins are RAII.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace mpcbf::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(std::size_t num_threads);
+
+  /// Drains outstanding tasks and joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; the returned future resolves when it completes.
+  template <typename F>
+  std::future<void> submit(F&& f) {
+    auto task = std::make_shared<std::packaged_task<void()>>(std::forward<F>(f));
+    std::future<void> fut = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.emplace([task]() { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Hardware concurrency, never zero.
+  static std::size_t default_threads() noexcept {
+    auto n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : n;
+  }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+template <typename Fn>
+void parallel_for(ThreadPool& pool, std::size_t n, Fn&& fn) {
+  std::vector<std::future<void>> futures;
+  futures.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    futures.push_back(pool.submit([i, &fn] { fn(i); }));
+  }
+  for (auto& f : futures) f.get();
+}
+
+}  // namespace mpcbf::util

@@ -1,0 +1,231 @@
+// AtomicMpcbf — lock-free MPCBF over 64-bit words.
+//
+// The paper closes Sec. IV-B noting a hardware platform (FPGA hashing,
+// single-word memory transactions) was being built; this class is the
+// software analogue of that design point. Because a whole HCBF fits in one
+// 64-bit word, every word mutation is a load → pure transform → CAS loop:
+// a query is literally one atomic load per word (g loads for MPCBF-g), and
+// inserts/deletes are lock-free (some thread always makes progress).
+//
+// Capacity is re-derived from the word value inside the CAS loop via the
+// level-size invariant (Hcbf::occupied_bits), so no out-of-word metadata
+// exists and the CAS publishes a fully consistent word.
+//
+// Semantics under concurrency:
+//  * per-word updates are linearizable (single-CAS publication);
+//  * an element mapping to g >= 2 words is inserted word by word, so a
+//    concurrent query can observe a partial insert as a (transient) false
+//    negative — the same anomaly a hardware pipeline with per-bank updates
+//    exhibits. Callers needing atomic multi-word visibility must
+//    externally synchronize (or use g = 1, where inserts are atomic).
+//  * overflow policy is reject-only: stash bookkeeping cannot be made
+//    lock-free alongside the word CAS.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string_view>
+#include <vector>
+
+#include "bitvec/word_bitset.hpp"
+#include "core/hcbf.hpp"
+#include "hash/hash_stream.hpp"
+#include "model/fpr_model.hpp"
+
+namespace mpcbf::core {
+
+class AtomicMpcbf {
+ public:
+  static constexpr unsigned kWordBits = 64;
+  static constexpr unsigned kMaxG = 8;
+  static constexpr unsigned kMaxKPerWord = 16;
+
+  /// `n_max` = 0 derives the per-word capacity from `expected_n` via the
+  /// eq.-(11) heuristic; a nonzero value overrides it (callers wanting
+  /// stronger no-overflow guarantees add headroom here).
+  AtomicMpcbf(std::size_t memory_bits, unsigned k, unsigned g,
+              std::size_t expected_n,
+              std::uint64_t seed = 0x9E3779B97F4A7C15ULL, unsigned n_max = 0)
+      : k_(k), g_(g), seed_(seed) {
+    if (k == 0 || g == 0 || g > k || g > kMaxG) {
+      throw std::invalid_argument("AtomicMpcbf: need 1 <= g <= k (g <= 8)");
+    }
+    const std::size_t l = memory_bits / kWordBits;
+    if (l == 0) {
+      throw std::invalid_argument("AtomicMpcbf: memory smaller than a word");
+    }
+    if (expected_n == 0 && n_max == 0) {
+      throw std::invalid_argument("AtomicMpcbf: expected_n or n_max required");
+    }
+    n_max_ = n_max != 0 ? n_max : model::n_max_heuristic(expected_n, l, g);
+    if (n_max_ == 0) n_max_ = 1;
+    b1_ = model::b1_improved(kWordBits, k_, g_, n_max_);
+    if (b1_ < 2) {
+      throw std::invalid_argument(
+          "AtomicMpcbf: configuration leaves no first-level bits");
+    }
+    words_ = std::vector<std::atomic<std::uint64_t>>(l);
+    for (auto& w : words_) w.store(0, std::memory_order_relaxed);
+  }
+
+  /// Lock-free insert. Returns false if any target word lacks capacity
+  /// (words updated before the failing one are rolled back, so the insert
+  /// is all-or-nothing from the caller's perspective).
+  bool insert(std::string_view key) {
+    Targets t;
+    derive(key, t);
+    unsigned done = 0;
+    for (; done < t.num_groups; ++done) {
+      if (!apply_word(t, done, /*increment=*/true)) break;
+    }
+    if (done == t.num_groups) return true;
+    // Roll back the words already updated.
+    for (unsigned u = 0; u < done; ++u) {
+      apply_word(t, u, /*increment=*/false);
+    }
+    overflow_events_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+
+  /// Membership query: one atomic load per (distinct) word.
+  [[nodiscard]] bool contains(std::string_view key) const {
+    Targets t;
+    derive(key, t);
+    for (unsigned gi = 0; gi < t.num_groups; ++gi) {
+      bits::WordBitset<64> w;
+      w.set_limb(0, words_[t.word[gi]].load(std::memory_order_acquire));
+      for (unsigned i = 0; i < t.kw[gi]; ++i) {
+        if (!w.test(t.pos[gi][i])) return false;
+      }
+    }
+    return true;
+  }
+
+  /// Lock-free delete of one prior insert. Returns false (and leaves the
+  /// remaining words untouched for that position) when a counter
+  /// underflows — the never-inserted-key contract violation.
+  bool erase(std::string_view key) {
+    Targets t;
+    derive(key, t);
+    bool ok = true;
+    for (unsigned gi = 0; gi < t.num_groups; ++gi) {
+      ok &= apply_word(t, gi, /*increment=*/false);
+    }
+    return ok;
+  }
+
+  /// Multiplicity estimate from a per-word atomic snapshot.
+  [[nodiscard]] std::uint32_t count(std::string_view key) const {
+    Targets t;
+    derive(key, t);
+    unsigned min_c = ~0u;
+    for (unsigned gi = 0; gi < t.num_groups; ++gi) {
+      bits::WordBitset<64> w;
+      w.set_limb(0, words_[t.word[gi]].load(std::memory_order_acquire));
+      for (unsigned i = 0; i < t.kw[gi]; ++i) {
+        min_c = std::min(min_c, Hcbf<64>::counter(w, b1_, t.pos[gi][i]));
+        if (min_c == 0) return 0;
+      }
+    }
+    return min_c;
+  }
+
+  [[nodiscard]] std::size_t num_words() const noexcept {
+    return words_.size();
+  }
+  [[nodiscard]] unsigned b1() const noexcept { return b1_; }
+  [[nodiscard]] unsigned k() const noexcept { return k_; }
+  [[nodiscard]] unsigned g() const noexcept { return g_; }
+  [[nodiscard]] unsigned n_max() const noexcept { return n_max_; }
+  [[nodiscard]] std::uint64_t overflow_events() const noexcept {
+    return overflow_events_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t memory_bits() const noexcept {
+    return words_.size() * kWordBits;
+  }
+
+  /// Structural check (quiescent state only).
+  [[nodiscard]] bool validate() const {
+    for (const auto& aw : words_) {
+      bits::WordBitset<64> w;
+      w.set_limb(0, aw.load(std::memory_order_relaxed));
+      if (!Hcbf<64>::validate(w, b1_)) return false;
+    }
+    return true;
+  }
+
+ private:
+  struct Targets {
+    std::size_t word[kMaxG];
+    unsigned kw[kMaxG];
+    unsigned pos[kMaxG][kMaxKPerWord];
+    unsigned num_groups = 0;
+  };
+
+  /// Derives word/position targets, merging duplicate words so each word
+  /// is CASed exactly once per operation.
+  void derive(std::string_view key, Targets& t) const {
+    hash::HashBitStream stream(key, seed_);
+    for (unsigned gi = 0; gi < g_; ++gi) {
+      const std::size_t w = stream.next_index(words_.size());
+      unsigned slot = t.num_groups;
+      for (unsigned s = 0; s < t.num_groups; ++s) {
+        if (t.word[s] == w) {
+          slot = s;
+          break;
+        }
+      }
+      if (slot == t.num_groups) {
+        t.word[slot] = w;
+        t.kw[slot] = 0;
+        ++t.num_groups;
+      }
+      const unsigned kw = model::hashes_per_word(k_, g_, gi);
+      for (unsigned i = 0; i < kw; ++i) {
+        t.pos[slot][t.kw[slot]++] =
+            static_cast<unsigned>(stream.next_index(b1_));
+      }
+    }
+  }
+
+  /// CAS loop applying all of group `gi`'s increments (or decrements) to
+  /// its word. Returns false on overflow/underflow (word unchanged).
+  bool apply_word(const Targets& t, unsigned gi, bool increment) {
+    std::atomic<std::uint64_t>& slot = words_[t.word[gi]];
+    std::uint64_t expected = slot.load(std::memory_order_acquire);
+    for (;;) {
+      bits::WordBitset<64> w;
+      w.set_limb(0, expected);
+      unsigned used = Hcbf<64>::hierarchy_bits(w, b1_);
+      bool ok = true;
+      for (unsigned i = 0; i < t.kw[gi] && ok; ++i) {
+        if (increment) {
+          const HcbfResult r = Hcbf<64>::increment(w, b1_, t.pos[gi][i], used);
+          ok = r.ok;
+          if (ok) ++used;
+        } else {
+          ok = Hcbf<64>::decrement(w, b1_, t.pos[gi][i]).ok;
+        }
+      }
+      if (!ok) return false;
+      if (slot.compare_exchange_weak(expected, w.limb(0),
+                                     std::memory_order_release,
+                                     std::memory_order_acquire)) {
+        return true;
+      }
+      // expected reloaded by compare_exchange; retry on the fresh value.
+    }
+  }
+
+  std::vector<std::atomic<std::uint64_t>> words_;
+  unsigned k_;
+  unsigned g_;
+  unsigned b1_ = 0;
+  unsigned n_max_ = 0;
+  std::uint64_t seed_;
+  std::atomic<std::uint64_t> overflow_events_{0};
+};
+
+}  // namespace mpcbf::core

@@ -1,0 +1,599 @@
+// MPCBF — Multiple-Partitioned Counting Bloom Filter (Secs. III-B/III-C).
+//
+// The counter vector is an array of l W-bit words, each holding an improved
+// HCBF with first-level size b1 = W - ⌈k/g⌉·n_max. An element maps to g
+// words (H_1..H_g) and to ⌈k/g⌉ bit positions inside each (the last word
+// may get fewer so the total is k). Queries read only the words' level-1
+// bits — g memory accesses, one for MPCBF-1 — while inserts/deletes run the
+// hierarchical counter machinery of core/hcbf.hpp inside each word.
+//
+// Overflow: a word can absorb at most n_max elements' worth of hierarchy
+// bits. The n_max heuristic (eq. 11) makes overflow rare; when it does
+// happen the configured OverflowPolicy decides: reject the insert (counted,
+// returns false), throw, or divert the whole element to a side stash that
+// queries and deletes consult, preserving exact semantics at a small memory
+// cost.
+//
+// Thread-safety: const queries are safe concurrently with each other only
+// if metrics are not being recorded concurrently elsewhere; mutations
+// require external synchronization. For lock-free operation on W=64 see
+// core/atomic_mpcbf.hpp.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "bitvec/word_bitset.hpp"
+#include "core/hcbf.hpp"
+#include "hash/hash_stream.hpp"
+#include "io/binary.hpp"
+#include "metrics/access_stats.hpp"
+#include "model/fpr_model.hpp"
+
+namespace mpcbf::core {
+
+enum class OverflowPolicy {
+  kReject,  ///< failed insert returns false; element is not stored
+  kThrow,   ///< failed insert throws std::overflow_error
+  kStash,   ///< element diverted to a side hash table; never lost
+};
+
+struct MpcbfConfig {
+  /// Total memory in bits; the word count is l = memory_bits / W.
+  std::size_t memory_bits = 1 << 20;
+  /// Total hash functions per element (split across the g words).
+  unsigned k = 3;
+  /// Memory accesses per operation (words per element); g <= k.
+  unsigned g = 1;
+  /// Expected cardinality, used by the eq.-(11) heuristic when n_max == 0.
+  std::size_t expected_n = 0;
+  /// Per-word element capacity; 0 = derive from expected_n via PoissInv.
+  unsigned n_max = 0;
+  OverflowPolicy policy = OverflowPolicy::kReject;
+  std::uint64_t seed = 0x9E3779B97F4A7C15ULL;
+  /// Stop a query at the first unset bit (paper's measured behaviour).
+  bool short_circuit = true;
+};
+
+template <unsigned W = 64>
+class Mpcbf {
+ public:
+  static constexpr unsigned kWordBits = W;
+  static constexpr unsigned kMaxG = 8;
+  static constexpr unsigned kMaxKPerWord = 32;
+
+  explicit Mpcbf(const MpcbfConfig& cfg)
+      : k_(cfg.k),
+        g_(cfg.g),
+        policy_(cfg.policy),
+        seed_(cfg.seed),
+        short_circuit_(cfg.short_circuit) {
+    if (cfg.k == 0) throw std::invalid_argument("Mpcbf: k must be >= 1");
+    if (cfg.g == 0 || cfg.g > cfg.k) {
+      throw std::invalid_argument("Mpcbf: need 1 <= g <= k");
+    }
+    if (cfg.g > kMaxG) throw std::invalid_argument("Mpcbf: g too large");
+    const std::size_t l = cfg.memory_bits / W;
+    if (l == 0) throw std::invalid_argument("Mpcbf: memory smaller than one word");
+    words_.resize(l);
+    hier_used_.assign(l, 0);
+
+    n_max_ = cfg.n_max;
+    if (n_max_ == 0) {
+      if (cfg.expected_n == 0) {
+        throw std::invalid_argument(
+            "Mpcbf: provide expected_n (for the eq.-11 heuristic) or an "
+            "explicit n_max");
+      }
+      n_max_ = model::n_max_heuristic(cfg.expected_n, l, g_);
+      if (n_max_ == 0) n_max_ = 1;
+    }
+    b1_ = model::b1_improved(W, k_, g_, n_max_);
+    if (b1_ < 2) {
+      throw std::invalid_argument(
+          "Mpcbf: n_max*ceil(k/g) leaves no first-level bits in a " +
+          std::to_string(W) + "-bit word");
+    }
+    if ((k_ + g_ - 1) / g_ > kMaxKPerWord) {
+      throw std::invalid_argument("Mpcbf: too many hashes per word");
+    }
+  }
+
+  /// Convenience: size the filter for `expected_n` elements at `memory_bits`
+  /// total, deriving n_max via the paper's heuristic.
+  static Mpcbf with_memory(std::size_t memory_bits, unsigned k, unsigned g,
+                           std::size_t expected_n,
+                           std::uint64_t seed = 0x9E3779B97F4A7C15ULL) {
+    MpcbfConfig cfg;
+    cfg.memory_bits = memory_bits;
+    cfg.k = k;
+    cfg.g = g;
+    cfg.expected_n = expected_n;
+    cfg.seed = seed;
+    return Mpcbf(cfg);
+  }
+
+  /// Inserts `key`. Returns false only under OverflowPolicy::kReject when
+  /// some target word cannot absorb the element.
+  bool insert(std::string_view key) {
+    Targets t;
+    hash::HashBitStream stream(key, seed_);
+    derive_all(stream, t);
+
+    if (!capacity_ok(t)) {
+      ++overflow_events_;
+      switch (policy_) {
+        case OverflowPolicy::kThrow:
+          throw std::overflow_error("Mpcbf: word overflow on insert");
+        case OverflowPolicy::kReject:
+          stats_.record(metrics::OpClass::kInsert, t.distinct_words,
+                        stream.accounted_bits());
+          return false;
+        case OverflowPolicy::kStash:
+          ++stash_[std::string(key)];
+          ++size_;
+          stats_.record(metrics::OpClass::kInsert, t.distinct_words,
+                        stream.accounted_bits());
+          return true;
+      }
+    }
+
+    std::uint64_t extra_bits = 0;
+    for (unsigned i = 0; i < t.total_positions; ++i) {
+      const std::size_t w = t.word_of[i];
+      const HcbfResult r =
+          Hcbf<W>::increment(words_[w], b1_, t.pos[i], hier_used_[w]);
+      assert(r.ok);
+      ++hier_used_[w];
+      extra_bits += r.extra_bits;
+    }
+    ++size_;
+    stats_.record(metrics::OpClass::kInsert, t.distinct_words,
+                  stream.accounted_bits() + extra_bits);
+    return true;
+  }
+
+  /// Membership query. False positives possible; false negatives are not
+  /// (for keys whose inserts all succeeded).
+  [[nodiscard]] bool contains(std::string_view key) const {
+    hash::HashBitStream stream(key, seed_);
+    bool positive = true;
+    std::size_t words_touched = 0;
+    std::array<std::size_t, kMaxG> seen{};
+    for (unsigned t = 0; t < g_; ++t) {
+      if (!positive && short_circuit_) break;
+      const std::size_t w = stream.next_index(words_.size());
+      bool new_word = true;
+      for (std::size_t s = 0; s < words_touched; ++s) {
+        if (seen[s] == w) {
+          new_word = false;
+          break;
+        }
+      }
+      if (new_word) seen[words_touched++] = w;
+      const unsigned kw = model::hashes_per_word(k_, g_, t);
+      for (unsigned i = 0; i < kw; ++i) {
+        const auto pos = static_cast<unsigned>(stream.next_index(b1_));
+        if (!words_[w].test(pos)) {
+          positive = false;
+          if (short_circuit_) break;
+        }
+      }
+    }
+    if (!positive && !stash_.empty()) {
+      auto it = stash_.find(std::string(key));
+      if (it != stash_.end() && it->second > 0) positive = true;
+    }
+    stats_.record(positive ? metrics::OpClass::kQueryPositive
+                           : metrics::OpClass::kQueryNegative,
+                  words_touched, stream.accounted_bits());
+    return positive;
+  }
+
+  /// Deletes one prior insert of `key`. Deleting a key that was never
+  /// inserted is a contract violation (as in any CBF): the structure stays
+  /// valid but other keys may turn falsely negative. Returns false and
+  /// counts an underflow when a target counter was already zero.
+  bool erase(std::string_view key) {
+    if (!stash_.empty()) {
+      auto it = stash_.find(std::string(key));
+      if (it != stash_.end() && it->second > 0) {
+        if (--it->second == 0) stash_.erase(it);
+        --size_;
+        stats_.record(metrics::OpClass::kDelete, 0, 0);
+        return true;
+      }
+    }
+    Targets t;
+    hash::HashBitStream stream(key, seed_);
+    derive_all(stream, t);
+
+    bool ok = true;
+    std::uint64_t extra_bits = 0;
+    for (unsigned i = 0; i < t.total_positions; ++i) {
+      const std::size_t w = t.word_of[i];
+      const HcbfResult r = Hcbf<W>::decrement(words_[w], b1_, t.pos[i]);
+      if (r.ok) {
+        --hier_used_[w];
+        extra_bits += r.extra_bits;
+      } else {
+        ok = false;
+        ++underflow_events_;
+      }
+    }
+    if (size_ > 0) --size_;
+    stats_.record(metrics::OpClass::kDelete, t.distinct_words,
+                  stream.accounted_bits() + extra_bits);
+    return ok;
+  }
+
+  /// Multiplicity estimate: the minimum of the key's counters (plus any
+  /// stashed copies). Like CBF count estimates, never an undercount for
+  /// correctly inserted keys.
+  [[nodiscard]] std::uint32_t count(std::string_view key) const {
+    Targets t;
+    hash::HashBitStream stream(key, seed_);
+    derive_all(stream, t);
+    unsigned min_c = ~0u;
+    for (unsigned i = 0; i < t.total_positions; ++i) {
+      min_c = std::min(min_c,
+                       Hcbf<W>::counter(words_[t.word_of[i]], b1_, t.pos[i]));
+      if (min_c == 0) break;
+    }
+    std::uint32_t stashed = 0;
+    if (!stash_.empty()) {
+      auto it = stash_.find(std::string(key));
+      if (it != stash_.end()) stashed = it->second;
+    }
+    return min_c + stashed;
+  }
+
+  void clear() {
+    for (auto& w : words_) w.reset();
+    std::fill(hier_used_.begin(), hier_used_.end(), std::uint16_t{0});
+    stash_.clear();
+    size_ = 0;
+    overflow_events_ = 0;
+    underflow_events_ = 0;
+  }
+
+  // --- introspection ----------------------------------------------------
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t num_words() const noexcept {
+    return words_.size();
+  }
+  [[nodiscard]] unsigned b1() const noexcept { return b1_; }
+  [[nodiscard]] unsigned k() const noexcept { return k_; }
+  [[nodiscard]] unsigned g() const noexcept { return g_; }
+  [[nodiscard]] unsigned n_max() const noexcept { return n_max_; }
+  [[nodiscard]] std::size_t memory_bits() const noexcept {
+    return words_.size() * W;
+  }
+  [[nodiscard]] std::uint64_t overflow_events() const noexcept {
+    return overflow_events_;
+  }
+  [[nodiscard]] std::uint64_t underflow_events() const noexcept {
+    return underflow_events_;
+  }
+  [[nodiscard]] std::size_t stash_size() const noexcept {
+    return stash_.size();
+  }
+  [[nodiscard]] metrics::AccessStats& stats() const noexcept {
+    return stats_;
+  }
+
+  /// Aggregate hierarchy occupancy across words — the quantity whose
+  /// per-word cap is k/g * n_max.
+  [[nodiscard]] std::uint64_t total_hierarchy_bits() const noexcept {
+    std::uint64_t t = 0;
+    for (auto u : hier_used_) t += u;
+    return t;
+  }
+
+  [[nodiscard]] unsigned max_word_hierarchy_bits() const noexcept {
+    unsigned m = 0;
+    for (auto u : hier_used_) m = std::max<unsigned>(m, u);
+    return m;
+  }
+
+  /// Occupancy report: per-word hierarchy-usage histogram and the
+  /// distribution of counter values across all level-1 positions — the
+  /// measurable counterparts of model::occupancy. O(l·b1); diagnostic use.
+  struct FillReport {
+    /// hierarchy_histogram[u] = number of words using u hierarchy bits.
+    std::vector<std::size_t> hierarchy_histogram;
+    /// counter_histogram[c] = number of level-1 positions with value c.
+    std::vector<std::size_t> counter_histogram;
+    std::size_t total_positions = 0;
+  };
+
+  [[nodiscard]] FillReport fill_report() const {
+    FillReport report;
+    report.hierarchy_histogram.assign(W - b1_ + 1, 0);
+    for (const auto u : hier_used_) {
+      ++report.hierarchy_histogram[u];
+    }
+    report.total_positions = words_.size() * b1_;
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      for (unsigned pos = 0; pos < b1_; ++pos) {
+        const unsigned c = Hcbf<W>::counter(words_[w], b1_, pos);
+        if (c >= report.counter_histogram.size()) {
+          report.counter_histogram.resize(c + 1, 0);
+        }
+        ++report.counter_histogram[c];
+      }
+    }
+    if (report.counter_histogram.empty()) {
+      report.counter_histogram.resize(1, report.total_positions);
+    }
+    return report;
+  }
+
+  /// Structural self-check for tests: every word satisfies the HCBF
+  /// invariants and its cached usage matches the derived value.
+  [[nodiscard]] bool validate() const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      if (!Hcbf<W>::validate(words_[w], b1_)) return false;
+      if (Hcbf<W>::hierarchy_bits(words_[w], b1_) != hier_used_[w]) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  [[nodiscard]] const bits::WordBitset<W>& word(std::size_t i) const {
+    return words_.at(i);
+  }
+
+  // --- batch queries ------------------------------------------------------
+
+  /// Membership for a batch of keys. Hashes are derived for a chunk of
+  /// keys first and the target words prefetched before any is read, hiding
+  /// the per-word cache miss behind the next key's hashing — the software
+  /// analogue of the pipelined lookups the paper targets in hardware.
+  /// `out[i]` is set to the verdict for `keys[i]`; sizes must match.
+  void contains_batch(std::span<const std::string> keys,
+                      std::span<std::uint8_t> out) const {
+    if (keys.size() != out.size()) {
+      throw std::invalid_argument("contains_batch: size mismatch");
+    }
+    constexpr std::size_t kChunk = 32;
+    std::array<Targets, kChunk> targets;
+    for (std::size_t base = 0; base < keys.size(); base += kChunk) {
+      const std::size_t count = std::min(kChunk, keys.size() - base);
+      for (std::size_t i = 0; i < count; ++i) {
+        targets[i].total_positions = 0;
+        hash::HashBitStream stream(keys[base + i], seed_);
+        derive_all(stream, targets[i]);
+        for (unsigned p = 0; p < targets[i].total_positions; ++p) {
+          __builtin_prefetch(&words_[targets[i].word_of[p]], 0, 1);
+        }
+      }
+      for (std::size_t i = 0; i < count; ++i) {
+        bool positive = true;
+        for (unsigned p = 0; p < targets[i].total_positions && positive;
+             ++p) {
+          positive =
+              words_[targets[i].word_of[p]].test(targets[i].pos[p]);
+        }
+        if (!positive && !stash_.empty()) {
+          auto it = stash_.find(std::string(keys[base + i]));
+          positive = it != stash_.end() && it->second > 0;
+        }
+        out[base + i] = positive ? 1 : 0;
+        stats_.record(positive ? metrics::OpClass::kQueryPositive
+                               : metrics::OpClass::kQueryNegative,
+                      targets[i].distinct_words, 0);
+      }
+    }
+  }
+
+  // --- merge ---------------------------------------------------------------
+
+  /// True iff `other` has the identical layout and hash seed, i.e. the two
+  /// filters index the same positions for the same keys and can be merged.
+  [[nodiscard]] bool compatible(const Mpcbf& other) const noexcept {
+    return k_ == other.k_ && g_ == other.g_ && b1_ == other.b1_ &&
+           n_max_ == other.n_max_ && seed_ == other.seed_ &&
+           words_.size() == other.words_.size();
+  }
+
+  /// Folds `other`'s contents into this filter (counter-wise addition —
+  /// the multiset-union of the represented sets, so deletes of either
+  /// side's elements remain valid afterwards). All-or-nothing: returns
+  /// false without modifying anything when layouts differ or some word
+  /// would overflow.
+  bool merge(const Mpcbf& other) {
+    if (!compatible(other)) return false;
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      if (hier_used_[w] + other.hier_used_[w] >
+          static_cast<unsigned>(W - b1_)) {
+        ++overflow_events_;
+        return false;
+      }
+    }
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      if (other.hier_used_[w] == 0) continue;
+      for (unsigned pos = 0; pos < b1_; ++pos) {
+        const unsigned c = Hcbf<W>::counter(other.words_[w], b1_, pos);
+        for (unsigned i = 0; i < c; ++i) {
+          const HcbfResult r =
+              Hcbf<W>::increment(words_[w], b1_, pos, hier_used_[w]);
+          assert(r.ok);
+          (void)r;
+          ++hier_used_[w];
+        }
+      }
+    }
+    for (const auto& [key, count] : other.stash_) {
+      stash_[key] += count;
+    }
+    size_ += other.size_;
+    return true;
+  }
+
+  // --- serialization ---------------------------------------------------------
+
+  static constexpr char kMagic[9] = "MPCBFv1\0";
+
+  /// Serializes the full filter state (layout, words, stash, counters) to
+  /// a binary stream. Format is versioned via the magic tag; metrics are
+  /// not persisted.
+  void save(std::ostream& os) const {
+    io::write_magic(os, kMagic);
+    io::write_pod<std::uint32_t>(os, W);
+    io::write_pod<std::uint32_t>(os, k_);
+    io::write_pod<std::uint32_t>(os, g_);
+    io::write_pod<std::uint32_t>(os, b1_);
+    io::write_pod<std::uint32_t>(os, n_max_);
+    io::write_pod<std::uint8_t>(os, static_cast<std::uint8_t>(policy_));
+    io::write_pod<std::uint8_t>(os, short_circuit_ ? 1 : 0);
+    io::write_pod<std::uint64_t>(os, seed_);
+    io::write_pod<std::uint64_t>(os, size_);
+    io::write_pod<std::uint64_t>(os, overflow_events_);
+    io::write_pod<std::uint64_t>(os, underflow_events_);
+    io::write_pod_vector(os, words_);
+    io::write_pod_vector(os, hier_used_);
+    io::write_pod<std::uint64_t>(os, stash_.size());
+    for (const auto& [key, count] : stash_) {
+      io::write_string(os, key);
+      io::write_pod<std::uint32_t>(os, count);
+    }
+  }
+
+  /// Restores a filter previously written by save(). Throws
+  /// std::runtime_error on format mismatch or corruption.
+  static Mpcbf load(std::istream& is) {
+    io::expect_magic(is, kMagic);
+    const auto width = io::read_pod<std::uint32_t>(is);
+    if (width != W) {
+      throw std::runtime_error("Mpcbf::load: word width mismatch");
+    }
+    MpcbfConfig cfg;
+    cfg.k = io::read_pod<std::uint32_t>(is);
+    cfg.g = io::read_pod<std::uint32_t>(is);
+    const auto b1 = io::read_pod<std::uint32_t>(is);
+    cfg.n_max = io::read_pod<std::uint32_t>(is);
+    cfg.policy = static_cast<OverflowPolicy>(io::read_pod<std::uint8_t>(is));
+    cfg.short_circuit = io::read_pod<std::uint8_t>(is) != 0;
+    cfg.seed = io::read_pod<std::uint64_t>(is);
+    const auto size = io::read_pod<std::uint64_t>(is);
+    const auto overflows = io::read_pod<std::uint64_t>(is);
+    const auto underflows = io::read_pod<std::uint64_t>(is);
+    auto words = io::read_pod_vector<bits::WordBitset<W>>(is, 1ull << 40);
+    auto hier = io::read_pod_vector<std::uint16_t>(is, 1ull << 40);
+    if (words.empty() || words.size() != hier.size()) {
+      throw std::runtime_error("Mpcbf::load: inconsistent word arrays");
+    }
+    cfg.memory_bits = words.size() * W;
+    Mpcbf f(cfg);
+    if (f.b1_ != b1) {
+      throw std::runtime_error("Mpcbf::load: layout mismatch");
+    }
+    f.words_ = std::move(words);
+    f.hier_used_ = std::move(hier);
+    f.size_ = size;
+    f.overflow_events_ = overflows;
+    f.underflow_events_ = underflows;
+    const auto stash_count = io::read_pod<std::uint64_t>(is);
+    for (std::uint64_t i = 0; i < stash_count; ++i) {
+      std::string key = io::read_string(is, 1ull << 20);
+      const auto count = io::read_pod<std::uint32_t>(is);
+      f.stash_.emplace(std::move(key), count);
+    }
+    if (!f.validate()) {
+      throw std::runtime_error("Mpcbf::load: corrupt filter state");
+    }
+    return f;
+  }
+
+ private:
+  struct Targets {
+    std::array<std::size_t, kMaxG * kMaxKPerWord> word_of;
+    std::array<unsigned, kMaxG * kMaxKPerWord> pos;
+    unsigned total_positions = 0;
+    std::size_t distinct_words = 0;
+  };
+
+  /// Derives all g word indices and k positions in the canonical order
+  /// (word t, then its positions — the order queries consume, so inserts,
+  /// deletes and queries agree on every hash bit).
+  void derive_all(hash::HashBitStream& stream, Targets& t) const {
+    std::array<std::size_t, kMaxG> seen{};
+    std::size_t distinct = 0;
+    for (unsigned wi = 0; wi < g_; ++wi) {
+      const std::size_t w = stream.next_index(words_.size());
+      bool new_word = true;
+      for (std::size_t s = 0; s < distinct; ++s) {
+        if (seen[s] == w) {
+          new_word = false;
+          break;
+        }
+      }
+      if (new_word) seen[distinct++] = w;
+      const unsigned kw = model::hashes_per_word(k_, g_, wi);
+      for (unsigned i = 0; i < kw; ++i) {
+        t.word_of[t.total_positions] = w;
+        t.pos[t.total_positions] =
+            static_cast<unsigned>(stream.next_index(b1_));
+        ++t.total_positions;
+      }
+    }
+    t.distinct_words = distinct;
+  }
+
+  /// All-or-nothing capacity check: aggregates the increments each distinct
+  /// word would receive (g hash words can collide) before mutating.
+  [[nodiscard]] bool capacity_ok(const Targets& t) const noexcept {
+    std::array<std::size_t, kMaxG> word{};
+    std::array<unsigned, kMaxG> needed{};
+    std::size_t n_distinct = 0;
+    for (unsigned i = 0; i < t.total_positions; ++i) {
+      bool found = false;
+      for (std::size_t s = 0; s < n_distinct; ++s) {
+        if (word[s] == t.word_of[i]) {
+          ++needed[s];
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        word[n_distinct] = t.word_of[i];
+        needed[n_distinct] = 1;
+        ++n_distinct;
+      }
+    }
+    for (std::size_t s = 0; s < n_distinct; ++s) {
+      if (hier_used_[word[s]] + needed[s] > W - b1_) return false;
+    }
+    return true;
+  }
+
+  std::vector<bits::WordBitset<W>> words_;
+  std::vector<std::uint16_t> hier_used_;  // derivable cache; see validate()
+  unsigned k_;
+  unsigned g_;
+  unsigned b1_ = 0;
+  unsigned n_max_ = 0;
+  OverflowPolicy policy_;
+  std::uint64_t seed_;
+  bool short_circuit_;
+  std::size_t size_ = 0;
+  std::uint64_t overflow_events_ = 0;
+  std::uint64_t underflow_events_ = 0;
+  std::unordered_map<std::string, std::uint32_t> stash_;
+  mutable metrics::AccessStats stats_;
+};
+
+}  // namespace mpcbf::core

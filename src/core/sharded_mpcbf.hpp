@@ -1,0 +1,136 @@
+// ShardedMpcbf — thread-safe MPCBF for word widths where the lock-free
+// single-word CAS of AtomicMpcbf does not apply (W > 64), or when the
+// stash/throw overflow policies are needed under concurrency.
+//
+// The key space is partitioned across S independent Mpcbf shards by a
+// dedicated shard hash (independent of the per-shard word hashes), each
+// shard guarded by its own mutex. Operations on different shards never
+// contend; within a shard the full sequential feature set (policies,
+// counts, merge of equal-sharding filters, serialization) is available.
+// This is the classic striped-lock recipe — chosen over finer-grained
+// schemes because an MPCBF operation only holds its lock for a handful of
+// word accesses (CP.20: RAII locking, no manual unlock paths).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/mpcbf.hpp"
+#include "hash/murmur3.hpp"
+
+namespace mpcbf::core {
+
+template <unsigned W = 64>
+class ShardedMpcbf {
+ public:
+  /// Splits `cfg.memory_bits` (and `cfg.expected_n`) evenly across
+  /// `num_shards` Mpcbf instances. Shard count is clamped to >= 1.
+  ShardedMpcbf(const MpcbfConfig& cfg, unsigned num_shards)
+      : shard_seed_(util::SplitMix64::mix(cfg.seed ^ 0x5ad5ad5ad5ad5adULL)) {
+    if (num_shards == 0) num_shards = 1;
+    MpcbfConfig shard_cfg = cfg;
+    shard_cfg.memory_bits = cfg.memory_bits / num_shards;
+    if (cfg.expected_n != 0) {
+      shard_cfg.expected_n =
+          (cfg.expected_n + num_shards - 1) / num_shards;
+    }
+    shards_.reserve(num_shards);
+    for (unsigned s = 0; s < num_shards; ++s) {
+      shards_.push_back(std::make_unique<Shard>(shard_cfg));
+    }
+  }
+
+  bool insert(std::string_view key) {
+    Shard& s = shard_of(key);
+    std::lock_guard<std::mutex> lock(s.mutex);
+    return s.filter.insert(key);
+  }
+
+  [[nodiscard]] bool contains(std::string_view key) const {
+    const Shard& s = shard_of(key);
+    std::lock_guard<std::mutex> lock(s.mutex);
+    return s.filter.contains(key);
+  }
+
+  bool erase(std::string_view key) {
+    Shard& s = shard_of(key);
+    std::lock_guard<std::mutex> lock(s.mutex);
+    return s.filter.erase(key);
+  }
+
+  [[nodiscard]] std::uint32_t count(std::string_view key) const {
+    const Shard& s = shard_of(key);
+    std::lock_guard<std::mutex> lock(s.mutex);
+    return s.filter.count(key);
+  }
+
+  void clear() {
+    for (auto& s : shards_) {
+      std::lock_guard<std::mutex> lock(s->mutex);
+      s->filter.clear();
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::size_t total = 0;
+    for (const auto& s : shards_) {
+      std::lock_guard<std::mutex> lock(s->mutex);
+      total += s->filter.size();
+    }
+    return total;
+  }
+
+  [[nodiscard]] std::uint64_t overflow_events() const {
+    std::uint64_t total = 0;
+    for (const auto& s : shards_) {
+      std::lock_guard<std::mutex> lock(s->mutex);
+      total += s->filter.overflow_events();
+    }
+    return total;
+  }
+
+  [[nodiscard]] std::size_t memory_bits() const {
+    std::size_t total = 0;
+    for (const auto& s : shards_) {
+      total += s->filter.memory_bits();
+    }
+    return total;
+  }
+
+  [[nodiscard]] unsigned num_shards() const noexcept {
+    return static_cast<unsigned>(shards_.size());
+  }
+
+  /// Quiescent structural check (callers must ensure no concurrent
+  /// mutation, as for any whole-structure validation).
+  [[nodiscard]] bool validate() const {
+    for (const auto& s : shards_) {
+      std::lock_guard<std::mutex> lock(s->mutex);
+      if (!s->filter.validate()) return false;
+    }
+    return true;
+  }
+
+ private:
+  struct Shard {
+    explicit Shard(const MpcbfConfig& cfg) : filter(cfg) {}
+    Mpcbf<W> filter;
+    mutable std::mutex mutex;
+  };
+
+  [[nodiscard]] Shard& shard_of(std::string_view key) const {
+    const std::uint64_t h = hash::murmur3_128(key, shard_seed_).lo;
+    return *shards_[h % shards_.size()];
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::uint64_t shard_seed_;
+};
+
+}  // namespace mpcbf::core

@@ -1,0 +1,103 @@
+// Blocked Bloom filter — BF-1 / BF-g of Qiao, Li & Chen (INFOCOM 2011),
+// the work the paper generalizes from bits to counters.
+//
+// The bit vector is split into l words of w bits; an element picks g words
+// and sets ⌈k/g⌉ bits in each. One memory access per word, no deletion.
+// Kept as a baseline so the ablation benches can show how much of MPCBF's
+// gain comes from the hierarchy versus from plain word-partitioning.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string_view>
+
+#include "bitvec/bit_vector.hpp"
+#include "filters/word_set.hpp"
+#include "hash/hash_stream.hpp"
+#include "metrics/access_stats.hpp"
+#include "model/fpr_model.hpp"
+
+namespace mpcbf::filters {
+
+class BlockedBloomFilter {
+ public:
+  /// `memory_bits` total, w-bit blocks, k bits per key split over g blocks.
+  BlockedBloomFilter(std::size_t memory_bits, unsigned k, unsigned g = 1,
+                     unsigned word_bits = 64,
+                     std::uint64_t seed = 0x9E3779B97F4A7C15ULL)
+      : bits_(memory_bits / word_bits * word_bits),
+        num_words_(memory_bits / word_bits),
+        word_bits_(word_bits),
+        k_(k),
+        g_(g),
+        seed_(seed) {
+    if (k == 0 || g == 0 || g > k) {
+      throw std::invalid_argument("BlockedBloom: need 1 <= g <= k");
+    }
+    if (num_words_ == 0) {
+      throw std::invalid_argument("BlockedBloom: memory smaller than a word");
+    }
+  }
+
+  void insert(std::string_view key) {
+    hash::HashBitStream stream(key, seed_);
+    WordSet touched;
+    for (unsigned t = 0; t < g_; ++t) {
+      const std::size_t w = stream.next_index(num_words_);
+      touched.add(w);
+      const unsigned kw = model::hashes_per_word(k_, g_, t);
+      for (unsigned i = 0; i < kw; ++i) {
+        bits_.set(w * word_bits_ + stream.next_index(word_bits_));
+      }
+    }
+    stats_.record(metrics::OpClass::kInsert, touched.count,
+                  stream.accounted_bits());
+  }
+
+  [[nodiscard]] bool contains(std::string_view key) const {
+    hash::HashBitStream stream(key, seed_);
+    WordSet touched;
+    bool positive = true;
+    for (unsigned t = 0; t < g_ && positive; ++t) {
+      const std::size_t w = stream.next_index(num_words_);
+      touched.add(w);
+      const unsigned kw = model::hashes_per_word(k_, g_, t);
+      for (unsigned i = 0; i < kw; ++i) {
+        if (!bits_.test(w * word_bits_ + stream.next_index(word_bits_))) {
+          positive = false;
+          break;
+        }
+      }
+    }
+    stats_.record(positive ? metrics::OpClass::kQueryPositive
+                           : metrics::OpClass::kQueryNegative,
+                  touched.count, stream.accounted_bits());
+    return positive;
+  }
+
+  void clear() { bits_.reset(); }
+
+  [[nodiscard]] std::size_t num_words() const noexcept { return num_words_; }
+  [[nodiscard]] unsigned k() const noexcept { return k_; }
+  [[nodiscard]] unsigned g() const noexcept { return g_; }
+  [[nodiscard]] std::size_t memory_bits() const noexcept {
+    return bits_.memory_bits();
+  }
+  [[nodiscard]] double fill_ratio() const noexcept {
+    return bits_.fill_ratio();
+  }
+  [[nodiscard]] metrics::AccessStats& stats() const noexcept {
+    return stats_;
+  }
+
+ private:
+  bits::BitVector bits_;
+  std::size_t num_words_;
+  unsigned word_bits_;
+  unsigned k_;
+  unsigned g_;
+  std::uint64_t seed_;
+  mutable metrics::AccessStats stats_;
+};
+
+}  // namespace mpcbf::filters

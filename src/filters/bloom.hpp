@@ -1,0 +1,77 @@
+// Standard Bloom filter (Bloom 1970) — the reference point of eq. (1).
+//
+// m bits, k hash positions per key, no deletion. Included both as the
+// ancestor baseline and to let tests cross-check the empirical fill ratio
+// and FPR against the analytic model at configurations where CBF and BF
+// coincide (a CBF is a Bloom filter over "counter > 0").
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "bitvec/bit_vector.hpp"
+#include "filters/word_set.hpp"
+#include "hash/hash_stream.hpp"
+#include "metrics/access_stats.hpp"
+
+namespace mpcbf::filters {
+
+class BloomFilter {
+ public:
+  /// `num_bits` filter bits, `k` hash functions.
+  BloomFilter(std::size_t num_bits, unsigned k,
+              std::uint64_t seed = 0x9E3779B97F4A7C15ULL,
+              bool short_circuit = true)
+      : bits_(num_bits), k_(k), seed_(seed), short_circuit_(short_circuit) {}
+
+  void insert(std::string_view key) {
+    hash::HashBitStream stream(key, seed_);
+    WordSet touched;
+    for (unsigned i = 0; i < k_; ++i) {
+      const std::size_t pos = stream.next_index(bits_.size());
+      bits_.set(pos);
+      touched.add(pos / 64);
+    }
+    stats_.record(metrics::OpClass::kInsert, touched.count,
+                  stream.accounted_bits());
+  }
+
+  [[nodiscard]] bool contains(std::string_view key) const {
+    hash::HashBitStream stream(key, seed_);
+    WordSet touched;
+    bool positive = true;
+    for (unsigned i = 0; i < k_; ++i) {
+      const std::size_t pos = stream.next_index(bits_.size());
+      touched.add(pos / 64);
+      if (!bits_.test(pos)) {
+        positive = false;
+        if (short_circuit_) break;
+      }
+    }
+    stats_.record(positive ? metrics::OpClass::kQueryPositive
+                           : metrics::OpClass::kQueryNegative,
+                  touched.count, stream.accounted_bits());
+    return positive;
+  }
+
+  [[nodiscard]] std::size_t memory_bits() const noexcept {
+    return bits_.memory_bits();
+  }
+  [[nodiscard]] unsigned k() const noexcept { return k_; }
+  [[nodiscard]] double fill_ratio() const noexcept {
+    return bits_.fill_ratio();
+  }
+  [[nodiscard]] metrics::AccessStats& stats() const noexcept {
+    return stats_;
+  }
+  void clear() { bits_.reset(); }
+
+ private:
+  bits::BitVector bits_;
+  unsigned k_;
+  std::uint64_t seed_;
+  bool short_circuit_;
+  mutable metrics::AccessStats stats_;
+};
+
+}  // namespace mpcbf::filters

@@ -1,0 +1,163 @@
+#include "filters/counting_bloom.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "filters/word_set.hpp"
+#include "hash/hash_stream.hpp"
+#include "io/binary.hpp"
+
+namespace mpcbf::filters {
+
+CountingBloomFilter::CountingBloomFilter(const CbfConfig& cfg)
+    : counters_(cfg.memory_bits / cfg.counter_bits, cfg.counter_bits),
+      k_(cfg.k),
+      seed_(cfg.seed),
+      short_circuit_(cfg.short_circuit),
+      double_hashing_(cfg.double_hashing) {
+  if (cfg.k == 0) throw std::invalid_argument("CBF: k must be >= 1");
+  if (counters_.size() == 0) {
+    throw std::invalid_argument("CBF: memory smaller than one counter");
+  }
+}
+
+CountingBloomFilter::CountingBloomFilter(std::size_t memory_bits, unsigned k,
+                                         std::uint64_t seed)
+    : CountingBloomFilter(CbfConfig{memory_bits, k, 4, seed, true, false}) {}
+
+template <typename Fn>
+void CountingBloomFilter::for_each_position(std::string_view key,
+                                            std::uint64_t& bits_used,
+                                            Fn&& fn) const {
+  if (double_hashing_) {
+    hash::DoubleHasher dh(key, seed_, counters_.size());
+    bits_used = dh.accounted_bits();
+    for (unsigned i = 0; i < k_; ++i) {
+      if (!fn(dh.position(i))) return;
+    }
+  } else {
+    hash::HashBitStream stream(key, seed_);
+    for (unsigned i = 0; i < k_; ++i) {
+      const std::size_t pos = stream.next_index(counters_.size());
+      bits_used = stream.accounted_bits();
+      if (!fn(pos)) return;
+    }
+  }
+}
+
+void CountingBloomFilter::insert(std::string_view key) {
+  WordSet touched;
+  std::uint64_t bits_used = 0;
+  for_each_position(key, bits_used, [&](std::size_t pos) {
+    counters_.increment(pos);
+    touched.add(word_id(pos));
+    return true;
+  });
+  ++size_;
+  stats_.record(metrics::OpClass::kInsert, touched.count, bits_used);
+}
+
+bool CountingBloomFilter::contains(std::string_view key) const {
+  WordSet touched;
+  std::uint64_t bits_used = 0;
+  bool positive = true;
+  for_each_position(key, bits_used, [&](std::size_t pos) {
+    touched.add(word_id(pos));
+    if (counters_.get(pos) == 0) {
+      positive = false;
+      return !short_circuit_;
+    }
+    return true;
+  });
+  stats_.record(positive ? metrics::OpClass::kQueryPositive
+                         : metrics::OpClass::kQueryNegative,
+                touched.count, bits_used);
+  return positive;
+}
+
+bool CountingBloomFilter::erase(std::string_view key) {
+  WordSet touched;
+  std::uint64_t bits_used = 0;
+  bool ok = true;
+  for_each_position(key, bits_used, [&](std::size_t pos) {
+    ok &= counters_.decrement(pos);
+    touched.add(word_id(pos));
+    return true;
+  });
+  if (size_ > 0) --size_;
+  stats_.record(metrics::OpClass::kDelete, touched.count, bits_used);
+  return ok;
+}
+
+std::uint32_t CountingBloomFilter::count(std::string_view key) const {
+  std::uint64_t bits_used = 0;
+  std::uint32_t min_c = ~std::uint32_t{0};
+  for_each_position(key, bits_used, [&](std::size_t pos) {
+    min_c = std::min(min_c, counters_.get(pos));
+    return min_c != 0;
+  });
+  return min_c;
+}
+
+void CountingBloomFilter::clear() {
+  counters_.reset();
+  size_ = 0;
+}
+
+bool CountingBloomFilter::compatible(
+    const CountingBloomFilter& other) const noexcept {
+  return k_ == other.k_ && seed_ == other.seed_ &&
+         double_hashing_ == other.double_hashing_ &&
+         counters_.size() == other.counters_.size() &&
+         counters_.bits_per_counter() == other.counters_.bits_per_counter();
+}
+
+bool CountingBloomFilter::merge(const CountingBloomFilter& other) {
+  if (!compatible(other)) return false;
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    const std::uint32_t sum = counters_.get(i) + other.counters_.get(i);
+    counters_.set(i, std::min(sum, counters_.max_value()));
+  }
+  size_ += other.size_;
+  return true;
+}
+
+namespace {
+constexpr char kCbfMagic[9] = "MPCBCBF1";
+}  // namespace
+
+void CountingBloomFilter::save(std::ostream& os) const {
+  io::write_magic(os, kCbfMagic);
+  io::write_pod<std::uint32_t>(os, k_);
+  io::write_pod<std::uint64_t>(os, seed_);
+  io::write_pod<std::uint8_t>(os, short_circuit_ ? 1 : 0);
+  io::write_pod<std::uint8_t>(os, double_hashing_ ? 1 : 0);
+  io::write_pod<std::uint64_t>(os, size_);
+  counters_.save(os);
+}
+
+CountingBloomFilter CountingBloomFilter::load(std::istream& is) {
+  io::expect_magic(is, kCbfMagic);
+  CbfConfig cfg;
+  cfg.k = io::read_pod<std::uint32_t>(is);
+  cfg.seed = io::read_pod<std::uint64_t>(is);
+  cfg.short_circuit = io::read_pod<std::uint8_t>(is) != 0;
+  cfg.double_hashing = io::read_pod<std::uint8_t>(is) != 0;
+  const auto size = io::read_pod<std::uint64_t>(is);
+  bits::CounterVector counters = bits::CounterVector::load(is);
+  cfg.counter_bits = counters.bits_per_counter();
+  cfg.memory_bits = counters.memory_bits();
+  CountingBloomFilter f(cfg);
+  f.counters_ = std::move(counters);
+  f.size_ = size;
+  return f;
+}
+
+double CountingBloomFilter::fill_ratio() const noexcept {
+  return counters_.size() == 0
+             ? 0.0
+             : static_cast<double>(counters_.nonzero_count()) /
+                   static_cast<double>(counters_.size());
+}
+
+}  // namespace mpcbf::filters

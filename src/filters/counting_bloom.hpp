@@ -1,0 +1,100 @@
+// Standard Counting Bloom Filter (Fan et al. 2000) — the paper's primary
+// baseline.
+//
+// m 4-bit saturating counters, k hash positions per key scattered over the
+// whole vector, so a query or update touches up to k distinct machine
+// words. Queries short-circuit at the first zero counter by default, which
+// is why measured query accesses average below k (Table III's 2.1 for
+// k=3). Optionally uses Kirsch–Mitzenmacher double hashing (the paper's
+// ref. [22]) to derive the k positions from two hashes.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string_view>
+
+#include "bitvec/counter_vector.hpp"
+#include "metrics/access_stats.hpp"
+
+namespace mpcbf::filters {
+
+struct CbfConfig {
+  /// Total memory in bits; the counter count is m = memory_bits / counter_bits.
+  std::size_t memory_bits = 1 << 20;
+  unsigned k = 3;
+  unsigned counter_bits = 4;
+  std::uint64_t seed = 0x9E3779B97F4A7C15ULL;
+  bool short_circuit = true;
+  /// Derive positions as h1 + i*h2 instead of k independent hashes.
+  bool double_hashing = false;
+};
+
+class CountingBloomFilter {
+ public:
+  explicit CountingBloomFilter(const CbfConfig& cfg);
+
+  /// Convenience: memory_bits of 4-bit counters with k independent hashes.
+  CountingBloomFilter(std::size_t memory_bits, unsigned k,
+                      std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  void insert(std::string_view key);
+  [[nodiscard]] bool contains(std::string_view key) const;
+
+  /// Deletes one prior insert; deleting a never-inserted key is a contract
+  /// violation (may create false negatives), as in any CBF. Returns false
+  /// and records an underflow if a target counter was already zero.
+  bool erase(std::string_view key);
+
+  /// Multiplicity estimate: min of the key's counters (never undercounts
+  /// correctly inserted keys; saturated counters cap the estimate).
+  [[nodiscard]] std::uint32_t count(std::string_view key) const;
+
+  void clear();
+
+  [[nodiscard]] std::size_t num_counters() const noexcept {
+    return counters_.size();
+  }
+  [[nodiscard]] unsigned k() const noexcept { return k_; }
+  [[nodiscard]] std::size_t memory_bits() const noexcept {
+    return counters_.memory_bits();
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::uint64_t saturations() const noexcept {
+    return counters_.saturations();
+  }
+  [[nodiscard]] double fill_ratio() const noexcept;
+  [[nodiscard]] metrics::AccessStats& stats() const noexcept {
+    return stats_;
+  }
+
+  /// True iff `other` indexes positions identically (mergeable).
+  [[nodiscard]] bool compatible(const CountingBloomFilter& other) const noexcept;
+
+  /// Counter-wise saturating union with `other` (multiset union of the
+  /// represented sets). Returns false (untouched) if layouts differ.
+  bool merge(const CountingBloomFilter& other);
+
+  /// Binary persistence; metrics are not persisted.
+  void save(std::ostream& os) const;
+  static CountingBloomFilter load(std::istream& is);
+
+ private:
+  /// Machine-word id of a counter for access accounting.
+  [[nodiscard]] std::size_t word_id(std::size_t counter_index) const noexcept {
+    return counter_index * counters_.bits_per_counter() / 64;
+  }
+
+  template <typename Fn>
+  void for_each_position(std::string_view key, std::uint64_t& bits_used,
+                         Fn&& fn) const;
+
+  bits::CounterVector counters_;
+  unsigned k_;
+  std::uint64_t seed_;
+  bool short_circuit_;
+  bool double_hashing_;
+  std::size_t size_ = 0;
+  mutable metrics::AccessStats stats_;
+};
+
+}  // namespace mpcbf::filters

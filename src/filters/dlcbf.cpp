@@ -1,0 +1,177 @@
+#include "filters/dlcbf.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "hash/hash_stream.hpp"
+
+namespace mpcbf::filters {
+
+Dlcbf::Dlcbf(const DlcbfConfig& cfg)
+    : d_(cfg.subtables),
+      bucket_cells_(cfg.bucket_cells),
+      fp_bits_(cfg.fingerprint_bits),
+      fp_mask_((std::uint32_t{1} << cfg.fingerprint_bits) - 1),
+      counter_max_((std::uint32_t{1} << cfg.counter_bits) - 1),
+      cell_bits_(cfg.fingerprint_bits + cfg.counter_bits),
+      seed_(cfg.seed) {
+  if (d_ == 0 || bucket_cells_ == 0) {
+    throw std::invalid_argument("Dlcbf: need subtables >= 1, cells >= 1");
+  }
+  if (fp_bits_ == 0 || fp_bits_ > 30) {
+    throw std::invalid_argument("Dlcbf: fingerprint_bits out of range");
+  }
+  const std::size_t total_cells = cfg.memory_bits / cell_bits_;
+  buckets_per_subtable_ =
+      total_cells / (static_cast<std::size_t>(d_) * bucket_cells_);
+  if (buckets_per_subtable_ == 0) {
+    throw std::invalid_argument("Dlcbf: memory smaller than one bucket row");
+  }
+  cells_.assign(static_cast<std::size_t>(d_) * buckets_per_subtable_ *
+                    bucket_cells_,
+                Cell{});
+}
+
+std::size_t Dlcbf::memory_bits() const noexcept {
+  return cells_.size() * cell_bits_;
+}
+
+void Dlcbf::candidates(std::string_view key,
+                       std::vector<Candidate>& out) const {
+  hash::HashBitStream stream(key, seed_);
+  // A fingerprint of 0 marks an empty cell, so remap it.
+  std::uint32_t fp =
+      static_cast<std::uint32_t>(stream.next_bits(fp_bits_)) & fp_mask_;
+  if (fp == 0) fp = 1;
+  out.clear();
+  out.reserve(d_);
+  for (unsigned t = 0; t < d_; ++t) {
+    const std::size_t b = stream.next_index(buckets_per_subtable_);
+    const std::size_t base =
+        (static_cast<std::size_t>(t) * buckets_per_subtable_ + b) *
+        bucket_cells_;
+    out.push_back(Candidate{base, fp});
+  }
+}
+
+unsigned Dlcbf::bucket_load(std::size_t base) const noexcept {
+  unsigned load = 0;
+  for (unsigned c = 0; c < bucket_cells_; ++c) {
+    if (cells_[base + c].counter != 0) ++load;
+  }
+  return load;
+}
+
+bool Dlcbf::insert(std::string_view key) {
+  std::vector<Candidate> cand;
+  candidates(key, cand);
+
+  // Existing-fingerprint fast path: share the cell, bump its counter.
+  for (const auto& c : cand) {
+    for (unsigned i = 0; i < bucket_cells_; ++i) {
+      Cell& cell = cells_[c.bucket_base + i];
+      if (cell.counter != 0 && cell.fingerprint == c.fingerprint) {
+        if (cell.counter < counter_max_) ++cell.counter;
+        ++size_;
+        stats_.record(metrics::OpClass::kInsert, d_,
+                      fp_bits_ + d_ * hash::ceil_log2(buckets_per_subtable_));
+        return true;
+      }
+    }
+  }
+
+  // d-left placement: least-loaded candidate bucket, leftmost on ties.
+  std::size_t best = 0;
+  unsigned best_load = bucket_cells_ + 1;
+  for (std::size_t t = 0; t < cand.size(); ++t) {
+    const unsigned load = bucket_load(cand[t].bucket_base);
+    if (load < best_load) {
+      best_load = load;
+      best = t;
+    }
+  }
+  if (best_load >= bucket_cells_) {
+    ++overflow_events_;
+    stats_.record(metrics::OpClass::kInsert, d_,
+                  fp_bits_ + d_ * hash::ceil_log2(buckets_per_subtable_));
+    return false;
+  }
+  for (unsigned i = 0; i < bucket_cells_; ++i) {
+    Cell& cell = cells_[cand[best].bucket_base + i];
+    if (cell.counter == 0) {
+      cell.fingerprint = cand[best].fingerprint;
+      cell.counter = 1;
+      break;
+    }
+  }
+  ++size_;
+  stats_.record(metrics::OpClass::kInsert, d_,
+                fp_bits_ + d_ * hash::ceil_log2(buckets_per_subtable_));
+  return true;
+}
+
+bool Dlcbf::contains(std::string_view key) const {
+  std::vector<Candidate> cand;
+  candidates(key, cand);
+  std::size_t probed = 0;
+  bool positive = false;
+  for (const auto& c : cand) {
+    ++probed;
+    for (unsigned i = 0; i < bucket_cells_; ++i) {
+      const Cell& cell = cells_[c.bucket_base + i];
+      if (cell.counter != 0 && cell.fingerprint == c.fingerprint) {
+        positive = true;
+        break;
+      }
+    }
+    if (positive) break;
+  }
+  stats_.record(positive ? metrics::OpClass::kQueryPositive
+                         : metrics::OpClass::kQueryNegative,
+                probed, fp_bits_ + probed * hash::ceil_log2(buckets_per_subtable_));
+  return positive;
+}
+
+bool Dlcbf::erase(std::string_view key) {
+  std::vector<Candidate> cand;
+  candidates(key, cand);
+  for (const auto& c : cand) {
+    for (unsigned i = 0; i < bucket_cells_; ++i) {
+      Cell& cell = cells_[c.bucket_base + i];
+      if (cell.counter != 0 && cell.fingerprint == c.fingerprint) {
+        // A saturated counter is sticky, as in CBF, to avoid false
+        // negatives from lost multiplicity.
+        if (cell.counter < counter_max_) --cell.counter;
+        if (size_ > 0) --size_;
+        stats_.record(metrics::OpClass::kDelete, d_,
+                      fp_bits_ + d_ * hash::ceil_log2(buckets_per_subtable_));
+        return true;
+      }
+    }
+  }
+  stats_.record(metrics::OpClass::kDelete, d_,
+                fp_bits_ + d_ * hash::ceil_log2(buckets_per_subtable_));
+  return false;
+}
+
+std::uint32_t Dlcbf::count(std::string_view key) const {
+  std::vector<Candidate> cand;
+  candidates(key, cand);
+  for (const auto& c : cand) {
+    for (unsigned i = 0; i < bucket_cells_; ++i) {
+      const Cell& cell = cells_[c.bucket_base + i];
+      if (cell.counter != 0 && cell.fingerprint == c.fingerprint) {
+        return cell.counter;
+      }
+    }
+  }
+  return 0;
+}
+
+void Dlcbf::clear() {
+  std::fill(cells_.begin(), cells_.end(), Cell{});
+  size_ = 0;
+  overflow_events_ = 0;
+}
+
+}  // namespace mpcbf::filters

@@ -1,0 +1,155 @@
+#include "filters/mlccbf.hpp"
+
+#include <stdexcept>
+
+namespace mpcbf::filters {
+
+MlCcbf::MlCcbf(std::size_t m, unsigned k, std::uint64_t seed)
+    : m_(m), k_(k), seed_(seed) {
+  if (m == 0 || k == 0) {
+    throw std::invalid_argument("MlCcbf: need m >= 1 and k >= 1");
+  }
+  layers_.emplace_back();
+  layers_[0].bits.assign(m_, 0);
+}
+
+unsigned MlCcbf::counter_at(std::size_t pos) const {
+  if (!layers_[0].bits[pos]) return 0;
+  std::size_t p = pos;
+  unsigned depth = 1;
+  for (std::size_t layer = 0;; ++layer) {
+    const std::size_t next = layers_[layer].rank(p);
+    if (layer + 1 >= layers_.size() ||
+        next >= layers_[layer + 1].bits.size() ||
+        !layers_[layer + 1].bits[next]) {
+      return depth;
+    }
+    p = next;
+    ++depth;
+  }
+}
+
+void MlCcbf::increment_at(std::size_t pos) {
+  // Walk the chain to its first zero, flip it, and open a zero slot for
+  // the new bit in the layer below (creating that layer if needed).
+  std::size_t layer = 0;
+  std::size_t p = pos;
+  for (;;) {
+    if (!layers_[layer].bits[p]) {
+      layers_[layer].bits[p] = 1;
+      const std::size_t slot = layers_[layer].rank(p);
+      if (layer + 1 >= layers_.size()) {
+        layers_.emplace_back();
+      }
+      auto& next = layers_[layer + 1].bits;
+      next.insert(next.begin() + static_cast<std::ptrdiff_t>(slot), 0);
+      return;
+    }
+    const std::size_t next = layers_[layer].rank(p);
+    p = next;
+    ++layer;
+  }
+}
+
+bool MlCcbf::decrement_at(std::size_t pos) {
+  if (!layers_[0].bits[pos]) return false;
+  // Find the last set bit of the chain.
+  std::size_t layer = 0;
+  std::size_t p = pos;
+  for (;;) {
+    const std::size_t next = layers_[layer].rank(p);
+    const bool deeper = layer + 1 < layers_.size() &&
+                        next < layers_[layer + 1].bits.size() &&
+                        layers_[layer + 1].bits[next];
+    if (!deeper) {
+      // `p` at `layer` is the chain's last 1: remove its (zero) slot in
+      // the next layer and clear it.
+      if (layer + 1 < layers_.size()) {
+        auto& below = layers_[layer + 1].bits;
+        below.erase(below.begin() + static_cast<std::ptrdiff_t>(next));
+      }
+      layers_[layer].bits[p] = 0;
+      // Drop empty trailing layers.
+      while (layers_.size() > 1 && layers_.back().bits.empty()) {
+        layers_.pop_back();
+      }
+      return true;
+    }
+    p = next;
+    ++layer;
+  }
+}
+
+void MlCcbf::insert(std::string_view key) {
+  hash::HashBitStream stream(key, seed_);
+  for (unsigned i = 0; i < k_; ++i) {
+    increment_at(stream.next_index(m_));
+  }
+  ++size_;
+  stats_.record(metrics::OpClass::kInsert, k_, stream.accounted_bits());
+}
+
+bool MlCcbf::contains(std::string_view key) const {
+  hash::HashBitStream stream(key, seed_);
+  bool positive = true;
+  for (unsigned i = 0; i < k_; ++i) {
+    const std::size_t pos = stream.next_index(m_);
+    if (!layers_[0].bits[pos]) {
+      positive = false;
+      break;
+    }
+  }
+  stats_.record(positive ? metrics::OpClass::kQueryPositive
+                         : metrics::OpClass::kQueryNegative,
+                k_, stream.accounted_bits());
+  return positive;
+}
+
+bool MlCcbf::erase(std::string_view key) {
+  hash::HashBitStream stream(key, seed_);
+  bool ok = true;
+  for (unsigned i = 0; i < k_; ++i) {
+    ok &= decrement_at(stream.next_index(m_));
+  }
+  if (size_ > 0) --size_;
+  stats_.record(metrics::OpClass::kDelete, k_, stream.accounted_bits());
+  return ok;
+}
+
+std::uint32_t MlCcbf::count(std::string_view key) const {
+  hash::HashBitStream stream(key, seed_);
+  std::uint32_t min_c = ~std::uint32_t{0};
+  for (unsigned i = 0; i < k_; ++i) {
+    min_c = std::min<std::uint32_t>(min_c,
+                                    counter_at(stream.next_index(m_)));
+    if (min_c == 0) break;
+  }
+  return min_c;
+}
+
+void MlCcbf::clear() {
+  layers_.clear();
+  layers_.emplace_back();
+  layers_[0].bits.assign(m_, 0);
+  size_ = 0;
+}
+
+std::size_t MlCcbf::memory_bits() const {
+  std::size_t total = 0;
+  for (const auto& layer : layers_) {
+    total += layer.bits.size();
+  }
+  return total;
+}
+
+bool MlCcbf::validate() const {
+  if (layers_[0].bits.size() != m_) return false;
+  for (std::size_t j = 0; j + 1 < layers_.size(); ++j) {
+    if (layers_[j + 1].bits.size() != layers_[j].ones()) return false;
+  }
+  // The deepest layer holds only terminator zeros: any 1 there would
+  // require a slot in a layer that does not exist.
+  return layers_.back().ones() == 0;
+}
+
+}  // namespace mpcbf::filters

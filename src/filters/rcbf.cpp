@@ -1,0 +1,146 @@
+#include "filters/rcbf.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mpcbf::filters {
+
+Rcbf::Rcbf(const RcbfConfig& cfg)
+    : buckets_(cfg.num_buckets),
+      k_(cfg.k),
+      fp_bits_(cfg.fingerprint_bits),
+      fp_mask_((std::uint32_t{1} << cfg.fingerprint_bits) - 1),
+      counter_bits_(cfg.counter_bits),
+      counter_max_((std::uint32_t{1} << cfg.counter_bits) - 1),
+      seed_(cfg.seed) {
+  if (cfg.num_buckets == 0 || cfg.k == 0) {
+    throw std::invalid_argument("Rcbf: need buckets >= 1 and k >= 1");
+  }
+  if (cfg.fingerprint_bits == 0 || cfg.fingerprint_bits > 30) {
+    throw std::invalid_argument("Rcbf: fingerprint_bits out of range");
+  }
+}
+
+void Rcbf::probes(std::string_view key, std::vector<std::size_t>& buckets,
+                  std::uint32_t& fingerprint,
+                  std::uint64_t& hash_bits) const {
+  hash::HashBitStream stream(key, seed_);
+  fingerprint =
+      static_cast<std::uint32_t>(stream.next_bits(fp_bits_)) & fp_mask_;
+  if (fingerprint == 0) fingerprint = 1;  // 0 is reserved (no item)
+  buckets.clear();
+  buckets.reserve(k_);
+  for (unsigned i = 0; i < k_; ++i) {
+    buckets.push_back(stream.next_index(buckets_.size()));
+  }
+  hash_bits = stream.accounted_bits();
+}
+
+void Rcbf::insert(std::string_view key) {
+  std::vector<std::size_t> targets;
+  std::uint32_t fp = 0;
+  std::uint64_t hash_bits = 0;
+  probes(key, targets, fp, hash_bits);
+  for (const std::size_t b : targets) {
+    auto& items = buckets_[b].items;
+    auto it = std::find_if(items.begin(), items.end(), [&](const Item& i) {
+      return i.fingerprint == fp;
+    });
+    if (it != items.end()) {
+      if (it->repetitions < counter_max_) ++it->repetitions;
+    } else {
+      items.push_back(Item{fp, 1});
+      ++total_items_;
+    }
+  }
+  ++size_;
+  stats_.record(metrics::OpClass::kInsert, k_, hash_bits);
+}
+
+bool Rcbf::contains(std::string_view key) const {
+  std::vector<std::size_t> targets;
+  std::uint32_t fp = 0;
+  std::uint64_t hash_bits = 0;
+  probes(key, targets, fp, hash_bits);
+  bool positive = true;
+  std::size_t probed = 0;
+  for (const std::size_t b : targets) {
+    ++probed;
+    const auto& items = buckets_[b].items;
+    const bool found =
+        std::any_of(items.begin(), items.end(), [&](const Item& i) {
+          return i.fingerprint == fp;
+        });
+    if (!found) {
+      positive = false;
+      break;
+    }
+  }
+  stats_.record(positive ? metrics::OpClass::kQueryPositive
+                         : metrics::OpClass::kQueryNegative,
+                probed, hash_bits);
+  return positive;
+}
+
+bool Rcbf::erase(std::string_view key) {
+  std::vector<std::size_t> targets;
+  std::uint32_t fp = 0;
+  std::uint64_t hash_bits = 0;
+  probes(key, targets, fp, hash_bits);
+  bool ok = true;
+  for (const std::size_t b : targets) {
+    auto& items = buckets_[b].items;
+    auto it = std::find_if(items.begin(), items.end(), [&](const Item& i) {
+      return i.fingerprint == fp;
+    });
+    if (it == items.end()) {
+      ok = false;
+      continue;
+    }
+    // A saturated repetition counter is sticky, as in every CBF variant.
+    if (it->repetitions == counter_max_) continue;
+    if (--it->repetitions == 0) {
+      items.erase(it);
+      --total_items_;
+    }
+  }
+  if (size_ > 0) --size_;
+  stats_.record(metrics::OpClass::kDelete, k_, hash_bits);
+  return ok;
+}
+
+std::uint32_t Rcbf::count(std::string_view key) const {
+  std::vector<std::size_t> targets;
+  std::uint32_t fp = 0;
+  std::uint64_t hash_bits = 0;
+  probes(key, targets, fp, hash_bits);
+  std::uint32_t min_c = ~std::uint32_t{0};
+  for (const std::size_t b : targets) {
+    const auto& items = buckets_[b].items;
+    auto it = std::find_if(items.begin(), items.end(), [&](const Item& i) {
+      return i.fingerprint == fp;
+    });
+    min_c = std::min<std::uint32_t>(
+        min_c, it == items.end() ? 0 : it->repetitions);
+    if (min_c == 0) break;
+  }
+  return min_c;
+}
+
+void Rcbf::clear() {
+  for (auto& b : buckets_) {
+    b.items.clear();
+  }
+  size_ = 0;
+  total_items_ = 0;
+}
+
+std::size_t Rcbf::memory_bits() const {
+  // Occupancy bitmap (1 bit per bucket) + hierarchical rank index
+  // (~2 bits/bucket for block sums at ML-CCBF/RCBF-like rates) + per-item
+  // fingerprint and repetition counter.
+  const std::size_t index_bits = buckets_.size() * 3;
+  return index_bits + total_items_ * (fp_bits_ + counter_bits_);
+}
+
+}  // namespace mpcbf::filters

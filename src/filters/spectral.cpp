@@ -1,0 +1,108 @@
+#include "filters/spectral.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "filters/word_set.hpp"
+#include "hash/hash_stream.hpp"
+
+namespace mpcbf::filters {
+
+SpectralBloomFilter::SpectralBloomFilter(const SpectralConfig& cfg)
+    : counters_(cfg.memory_bits / cfg.counter_bits, cfg.counter_bits),
+      k_(cfg.k),
+      seed_(cfg.seed),
+      minimum_increase_(cfg.minimum_increase) {
+  if (cfg.k == 0) throw std::invalid_argument("Spectral: k must be >= 1");
+  if (counters_.size() == 0) {
+    throw std::invalid_argument("Spectral: memory smaller than one counter");
+  }
+}
+
+template <typename Fn>
+void SpectralBloomFilter::for_each_position(std::string_view key,
+                                            Fn&& fn) const {
+  hash::HashBitStream stream(key, seed_);
+  for (unsigned i = 0; i < k_; ++i) {
+    fn(stream.next_index(counters_.size()));
+  }
+}
+
+void SpectralBloomFilter::insert(std::string_view key) {
+  std::size_t pos[64];
+  unsigned n = 0;
+  for_each_position(key, [&](std::size_t p) { pos[n++] = p; });
+
+  WordSet touched;
+  if (minimum_increase_) {
+    std::uint32_t min_v = ~std::uint32_t{0};
+    for (unsigned i = 0; i < n; ++i) {
+      min_v = std::min(min_v, counters_.get(pos[i]));
+    }
+    for (unsigned i = 0; i < n; ++i) {
+      if (counters_.get(pos[i]) == min_v) {
+        counters_.increment(pos[i]);
+      }
+      touched.add(pos[i] * counters_.bits_per_counter() / 64);
+    }
+  } else {
+    for (unsigned i = 0; i < n; ++i) {
+      counters_.increment(pos[i]);
+      touched.add(pos[i] * counters_.bits_per_counter() / 64);
+    }
+  }
+  ++size_;
+  stats_.record(metrics::OpClass::kInsert, touched.count, 0);
+}
+
+bool SpectralBloomFilter::contains(std::string_view key) const {
+  bool positive = true;
+  std::size_t words = 0;
+  WordSet touched;
+  for_each_position(key, [&](std::size_t p) {
+    touched.add(p * counters_.bits_per_counter() / 64);
+    if (counters_.get(p) == 0) positive = false;
+  });
+  words = touched.count;
+  stats_.record(positive ? metrics::OpClass::kQueryPositive
+                         : metrics::OpClass::kQueryNegative,
+                words, 0);
+  return positive;
+}
+
+bool SpectralBloomFilter::erase(std::string_view key) {
+  if (minimum_increase_) {
+    // No safe decrement exists once increments were skipped (see class
+    // comment); refuse rather than risk false negatives.
+    return false;
+  }
+  bool ok = true;
+  for_each_position(key,
+                    [&](std::size_t p) { ok &= counters_.decrement(p); });
+  if (size_ > 0) --size_;
+  stats_.record(metrics::OpClass::kDelete, k_, 0);
+  return ok;
+}
+
+std::uint32_t SpectralBloomFilter::count(std::string_view key) const {
+  std::uint32_t min_v = ~std::uint32_t{0};
+  for_each_position(key, [&](std::size_t p) {
+    min_v = std::min(min_v, counters_.get(p));
+  });
+  return min_v;
+}
+
+void SpectralBloomFilter::clear() {
+  counters_.reset();
+  size_ = 0;
+}
+
+std::uint64_t SpectralBloomFilter::counter_mass() const {
+  std::uint64_t mass = 0;
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    mass += counters_.get(i);
+  }
+  return mass;
+}
+
+}  // namespace mpcbf::filters

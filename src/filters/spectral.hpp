@@ -1,0 +1,78 @@
+// Spectral Bloom Filter (Cohen & Matias — SIGMOD 2003), the paper's
+// ref. [12]: a CBF used as a multiplicity sketch, with the *minimum
+// increase* optimization — an insert increments only the positions
+// currently holding the minimum of the key's counters, since only they
+// constrain the count estimate. This keeps counters (and collision-driven
+// overcounts) smaller than plain CBF at the same memory.
+//
+// Minimum increase famously forfeits deletion: a colliding key may have
+// skipped a counter this key shares, so any decrement scheme (symmetric
+// or plain) can zero a counter another live key needs — a false negative.
+// Cohen & Matias accept this (their deletable variants drop the
+// optimization). We are faithful: with `minimum_increase` on, `erase`
+// refuses (returns false, filter untouched); switch it off to get plain
+// CBF increments and working deletion. This trade-off is itself a data
+// point for the paper's Sec. II-B survey: MPCBF keeps deletion *and*
+// improves accuracy, which none of the increment-tweaking variants do
+// without losing something.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "bitvec/counter_vector.hpp"
+#include "metrics/access_stats.hpp"
+
+namespace mpcbf::filters {
+
+struct SpectralConfig {
+  std::size_t memory_bits = 1 << 20;
+  unsigned k = 3;
+  unsigned counter_bits = 4;
+  std::uint64_t seed = 0x9E3779B97F4A7C15ULL;
+  /// Disable to get plain-CBF increment behaviour (for A/B comparison).
+  bool minimum_increase = true;
+};
+
+class SpectralBloomFilter {
+ public:
+  explicit SpectralBloomFilter(const SpectralConfig& cfg);
+
+  void insert(std::string_view key);
+  [[nodiscard]] bool contains(std::string_view key) const;
+  /// Only functional with minimum_increase == false (see class comment);
+  /// otherwise returns false and leaves the filter untouched.
+  bool erase(std::string_view key);
+  /// Multiplicity estimate (the structure's purpose): min of the key's
+  /// counters; never undercounts under the insert/erase contract.
+  [[nodiscard]] std::uint32_t count(std::string_view key) const;
+
+  void clear();
+
+  [[nodiscard]] std::size_t num_counters() const noexcept {
+    return counters_.size();
+  }
+  [[nodiscard]] unsigned k() const noexcept { return k_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t memory_bits() const noexcept {
+    return counters_.memory_bits();
+  }
+  /// Total counter mass — the quantity minimum increase shrinks.
+  [[nodiscard]] std::uint64_t counter_mass() const;
+  [[nodiscard]] metrics::AccessStats& stats() const noexcept {
+    return stats_;
+  }
+
+ private:
+  template <typename Fn>
+  void for_each_position(std::string_view key, Fn&& fn) const;
+
+  bits::CounterVector counters_;
+  unsigned k_;
+  std::uint64_t seed_;
+  bool minimum_increase_;
+  std::size_t size_ = 0;
+  mutable metrics::AccessStats stats_;
+};
+
+}  // namespace mpcbf::filters

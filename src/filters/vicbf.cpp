@@ -1,0 +1,104 @@
+#include "filters/vicbf.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+#include "filters/word_set.hpp"
+#include "hash/hash_stream.hpp"
+
+namespace mpcbf::filters {
+
+Vicbf::Vicbf(const VicbfConfig& cfg)
+    : counters_(cfg.memory_bits / cfg.counter_bits, cfg.counter_bits),
+      k_(cfg.k),
+      L_(cfg.L),
+      counter_max_((std::uint32_t{1} << cfg.counter_bits) - 1),
+      seed_(cfg.seed),
+      short_circuit_(cfg.short_circuit) {
+  if (cfg.k == 0) throw std::invalid_argument("Vicbf: k must be >= 1");
+  if (!std::has_single_bit(cfg.L)) {
+    throw std::invalid_argument("Vicbf: L must be a power of two");
+  }
+  if (counters_.size() == 0) {
+    throw std::invalid_argument("Vicbf: memory smaller than one counter");
+  }
+}
+
+void Vicbf::insert(std::string_view key) {
+  hash::HashBitStream stream(key, seed_);
+  WordSet touched;
+  const unsigned v_bits = hash::ceil_log2(L_);
+  for (unsigned i = 0; i < k_; ++i) {
+    const std::size_t pos = stream.next_index(counters_.size());
+    const auto v = static_cast<std::uint32_t>(
+        L_ + (v_bits ? stream.next_bits(v_bits) : 0));
+    const std::uint32_t c = counters_.get(pos);
+    if (c > counter_max_ - v) {
+      // Sticky saturation, as in CBF: the counter stays pinned at max and
+      // is excluded from future decrements.
+      counters_.set(pos, counter_max_);
+      ++saturations_;
+    } else {
+      counters_.set(pos, c + v);
+    }
+    touched.add(pos * counters_.bits_per_counter() / 64);
+  }
+  ++size_;
+  stats_.record(metrics::OpClass::kInsert, touched.count,
+                stream.accounted_bits());
+}
+
+bool Vicbf::contains(std::string_view key) const {
+  hash::HashBitStream stream(key, seed_);
+  WordSet touched;
+  const unsigned v_bits = hash::ceil_log2(L_);
+  bool positive = true;
+  for (unsigned i = 0; i < k_; ++i) {
+    const std::size_t pos = stream.next_index(counters_.size());
+    const auto v = static_cast<std::uint32_t>(
+        L_ + (v_bits ? stream.next_bits(v_bits) : 0));
+    touched.add(pos * counters_.bits_per_counter() / 64);
+    const std::uint32_t c = counters_.get(pos);
+    // A saturated counter must stay conservative (could contain anything).
+    if (c != counter_max_ && !position_positive(c, v)) {
+      positive = false;
+      if (short_circuit_) break;
+    }
+  }
+  stats_.record(positive ? metrics::OpClass::kQueryPositive
+                         : metrics::OpClass::kQueryNegative,
+                touched.count, stream.accounted_bits());
+  return positive;
+}
+
+bool Vicbf::erase(std::string_view key) {
+  hash::HashBitStream stream(key, seed_);
+  WordSet touched;
+  const unsigned v_bits = hash::ceil_log2(L_);
+  bool ok = true;
+  for (unsigned i = 0; i < k_; ++i) {
+    const std::size_t pos = stream.next_index(counters_.size());
+    const auto v = static_cast<std::uint32_t>(
+        L_ + (v_bits ? stream.next_bits(v_bits) : 0));
+    touched.add(pos * counters_.bits_per_counter() / 64);
+    const std::uint32_t c = counters_.get(pos);
+    if (c == counter_max_) continue;  // sticky
+    if (c < v) {
+      ok = false;
+      continue;
+    }
+    counters_.set(pos, c - v);
+  }
+  if (size_ > 0) --size_;
+  stats_.record(metrics::OpClass::kDelete, touched.count,
+                stream.accounted_bits());
+  return ok;
+}
+
+void Vicbf::clear() {
+  counters_.reset();
+  size_ = 0;
+  saturations_ = 0;
+}
+
+}  // namespace mpcbf::filters

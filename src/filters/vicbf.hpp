@@ -1,0 +1,78 @@
+// Variable-Increment Counting Bloom Filter (Rottenstreich, Kanizo,
+// Keslassy — INFOCOM 2012), the paper's ref. [23].
+//
+// Instead of adding 1 to each hashed counter, VI-CBF adds a per-(key,
+// position) increment v drawn from the D_L set {L, ..., 2L-1}. A queried
+// position supports membership only if its counter C could contain v:
+// C >= v and (C == v or C - v >= L). Sums that cannot decompose that way
+// expose non-members that plain CBF would miss, lowering the FPR at the
+// cost of wider counters — but still k scattered memory accesses, which is
+// the axis MPCBF improves on.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "bitvec/counter_vector.hpp"
+#include "metrics/access_stats.hpp"
+
+namespace mpcbf::filters {
+
+struct VicbfConfig {
+  std::size_t memory_bits = 1 << 20;
+  unsigned k = 3;
+  unsigned counter_bits = 8;  ///< wide enough for several D_L increments
+  unsigned L = 4;             ///< D_L = {L, ..., 2L-1}; must be a power of two
+  std::uint64_t seed = 0x9E3779B97F4A7C15ULL;
+  bool short_circuit = true;
+};
+
+class Vicbf {
+ public:
+  explicit Vicbf(const VicbfConfig& cfg);
+
+  void insert(std::string_view key);
+  [[nodiscard]] bool contains(std::string_view key) const;
+
+  /// Deletes one prior insert. Deleting a never-inserted key is a
+  /// contract violation, as in any CBF variant.
+  bool erase(std::string_view key);
+
+  void clear();
+
+  [[nodiscard]] std::size_t num_counters() const noexcept {
+    return counters_.size();
+  }
+  [[nodiscard]] unsigned k() const noexcept { return k_; }
+  [[nodiscard]] unsigned L() const noexcept { return L_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t memory_bits() const noexcept {
+    return counters_.memory_bits();
+  }
+  [[nodiscard]] std::uint64_t saturations() const noexcept {
+    return saturations_;
+  }
+  [[nodiscard]] metrics::AccessStats& stats() const noexcept {
+    return stats_;
+  }
+
+ private:
+  /// True iff counter value C is consistent with an increment v being part
+  /// of the sum (the VI-CBF membership rule).
+  [[nodiscard]] bool position_positive(std::uint32_t c,
+                                       std::uint32_t v) const noexcept {
+    return c >= v && (c == v || c - v >= L_);
+  }
+
+  bits::CounterVector counters_;
+  unsigned k_;
+  unsigned L_;
+  std::uint32_t counter_max_;
+  std::uint64_t seed_;
+  bool short_circuit_;
+  std::size_t size_ = 0;
+  std::uint64_t saturations_ = 0;
+  mutable metrics::AccessStats stats_;
+};
+
+}  // namespace mpcbf::filters

@@ -1,0 +1,22 @@
+// Small helper shared by the filters: counts the *distinct* machine words
+// an operation touches, which is the paper's "number of memory accesses"
+// metric (two counters in the same 64-bit word cost one access).
+#pragma once
+
+#include <cstddef>
+
+namespace mpcbf::filters {
+
+struct WordSet {
+  std::size_t ids[64];
+  std::size_t count = 0;
+
+  void add(std::size_t id) noexcept {
+    for (std::size_t i = 0; i < count; ++i) {
+      if (ids[i] == id) return;
+    }
+    if (count < 64) ids[count++] = id;
+  }
+};
+
+}  // namespace mpcbf::filters

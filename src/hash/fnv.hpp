@@ -1,0 +1,32 @@
+// FNV-1a — tiny non-cryptographic hash, used where a cheap independent
+// mixer is convenient (test vectors, striping keys across shards).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace mpcbf::hash {
+
+constexpr std::uint64_t kFnvOffset64 = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime64 = 0x100000001b3ULL;
+
+[[nodiscard]] constexpr std::uint64_t fnv1a64(const char* data,
+                                              std::size_t len,
+                                              std::uint64_t seed =
+                                                  kFnvOffset64) noexcept {
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= static_cast<std::uint8_t>(data[i]);
+    h *= kFnvPrime64;
+  }
+  return h;
+}
+
+[[nodiscard]] constexpr std::uint64_t fnv1a64(std::string_view key,
+                                              std::uint64_t seed =
+                                                  kFnvOffset64) noexcept {
+  return fnv1a64(key.data(), key.size(), seed);
+}
+
+}  // namespace mpcbf::hash

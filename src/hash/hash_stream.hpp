@@ -1,0 +1,141 @@
+// HashBitStream — the single source of hash bits for every filter.
+//
+// The paper characterizes each scheme by its *access bandwidth*: how many
+// hash bits an operation consumes (log2(l) to pick a word, k*log2(b1) to
+// pick bits inside it, ...). This class makes that metric measurable: it
+// serves raw bits from successive MurmurHash3 128-bit blocks of the key
+// (rehashing with an incremented seed when a block is exhausted, so the
+// supply is unbounded) and separately accounts the paper-defined bandwidth
+// of every request.
+//
+// Determinism: the bit sequence depends only on (key bytes, seed), so an
+// insert and a later delete of the same key derive identical positions —
+// the property CBF correctness rests on.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <string_view>
+
+#include "hash/murmur3.hpp"
+
+namespace mpcbf::hash {
+
+/// ceil(log2(x)) for x >= 1; 0 for x <= 1. This is the paper's accounting
+/// unit for addressing a structure of x slots.
+[[nodiscard]] constexpr unsigned ceil_log2(std::uint64_t x) noexcept {
+  if (x <= 1) return 0;
+  return static_cast<unsigned>(64 - std::countl_zero(x - 1));
+}
+
+class HashBitStream {
+ public:
+  /// Starts a stream over `key`. The view must outlive the stream (filters
+  /// construct one per operation, so this holds trivially).
+  HashBitStream(std::string_view key, std::uint64_t seed) noexcept
+      : key_(key), seed_(seed) {
+    refill();
+  }
+
+  /// Uniform index in [0, bound). Accounts ceil_log2(bound) bits of access
+  /// bandwidth — the paper's cost of addressing `bound` slots. For
+  /// non-power-of-two bounds, uses a multiply-shift over
+  /// ceil_log2(bound)+12 raw bits: the relative bias is < 2^-12,
+  /// invisible next to the sampling noise of any experiment here, while
+  /// keeping entropy consumption low enough that a whole operation's
+  /// indices fit in one 128-bit hash block (this is what keeps MPCBF's
+  /// software query cost at/below CBF's, Sec. IV-B).
+  std::size_t next_index(std::size_t bound) noexcept {
+    assert(bound > 0);
+    const unsigned log2_bound = ceil_log2(bound);
+    accounted_bits_ += log2_bound;
+    if (std::has_single_bit(bound)) {
+      return log2_bound == 0
+                 ? 0
+                 : static_cast<std::size_t>(raw_bits(log2_bound));
+    }
+    const unsigned width = std::min(48u, log2_bound + 12);
+    const std::uint64_t v = raw_bits(width);
+    return static_cast<std::size_t>(
+        (static_cast<__uint128_t>(v) * bound) >> width);
+  }
+
+  /// `width` raw bits (1..64), accounted at face value.
+  std::uint64_t next_bits(unsigned width) noexcept {
+    accounted_bits_ += width;
+    return raw_bits(width);
+  }
+
+  /// Paper-metric access bandwidth consumed so far, in bits.
+  [[nodiscard]] std::uint64_t accounted_bits() const noexcept {
+    return accounted_bits_;
+  }
+
+ private:
+  void refill() noexcept {
+    const Hash128 h = murmur3_128(key_, seed_ + block_);
+    lanes_[0] = h.lo;
+    lanes_[1] = h.hi;
+    lane_ = 0;
+    lane_used_ = 0;
+    ++block_;
+  }
+
+  std::uint64_t raw_bits(unsigned width) noexcept {
+    assert(width >= 1 && width <= 64);
+    if (lane_used_ + width > 64) {
+      if (lane_ == 0) {
+        lane_ = 1;
+        lane_used_ = 0;
+      } else {
+        refill();
+      }
+    }
+    const std::uint64_t v = lanes_[lane_] >> lane_used_;
+    lane_used_ += width;
+    return width == 64 ? v : (v & ((std::uint64_t{1} << width) - 1));
+  }
+
+  std::string_view key_;
+  std::uint64_t seed_;
+  std::uint64_t lanes_[2] = {0, 0};
+  unsigned lane_ = 0;
+  unsigned lane_used_ = 0;
+  std::uint64_t block_ = 0;
+  std::uint64_t accounted_bits_ = 0;
+};
+
+/// Kirsch–Mitzenmacher double hashing: k positions from two base hashes,
+/// g_i(x) = h1 + i*h2 (mod m). Used by the classic Bloom/CBF baselines when
+/// `use_double_hashing` is configured; accounted as 2*log2(m) bits total,
+/// per the "less hashing, same performance" scheme the paper cites as [22].
+class DoubleHasher {
+ public:
+  DoubleHasher(std::string_view key, std::uint64_t seed,
+               std::size_t m) noexcept
+      : m_(m) {
+    const Hash128 h = murmur3_128(key, seed);
+    h1_ = h.lo % m;
+    h2_ = h.hi % m;
+    if (h2_ == 0) h2_ = 1;  // step must be non-zero to visit k slots
+  }
+
+  /// i-th derived position, i = 0..k-1.
+  [[nodiscard]] std::size_t position(std::size_t i) const noexcept {
+    return static_cast<std::size_t>(
+        (h1_ + static_cast<__uint128_t>(i) * h2_) % m_);
+  }
+
+  [[nodiscard]] std::uint64_t accounted_bits() const noexcept {
+    return 2ULL * ceil_log2(m_);
+  }
+
+ private:
+  std::uint64_t h1_;
+  std::uint64_t h2_;
+  std::size_t m_;
+};
+
+}  // namespace mpcbf::hash

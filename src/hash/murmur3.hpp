@@ -1,0 +1,39 @@
+// MurmurHash3 (Austin Appleby, public domain), x64 128-bit and x86 32-bit
+// variants. The 128-bit variant is the primary key hash for every filter in
+// this repository: its two 64-bit halves seed the HashBitStream that doles
+// out word-selector and in-word position bits.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace mpcbf::hash {
+
+struct Hash128 {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+
+  friend bool operator==(const Hash128&, const Hash128&) = default;
+};
+
+/// MurmurHash3_x64_128 over an arbitrary byte range.
+[[nodiscard]] Hash128 murmur3_128(const void* data, std::size_t len,
+                                  std::uint64_t seed) noexcept;
+
+[[nodiscard]] inline Hash128 murmur3_128(std::string_view key,
+                                         std::uint64_t seed) noexcept {
+  return murmur3_128(key.data(), key.size(), seed);
+}
+
+/// MurmurHash3_x86_32 — used by tests as an independent reference and by
+/// the d-left CBF for its cheap per-subtable fingerprints.
+[[nodiscard]] std::uint32_t murmur3_32(const void* data, std::size_t len,
+                                       std::uint32_t seed) noexcept;
+
+[[nodiscard]] inline std::uint32_t murmur3_32(std::string_view key,
+                                              std::uint32_t seed) noexcept {
+  return murmur3_32(key.data(), key.size(), seed);
+}
+
+}  // namespace mpcbf::hash

@@ -1,0 +1,36 @@
+#include "hash/tabulation.hpp"
+
+#include <cstring>
+
+#include "common/rng.hpp"
+
+namespace mpcbf::hash {
+
+TabulationHash::TabulationHash(std::uint64_t seed) {
+  util::SplitMix64 sm(seed);
+  for (auto& table : tables_) {
+    for (auto& entry : table) entry = sm.next();
+  }
+}
+
+std::uint64_t TabulationHash::operator()(std::string_view key) const noexcept {
+  std::uint64_t folded = 0;
+  std::size_t i = 0;
+  while (i + 8 <= key.size()) {
+    std::uint64_t chunk;
+    std::memcpy(&chunk, key.data() + i, 8);
+    folded ^= chunk;
+    i += 8;
+  }
+  std::uint64_t tail = 0;
+  for (std::size_t j = 0; i + j < key.size(); ++j) {
+    tail |= static_cast<std::uint64_t>(
+                static_cast<std::uint8_t>(key[i + j]))
+            << (8 * j);
+  }
+  // Mix length so "ab" and "ab\0" fold differently.
+  folded ^= tail ^ (static_cast<std::uint64_t>(key.size()) << 56);
+  return hash_u64(folded);
+}
+
+}  // namespace mpcbf::hash

@@ -1,0 +1,38 @@
+// Simple tabulation hashing (Zobrist / Patrascu–Thorup).
+//
+// 3-independent and empirically excellent for hashing fixed-width keys;
+// used by the benches as the "hardware hashing" stand-in because a
+// tabulation lookup is what an FPGA hash unit would implement (Sec. IV-B of
+// the paper motivates hardware hashing). Keys are hashed byte-wise against
+// 8 tables of 256 random 64-bit entries.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace mpcbf::hash {
+
+class TabulationHash {
+ public:
+  explicit TabulationHash(std::uint64_t seed);
+
+  /// Hashes up to the first 8 bytes of `key` (longer keys are folded with a
+  /// running XOR so all bytes still influence the result).
+  [[nodiscard]] std::uint64_t operator()(std::string_view key) const noexcept;
+
+  [[nodiscard]] std::uint64_t hash_u64(std::uint64_t key) const noexcept {
+    std::uint64_t h = 0;
+    for (int b = 0; b < 8; ++b) {
+      h ^= tables_[static_cast<std::size_t>(b)]
+                  [static_cast<std::uint8_t>(key >> (8 * b))];
+    }
+    return h;
+  }
+
+ private:
+  std::array<std::array<std::uint64_t, 256>, 8> tables_;
+};
+
+}  // namespace mpcbf::hash

@@ -1,0 +1,20 @@
+// xxHash64 (Yann Collet, BSD) — an independent 64-bit hash used to
+// cross-check hash-quality-sensitive results and as the second hash of the
+// Kirsch–Mitzenmacher double-hashing scheme.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace mpcbf::hash {
+
+[[nodiscard]] std::uint64_t xxhash64(const void* data, std::size_t len,
+                                     std::uint64_t seed) noexcept;
+
+[[nodiscard]] inline std::uint64_t xxhash64(std::string_view key,
+                                            std::uint64_t seed) noexcept {
+  return xxhash64(key.data(), key.size(), seed);
+}
+
+}  // namespace mpcbf::hash

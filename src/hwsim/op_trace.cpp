@@ -1,0 +1,69 @@
+#include "hwsim/op_trace.hpp"
+
+#include <algorithm>
+
+#include "hash/hash_stream.hpp"
+#include "model/fpr_model.hpp"
+
+namespace mpcbf::hwsim {
+
+std::vector<MemoryOp> cbf_query_trace(const std::vector<std::string>& keys,
+                                      std::size_t num_counters, unsigned k,
+                                      std::uint64_t seed,
+                                      unsigned word_bits) {
+  const std::size_t counters_per_word = word_bits / 4;
+  std::vector<MemoryOp> trace;
+  trace.reserve(keys.size());
+  for (const auto& key : keys) {
+    hash::HashBitStream stream(key, seed);
+    MemoryOp op;
+    op.words.reserve(k);
+    for (unsigned i = 0; i < k; ++i) {
+      const std::uint64_t word =
+          stream.next_index(num_counters) / counters_per_word;
+      if (std::find(op.words.begin(), op.words.end(), word) ==
+          op.words.end()) {
+        op.words.push_back(word);
+      }
+    }
+    trace.push_back(std::move(op));
+  }
+  return trace;
+}
+
+std::vector<MemoryOp> mpcbf_query_trace(const std::vector<std::string>& keys,
+                                        std::size_t num_words, unsigned k,
+                                        unsigned g, unsigned b1,
+                                        std::uint64_t seed) {
+  std::vector<MemoryOp> trace;
+  trace.reserve(keys.size());
+  for (const auto& key : keys) {
+    hash::HashBitStream stream(key, seed);
+    MemoryOp op;
+    op.words.reserve(g);
+    for (unsigned t = 0; t < g; ++t) {
+      const std::uint64_t word = stream.next_index(num_words);
+      if (std::find(op.words.begin(), op.words.end(), word) ==
+          op.words.end()) {
+        op.words.push_back(word);
+      }
+      // Consume the in-word position bits exactly as the filter does so
+      // subsequent word selectors match the software implementation.
+      const unsigned kw = model::hashes_per_word(k, g, t);
+      for (unsigned i = 0; i < kw; ++i) {
+        (void)stream.next_index(b1);
+      }
+    }
+    trace.push_back(std::move(op));
+  }
+  return trace;
+}
+
+std::vector<MemoryOp> as_updates(std::vector<MemoryOp> trace) {
+  for (auto& op : trace) {
+    op.read_modify_write = true;
+  }
+  return trace;
+}
+
+}  // namespace mpcbf::hwsim

@@ -1,0 +1,34 @@
+// Memory-operation trace extraction: converts a key stream into the
+// per-lookup word-address lists each filter would issue to the SRAM,
+// using the same hash derivation as the software filters so the bank
+// conflict patterns the simulator sees are the real ones.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hwsim/sram_pipeline.hpp"
+
+namespace mpcbf::hwsim {
+
+/// CBF query: k counter reads scattered over the vector; the word address
+/// of a counter is its index / counters-per-word (4-bit counters in
+/// `word_bits`-bit SRAM words). Duplicate words within one op are merged
+/// (one read suffices).
+[[nodiscard]] std::vector<MemoryOp> cbf_query_trace(
+    const std::vector<std::string>& keys, std::size_t num_counters,
+    unsigned k, std::uint64_t seed, unsigned word_bits = 64);
+
+/// MPCBF-g query: g word reads. `b1` must match the filter so the
+/// position bits are consumed identically (address sequence fidelity).
+[[nodiscard]] std::vector<MemoryOp> mpcbf_query_trace(
+    const std::vector<std::string>& keys, std::size_t num_words, unsigned k,
+    unsigned g, unsigned b1, std::uint64_t seed);
+
+/// Marks every op in a trace as a read-modify-write (insert/delete) —
+/// addresses are identical to the query trace; only the port/latency cost
+/// changes.
+[[nodiscard]] std::vector<MemoryOp> as_updates(std::vector<MemoryOp> trace);
+
+}  // namespace mpcbf::hwsim

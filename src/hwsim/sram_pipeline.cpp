@@ -1,0 +1,65 @@
+#include "hwsim/sram_pipeline.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mpcbf::hwsim {
+
+SramPipeline::SramPipeline(const SramConfig& cfg) : cfg_(cfg) {
+  if (cfg.banks == 0 || cfg.dispatch_width == 0) {
+    throw std::invalid_argument(
+        "SramPipeline: need banks >= 1 and dispatch_width >= 1");
+  }
+}
+
+SimResult SramPipeline::run(const std::vector<MemoryOp>& trace) const {
+  SimResult result;
+  result.operations = trace.size();
+  if (trace.empty()) return result;
+
+  // Per-bank time of the next free request slot (banks are fully
+  // pipelined: one new request per cycle each).
+  std::vector<std::uint64_t> bank_free(cfg_.banks, 0);
+
+  std::uint64_t dispatch_cycle = 0;
+  unsigned dispatched_this_cycle = 0;
+  std::uint64_t last_completion = 0;
+  std::uint64_t latency_sum = 0;
+
+  for (const MemoryOp& op : trace) {
+    // Front end: dispatch_width ops enter per cycle, in order.
+    if (dispatched_this_cycle == cfg_.dispatch_width) {
+      ++dispatch_cycle;
+      dispatched_this_cycle = 0;
+    }
+    ++dispatched_this_cycle;
+
+    const std::uint64_t ready = dispatch_cycle + cfg_.hash_latency;
+    std::uint64_t completion = ready;  // ops with no requests finish at once
+    const unsigned port_slots = op.read_modify_write ? 2 : 1;
+    const unsigned extra_latency = op.read_modify_write ? 1 : 0;
+    for (const std::uint64_t word : op.words) {
+      const std::size_t bank = word % cfg_.banks;
+      const std::uint64_t issue = std::max(ready, bank_free[bank]);
+      if (issue > ready) {
+        result.bank_conflict_stalls += issue - ready;
+      }
+      bank_free[bank] = issue + port_slots;
+      completion = std::max(completion,
+                            issue + cfg_.access_latency + extra_latency);
+      ++result.total_requests;
+    }
+    const std::uint64_t latency = completion - dispatch_cycle;
+    latency_sum += latency;
+    result.max_latency_cycles =
+        std::max(result.max_latency_cycles, latency);
+    last_completion = std::max(last_completion, completion);
+  }
+
+  result.total_cycles = last_completion;
+  result.avg_latency_cycles =
+      static_cast<double>(latency_sum) / static_cast<double>(trace.size());
+  return result;
+}
+
+}  // namespace mpcbf::hwsim

@@ -1,0 +1,87 @@
+// Cycle-approximate SRAM line-card model — the substitution for the
+// FPGA/ASIC platform the paper targets ("we are currently building such a
+// hardware platform", Sec. IV-B; see DESIGN.md §4).
+//
+// The paper's entire argument is that in hardware the bottleneck is
+// *memory accesses to on-chip SRAM*, not hash computation: a CBF query
+// needs k reads of scattered words, an MPCBF-g query needs g. This module
+// makes that claim measurable with a deterministic queueing model of a
+// banked SRAM behind a lookup pipeline:
+//
+//   * B single-port banks, fully pipelined: each bank accepts one request
+//     per cycle and answers `access_latency` cycles later;
+//   * a word address maps to bank (word_index mod B);
+//   * the front end dispatches up to `dispatch_width` operations per
+//     cycle; an operation issues all its word requests as early as bank
+//     ports allow (hardware parallelism — unlike software, the k reads of
+//     one CBF query go out concurrently when they hit distinct banks);
+//   * an operation completes when its last request returns; hashing adds
+//     a fixed pipeline latency but no throughput cost (a hardware hash
+//     unit is itself pipelined — exactly the paper's assumption).
+//
+// The simulator executes a trace of operations (each a list of word
+// indices, produced by the *real* filters' target derivation so bank
+// conflict patterns are authentic) and reports sustained throughput and
+// latency percentiles.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mpcbf::hwsim {
+
+struct SramConfig {
+  unsigned banks = 4;
+  unsigned access_latency = 2;   ///< cycles from issue to data
+  unsigned dispatch_width = 1;   ///< operations entering the pipeline per cycle
+  unsigned hash_latency = 3;     ///< fixed pipeline stages before first issue
+  double clock_ghz = 1.0;
+};
+
+/// One filter operation: the distinct memory words it must touch. An
+/// update is a read-modify-write per word — the bank port is occupied for
+/// two slots (read issue + writeback) and completion waits for the
+/// writeback, which is how counter updates cost more than queries even in
+/// hardware.
+struct MemoryOp {
+  std::vector<std::uint64_t> words;
+  bool read_modify_write = false;
+};
+
+struct SimResult {
+  std::uint64_t operations = 0;
+  std::uint64_t total_cycles = 0;
+  std::uint64_t total_requests = 0;
+  std::uint64_t bank_conflict_stalls = 0;  ///< requests delayed by busy banks
+  double avg_latency_cycles = 0.0;
+  std::uint64_t max_latency_cycles = 0;
+
+  /// Sustained throughput at the configured clock.
+  [[nodiscard]] double mops_per_second(double clock_ghz) const {
+    return total_cycles == 0
+               ? 0.0
+               : static_cast<double>(operations) /
+                     (static_cast<double>(total_cycles) / clock_ghz / 1e3);
+  }
+
+  /// Can this configuration sustain `packet_rate_mpps` million lookups/s?
+  [[nodiscard]] bool sustains(double packet_rate_mpps,
+                              double clock_ghz) const {
+    return mops_per_second(clock_ghz) >= packet_rate_mpps;
+  }
+};
+
+class SramPipeline {
+ public:
+  explicit SramPipeline(const SramConfig& cfg);
+
+  /// Runs the trace to completion and returns aggregate statistics.
+  [[nodiscard]] SimResult run(const std::vector<MemoryOp>& trace) const;
+
+  [[nodiscard]] const SramConfig& config() const noexcept { return cfg_; }
+
+ private:
+  SramConfig cfg_;
+};
+
+}  // namespace mpcbf::hwsim

@@ -1,0 +1,100 @@
+// Minimal binary (de)serialization helpers for filter persistence.
+//
+// Format conventions: little-endian PODs written byte-for-byte (all
+// supported targets are little-endian; a static_assert guards the
+// assumption), strings as u64 length + bytes, containers as u64 count +
+// elements. Readers validate as they go and throw std::runtime_error on
+// truncation or corruption — a filter must never load into a silently
+// broken state.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace mpcbf::io {
+
+static_assert(std::endian::native == std::endian::little,
+              "serialization assumes a little-endian host");
+
+template <typename T>
+void write_pod(std::ostream& os, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  os.write(reinterpret_cast<const char*>(&value), sizeof value);
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  T value;
+  is.read(reinterpret_cast<char*>(&value), sizeof value);
+  if (!is) {
+    throw std::runtime_error("binary read: truncated stream");
+  }
+  return value;
+}
+
+inline void write_string(std::ostream& os, const std::string& s) {
+  write_pod<std::uint64_t>(os, s.size());
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+inline std::string read_string(std::istream& is, std::uint64_t max_len) {
+  const auto len = read_pod<std::uint64_t>(is);
+  if (len > max_len) {
+    throw std::runtime_error("binary read: string length out of range");
+  }
+  std::string s(len, '\0');
+  is.read(s.data(), static_cast<std::streamsize>(len));
+  if (!is) {
+    throw std::runtime_error("binary read: truncated string");
+  }
+  return s;
+}
+
+template <typename T>
+void write_pod_vector(std::ostream& os, const std::vector<T>& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  write_pod<std::uint64_t>(os, v.size());
+  os.write(reinterpret_cast<const char*>(v.data()),
+           static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+std::vector<T> read_pod_vector(std::istream& is, std::uint64_t max_count) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const auto count = read_pod<std::uint64_t>(is);
+  if (count > max_count) {
+    throw std::runtime_error("binary read: vector length out of range");
+  }
+  std::vector<T> v(count);
+  is.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(count * sizeof(T)));
+  if (!is) {
+    throw std::runtime_error("binary read: truncated vector");
+  }
+  return v;
+}
+
+/// Writes/checks a 8-byte magic tag; mismatch throws with both tags in
+/// the message.
+inline void write_magic(std::ostream& os, const char (&magic)[9]) {
+  os.write(magic, 8);
+}
+
+inline void expect_magic(std::istream& is, const char (&magic)[9]) {
+  char buf[9] = {};
+  is.read(buf, 8);
+  if (!is || std::memcmp(buf, magic, 8) != 0) {
+    throw std::runtime_error(std::string("binary read: expected magic '") +
+                             magic + "', got '" + buf + "'");
+  }
+}
+
+}  // namespace mpcbf::io

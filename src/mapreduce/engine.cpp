@@ -1,0 +1,20 @@
+#include "mapreduce/engine.hpp"
+
+#include <sstream>
+
+namespace mpcbf::mr {
+
+std::string JobCounters::to_string() const {
+  std::ostringstream os;
+  os << "map_input=" << map_input_records
+     << " map_output=" << map_output_records
+     << " combined=" << combine_output_records
+     << " shuffle_bytes=" << shuffle_bytes
+     << " reduce_groups=" << reduce_input_groups
+     << " reduce_output=" << reduce_output_records << " map_s=" << map_seconds
+     << " shuffle_s=" << shuffle_seconds << " reduce_s=" << reduce_seconds
+     << " total_s=" << total_seconds;
+  return os.str();
+}
+
+}  // namespace mpcbf::mr

@@ -1,0 +1,274 @@
+// In-process MapReduce engine — the Hadoop stand-in for the paper's Sec. V
+// (see DESIGN.md §4).
+//
+// A Job runs the canonical three phases over a vector of input records:
+//
+//   map:     inputs are split into num_map_tasks chunks; each task runs the
+//            user mapper, emitting (K2, V2) pairs into per-reducer buckets
+//            selected by hash-partitioning on K2 (Hadoop's default
+//            HashPartitioner);
+//   shuffle: each reducer's buckets from all map tasks are concatenated and
+//            sorted by key — the engine's analogue of Hadoop's fetch+merge,
+//            with moved bytes accounted in JobCounters.shuffle_bytes;
+//   reduce:  consecutive equal-key runs are handed to the user reducer.
+//
+// Map tasks and reduce partitions run on a shared ThreadPool. Counters
+// mirror the Hadoop counters the paper's Table IV is stated in (map output
+// records, phase wall-clock). The "DistributedCache" used to broadcast a
+// Bloom filter to all mappers is simply a const object captured by the
+// mapper closure — same semantics (read-only, visible to every map task).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/stopwatch.hpp"
+#include "common/thread_pool.hpp"
+
+namespace mpcbf::mr {
+
+struct JobConfig {
+  unsigned num_map_tasks = 8;
+  unsigned num_reducers = 4;
+  unsigned threads = 0;  ///< 0 = hardware concurrency
+};
+
+struct JobCounters {
+  std::uint64_t map_input_records = 0;
+  std::uint64_t map_output_records = 0;
+  std::uint64_t combine_output_records = 0;  ///< records after the combiner
+  std::uint64_t shuffle_bytes = 0;
+  std::uint64_t reduce_input_groups = 0;
+  std::uint64_t reduce_output_records = 0;
+  double map_seconds = 0.0;
+  double shuffle_seconds = 0.0;
+  double reduce_seconds = 0.0;
+  double total_seconds = 0.0;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+namespace detail {
+
+/// Shuffle-byte estimate of a value: payload size for strings, object size
+/// otherwise — enough to compare configurations, which is all Table IV
+/// needs.
+template <typename T>
+std::uint64_t byte_size(const T& v) {
+  if constexpr (requires { v.size(); v.data(); }) {
+    return static_cast<std::uint64_t>(v.size());
+  } else if constexpr (requires { v.byte_size(); }) {
+    return v.byte_size();
+  } else {
+    return sizeof(T);
+  }
+}
+
+}  // namespace detail
+
+template <typename Input, typename K2, typename V2, typename Out>
+class Job {
+ public:
+  /// Map-side emitter: partitions each pair to a reducer bucket.
+  class Emitter {
+   public:
+    Emitter(std::vector<std::vector<std::pair<K2, V2>>>& buckets,
+            std::uint64_t& records, std::uint64_t& bytes)
+        : buckets_(buckets), records_(records), bytes_(bytes) {}
+
+    void emit(K2 key, V2 value) {
+      const std::size_t r = std::hash<K2>{}(key) % buckets_.size();
+      ++records_;
+      bytes_ += detail::byte_size(key) + detail::byte_size(value);
+      buckets_[r].emplace_back(std::move(key), std::move(value));
+    }
+
+   private:
+    std::vector<std::vector<std::pair<K2, V2>>>& buckets_;
+    std::uint64_t& records_;
+    std::uint64_t& bytes_;
+  };
+
+  /// Reduce-side collector. In count-only mode (materialize == false) the
+  /// output records are counted but not stored — Table IV's paper-scale
+  /// join produces tens of millions of rows that nobody reads back.
+  class Collector {
+   public:
+    Collector(std::vector<Out>* sink, std::uint64_t& count)
+        : sink_(sink), count_(count) {}
+
+    void emit(Out value) {
+      ++count_;
+      if (sink_ != nullptr) sink_->push_back(std::move(value));
+    }
+
+   private:
+    std::vector<Out>* sink_;
+    std::uint64_t& count_;
+  };
+
+  using MapFn = std::function<void(const Input&, Emitter&)>;
+  using ReduceFn =
+      std::function<void(const K2&, const std::vector<V2>&, Collector&)>;
+  /// Hadoop-style combiner: folds one key's map-local values into a
+  /// single value before the shuffle (must be associative/commutative
+  /// with respect to the reducer's semantics).
+  using CombineFn = std::function<V2(const K2&, std::vector<V2>&&)>;
+
+  Job(MapFn mapper, ReduceFn reducer, JobConfig cfg = {})
+      : mapper_(std::move(mapper)),
+        reducer_(std::move(reducer)),
+        cfg_(cfg) {
+    if (cfg_.num_map_tasks == 0) cfg_.num_map_tasks = 1;
+    if (cfg_.num_reducers == 0) cfg_.num_reducers = 1;
+  }
+
+  /// Installs a combiner; call before run().
+  void set_combiner(CombineFn combiner) { combiner_ = std::move(combiner); }
+
+  /// Runs the job. When `materialize_output` is false the returned vector
+  /// is empty and only counters report the output cardinality.
+  std::vector<Out> run(const std::vector<Input>& inputs,
+                       JobCounters& counters,
+                       bool materialize_output = true) {
+    util::Stopwatch total;
+    const unsigned threads =
+        cfg_.threads != 0 ? cfg_.threads
+                          : static_cast<unsigned>(
+                                util::ThreadPool::default_threads());
+    util::ThreadPool pool(threads);
+
+    const unsigned m = cfg_.num_map_tasks;
+    const unsigned r = cfg_.num_reducers;
+
+    // --- map ------------------------------------------------------------
+    util::Stopwatch map_watch;
+    // buckets[task][reducer] -> pairs
+    std::vector<std::vector<std::vector<std::pair<K2, V2>>>> buckets(
+        m, std::vector<std::vector<std::pair<K2, V2>>>(r));
+    std::vector<std::uint64_t> task_records(m, 0);
+    std::vector<std::uint64_t> task_bytes(m, 0);
+
+    const std::size_t chunk = (inputs.size() + m - 1) / m;
+    std::vector<std::uint64_t> task_combined(m, 0);
+    util::parallel_for(pool, m, [&](std::size_t t) {
+      const std::size_t lo = t * chunk;
+      const std::size_t hi = std::min(inputs.size(), lo + chunk);
+      Emitter emitter(buckets[t], task_records[t], task_bytes[t]);
+      for (std::size_t i = lo; i < hi; ++i) {
+        mapper_(inputs[i], emitter);
+      }
+      if (combiner_) {
+        // Map-local fold per reducer bucket: sort, group, combine each
+        // key's values into one record. Shuffle bytes are recomputed from
+        // the combined output (that is the combiner's whole point).
+        task_bytes[t] = 0;
+        for (auto& bucket : buckets[t]) {
+          std::stable_sort(bucket.begin(), bucket.end(),
+                           [](const auto& a, const auto& b) {
+                             return a.first < b.first;
+                           });
+          std::vector<std::pair<K2, V2>> combined;
+          std::size_t i = 0;
+          while (i < bucket.size()) {
+            std::size_t j = i;
+            std::vector<V2> values;
+            while (j < bucket.size() &&
+                   bucket[j].first == bucket[i].first) {
+              values.push_back(std::move(bucket[j].second));
+              ++j;
+            }
+            V2 folded = combiner_(bucket[i].first, std::move(values));
+            task_bytes[t] += detail::byte_size(bucket[i].first) +
+                             detail::byte_size(folded);
+            combined.emplace_back(bucket[i].first, std::move(folded));
+            i = j;
+          }
+          task_combined[t] += combined.size();
+          bucket = std::move(combined);
+        }
+      }
+    });
+    counters.map_input_records += inputs.size();
+    for (unsigned t = 0; t < m; ++t) {
+      counters.map_output_records += task_records[t];
+      counters.combine_output_records += task_combined[t];
+      counters.shuffle_bytes += task_bytes[t];
+    }
+    counters.map_seconds += map_watch.elapsed_seconds();
+
+    // --- shuffle ----------------------------------------------------------
+    util::Stopwatch shuffle_watch;
+    std::vector<std::vector<std::pair<K2, V2>>> partitions(r);
+    util::parallel_for(pool, r, [&](std::size_t p) {
+      std::size_t total_pairs = 0;
+      for (unsigned t = 0; t < m; ++t) total_pairs += buckets[t][p].size();
+      partitions[p].reserve(total_pairs);
+      for (unsigned t = 0; t < m; ++t) {
+        auto& b = buckets[t][p];
+        std::move(b.begin(), b.end(), std::back_inserter(partitions[p]));
+        b.clear();
+        b.shrink_to_fit();
+      }
+      std::stable_sort(
+          partitions[p].begin(), partitions[p].end(),
+          [](const auto& a, const auto& b) { return a.first < b.first; });
+    });
+    counters.shuffle_seconds += shuffle_watch.elapsed_seconds();
+
+    // --- reduce -----------------------------------------------------------
+    util::Stopwatch reduce_watch;
+    std::vector<std::vector<Out>> outputs(r);
+    std::vector<std::uint64_t> out_counts(r, 0);
+    std::vector<std::uint64_t> group_counts(r, 0);
+    util::parallel_for(pool, r, [&](std::size_t p) {
+      auto& part = partitions[p];
+      Collector collector(materialize_output ? &outputs[p] : nullptr,
+                          out_counts[p]);
+      std::size_t i = 0;
+      std::vector<V2> values;
+      while (i < part.size()) {
+        std::size_t j = i;
+        values.clear();
+        while (j < part.size() && part[j].first == part[i].first) {
+          values.push_back(std::move(part[j].second));
+          ++j;
+        }
+        ++group_counts[p];
+        reducer_(part[i].first, values, collector);
+        i = j;
+      }
+      part.clear();
+      part.shrink_to_fit();
+    });
+    for (unsigned p = 0; p < r; ++p) {
+      counters.reduce_input_groups += group_counts[p];
+      counters.reduce_output_records += out_counts[p];
+    }
+    counters.reduce_seconds += reduce_watch.elapsed_seconds();
+    counters.total_seconds += total.elapsed_seconds();
+
+    std::vector<Out> result;
+    if (materialize_output) {
+      std::size_t total_out = 0;
+      for (const auto& o : outputs) total_out += o.size();
+      result.reserve(total_out);
+      for (auto& o : outputs) {
+        std::move(o.begin(), o.end(), std::back_inserter(result));
+      }
+    }
+    return result;
+  }
+
+ private:
+  MapFn mapper_;
+  ReduceFn reducer_;
+  CombineFn combiner_;
+  JobConfig cfg_;
+};
+
+}  // namespace mpcbf::mr

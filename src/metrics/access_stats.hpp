@@ -1,0 +1,114 @@
+// Per-operation access accounting — the instrument behind the paper's
+// Tables I–III and Fig. 11.
+//
+// Every filter in this repository records, for each operation it executes,
+// (a) how many distinct memory words it touched and (b) how many hash bits
+// it consumed ("access bandwidth" in the paper's terminology). Queries are
+// split into negative/positive classes because query short-circuiting makes
+// their costs differ (that is why the paper measures CBF at 2.1 — not 3.0 —
+// accesses per query on IP traces).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace mpcbf::metrics {
+
+enum class OpClass : unsigned {
+  kQueryNegative = 0,
+  kQueryPositive = 1,
+  kInsert = 2,
+  kDelete = 3,
+};
+
+constexpr std::string_view to_string(OpClass c) noexcept {
+  switch (c) {
+    case OpClass::kQueryNegative: return "query-";
+    case OpClass::kQueryPositive: return "query+";
+    case OpClass::kInsert: return "insert";
+    case OpClass::kDelete: return "delete";
+  }
+  return "?";
+}
+
+class AccessStats {
+ public:
+  void record(OpClass c, std::uint64_t words_touched,
+              std::uint64_t hash_bits) noexcept {
+    auto& b = buckets_[static_cast<unsigned>(c)];
+    b.ops += 1;
+    b.words += words_touched;
+    b.bits += hash_bits;
+  }
+
+  void reset() noexcept { buckets_ = {}; }
+
+  [[nodiscard]] std::uint64_t ops(OpClass c) const noexcept {
+    return buckets_[static_cast<unsigned>(c)].ops;
+  }
+
+  /// Mean distinct words touched per operation of class c (0 if none ran).
+  [[nodiscard]] double mean_accesses(OpClass c) const noexcept {
+    const auto& b = buckets_[static_cast<unsigned>(c)];
+    return b.ops == 0 ? 0.0
+                      : static_cast<double>(b.words) /
+                            static_cast<double>(b.ops);
+  }
+
+  /// Mean hash bits consumed per operation of class c.
+  [[nodiscard]] double mean_bandwidth(OpClass c) const noexcept {
+    const auto& b = buckets_[static_cast<unsigned>(c)];
+    return b.ops == 0 ? 0.0
+                      : static_cast<double>(b.bits) /
+                            static_cast<double>(b.ops);
+  }
+
+  /// Combined query statistics (positive + negative), the paper's
+  /// "query overhead" row.
+  [[nodiscard]] double mean_query_accesses() const noexcept {
+    return combined_mean(&Bucket::words);
+  }
+  [[nodiscard]] double mean_query_bandwidth() const noexcept {
+    return combined_mean(&Bucket::bits);
+  }
+
+  /// Combined insert+delete statistics, the paper's "update overhead" row.
+  [[nodiscard]] double mean_update_accesses() const noexcept {
+    return update_mean(&Bucket::words);
+  }
+  [[nodiscard]] double mean_update_bandwidth() const noexcept {
+    return update_mean(&Bucket::bits);
+  }
+
+ private:
+  struct Bucket {
+    std::uint64_t ops = 0;
+    std::uint64_t words = 0;
+    std::uint64_t bits = 0;
+  };
+
+  [[nodiscard]] double combined_mean(std::uint64_t Bucket::*field)
+      const noexcept {
+    const auto& n = buckets_[0];
+    const auto& p = buckets_[1];
+    const std::uint64_t ops = n.ops + p.ops;
+    return ops == 0 ? 0.0
+                    : static_cast<double>(n.*field + p.*field) /
+                          static_cast<double>(ops);
+  }
+
+  [[nodiscard]] double update_mean(std::uint64_t Bucket::*field)
+      const noexcept {
+    const auto& i = buckets_[2];
+    const auto& d = buckets_[3];
+    const std::uint64_t ops = i.ops + d.ops;
+    return ops == 0 ? 0.0
+                    : static_cast<double>(i.*field + d.*field) /
+                          static_cast<double>(ops);
+  }
+
+  std::array<Bucket, 4> buckets_{};
+};
+
+}  // namespace mpcbf::metrics

@@ -1,0 +1,52 @@
+// Numeric building blocks for the analytic model: log-space binomial and
+// Poisson distributions and stable expectations over them.
+//
+// The paper's false-positive formulas (eqs. 2-5, 8-9) are expectations of
+// the form E_j[phi(j)] with j ~ Binomial(n, 1/l) for n up to 10^5 and l up
+// to ~10^6; naive binomial coefficients overflow long before that, so all
+// pmf evaluation happens in log space via lgamma, and expectations iterate
+// outward from the distribution mode with early termination once terms stop
+// mattering.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace mpcbf::model {
+
+/// ln C(n, j). Requires 0 <= j <= n.
+[[nodiscard]] double log_binomial_coefficient(std::uint64_t n,
+                                              std::uint64_t j);
+
+/// Binomial(n, p) pmf at j, computed in log space.
+[[nodiscard]] double binomial_pmf(std::uint64_t n, double p, std::uint64_t j);
+
+/// P[Binomial(n, p) >= j] (survival function), exact log-space summation.
+[[nodiscard]] double binomial_sf(std::uint64_t n, double p, std::uint64_t j);
+
+/// Poisson(lambda) pmf at j.
+[[nodiscard]] double poisson_pmf(double lambda, std::uint64_t j);
+
+/// P[Poisson(lambda) <= j].
+[[nodiscard]] double poisson_cdf(double lambda, std::uint64_t j);
+
+/// P[Poisson(lambda) >= j].
+[[nodiscard]] double poisson_sf(double lambda, std::uint64_t j);
+
+/// Inverse Poisson CDF: the smallest x with P[Poisson(lambda) <= x] >= p.
+/// This is the paper's PoissInv(p, lambda) used by the n_max heuristic
+/// (eq. 11).
+[[nodiscard]] std::uint64_t poisson_inv(double p, double lambda);
+
+/// E[phi(J)] for J ~ Binomial(n, p). phi must be bounded in [0, 1] (all our
+/// integrands are probabilities). Iterates outward from the mode and stops
+/// once the remaining probability mass cannot change the result at double
+/// precision.
+[[nodiscard]] double expect_binomial(std::uint64_t n, double p,
+                                     const std::function<double(std::uint64_t)>& phi);
+
+/// E[phi(J)] for J ~ Poisson(lambda), same contract as expect_binomial.
+[[nodiscard]] double expect_poisson(double lambda,
+                                    const std::function<double(std::uint64_t)>& phi);
+
+}  // namespace mpcbf::model

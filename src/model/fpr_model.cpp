@@ -1,0 +1,130 @@
+#include "model/fpr_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "model/combinatorics.hpp"
+
+namespace mpcbf::model {
+namespace {
+
+/// (1 - (1 - 1/b)^{j*kw})^{kw} — the conditional false positive probability
+/// for one word holding j element-mappings of kw hashes each over b slots.
+double word_conditional_fpr(std::uint64_t j, double b, double kw) {
+  if (j == 0) return 0.0;
+  if (b <= 1.0) return 1.0;
+  const double miss = std::exp(static_cast<double>(j) * kw *
+                               std::log1p(-1.0 / b));
+  return std::pow(1.0 - miss, kw);
+}
+
+}  // namespace
+
+double fpr_bloom(std::uint64_t n, std::uint64_t m, unsigned k) {
+  if (m == 0) return 1.0;
+  if (n == 0 || k == 0) return 0.0;
+  const double fill = 1.0 - std::exp(static_cast<double>(k) *
+                                     static_cast<double>(n) *
+                                     std::log1p(-1.0 / static_cast<double>(m)));
+  return std::pow(fill, static_cast<double>(k));
+}
+
+unsigned optimal_k_bloom(std::uint64_t n, std::uint64_t m) {
+  if (n == 0) return 1;
+  unsigned best_k = 1;
+  double best_f = fpr_bloom(n, m, 1);
+  for (unsigned k = 2; k <= 64; ++k) {
+    const double f = fpr_bloom(n, m, k);
+    if (f < best_f) {
+      best_f = f;
+      best_k = k;
+    }
+  }
+  return best_k;
+}
+
+double fpr_pcbf1(std::uint64_t n, std::uint64_t l,
+                 unsigned counters_per_word, unsigned k) {
+  if (l == 0) return 1.0;
+  const double b = counters_per_word;
+  const double kw = k;
+  return expect_binomial(n, 1.0 / static_cast<double>(l),
+                         [&](std::uint64_t j) {
+                           return word_conditional_fpr(j, b, kw);
+                         });
+}
+
+double fpr_pcbf_g(std::uint64_t n, std::uint64_t l,
+                  unsigned counters_per_word, unsigned k, unsigned g) {
+  if (g == 0) return 1.0;
+  if (g == 1) return fpr_pcbf1(n, l, counters_per_word, k);
+  if (l == 0) return 1.0;
+  const double b = counters_per_word;
+  const double kw = static_cast<double>(k) / static_cast<double>(g);
+  const double per_word =
+      expect_binomial(g * n, 1.0 / static_cast<double>(l),
+                      [&](std::uint64_t j) {
+                        return word_conditional_fpr(j, b, kw);
+                      });
+  return std::pow(per_word, static_cast<double>(g));
+}
+
+double fpr_mpcbf1(std::uint64_t n, std::uint64_t l, unsigned b1, unsigned k) {
+  if (l == 0 || b1 == 0) return 1.0;
+  const double b = b1;
+  const double kw = k;
+  return expect_binomial(n, 1.0 / static_cast<double>(l),
+                         [&](std::uint64_t j) {
+                           return word_conditional_fpr(j, b, kw);
+                         });
+}
+
+double fpr_mpcbf_g(std::uint64_t n, std::uint64_t l, unsigned b1, unsigned k,
+                   unsigned g) {
+  if (g == 0) return 1.0;
+  if (g == 1) return fpr_mpcbf1(n, l, b1, k);
+  if (l == 0 || b1 == 0) return 1.0;
+  const double b = b1;
+  const double kw = static_cast<double>(k) / static_cast<double>(g);
+  const double per_word =
+      expect_binomial(g * n, 1.0 / static_cast<double>(l),
+                      [&](std::uint64_t j) {
+                        return word_conditional_fpr(j, b, kw);
+                      });
+  return std::pow(per_word, static_cast<double>(g));
+}
+
+double fpr_blocked_bloom(std::uint64_t n, std::uint64_t l,
+                         unsigned word_bits, unsigned k, unsigned g) {
+  return fpr_mpcbf_g(n, l, word_bits, k, g);
+}
+
+unsigned b1_improved(unsigned w, unsigned k, unsigned g, unsigned n_max) {
+  const unsigned per_word_hashes = (k + g - 1) / g;
+  const unsigned reserve = per_word_hashes * n_max;
+  return reserve >= w ? 0 : w - reserve;
+}
+
+unsigned n_max_heuristic(std::uint64_t n, std::uint64_t l, unsigned g) {
+  if (l == 0) return 0;
+  const double lambda = static_cast<double>(g) * static_cast<double>(n) /
+                        static_cast<double>(l);
+  const double p = 1.0 - 1.0 / static_cast<double>(l);
+  return static_cast<unsigned>(poisson_inv(p, lambda));
+}
+
+unsigned b1_average(unsigned w, unsigned k, std::uint64_t n, std::uint64_t l) {
+  if (l == 0) return 0;
+  const double reserve = static_cast<double>(k) * static_cast<double>(n) /
+                         static_cast<double>(l);
+  const double b1 = static_cast<double>(w) - reserve;
+  return b1 <= 0.0 ? 0 : static_cast<unsigned>(b1);
+}
+
+double efficiency_ratio_lower_bound(unsigned w, unsigned k, unsigned n_max) {
+  if (n_max == 0) return 0.0;
+  return static_cast<double>(w) / static_cast<double>(n_max) -
+         static_cast<double>(k);
+}
+
+}  // namespace mpcbf::model

@@ -1,0 +1,91 @@
+// Closed-form false-positive-rate models — equations (1)-(5) and (8)-(9)
+// of the paper, plus the configuration helpers shared with the filters.
+//
+// Conventions (matching Sec. III):
+//   M  total memory in bits ("memory consumption")
+//   n  number of stored elements
+//   k  total hash functions per element
+//   g  memory accesses (words an element maps to); g=1 unless stated
+//   w  word width in bits
+//   l  number of words, l = M / w
+//   b1 first-level sub-vector size of an HCBF word
+//   counters per word of a PCBF word = w / 4 (4-bit counters)
+#pragma once
+
+#include <cstdint>
+
+namespace mpcbf::model {
+
+/// Eq. (1): standard Bloom/CBF false positive rate
+/// f = (1 - (1 - 1/m)^{kn})^k, with m slots (bits for BF, counters for CBF).
+[[nodiscard]] double fpr_bloom(std::uint64_t n, std::uint64_t m, unsigned k);
+
+/// Optimal k for eq. (1): (m/n) ln 2, evaluated over the integer
+/// neighbourhood. Returns the k minimizing f.
+[[nodiscard]] unsigned optimal_k_bloom(std::uint64_t n, std::uint64_t m);
+
+/// Eq. (2): PCBF-1 — one word of `counters_per_word` counters holds
+/// j ~ Binomial(n, 1/l) elements, each setting k counters:
+/// f = E_j[(1 - (1 - 1/cpw)^{jk})^k].
+[[nodiscard]] double fpr_pcbf1(std::uint64_t n, std::uint64_t l,
+                               unsigned counters_per_word, unsigned k);
+
+/// Eq. (3): PCBF-g — each element selects g words, k/g hashes each:
+/// f = (E_{j~Binomial(gn,1/l)}[(1 - (1 - 1/cpw)^{jk/g})^{k/g}])^g.
+/// k/g is treated as a real number, as in the paper's analysis.
+[[nodiscard]] double fpr_pcbf_g(std::uint64_t n, std::uint64_t l,
+                                unsigned counters_per_word, unsigned k,
+                                unsigned g);
+
+/// Eqs. (4)/(5): MPCBF-1 with first-level size b1:
+/// f = E_{j~Binomial(n,1/l)}[(1 - (1 - 1/b1)^{jk})^k].
+[[nodiscard]] double fpr_mpcbf1(std::uint64_t n, std::uint64_t l, unsigned b1,
+                                unsigned k);
+
+/// Eqs. (8)/(9): MPCBF-g:
+/// f = (E_{j~Binomial(gn,1/l)}[(1 - (1 - 1/b1)^{jk/g})^{k/g}])^g.
+[[nodiscard]] double fpr_mpcbf_g(std::uint64_t n, std::uint64_t l, unsigned b1,
+                                 unsigned k, unsigned g);
+
+/// Blocked Bloom filter BF-1/BF-g (Qiao et al., the paper's ref. [11]):
+/// the PCBF formula with w *bits* per word instead of w/4 counters —
+/// structurally identical to fpr_mpcbf_g with b1 = w.
+[[nodiscard]] double fpr_blocked_bloom(std::uint64_t n, std::uint64_t l,
+                                       unsigned word_bits, unsigned k,
+                                       unsigned g);
+
+/// Hashes assigned to one of the g words: ⌈k/g⌉ for the first g-1 words,
+/// the remainder for the last (Sec. III-C). Inline constexpr: this sits on
+/// every filter's per-operation hot path.
+[[nodiscard]] constexpr unsigned hashes_per_word(unsigned k, unsigned g,
+                                                 unsigned word_index) {
+  if (g == 0) return 0;
+  const unsigned base = (k + g - 1) / g;  // ⌈k/g⌉
+  if (word_index + 1 < g) return base;
+  const unsigned assigned = base * (g - 1);
+  return k > assigned ? k - assigned : 0;
+}
+
+/// Improved-HCBF first-level size (Sec. III-B.3): b1 = w - ⌈k/g⌉ * n_max.
+/// Returns 0 when the configuration leaves no membership bits.
+[[nodiscard]] unsigned b1_improved(unsigned w, unsigned k, unsigned g,
+                                   unsigned n_max);
+
+/// Eq. (11) heuristic: n_max = PoissInv(1 - 1/l, g*n/l) — the per-word
+/// element capacity such that no word overflows with probability ~1 - 1/l
+/// per word.
+[[nodiscard]] unsigned n_max_heuristic(std::uint64_t n, std::uint64_t l,
+                                       unsigned g);
+
+/// "Average" first-level size used for the f^avg curves (Fig. 5): each
+/// word holds n/l elements on average, so b1 = w - k*n/l (real-valued,
+/// floored; clamped at 0).
+[[nodiscard]] unsigned b1_average(unsigned w, unsigned k, std::uint64_t n,
+                                  std::uint64_t l);
+
+/// Lower bound on the efficiency ratio m/n of MPCBF-1 (eq. 7):
+/// m/n >= w/n_max - k (in counter units; w, k, n_max as above).
+[[nodiscard]] double efficiency_ratio_lower_bound(unsigned w, unsigned k,
+                                                  unsigned n_max);
+
+}  // namespace mpcbf::model

@@ -1,0 +1,45 @@
+#include "model/occupancy.hpp"
+
+#include <cmath>
+
+#include "model/combinatorics.hpp"
+
+namespace mpcbf::model {
+
+double word_load_pmf(std::uint64_t n, std::uint64_t l, unsigned g,
+                     std::uint64_t j) {
+  if (l == 0) return 0.0;
+  return binomial_pmf(static_cast<std::uint64_t>(g) * n,
+                      1.0 / static_cast<double>(l), j);
+}
+
+double expected_hierarchy_bits_per_word(std::uint64_t n, std::uint64_t l,
+                                        unsigned k) {
+  if (l == 0) return 0.0;
+  return static_cast<double>(k) * static_cast<double>(n) /
+         static_cast<double>(l);
+}
+
+double counter_value_pmf(std::uint64_t n, std::uint64_t l, unsigned k,
+                         unsigned b1, std::uint64_t c) {
+  if (l == 0 || b1 == 0) return 0.0;
+  return expect_binomial(
+      n, 1.0 / static_cast<double>(l), [&](std::uint64_t j) {
+        return binomial_pmf(j * k, 1.0 / static_cast<double>(b1), c);
+      });
+}
+
+double expected_stashed_elements(std::uint64_t n, std::uint64_t l,
+                                 unsigned g, unsigned n_max) {
+  if (l == 0) return static_cast<double>(n);
+  // An element overflows if any of its g words already holds >= n_max
+  // elements; union-bound each word by the stationary load tail.
+  const double p_word_full =
+      binomial_sf(static_cast<std::uint64_t>(g) * n,
+                  1.0 / static_cast<double>(l), n_max);
+  const double p_overflow =
+      1.0 - std::pow(1.0 - p_word_full, static_cast<double>(g));
+  return static_cast<double>(n) * p_overflow;
+}
+
+}  // namespace mpcbf::model

@@ -1,0 +1,41 @@
+// Occupancy models for the HCBF word: the distributions behind the
+// capacity discussion of Sec. III-B.4 — how many elements land in a word,
+// how deep individual counters grow, and how much hierarchy storage a
+// configuration really uses. These close the loop between the design
+// formulas (b1 = w − k·n_max) and what a built filter measurably contains;
+// tests validate them against live filters.
+#pragma once
+
+#include <cstdint>
+
+namespace mpcbf::model {
+
+/// P[a given word receives exactly j element-mappings] for MPCBF-g:
+/// Binomial(g·n, 1/l), evaluated exactly.
+[[nodiscard]] double word_load_pmf(std::uint64_t n, std::uint64_t l,
+                                   unsigned g, std::uint64_t j);
+
+/// Expected hierarchy bits per word: every insert spends exactly one
+/// hierarchy bit per hash, so E = k·n/l regardless of collisions.
+[[nodiscard]] double expected_hierarchy_bits_per_word(std::uint64_t n,
+                                                      std::uint64_t l,
+                                                      unsigned k);
+
+/// P[the counter at a given level-1 position has value c]. A position's
+/// increments cluster by word — its word holds J ~ Binomial(n, 1/l)
+/// elements, each throwing k increments over the b1 positions — so the
+/// exact law is the mixture E_J[Binomial(J·k, 1/b1) at c], which is
+/// overdispersed relative to the naive thinned Poisson (visibly so at
+/// c >= 2; the tests check this).
+[[nodiscard]] double counter_value_pmf(std::uint64_t n, std::uint64_t l,
+                                       unsigned k, unsigned b1,
+                                       std::uint64_t c);
+
+/// Expected number of elements whose insert overflows its word (and so
+/// lands in the stash under OverflowPolicy::kStash): n · P[an arriving
+/// element finds its word at capacity], estimated via the load tail.
+[[nodiscard]] double expected_stashed_elements(std::uint64_t n,
+                                               std::uint64_t l, unsigned g,
+                                               unsigned n_max);
+
+}  // namespace mpcbf::model

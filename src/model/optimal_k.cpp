@@ -1,0 +1,39 @@
+#include "model/optimal_k.hpp"
+
+#include "model/fpr_model.hpp"
+
+namespace mpcbf::model {
+
+OptimalK optimal_k_cbf(std::uint64_t memory_bits, std::uint64_t n) {
+  const std::uint64_t m = memory_bits / 4;  // 4-bit counters
+  OptimalK best;
+  for (unsigned k = 1; k <= 64; ++k) {
+    const double f = fpr_bloom(n, m, k);
+    if (best.k == 0 || f < best.fpr) {
+      best.k = k;
+      best.fpr = f;
+    }
+  }
+  return best;
+}
+
+OptimalK optimal_k_mpcbf(std::uint64_t memory_bits, unsigned w,
+                         std::uint64_t n, unsigned g, unsigned k_limit) {
+  const std::uint64_t l = memory_bits / w;
+  const unsigned n_max = n_max_heuristic(n, l, g);
+  OptimalK best;
+  for (unsigned k = g; k <= k_limit; ++k) {
+    const unsigned b1 = b1_improved(w, k, g, n_max);
+    if (b1 == 0) continue;
+    const double f = fpr_mpcbf_g(n, l, b1, k, g);
+    if (best.k == 0 || f < best.fpr) {
+      best.k = k;
+      best.fpr = f;
+      best.b1 = b1;
+      best.n_max = n_max;
+    }
+  }
+  return best;
+}
+
+}  // namespace mpcbf::model

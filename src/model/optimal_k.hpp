@@ -1,0 +1,34 @@
+// Brute-force optimal-k search (Sec. IV-C, Fig. 9/10).
+//
+// For CBF the optimum is the classic (m/n)·ln2; for MPCBF-g the paper notes
+// optimizing eq. (8) analytically is hard and uses exhaustive search over
+// the (small, discrete) k range — we do the same. For each candidate k the
+// configuration is re-derived end to end: n_max from the PoissInv heuristic
+// (which does not depend on k), b1 = w − ⌈k/g⌉·n_max, then the average FPR
+// from eq. (8) with that b1.
+#pragma once
+
+#include <cstdint>
+
+namespace mpcbf::model {
+
+struct OptimalK {
+  unsigned k = 0;
+  double fpr = 1.0;
+  unsigned b1 = 0;     ///< 0 for CBF (not applicable)
+  unsigned n_max = 0;  ///< 0 for CBF
+};
+
+/// Optimal k for a standard CBF of `memory_bits` total (4-bit counters,
+/// so m = memory_bits/4 counters) holding n elements.
+[[nodiscard]] OptimalK optimal_k_cbf(std::uint64_t memory_bits,
+                                     std::uint64_t n);
+
+/// Optimal k for MPCBF-g with word width w over the same memory. Searches
+/// k in [g, k_limit]; configurations whose b1 collapses to zero are
+/// skipped.
+[[nodiscard]] OptimalK optimal_k_mpcbf(std::uint64_t memory_bits, unsigned w,
+                                       std::uint64_t n, unsigned g,
+                                       unsigned k_limit = 32);
+
+}  // namespace mpcbf::model

@@ -1,0 +1,40 @@
+#include "model/overflow_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "model/combinatorics.hpp"
+
+namespace mpcbf::model {
+
+double overflow_bound(std::uint64_t n, std::uint64_t l, unsigned n_max) {
+  return overflow_bound_g(n, l, 1, n_max);
+}
+
+double overflow_bound_g(std::uint64_t n, std::uint64_t l, unsigned g,
+                        unsigned n_max) {
+  if (n_max == 0) return 1.0;
+  if (l == 0) return 1.0;
+  const double ratio = std::numbers::e * static_cast<double>(g) *
+                       static_cast<double>(n) /
+                       (static_cast<double>(n_max) * static_cast<double>(l));
+  // Work in log space: ratio^{n_max} underflows double for large n_max.
+  const double lp = static_cast<double>(n_max) * std::log(ratio);
+  if (lp >= 0.0) return 1.0;
+  return std::exp(lp);
+}
+
+double overflow_exact(std::uint64_t n, std::uint64_t l, unsigned g,
+                      unsigned n_max) {
+  if (l == 0) return 1.0;
+  const std::uint64_t mappings = static_cast<std::uint64_t>(g) * n;
+  return binomial_sf(mappings, 1.0 / static_cast<double>(l), n_max + 1);
+}
+
+double overflow_any_word(std::uint64_t n, std::uint64_t l, unsigned g,
+                         unsigned n_max) {
+  return std::min(1.0, static_cast<double>(l) * overflow_exact(n, l, g, n_max));
+}
+
+}  // namespace mpcbf::model

@@ -1,0 +1,35 @@
+// Word-overflow probability models — eqs. (6) and (10) and exact tails.
+//
+// An HCBF word of width w with first-level size b1 = w - ⌈k/g⌉·n_max can
+// absorb at most n_max element-mappings; overflow means more than n_max
+// elements hash into one word. The paper bounds this with the classic
+// balls-in-bins Chernoff-style bound (en/(n_max·l))^{n_max}; we also expose
+// the exact binomial tail and the union bound over all l words so Fig. 6
+// can be plotted from either.
+#pragma once
+
+#include <cstdint>
+
+namespace mpcbf::model {
+
+/// Eq. (6) upper bound on P[one given word receives >= n_max elements]:
+/// C(n, n_max) (1/l)^{n_max} <= (e*n / (n_max*l))^{n_max}.
+[[nodiscard]] double overflow_bound(std::uint64_t n, std::uint64_t l,
+                                    unsigned n_max);
+
+/// Eq. (10): the same bound for MPCBF-g (g*n mappings thrown at l words):
+/// (e*g*n / (n_max'*l))^{n_max'}.
+[[nodiscard]] double overflow_bound_g(std::uint64_t n, std::uint64_t l,
+                                      unsigned g, unsigned n_max);
+
+/// Exact P[Binomial(n_mappings, 1/l) > n_max] for one word, where
+/// n_mappings = g*n. (Strictly more than n_max elements overflow the word;
+/// exactly n_max still fit.)
+[[nodiscard]] double overflow_exact(std::uint64_t n, std::uint64_t l,
+                                    unsigned g, unsigned n_max);
+
+/// Union bound over all l words: l * overflow_exact (capped at 1).
+[[nodiscard]] double overflow_any_word(std::uint64_t n, std::uint64_t l,
+                                       unsigned g, unsigned n_max);
+
+}  // namespace mpcbf::model

@@ -1,0 +1,97 @@
+#include "model/planner.hpp"
+
+#include <stdexcept>
+
+#include "model/fpr_model.hpp"
+#include "model/optimal_k.hpp"
+#include "model/overflow_model.hpp"
+
+namespace mpcbf::model {
+namespace {
+
+/// Smallest memory in [lo, hi] (bits, word-granular) whose best
+/// achievable FPR under `evaluate` meets the target; 0 if even hi fails.
+template <typename Evaluate>
+std::size_t search_memory(std::size_t lo, std::size_t hi, unsigned word_bits,
+                          double target, const Evaluate& evaluate) {
+  if (evaluate(hi) > target) return 0;
+  while (lo < hi) {
+    // Word-granular midpoint to keep configurations realizable.
+    std::size_t mid = lo + (hi - lo) / 2;
+    mid -= mid % word_bits;
+    if (mid <= lo) mid = lo + word_bits;
+    if (mid >= hi) {
+      break;
+    }
+    if (evaluate(mid) <= target) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace
+
+FilterPlan plan_mpcbf(const PlanRequirements& req) {
+  if (req.expected_n == 0) {
+    throw std::invalid_argument("plan_mpcbf: expected_n required");
+  }
+  if (req.max_accesses == 0) {
+    throw std::invalid_argument("plan_mpcbf: need max_accesses >= 1");
+  }
+  FilterPlan best;
+  const std::size_t floor_bits =
+      std::max<std::size_t>(req.word_bits, req.expected_n);  // >= 1 bit/elt
+  for (unsigned g = 1; g <= req.max_accesses; ++g) {
+    const auto fpr_at = [&](std::size_t memory) {
+      return optimal_k_mpcbf(memory, req.word_bits, req.expected_n, g).fpr;
+    };
+    const std::size_t memory = search_memory(
+        floor_bits, req.max_memory_bits, req.word_bits, req.target_fpr,
+        fpr_at);
+    if (memory == 0) continue;
+    const OptimalK opt =
+        optimal_k_mpcbf(memory, req.word_bits, req.expected_n, g);
+    if (opt.k == 0) continue;
+    if (!best.feasible || memory < best.memory_bits) {
+      best.feasible = true;
+      best.memory_bits = memory;
+      best.k = opt.k;
+      best.g = g;
+      best.n_max = opt.n_max;
+      best.b1 = opt.b1;
+      best.predicted_fpr = opt.fpr;
+      best.expected_overflowing_words =
+          static_cast<double>(memory / req.word_bits) *
+          overflow_exact(req.expected_n, memory / req.word_bits, g,
+                         opt.n_max);
+    }
+  }
+  return best;
+}
+
+FilterPlan plan_cbf(const PlanRequirements& req) {
+  if (req.expected_n == 0) {
+    throw std::invalid_argument("plan_cbf: expected_n required");
+  }
+  const auto fpr_at = [&](std::size_t memory) {
+    return optimal_k_cbf(memory, req.expected_n).fpr;
+  };
+  FilterPlan plan;
+  const std::size_t floor_bits =
+      std::max<std::size_t>(64, req.expected_n);
+  const std::size_t memory = search_memory(
+      floor_bits, req.max_memory_bits, 64, req.target_fpr, fpr_at);
+  if (memory == 0) return plan;
+  const OptimalK opt = optimal_k_cbf(memory, req.expected_n);
+  plan.feasible = true;
+  plan.memory_bits = memory;
+  plan.k = opt.k;
+  plan.g = opt.k;  // CBF touches ~k words per update
+  plan.predicted_fpr = opt.fpr;
+  return plan;
+}
+
+}  // namespace mpcbf::model

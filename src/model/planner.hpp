@@ -1,0 +1,53 @@
+// Configuration planner — turns Sec. III-B.4's design discussion ("by
+// choosing correctly the parameters w, n_max, and m/n, one can design
+// MPCBF-1 so that it has a bounded false positive rate as well as an
+// acceptable overflow probability") into an executable tool.
+//
+// Given a target FPR, an expected cardinality, and an access budget g,
+// plan_mpcbf() searches memory sizes and hash counts (via the optimal-k
+// search and the eq.-(11) capacity heuristic) for the cheapest feasible
+// configuration; plan_cbf() answers the same question for the baseline so
+// the memory cost of CBF's extra accesses is directly comparable.
+#pragma once
+
+#include <cstdint>
+
+namespace mpcbf::model {
+
+struct PlanRequirements {
+  std::size_t expected_n = 0;
+  double target_fpr = 1e-3;
+  /// Memory accesses allowed per query (the g budget); the planner may
+  /// choose any g in [1, max_accesses].
+  unsigned max_accesses = 1;
+  unsigned word_bits = 64;
+  /// Search ceiling; a plan needing more memory is reported infeasible.
+  std::size_t max_memory_bits = 1ull << 33;  // 1 GiB
+};
+
+struct FilterPlan {
+  bool feasible = false;
+  std::size_t memory_bits = 0;
+  unsigned k = 0;
+  unsigned g = 0;       ///< accesses per query (CBF plans report k here)
+  unsigned n_max = 0;   ///< 0 for CBF
+  unsigned b1 = 0;      ///< 0 for CBF
+  double predicted_fpr = 1.0;
+  /// Expected number of overflowing words (union-bound estimate); the
+  /// eq.-(11) heuristic keeps this O(1).
+  double expected_overflowing_words = 0.0;
+  /// Bits per stored element at the planned size.
+  [[nodiscard]] double bits_per_element(std::size_t n) const {
+    return n == 0 ? 0.0
+                  : static_cast<double>(memory_bits) /
+                        static_cast<double>(n);
+  }
+};
+
+/// Cheapest MPCBF-g (g <= max_accesses) meeting the target FPR.
+[[nodiscard]] FilterPlan plan_mpcbf(const PlanRequirements& req);
+
+/// Cheapest standard CBF (4-bit counters, optimal k) meeting the target.
+[[nodiscard]] FilterPlan plan_cbf(const PlanRequirements& req);
+
+}  // namespace mpcbf::model

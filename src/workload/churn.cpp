@@ -1,0 +1,5 @@
+#include "workload/churn.hpp"
+
+// run_churn_round is a template; this translation unit anchors the header
+// in the library build.
+namespace mpcbf::workload {}

@@ -1,0 +1,68 @@
+// Update-period driver — the paper's churn protocol (Sec. IV-A): each
+// period deletes a batch of random live elements from the filter and
+// inserts the same number of fresh ones, keeping the live cardinality
+// constant while exercising the delete path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace mpcbf::workload {
+
+struct ChurnStats {
+  std::size_t deletes = 0;
+  std::size_t inserts = 0;
+  std::size_t failed_inserts = 0;  ///< rejected by overflow policy
+  std::size_t failed_deletes = 0;
+};
+
+/// Removes `batch` random elements of `live` from `filter` and inserts
+/// `batch` replacements taken from `replacements` (consumed from
+/// `replacement_cursor` onward). `live` is updated in place to remain the
+/// ground-truth membership list.
+///
+/// Works with any filter exposing bool-or-void insert(string_view) and
+/// erase(string_view).
+template <typename Filter>
+ChurnStats run_churn_round(Filter& filter, std::vector<std::string>& live,
+                           const std::vector<std::string>& replacements,
+                           std::size_t& replacement_cursor, std::size_t batch,
+                           util::Xoshiro256& rng) {
+  ChurnStats stats;
+  for (std::size_t i = 0; i < batch && !live.empty(); ++i) {
+    const std::size_t victim = rng.bounded(live.size());
+    bool ok = true;
+    if constexpr (std::is_void_v<decltype(filter.erase(live[victim]))>) {
+      filter.erase(live[victim]);
+    } else {
+      ok = filter.erase(live[victim]);
+    }
+    if (!ok) ++stats.failed_deletes;
+    ++stats.deletes;
+    live[victim] = std::move(live.back());
+    live.pop_back();
+  }
+  for (std::size_t i = 0;
+       i < batch && replacement_cursor < replacements.size(); ++i) {
+    const std::string& fresh = replacements[replacement_cursor++];
+    bool ok = true;
+    if constexpr (std::is_void_v<decltype(filter.insert(fresh))>) {
+      filter.insert(fresh);
+    } else {
+      ok = filter.insert(fresh);
+    }
+    if (!ok) {
+      ++stats.failed_inserts;
+    }
+    // Ground truth tracks what we *attempted* to keep live; a rejected
+    // insert is excluded so FPR measurement stays exact.
+    if (ok) live.push_back(fresh);
+    ++stats.inserts;
+  }
+  return stats;
+}
+
+}  // namespace mpcbf::workload

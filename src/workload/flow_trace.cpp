@@ -1,0 +1,78 @@
+#include "workload/flow_trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/rng.hpp"
+
+namespace mpcbf::workload {
+
+FlowTrace FlowTrace::generate(const FlowTraceConfig& cfg) {
+  if (cfg.unique_flows == 0 || cfg.total_packets < cfg.unique_flows) {
+    throw std::invalid_argument(
+        "FlowTrace: need total_packets >= unique_flows >= 1");
+  }
+  util::Xoshiro256 rng(cfg.seed);
+  FlowTrace trace;
+
+  // Distinct random flow keys (src<<32 | dst). Collisions at these sizes
+  // are rare but handled.
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(cfg.unique_flows * 2);
+  trace.unique_.reserve(cfg.unique_flows);
+  while (trace.unique_.size() < cfg.unique_flows) {
+    const std::uint64_t flow = rng.next();
+    if (seen.insert(flow).second) {
+      trace.unique_.push_back(flow);
+    }
+  }
+
+  // Zipf(s) popularity over flow ranks: cumulative table + binary search
+  // per draw. Rank 0 is the most popular flow.
+  std::vector<double> cdf(cfg.unique_flows);
+  double total = 0.0;
+  for (std::uint64_t r = 0; r < cfg.unique_flows; ++r) {
+    total += std::pow(static_cast<double>(r + 1), -cfg.zipf_s);
+    cdf[r] = total;
+  }
+  for (auto& c : cdf) c /= total;
+
+  trace.packets_.reserve(cfg.total_packets);
+  // Every flow appears at least once so the unique count is exact.
+  for (const std::uint64_t flow : trace.unique_) {
+    trace.packets_.push_back(flow);
+  }
+  const std::uint64_t remaining = cfg.total_packets - cfg.unique_flows;
+  for (std::uint64_t i = 0; i < remaining; ++i) {
+    const double u = rng.uniform01();
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    const auto rank = static_cast<std::size_t>(it - cdf.begin());
+    trace.packets_.push_back(trace.unique_[std::min(
+        rank, trace.unique_.size() - 1)]);
+  }
+
+  // Interleave repeats with first occurrences as a real trace would.
+  std::shuffle(trace.packets_.begin(), trace.packets_.end(), rng);
+  return trace;
+}
+
+double FlowTrace::head_fraction(std::size_t top) const {
+  if (packets_.empty()) return 0.0;
+  std::unordered_map<std::uint64_t, std::uint64_t> counts;
+  counts.reserve(unique_.size() * 2);
+  for (const auto p : packets_) ++counts[p];
+  std::vector<std::uint64_t> sizes;
+  sizes.reserve(counts.size());
+  for (const auto& [flow, c] : counts) sizes.push_back(c);
+  std::sort(sizes.begin(), sizes.end(), std::greater<>());
+  std::uint64_t head = 0;
+  for (std::size_t i = 0; i < std::min(top, sizes.size()); ++i) {
+    head += sizes[i];
+  }
+  return static_cast<double>(head) / static_cast<double>(packets_.size());
+}
+
+}  // namespace mpcbf::workload

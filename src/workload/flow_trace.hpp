@@ -1,0 +1,66 @@
+// Synthetic IPv4 flow trace — the stand-in for the CAIDA Equinix-Chicago
+// 2011 traces of Sec. IV-D (see DESIGN.md §4 for the substitution
+// rationale).
+//
+// The paper's trace has 5,585,633 packets over 292,363 unique 2-tuple
+// (srcIP, dstIP) flows. What the filters actually observe is a stream of
+// 8-byte flow keys with a heavy-tailed popularity profile; we reproduce
+// that with a Zipf(s) flow-size distribution over uniformly random flow
+// keys, guaranteeing the unique-flow count exactly (every flow appears at
+// least once). Scale defaults to 1/8 of the paper for CI speed; the
+// benches expose --full for paper-sized runs.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace mpcbf::workload {
+
+struct FlowTraceConfig {
+  std::uint64_t total_packets = 5'585'633 / 8;
+  std::uint64_t unique_flows = 292'363 / 8;
+  /// Zipf exponent of the flow-size distribution; ~1 matches the
+  /// heavy-tailed shape of backbone traces.
+  double zipf_s = 1.02;
+  std::uint64_t seed = 0xCA1DA;
+
+  [[nodiscard]] static FlowTraceConfig paper_scale() {
+    return FlowTraceConfig{5'585'633, 292'363, 1.02, 0xCA1DA};
+  }
+};
+
+/// A generated trace. Flow keys are 64-bit (srcIP << 32 | dstIP) values;
+/// key_view() exposes the 8 raw bytes as the string_view the filters hash.
+class FlowTrace {
+ public:
+  [[nodiscard]] static FlowTrace generate(const FlowTraceConfig& cfg);
+
+  [[nodiscard]] const std::vector<std::uint64_t>& packets() const noexcept {
+    return packets_;
+  }
+  [[nodiscard]] const std::vector<std::uint64_t>& unique_flows()
+      const noexcept {
+    return unique_;
+  }
+
+  /// The 8-byte key of packet i, viewing the stored integer in place.
+  [[nodiscard]] std::string_view packet_key(std::size_t i) const noexcept {
+    return key_view(packets_[i]);
+  }
+
+  [[nodiscard]] static std::string_view key_view(
+      const std::uint64_t& flow) noexcept {
+    return {reinterpret_cast<const char*>(&flow), sizeof(flow)};
+  }
+
+  /// Top-heavy sanity metric for tests: fraction of packets carried by the
+  /// most popular `top` flows.
+  [[nodiscard]] double head_fraction(std::size_t top) const;
+
+ private:
+  std::vector<std::uint64_t> packets_;
+  std::vector<std::uint64_t> unique_;
+};
+
+}  // namespace mpcbf::workload

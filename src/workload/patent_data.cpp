@@ -1,0 +1,66 @@
+#include "workload/patent_data.hpp"
+
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace mpcbf::workload {
+namespace {
+
+// NBER patent ids are 7-digit numbers; keep primary keys and miss keys in
+// disjoint ranges so the ground truth is exact without a lookup table.
+constexpr std::uint64_t kPrimaryBase = 3'000'000;
+constexpr std::uint64_t kMissBase = 8'000'000;
+constexpr std::uint64_t kMissRange = 1'000'000;
+
+std::string patent_id(std::uint64_t n) { return std::to_string(n); }
+
+}  // namespace
+
+PatentData PatentData::generate(const PatentDataConfig& cfg) {
+  if (cfg.num_patents == 0) {
+    throw std::invalid_argument("PatentData: need at least one patent");
+  }
+  if (cfg.hit_fraction < 0.0 || cfg.hit_fraction > 1.0) {
+    throw std::invalid_argument("PatentData: hit_fraction out of [0,1]");
+  }
+  util::Xoshiro256 rng(cfg.seed);
+  PatentData data;
+
+  data.patents.reserve(cfg.num_patents);
+  for (std::uint64_t i = 0; i < cfg.num_patents; ++i) {
+    PatentRecord rec;
+    rec.id = patent_id(kPrimaryBase + i);
+    // Synthetic attributes in the spirit of pat63_99.txt columns:
+    // grant year, country, number of claims.
+    rec.attrs = std::to_string(1963 + rng.bounded(37)) + ",US," +
+                std::to_string(1 + rng.bounded(40));
+    data.patents.push_back(std::move(rec));
+  }
+
+  data.citations.reserve(cfg.num_citations);
+  data.citation_hits.reserve(cfg.num_citations);
+  for (std::uint64_t i = 0; i < cfg.num_citations; ++i) {
+    CitationRecord rec;
+    rec.citing = patent_id(kPrimaryBase + rng.bounded(cfg.num_patents));
+    const bool hit = rng.uniform01() < cfg.hit_fraction;
+    if (hit) {
+      rec.cited = patent_id(kPrimaryBase + rng.bounded(cfg.num_patents));
+    } else {
+      rec.cited = patent_id(kMissBase + rng.bounded(kMissRange));
+    }
+    data.citations.push_back(std::move(rec));
+    data.citation_hits.push_back(hit);
+  }
+  return data;
+}
+
+std::size_t PatentData::hit_count() const {
+  std::size_t c = 0;
+  for (const bool b : citation_hits) {
+    if (b) ++c;
+  }
+  return c;
+}
+
+}  // namespace mpcbf::workload

@@ -1,0 +1,50 @@
+// Synthetic NBER-like patent data — the stand-in for cite75_99.txt /
+// pat63_99.txt used by the paper's MapReduce reduce-side join (Sec. V).
+// See DESIGN.md §4: the join's behaviour depends on the record counts and
+// the fraction of citation records whose cited patent hits the primary key
+// set, both of which are configurable here; the paper's full scale
+// (71,661 keys, 16,522,438 citations) is available via paper_scale().
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mpcbf::workload {
+
+struct PatentDataConfig {
+  std::uint64_t num_patents = 71'661;
+  std::uint64_t num_citations = 16'522'438 / 16;
+  /// Fraction of citations whose cited patent is in the patents table
+  /// (i.e., the fraction of map outputs a perfect filter would keep).
+  double hit_fraction = 0.45;
+  std::uint64_t seed = 0x9A7E47;
+
+  [[nodiscard]] static PatentDataConfig paper_scale() {
+    return PatentDataConfig{71'661, 16'522'438, 0.45, 0x9A7E47};
+  }
+};
+
+/// One record of each input file.
+struct PatentRecord {
+  std::string id;       ///< 7-digit patent number, the join key
+  std::string attrs;    ///< synthetic attribute payload (grant year etc.)
+};
+
+struct CitationRecord {
+  std::string citing;   ///< citing patent id
+  std::string cited;    ///< cited patent id, the join key probed by filters
+};
+
+struct PatentData {
+  std::vector<PatentRecord> patents;
+  std::vector<CitationRecord> citations;
+  /// Ground truth: citations[i].cited is in the patents table.
+  std::vector<bool> citation_hits;
+
+  [[nodiscard]] static PatentData generate(const PatentDataConfig& cfg);
+
+  [[nodiscard]] std::size_t hit_count() const;
+};
+
+}  // namespace mpcbf::workload

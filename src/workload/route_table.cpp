@@ -1,0 +1,90 @@
+#include "workload/route_table.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "common/rng.hpp"
+
+namespace mpcbf::workload {
+namespace {
+
+// BGP-like prefix-length distribution: cumulative per-mille thresholds
+// for lengths 8..32, dominated by /24 (~55%) with mass at /16..{/22,/23}.
+struct LengthBucket {
+  unsigned length;
+  unsigned permille;  // cumulative
+};
+
+constexpr LengthBucket kLengthCdf[] = {
+    {8, 5},    {10, 10},  {12, 20},  {14, 35},  {16, 120}, {17, 150},
+    {18, 190}, {19, 260}, {20, 330}, {21, 400}, {22, 480}, {23, 440 + 110},
+    {24, 990}, {28, 995}, {32, 1000},
+};
+
+unsigned draw_length(util::Xoshiro256& rng) {
+  const auto p = static_cast<unsigned>(rng.bounded(1000));
+  for (const auto& bucket : kLengthCdf) {
+    if (p < bucket.permille) return bucket.length;
+  }
+  return 24;
+}
+
+}  // namespace
+
+RouteTable RouteTable::generate(const RouteTableConfig& cfg) {
+  if (cfg.num_routes == 0) {
+    throw std::invalid_argument("RouteTable: need at least one route");
+  }
+  util::Xoshiro256 rng(cfg.seed);
+  RouteTable table;
+  table.routes_.reserve(cfg.num_routes);
+  std::unordered_set<std::uint64_t> seen;  // (prefix, length) pairs
+  seen.reserve(cfg.num_routes * 2);
+  while (table.routes_.size() < cfg.num_routes) {
+    const unsigned len = draw_length(rng);
+    const auto addr = static_cast<std::uint32_t>(rng.next());
+    const std::uint32_t prefix = addr & mask_of(len);
+    const std::uint64_t id =
+        (static_cast<std::uint64_t>(prefix) << 6) | len;
+    if (!seen.insert(id).second) continue;
+    Route r;
+    r.prefix = prefix;
+    r.length = len;
+    r.next_hop = static_cast<std::uint32_t>(rng.bounded(256));
+    table.routes_.push_back(r);
+  }
+  return table;
+}
+
+const Route* RouteTable::lookup_reference(std::uint32_t addr) const {
+  const Route* best = nullptr;
+  for (const auto& r : routes_) {
+    if ((addr & mask_of(r.length)) == r.prefix &&
+        (best == nullptr || r.length > best->length)) {
+      best = &r;
+    }
+  }
+  return best;
+}
+
+std::vector<std::uint32_t> RouteTable::make_lookup_trace(
+    const LookupTraceConfig& cfg) const {
+  util::Xoshiro256 rng(cfg.seed);
+  std::vector<std::uint32_t> trace;
+  trace.reserve(cfg.num_lookups);
+  for (std::size_t i = 0; i < cfg.num_lookups; ++i) {
+    if (rng.uniform01() < cfg.hit_fraction && !routes_.empty()) {
+      // An address under a random existing prefix.
+      const Route& r = routes_[rng.bounded(routes_.size())];
+      const std::uint32_t host_bits =
+          static_cast<std::uint32_t>(rng.next()) & ~mask_of(r.length);
+      trace.push_back(r.prefix | host_bits);
+    } else {
+      trace.push_back(static_cast<std::uint32_t>(rng.next()));
+    }
+  }
+  return trace;
+}
+
+}  // namespace mpcbf::workload

@@ -1,0 +1,60 @@
+// Synthetic IPv4 route table and lookup trace — the workload for the
+// longest-prefix-matching application (the paper's refs. [4-6] motivate
+// MPCBF with exactly this: "IP route lookup" on line cards).
+//
+// Prefix lengths follow the well-known BGP table shape (mass concentrated
+// at /24 and /16-/22); lookup traces mix addresses that hit routes (drawn
+// under existing prefixes) with misses, plus optional locality (repeated
+// destinations), deterministically from a seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mpcbf::workload {
+
+struct Route {
+  std::uint32_t prefix = 0;   ///< network-order-agnostic host int, masked
+  unsigned length = 0;        ///< 8..32
+  std::uint32_t next_hop = 0;
+};
+
+struct RouteTableConfig {
+  std::size_t num_routes = 50'000;
+  std::uint64_t seed = 0x40075;
+};
+
+struct LookupTraceConfig {
+  std::size_t num_lookups = 200'000;
+  /// Fraction of lookups guaranteed to match some route.
+  double hit_fraction = 0.8;
+  std::uint64_t seed = 0x100C09;
+};
+
+class RouteTable {
+ public:
+  [[nodiscard]] static RouteTable generate(const RouteTableConfig& cfg);
+
+  [[nodiscard]] const std::vector<Route>& routes() const noexcept {
+    return routes_;
+  }
+
+  /// Reference LPM: linear scan over all routes, longest match. O(n) —
+  /// the oracle the fast path is tested against.
+  [[nodiscard]] const Route* lookup_reference(std::uint32_t addr) const;
+
+  /// Addresses to look up, per LookupTraceConfig.
+  [[nodiscard]] std::vector<std::uint32_t> make_lookup_trace(
+      const LookupTraceConfig& cfg) const;
+
+  /// Mask for a prefix length (len in 0..32).
+  [[nodiscard]] static std::uint32_t mask_of(unsigned len) noexcept {
+    return len == 0 ? 0 : ~std::uint32_t{0} << (32 - len);
+  }
+
+ private:
+  std::vector<Route> routes_;
+};
+
+}  // namespace mpcbf::workload

@@ -1,0 +1,106 @@
+#include "workload/string_sets.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+
+#include "common/rng.hpp"
+
+namespace mpcbf::workload {
+namespace {
+
+constexpr char kAlphabet[] =
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ";
+constexpr std::size_t kAlphabetSize = 52;
+
+std::string random_string(util::Xoshiro256& rng, std::size_t length) {
+  std::string s(length, '\0');
+  for (auto& c : s) {
+    c = kAlphabet[rng.bounded(kAlphabetSize)];
+  }
+  return s;
+}
+
+}  // namespace
+
+std::vector<std::string> generate_unique_strings(std::size_t count,
+                                                 std::size_t length,
+                                                 std::uint64_t seed) {
+  // Guard against impossible requests (52^length distinct strings exist).
+  double space = 1.0;
+  for (std::size_t i = 0; i < length && space < 1e18; ++i) {
+    space *= static_cast<double>(kAlphabetSize);
+  }
+  if (static_cast<double>(count) > space * 0.5) {
+    throw std::invalid_argument(
+        "generate_unique_strings: count too large for string length");
+  }
+
+  util::Xoshiro256 rng(seed);
+  std::unordered_set<std::string> seen;
+  seen.reserve(count * 2);
+  std::vector<std::string> out;
+  out.reserve(count);
+  while (out.size() < count) {
+    std::string s = random_string(rng, length);
+    if (seen.insert(s).second) {
+      out.push_back(std::move(s));
+    }
+  }
+  return out;
+}
+
+std::size_t QuerySet::member_count() const {
+  std::size_t c = 0;
+  for (const bool b : is_member) {
+    if (b) ++c;
+  }
+  return c;
+}
+
+QuerySet build_query_set(const std::vector<std::string>& members,
+                         std::size_t total, double member_fraction,
+                         std::uint64_t seed) {
+  if (members.empty() && member_fraction > 0.0) {
+    throw std::invalid_argument("build_query_set: no members to sample");
+  }
+  util::Xoshiro256 rng(seed);
+  std::unordered_set<std::string> member_set(members.begin(), members.end());
+  const std::size_t length = members.empty() ? 5 : members.front().size();
+
+  QuerySet qs;
+  qs.queries.reserve(total);
+  qs.is_member.reserve(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    if (rng.uniform01() < member_fraction) {
+      qs.queries.push_back(members[rng.bounded(members.size())]);
+      qs.is_member.push_back(true);
+    } else {
+      std::string s = random_string(rng, length);
+      while (member_set.contains(s)) {
+        s = random_string(rng, length);
+      }
+      qs.queries.push_back(std::move(s));
+      qs.is_member.push_back(false);
+    }
+  }
+  return qs;
+}
+
+double measured_fpr(const QuerySet& qs, const std::vector<bool>& results) {
+  if (results.size() != qs.queries.size()) {
+    throw std::invalid_argument("measured_fpr: size mismatch");
+  }
+  std::size_t fp = 0;
+  std::size_t non_members = 0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (!qs.is_member[i]) {
+      ++non_members;
+      if (results[i]) ++fp;
+    }
+  }
+  return non_members == 0
+             ? 0.0
+             : static_cast<double>(fp) / static_cast<double>(non_members);
+}
+
+}  // namespace mpcbf::workload

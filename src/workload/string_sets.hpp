@@ -1,0 +1,73 @@
+// Synthetic string workloads — Sec. IV-A's "synthetic experiments".
+//
+// The paper synthesizes a test set of 100K unique five-byte strings over
+// the alphabet [a-zA-Z] and a query set of 1M strings of which 80% are
+// members; an update period deletes 20K members and inserts 20K fresh
+// strings. These helpers generate exactly those artifacts, deterministically
+// from a seed, with every size configurable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mpcbf::workload {
+
+/// `count` distinct strings of `length` characters drawn uniformly from
+/// [a-zA-Z]. Uniqueness is guaranteed (duplicates are redrawn).
+[[nodiscard]] std::vector<std::string> generate_unique_strings(
+    std::size_t count, std::size_t length, std::uint64_t seed);
+
+struct QuerySet {
+  std::vector<std::string> queries;
+  /// Ground truth per query: true iff queries[i] is a member of the test
+  /// set the query set was built against.
+  std::vector<bool> is_member;
+
+  [[nodiscard]] std::size_t member_count() const;
+  [[nodiscard]] std::size_t non_member_count() const {
+    return queries.size() - member_count();
+  }
+};
+
+/// Builds a query set of `total` strings: `member_fraction` of them are
+/// sampled (with repetition) from `members`, the rest are fresh strings of
+/// the same length guaranteed not to collide with `members`.
+[[nodiscard]] QuerySet build_query_set(const std::vector<std::string>& members,
+                                       std::size_t total,
+                                       double member_fraction,
+                                       std::uint64_t seed);
+
+/// Measured false positive rate: fraction of non-member queries a filter
+/// answered positively. `results[i]` is the filter's verdict on
+/// `qs.queries[i]`.
+[[nodiscard]] double measured_fpr(const QuerySet& qs,
+                                  const std::vector<bool>& results);
+
+/// Convenience: run `filter.contains` over the whole query set, verify
+/// there are no false negatives (aborting the experiment loudly if the
+/// filter is broken), and return the measured FPR.
+template <typename Filter>
+double evaluate_fpr(const Filter& filter, const QuerySet& qs,
+                    std::size_t* false_negatives = nullptr) {
+  std::size_t fp = 0;
+  std::size_t fn = 0;
+  std::size_t non_members = 0;
+  for (std::size_t i = 0; i < qs.queries.size(); ++i) {
+    const bool hit = filter.contains(qs.queries[i]);
+    if (qs.is_member[i]) {
+      if (!hit) ++fn;
+    } else {
+      ++non_members;
+      if (hit) ++fp;
+    }
+  }
+  if (false_negatives != nullptr) {
+    *false_negatives = fn;
+  }
+  return non_members == 0 ? 0.0
+                          : static_cast<double>(fp) /
+                                static_cast<double>(non_members);
+}
+
+}  // namespace mpcbf::workload

@@ -1,0 +1,95 @@
+// Batched membership queries: exact agreement with scalar contains(),
+// stats accounting, chunk-boundary coverage, and stash interaction.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/mpcbf.hpp"
+#include "workload/string_sets.hpp"
+
+namespace {
+
+using mpcbf::core::Mpcbf;
+using mpcbf::core::MpcbfConfig;
+using mpcbf::core::OverflowPolicy;
+using mpcbf::workload::generate_unique_strings;
+
+TEST(BatchQuery, AgreesWithScalarContains) {
+  const auto keys = generate_unique_strings(3000, 5, 301);
+  const auto probes = generate_unique_strings(3000, 7, 302);
+  auto f = Mpcbf<64>::with_memory(1 << 17, 3, 2, keys.size());
+  for (const auto& k : keys) f.insert(k);
+
+  std::vector<std::string> mixed;
+  mixed.reserve(6000);
+  for (std::size_t i = 0; i < 3000; ++i) {
+    mixed.push_back(keys[i]);
+    mixed.push_back(probes[i]);
+  }
+  std::vector<std::uint8_t> out(mixed.size(), 0xFF);
+  f.contains_batch(mixed, out);
+  for (std::size_t i = 0; i < mixed.size(); ++i) {
+    ASSERT_EQ(out[i] != 0, f.contains(mixed[i])) << mixed[i];
+  }
+}
+
+TEST(BatchQuery, ChunkBoundarySizes) {
+  auto f = Mpcbf<64>::with_memory(1 << 14, 3, 1, 100);
+  f.insert("present");
+  for (std::size_t n : {0ul, 1ul, 31ul, 32ul, 33ul, 64ul, 65ul}) {
+    std::vector<std::string> queries(n, "present");
+    if (n > 0) queries.back() = "absent-key";
+    std::vector<std::uint8_t> out(n, 2);
+    f.contains_batch(queries, out);
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      ASSERT_EQ(out[i], 1u) << "n=" << n << " i=" << i;
+    }
+    if (n > 0) {
+      ASSERT_EQ(out[n - 1] != 0, f.contains("absent-key"));
+    }
+  }
+}
+
+TEST(BatchQuery, SizeMismatchThrows) {
+  auto f = Mpcbf<64>::with_memory(1 << 14, 3, 1, 100);
+  std::vector<std::string> queries(4);
+  std::vector<std::uint8_t> out(3);
+  EXPECT_THROW(f.contains_batch(queries, out), std::invalid_argument);
+}
+
+TEST(BatchQuery, ConsultsStash) {
+  MpcbfConfig cfg;
+  cfg.memory_bits = 64;
+  cfg.k = 3;
+  cfg.g = 1;
+  cfg.n_max = 1;
+  cfg.policy = OverflowPolicy::kStash;
+  Mpcbf<64> f(cfg);
+  ASSERT_TRUE(f.insert("a"));
+  ASSERT_TRUE(f.insert("b"));  // overflows into the stash
+  ASSERT_GT(f.stash_size(), 0u);
+
+  std::vector<std::string> queries = {"a", "b", "c"};
+  std::vector<std::uint8_t> out(3);
+  f.contains_batch(queries, out);
+  EXPECT_EQ(out[0], 1u);
+  EXPECT_EQ(out[1], 1u);
+  ASSERT_EQ(out[2] != 0, f.contains("c"));
+}
+
+TEST(BatchQuery, RecordsQueryStats) {
+  const auto keys = generate_unique_strings(500, 5, 303);
+  auto f = Mpcbf<64>::with_memory(1 << 16, 3, 1, keys.size());
+  for (const auto& k : keys) f.insert(k);
+  f.stats().reset();
+  std::vector<std::uint8_t> out(keys.size());
+  f.contains_batch(keys, out);
+  using mpcbf::metrics::OpClass;
+  EXPECT_EQ(f.stats().ops(OpClass::kQueryPositive) +
+                f.stats().ops(OpClass::kQueryNegative),
+            keys.size());
+  EXPECT_DOUBLE_EQ(f.stats().mean_query_accesses(), 1.0);
+}
+
+}  // namespace

@@ -1,0 +1,125 @@
+// BloomFilter and BlockedBloomFilter: membership contracts, empirical FPR
+// against the closed-form model, fill ratio, and access accounting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "filters/blocked_bloom.hpp"
+#include "filters/bloom.hpp"
+#include "model/fpr_model.hpp"
+#include "workload/string_sets.hpp"
+
+namespace {
+
+using mpcbf::filters::BlockedBloomFilter;
+using mpcbf::filters::BloomFilter;
+using mpcbf::workload::build_query_set;
+using mpcbf::workload::evaluate_fpr;
+using mpcbf::workload::generate_unique_strings;
+
+TEST(Bloom, EmptyFilterRejectsEverything) {
+  BloomFilter f(1 << 12, 3);
+  EXPECT_FALSE(f.contains("anything"));
+  EXPECT_DOUBLE_EQ(f.fill_ratio(), 0.0);
+}
+
+TEST(Bloom, NoFalseNegatives) {
+  const auto keys = generate_unique_strings(5000, 5, 1);
+  BloomFilter f(1 << 17, 4);
+  for (const auto& k : keys) f.insert(k);
+  for (const auto& k : keys) {
+    ASSERT_TRUE(f.contains(k));
+  }
+}
+
+TEST(Bloom, EmpiricalFprTracksModel) {
+  constexpr std::size_t kN = 20000;
+  constexpr std::size_t kM = 1 << 18;
+  constexpr unsigned kK = 4;
+  const auto keys = generate_unique_strings(kN, 5, 2);
+  const auto qs = build_query_set(keys, 60000, 0.0, 3);
+  BloomFilter f(kM, kK);
+  for (const auto& k : keys) f.insert(k);
+
+  std::size_t fn = 0;
+  const double fpr = evaluate_fpr(f, qs, &fn);
+  EXPECT_EQ(fn, 0u);
+  const double model = mpcbf::model::fpr_bloom(kN, kM, kK);
+  EXPECT_GT(model, 0.0);
+  EXPECT_LT(fpr, model * 2.0 + 1e-4);
+  EXPECT_GT(fpr, model * 0.5 - 1e-4);
+}
+
+TEST(Bloom, FillRatioMatchesTheory) {
+  constexpr std::size_t kN = 30000;
+  constexpr std::size_t kM = 1 << 18;
+  const auto keys = generate_unique_strings(kN, 5, 4);
+  BloomFilter f(kM, 3);
+  for (const auto& k : keys) f.insert(k);
+  const double expected = 1.0 - std::exp(-3.0 * kN / static_cast<double>(kM));
+  EXPECT_NEAR(f.fill_ratio(), expected, 0.01);
+}
+
+TEST(Bloom, QueryAccountingShortCircuits) {
+  const auto keys = generate_unique_strings(5000, 5, 5);
+  BloomFilter f(1 << 16, 3);
+  for (const auto& k : keys) f.insert(k);
+  f.stats().reset();
+  const auto probes = generate_unique_strings(5000, 7, 6);  // non-members
+  for (const auto& p : probes) (void)f.contains(p);
+  // Negative queries stop early: mean accesses strictly below k.
+  EXPECT_LT(f.stats().mean_accesses(mpcbf::metrics::OpClass::kQueryNegative),
+            3.0);
+  EXPECT_GT(f.stats().ops(mpcbf::metrics::OpClass::kQueryNegative), 4000u);
+}
+
+TEST(BlockedBloom, NoFalseNegativesAndOneAccess) {
+  const auto keys = generate_unique_strings(4000, 5, 7);
+  BlockedBloomFilter f(1 << 17, 3, 1);
+  for (const auto& k : keys) f.insert(k);
+  for (const auto& k : keys) {
+    ASSERT_TRUE(f.contains(k));
+  }
+  EXPECT_DOUBLE_EQ(f.stats().mean_update_accesses(), 1.0);
+  EXPECT_DOUBLE_EQ(f.stats().mean_accesses(
+                       mpcbf::metrics::OpClass::kQueryPositive),
+                   1.0);
+}
+
+TEST(BlockedBloom, WorseFprThanStandardBloomAtSameMemory) {
+  // The BF-1 penalty (Sec. II-B): blocked filters trade accuracy for
+  // access locality. At tight memory the gap is visible empirically.
+  constexpr std::size_t kN = 20000;
+  constexpr std::size_t kM = 1 << 17;
+  const auto keys = generate_unique_strings(kN, 5, 8);
+  const auto qs = build_query_set(keys, 60000, 0.0, 9);
+
+  BloomFilter plain(kM, 3);
+  BlockedBloomFilter blocked(kM, 3, 1);
+  for (const auto& k : keys) {
+    plain.insert(k);
+    blocked.insert(k);
+  }
+  const double fpr_plain = evaluate_fpr(plain, qs);
+  const double fpr_blocked = evaluate_fpr(blocked, qs);
+  EXPECT_GT(fpr_blocked, fpr_plain);
+}
+
+TEST(BlockedBloom, GTwoSplitsHashes) {
+  const auto keys = generate_unique_strings(3000, 5, 10);
+  BlockedBloomFilter f(1 << 17, 4, 2);
+  for (const auto& k : keys) f.insert(k);
+  for (const auto& k : keys) {
+    ASSERT_TRUE(f.contains(k));
+  }
+  EXPECT_NEAR(f.stats().mean_update_accesses(), 2.0, 0.02);
+}
+
+TEST(BlockedBloom, RejectsBadConfig) {
+  EXPECT_THROW(BlockedBloomFilter(1 << 16, 2, 3), std::invalid_argument);
+  EXPECT_THROW(BlockedBloomFilter(32, 3, 1), std::invalid_argument);
+}
+
+}  // namespace

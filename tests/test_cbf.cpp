@@ -1,0 +1,169 @@
+// CountingBloomFilter: the standard-CBF contract — dynamic membership with
+// deletion — plus saturation discipline, double-hashing mode, access
+// accounting (k scattered words), and FPR against eq. (1).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "filters/counting_bloom.hpp"
+#include "hash/hash_stream.hpp"
+#include "model/fpr_model.hpp"
+#include "workload/string_sets.hpp"
+
+namespace {
+
+using mpcbf::filters::CbfConfig;
+using mpcbf::filters::CountingBloomFilter;
+using mpcbf::util::Xoshiro256;
+using mpcbf::workload::build_query_set;
+using mpcbf::workload::evaluate_fpr;
+using mpcbf::workload::generate_unique_strings;
+
+TEST(Cbf, ConstructionValidation) {
+  CbfConfig cfg;
+  cfg.k = 0;
+  EXPECT_THROW(CountingBloomFilter{cfg}, std::invalid_argument);
+  cfg.k = 3;
+  cfg.memory_bits = 2;
+  EXPECT_THROW(CountingBloomFilter{cfg}, std::invalid_argument);
+}
+
+TEST(Cbf, InsertContainsErase) {
+  CountingBloomFilter f(1 << 16, 3);
+  EXPECT_FALSE(f.contains("x"));
+  f.insert("x");
+  EXPECT_TRUE(f.contains("x"));
+  EXPECT_TRUE(f.erase("x"));
+  EXPECT_FALSE(f.contains("x"));
+}
+
+TEST(Cbf, NoFalseNegativesUnderChurn) {
+  auto pool = generate_unique_strings(6000, 5, 51);
+  CountingBloomFilter f(1 << 18, 3);
+  std::set<std::string> live;
+  Xoshiro256 rng(52);
+  for (int it = 0; it < 30000; ++it) {
+    const auto& key = pool[rng.bounded(pool.size())];
+    if (rng.bounded(2) == 0) {
+      if (!live.contains(key)) {
+        f.insert(key);
+        live.insert(key);
+      }
+    } else if (live.contains(key)) {
+      ASSERT_TRUE(f.erase(key));
+      live.erase(key);
+    }
+  }
+  for (const auto& key : live) {
+    ASSERT_TRUE(f.contains(key));
+  }
+}
+
+TEST(Cbf, EraseAllRestoresEmpty) {
+  const auto keys = generate_unique_strings(4000, 5, 53);
+  CountingBloomFilter f(1 << 18, 4);
+  for (const auto& k : keys) f.insert(k);
+  for (const auto& k : keys) {
+    ASSERT_TRUE(f.erase(k));
+  }
+  EXPECT_DOUBLE_EQ(f.fill_ratio(), 0.0);
+  for (const auto& k : keys) {
+    EXPECT_FALSE(f.contains(k));
+  }
+}
+
+TEST(Cbf, CountEstimatesNeverUndercount) {
+  CountingBloomFilter f(1 << 16, 3);
+  for (int i = 0; i < 5; ++i) f.insert("multi");
+  EXPECT_GE(f.count("multi"), 5u);
+  EXPECT_EQ(f.count("absent"), 0u);
+}
+
+TEST(Cbf, SaturationIsStickyAndSafe) {
+  // 4-bit counters saturate at 15; inserting 20 copies then deleting 20
+  // must not produce a false negative on a colliding key.
+  CountingBloomFilter f(256, 2);  // tiny: collisions guaranteed
+  for (int i = 0; i < 20; ++i) f.insert("hot");
+  EXPECT_GT(f.saturations(), 0u);
+  for (int i = 0; i < 20; ++i) (void)f.erase("hot");
+  // The sticky counters keep "hot" positive — conservative, never FN.
+  EXPECT_TRUE(f.contains("hot"));
+}
+
+TEST(Cbf, EmpiricalFprMatchesEquationOne) {
+  constexpr std::size_t kN = 20000;
+  constexpr std::size_t kMemory = 1 << 20;  // m = 2^18 counters
+  const auto keys = generate_unique_strings(kN, 5, 54);
+  const auto qs = build_query_set(keys, 80000, 0.0, 55);
+  CountingBloomFilter f(kMemory, 3);
+  for (const auto& k : keys) f.insert(k);
+
+  const double fpr = evaluate_fpr(f, qs);
+  const double model = mpcbf::model::fpr_bloom(kN, kMemory / 4, 3);
+  EXPECT_LT(fpr, model * 1.6 + 1e-4);
+  EXPECT_GT(fpr, model * 0.6 - 1e-4);
+}
+
+TEST(Cbf, UpdateTouchesKWordsQueryFewer) {
+  constexpr unsigned kK = 3;
+  const auto keys = generate_unique_strings(20000, 5, 56);
+  CountingBloomFilter f(1 << 20, kK);
+  for (const auto& k : keys) f.insert(k);
+  // Updates cannot short-circuit; with m >> k the k counters land in
+  // distinct machine words almost always.
+  EXPECT_NEAR(f.stats().mean_update_accesses(), 3.0, 0.05);
+
+  f.stats().reset();
+  const auto probes = generate_unique_strings(20000, 7, 57);
+  for (const auto& p : probes) (void)f.contains(p);
+  // Negative queries short-circuit: strictly fewer than k accesses.
+  EXPECT_LT(f.stats().mean_query_accesses(), 2.5);
+}
+
+TEST(Cbf, DoubleHashingModeIsFunctional) {
+  CbfConfig cfg;
+  cfg.memory_bits = 1 << 18;
+  cfg.k = 4;
+  cfg.double_hashing = true;
+  CountingBloomFilter f(cfg);
+  const auto keys = generate_unique_strings(4000, 5, 58);
+  for (const auto& k : keys) f.insert(k);
+  for (const auto& k : keys) {
+    ASSERT_TRUE(f.contains(k));
+  }
+  for (const auto& k : keys) {
+    ASSERT_TRUE(f.erase(k));
+  }
+  EXPECT_DOUBLE_EQ(f.fill_ratio(), 0.0);
+  // KM double hashing accounts exactly 2 hashes of bandwidth per op.
+  EXPECT_DOUBLE_EQ(
+      f.stats().mean_update_bandwidth(),
+      2.0 * mpcbf::hash::ceil_log2((1 << 18) / 4));
+}
+
+TEST(Cbf, DoubleHashingFprComparableToIndependentHashes) {
+  constexpr std::size_t kN = 15000;
+  const auto keys = generate_unique_strings(kN, 5, 59);
+  const auto qs = build_query_set(keys, 50000, 0.0, 60);
+
+  CbfConfig cfg;
+  cfg.memory_bits = 1 << 19;
+  cfg.k = 3;
+  CountingBloomFilter indep(cfg);
+  cfg.double_hashing = true;
+  CountingBloomFilter dbl(cfg);
+  for (const auto& k : keys) {
+    indep.insert(k);
+    dbl.insert(k);
+  }
+  const double f1 = evaluate_fpr(indep, qs);
+  const double f2 = evaluate_fpr(dbl, qs);
+  // "Less hashing, same performance": within 2x of each other.
+  EXPECT_LT(f2, f1 * 2.0 + 1e-4);
+  EXPECT_GT(f2, f1 * 0.5 - 1e-4);
+}
+
+}  // namespace

@@ -1,0 +1,131 @@
+// Harness utilities: the CLI flag parser (every bench's front door) and
+// the table/CSV emitter (every bench's output path), plus the stopwatch.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "common/cli.hpp"
+#include "common/stopwatch.hpp"
+#include "common/table.hpp"
+
+namespace {
+
+using mpcbf::util::CliArgs;
+using mpcbf::util::Stopwatch;
+using mpcbf::util::Table;
+
+CliArgs parse(std::initializer_list<const char*> argv) {
+  std::vector<const char*> v(argv);
+  return CliArgs(static_cast<int>(v.size()), v.data());
+}
+
+TEST(Cli, SpaceSeparatedValues) {
+  const auto args = parse({"prog", "--n", "100", "--name", "abc"});
+  EXPECT_EQ(args.get_uint("n", 0), 100u);
+  EXPECT_EQ(args.get_string("name", ""), "abc");
+  EXPECT_EQ(args.program(), "prog");
+}
+
+TEST(Cli, EqualsSyntax) {
+  const auto args = parse({"prog", "--fpr=0.01", "--k=4"});
+  EXPECT_DOUBLE_EQ(args.get_double("fpr", 0), 0.01);
+  EXPECT_EQ(args.get_int("k", 0), 4);
+}
+
+TEST(Cli, BooleanFlags) {
+  const auto args = parse({"prog", "--full", "--verbose=false", "--x", "0"});
+  EXPECT_TRUE(args.get_bool("full"));
+  EXPECT_FALSE(args.get_bool("verbose"));
+  EXPECT_FALSE(args.get_bool("x"));
+  EXPECT_FALSE(args.get_bool("absent"));
+  EXPECT_TRUE(args.get_bool("absent", true));
+}
+
+TEST(Cli, TrailingBooleanBeforeFlag) {
+  // --full followed by another flag must not swallow it as a value.
+  const auto args = parse({"prog", "--full", "--n", "5"});
+  EXPECT_TRUE(args.get_bool("full"));
+  EXPECT_EQ(args.get_uint("n", 0), 5u);
+}
+
+TEST(Cli, DefaultsWhenAbsent) {
+  const auto args = parse({"prog"});
+  EXPECT_EQ(args.get_uint("n", 42), 42u);
+  EXPECT_EQ(args.get_string("s", "dflt"), "dflt");
+  EXPECT_DOUBLE_EQ(args.get_double("d", 1.5), 1.5);
+}
+
+TEST(Cli, Positional) {
+  const auto args = parse({"prog", "input.txt", "--n", "1"});
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "input.txt");
+}
+
+TEST(Cli, RejectUnknownCatchesTypos) {
+  const auto args = parse({"prog", "--seeed", "7"});
+  EXPECT_THROW(args.reject_unknown({"seed"}), std::invalid_argument);
+  EXPECT_NO_THROW(args.reject_unknown({"seeed"}));
+}
+
+TEST(Cli, HasFlag) {
+  const auto args = parse({"prog", "--x", "1"});
+  EXPECT_TRUE(args.has("x"));
+  EXPECT_FALSE(args.has("y"));
+}
+
+TEST(TableTest, AlignedOutputContainsAllCells) {
+  Table t({"name", "value"});
+  t.row().add("alpha").add(42);
+  t.row().add("b").adde(0.000123, 2);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("42"), std::string::npos);
+  EXPECT_NE(out.find("1.23e-04"), std::string::npos);
+  // Header separator line present.
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TableTest, FixedPrecisionCell) {
+  Table t({"x"});
+  t.row().addf(3.14159, 2);
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("3.14"), std::string::npos);
+  EXPECT_EQ(os.str().find("3.142"), std::string::npos);
+}
+
+TEST(TableTest, CsvRoundTrip) {
+  Table t({"a", "b"});
+  t.row().add("x").add(1);
+  t.row().add("y").add(2);
+  const std::string path = "/tmp/mpcbf_table_test.csv";
+  t.write_csv(path);
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,1");
+  std::getline(in, line);
+  EXPECT_EQ(line, "y,2");
+  std::remove(path.c_str());
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch w;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double ms = w.elapsed_ms();
+  EXPECT_GE(ms, 15.0);
+  EXPECT_LT(ms, 2000.0);
+  EXPECT_GE(w.elapsed_ns(), 15u * 1000 * 1000);
+  w.reset();
+  EXPECT_LT(w.elapsed_ms(), 15.0);
+}
+
+}  // namespace

@@ -1,0 +1,136 @@
+// Packed c-bit counter vector: cross-limb packing, saturation discipline,
+// and an oracle property sweep over counter widths.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "bitvec/bit_vector.hpp"
+#include "bitvec/counter_vector.hpp"
+#include "common/rng.hpp"
+
+namespace {
+
+using mpcbf::bits::BitVector;
+using mpcbf::bits::CounterVector;
+using mpcbf::util::Xoshiro256;
+
+TEST(BitVector, BasicOps) {
+  BitVector v(100);
+  EXPECT_EQ(v.size(), 100u);
+  EXPECT_EQ(v.count(), 0u);
+  v.set(0);
+  v.set(63);
+  v.set(64);
+  v.set(99);
+  EXPECT_TRUE(v.test(63));
+  EXPECT_TRUE(v.test(64));
+  EXPECT_EQ(v.count(), 4u);
+  EXPECT_DOUBLE_EQ(v.fill_ratio(), 0.04);
+  v.clear(63);
+  EXPECT_FALSE(v.test(63));
+  v.reset();
+  EXPECT_EQ(v.count(), 0u);
+}
+
+TEST(CounterVector, GetSetRoundTrip4Bit) {
+  CounterVector v(100, 4);
+  EXPECT_EQ(v.max_value(), 15u);
+  for (std::size_t i = 0; i < 100; ++i) {
+    v.set(i, static_cast<std::uint32_t>(i % 16));
+  }
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(v.get(i), i % 16) << i;
+  }
+}
+
+TEST(CounterVector, CrossLimbCounters) {
+  // 12-bit counters straddle 64-bit limb boundaries (5 counters per
+  // 60 bits, the 6th crosses).
+  CounterVector v(40, 12);
+  for (std::size_t i = 0; i < 40; ++i) {
+    v.set(i, static_cast<std::uint32_t>((i * 397) & 0xFFF));
+  }
+  for (std::size_t i = 0; i < 40; ++i) {
+    EXPECT_EQ(v.get(i), (i * 397) & 0xFFF) << i;
+  }
+}
+
+TEST(CounterVector, IncrementSaturatesSticky) {
+  CounterVector v(4, 2);  // max 3
+  EXPECT_EQ(v.increment(0), 1u);
+  EXPECT_EQ(v.increment(0), 2u);
+  EXPECT_EQ(v.increment(0), 3u);
+  EXPECT_EQ(v.saturations(), 0u);
+  EXPECT_EQ(v.increment(0), 3u);  // saturated
+  EXPECT_EQ(v.saturations(), 1u);
+  // A saturated counter is sticky under decrement.
+  EXPECT_TRUE(v.decrement(0));
+  EXPECT_EQ(v.get(0), 3u);
+}
+
+TEST(CounterVector, DecrementUnderflowReported) {
+  CounterVector v(4, 4);
+  EXPECT_FALSE(v.decrement(2));
+  EXPECT_EQ(v.underflows(), 1u);
+  v.increment(2);
+  EXPECT_TRUE(v.decrement(2));
+  EXPECT_EQ(v.get(2), 0u);
+}
+
+TEST(CounterVector, NonzeroCount) {
+  CounterVector v(10, 4);
+  EXPECT_EQ(v.nonzero_count(), 0u);
+  v.increment(1);
+  v.increment(1);
+  v.increment(7);
+  EXPECT_EQ(v.nonzero_count(), 2u);
+}
+
+TEST(CounterVector, MemoryBits) {
+  CounterVector v(1000, 4);
+  EXPECT_EQ(v.memory_bits(), 4000u);
+}
+
+class CounterVectorOracle : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(CounterVectorOracle, RandomOpsMatchReference) {
+  const unsigned bits = GetParam();
+  const std::uint32_t max = (1u << bits) - 1;
+  constexpr std::size_t kCounters = 300;
+  CounterVector v(kCounters, bits);
+  std::vector<std::uint32_t> ref(kCounters, 0);
+  Xoshiro256 rng(bits * 1000003);
+
+  for (int it = 0; it < 20000; ++it) {
+    const std::size_t i = rng.bounded(kCounters);
+    switch (rng.bounded(3)) {
+      case 0: {
+        v.increment(i);
+        if (ref[i] < max) ++ref[i];
+        break;
+      }
+      case 1: {
+        v.decrement(i);
+        if (ref[i] != max && ref[i] > 0) --ref[i];
+        break;
+      }
+      case 2: {
+        const auto value = static_cast<std::uint32_t>(rng.bounded(max + 1));
+        v.set(i, value);
+        ref[i] = value;
+        break;
+      }
+    }
+    const std::size_t probe = rng.bounded(kCounters);
+    ASSERT_EQ(v.get(probe), ref[probe]) << "it=" << it;
+  }
+  for (std::size_t i = 0; i < kCounters; ++i) {
+    EXPECT_EQ(v.get(i), ref[i]) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, CounterVectorOracle,
+                         ::testing::Values(1u, 2u, 3u, 4u, 8u, 12u, 16u));
+
+}  // namespace

@@ -1,0 +1,86 @@
+// Golden determinism pins: fixed scenarios whose final filter state is
+// hashed and pinned. These fail loudly if anyone changes hash functions,
+// bit layouts, derivation order, or serialization — i.e., anything that
+// would silently break filters persisted by earlier builds or recorded
+// experiment seeds.
+//
+// If a pin fails because of an *intentional* format change: bump the
+// serialization magic (MPCBFv1 -> v2), regenerate the constants below
+// (the failure message prints the new value), and note the break in
+// docs/hcbf-format.md.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "core/mpcbf.hpp"
+#include "hash/fnv.hpp"
+#include "hash/murmur3.hpp"
+#include "workload/string_sets.hpp"
+
+namespace {
+
+using mpcbf::core::Mpcbf;
+using mpcbf::core::MpcbfConfig;
+
+/// FNV over every word's limbs — a stable digest of the filter state.
+template <unsigned W>
+std::uint64_t state_digest(const Mpcbf<W>& f) {
+  std::uint64_t h = mpcbf::hash::kFnvOffset64;
+  for (std::size_t w = 0; w < f.num_words(); ++w) {
+    for (unsigned limb = 0; limb < mpcbf::bits::WordBitset<W>::kLimbs;
+         ++limb) {
+      const std::uint64_t v = f.word(w).limb(limb);
+      h = mpcbf::hash::fnv1a64(reinterpret_cast<const char*>(&v), sizeof v,
+                               h);
+    }
+  }
+  return h;
+}
+
+Mpcbf<64> build_fixed_scenario() {
+  MpcbfConfig cfg;
+  cfg.memory_bits = 1 << 14;
+  cfg.k = 3;
+  cfg.g = 2;
+  cfg.n_max = 10;
+  cfg.seed = 0xC0FFEE;
+  Mpcbf<64> f(cfg);
+  const auto keys = mpcbf::workload::generate_unique_strings(500, 5, 77);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    (void)f.insert(keys[i]);
+    if (i % 3 == 0) {
+      (void)f.erase(keys[i]);
+    }
+  }
+  return f;
+}
+
+TEST(Golden, HashFunctionsPinned) {
+  // Already covered by published vectors in test_hash.cpp; these pins
+  // additionally freeze our block-refill composition.
+  mpcbf::hash::HashBitStream s("golden-key", 0x5EED);
+  std::uint64_t acc = 0;
+  for (int i = 0; i < 40; ++i) {
+    acc ^= s.next_bits(48) + 0x9E3779B97F4A7C15ULL + (acc << 6);
+  }
+  EXPECT_EQ(acc, 5058855401238792535ULL) << "new value: " << acc;
+}
+
+TEST(Golden, FilterStateDigestPinned) {
+  const auto f = build_fixed_scenario();
+  const std::uint64_t digest = state_digest(f);
+  EXPECT_EQ(digest, 11530402583806741934ULL) << "new value: " << digest;
+}
+
+TEST(Golden, SerializationByteStreamPinned) {
+  const auto f = build_fixed_scenario();
+  std::ostringstream os;
+  f.save(os);
+  const std::string bytes = os.str();
+  const std::uint64_t digest = mpcbf::hash::fnv1a64(bytes);
+  EXPECT_EQ(digest, 6939807882118425363ULL)
+      << "new value: " << digest << " (size " << bytes.size() << ")";
+}
+
+}  // namespace

@@ -1,0 +1,305 @@
+// Hierarchical CBF word: the paper's Fig. 3 walkthroughs reproduced
+// bit-for-bit, counter round-trips, overflow behaviour, and an
+// oracle-based property suite (random increment/decrement sequences
+// checked against an exact multiset of counters with structural
+// validation after every step).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/hcbf.hpp"
+
+namespace {
+
+using mpcbf::core::Hcbf;
+using mpcbf::core::HcbfResult;
+using mpcbf::core::HcbfWord;
+using mpcbf::util::Xoshiro256;
+
+TEST(Hcbf, EmptyWordHasZeroCounters) {
+  HcbfWord<64> w(32);
+  for (unsigned p = 0; p < 32; ++p) {
+    EXPECT_EQ(w.counter(p), 0u);
+  }
+  EXPECT_EQ(w.hierarchy_used(), 0u);
+  EXPECT_TRUE(w.validate());
+}
+
+TEST(Hcbf, SingleIncrementSetsLevelOneBit) {
+  HcbfWord<64> w(32);
+  const HcbfResult r = w.increment(5);
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.value, 1u);
+  EXPECT_EQ(w.counter(5), 1u);
+  EXPECT_EQ(w.counter(4), 0u);
+  EXPECT_EQ(w.hierarchy_used(), 1u);  // the level-2 terminator slot
+  EXPECT_TRUE(w.validate());
+}
+
+TEST(Hcbf, RepeatedIncrementDeepensChain) {
+  HcbfWord<64> w(16);
+  for (unsigned depth = 1; depth <= 10; ++depth) {
+    const HcbfResult r = w.increment(3);
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.value, depth);
+    EXPECT_EQ(w.counter(3), depth);
+    EXPECT_EQ(w.hierarchy_used(), depth);
+    ASSERT_TRUE(w.validate());
+  }
+  // HCBF counters are not capped at 15 like CBF's 4-bit counters.
+  for (unsigned depth = 11; depth <= 20; ++depth) {
+    ASSERT_TRUE(w.increment(3).ok);
+  }
+  EXPECT_EQ(w.counter(3), 20u);
+}
+
+// Fig. 3(a): w=16, first level fixed at 8 bits. x0 hashes to bits {0,2,4},
+// x5 to bits {7,4,2}.
+TEST(Hcbf, PaperFigure3aWalkthrough) {
+  HcbfWord<16> w(8);
+
+  // Insert x0: three fresh bits, three level-2 terminator slots.
+  for (unsigned pos : {0u, 2u, 4u}) {
+    ASSERT_TRUE(w.increment(pos).ok);
+  }
+  EXPECT_EQ(w.raw().popcount_range(0, 8), 3u);
+  EXPECT_EQ(w.raw().popcount_range(8, 11), 0u);  // level 2: three 0-slots
+  EXPECT_EQ(w.hierarchy_used(), 3u);
+
+  // Insert x5: bit 7 is fresh; bits 4 and 2 deepen to counter value 2.
+  for (unsigned pos : {7u, 4u, 2u}) {
+    ASSERT_TRUE(w.increment(pos).ok);
+  }
+
+  EXPECT_EQ(w.counter(0), 1u);
+  EXPECT_EQ(w.counter(2), 2u);
+  EXPECT_EQ(w.counter(4), 2u);
+  EXPECT_EQ(w.counter(7), 1u);
+  EXPECT_EQ(w.counter(1), 0u);
+  EXPECT_EQ(w.counter(3), 0u);
+  EXPECT_EQ(w.counter(5), 0u);
+  EXPECT_EQ(w.counter(6), 0u);
+
+  // Level structure: level 1 = 4 ones; level 2 = 4 slots at bits 8..11 of
+  // which the ones for positions 2 and 4 (slot indices 1 and 2) are set;
+  // level 3 = 2 zero slots at bits 12..13.
+  EXPECT_FALSE(w.raw().test(8));   // position 0's slot: counter stops at 1
+  EXPECT_TRUE(w.raw().test(9));    // position 2's slot: counter continues
+  EXPECT_TRUE(w.raw().test(10));   // position 4's slot: counter continues
+  EXPECT_FALSE(w.raw().test(11));  // position 7's slot
+  EXPECT_FALSE(w.raw().test(12));
+  EXPECT_FALSE(w.raw().test(13));
+  EXPECT_EQ(w.hierarchy_used(), 6u);  // sum of counters
+  EXPECT_TRUE(w.validate());
+}
+
+// Fig. 3(b): the improved HCBF maximizes b1 = w - k*n_max = 16 - 3*2 = 10.
+// x0 hashes to {0,2,4}, x5 to {4,6,8}; the word is exactly full.
+TEST(Hcbf, PaperFigure3bImprovedWalkthrough) {
+  HcbfWord<16> w(10);
+  for (unsigned pos : {0u, 2u, 4u}) {
+    ASSERT_TRUE(w.increment(pos).ok);
+  }
+  for (unsigned pos : {4u, 6u, 8u}) {
+    ASSERT_TRUE(w.increment(pos).ok);
+  }
+  EXPECT_EQ(w.counter(0), 1u);
+  EXPECT_EQ(w.counter(2), 1u);
+  EXPECT_EQ(w.counter(4), 2u);
+  EXPECT_EQ(w.counter(6), 1u);
+  EXPECT_EQ(w.counter(8), 1u);
+
+  // Level 2 holds 5 slots (one per set level-1 bit) at bits 10..14; only
+  // position 4's slot (index 2, bit 12) is set. Level 3 is one zero slot
+  // at bit 15. No spare bits remain: 10 + 5 + 1 = 16.
+  EXPECT_FALSE(w.raw().test(10));
+  EXPECT_FALSE(w.raw().test(11));
+  EXPECT_TRUE(w.raw().test(12));
+  EXPECT_FALSE(w.raw().test(13));
+  EXPECT_FALSE(w.raw().test(14));
+  EXPECT_FALSE(w.raw().test(15));
+  EXPECT_EQ(w.free_bits(), 0u);
+  EXPECT_TRUE(w.validate());
+}
+
+TEST(Hcbf, DecrementReversesIncrement) {
+  HcbfWord<64> w(40);
+  ASSERT_TRUE(w.increment(7).ok);
+  ASSERT_TRUE(w.increment(7).ok);
+  ASSERT_TRUE(w.increment(12).ok);
+  EXPECT_EQ(w.counter(7), 2u);
+
+  HcbfResult r = w.decrement(7);
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.value, 1u);
+  EXPECT_EQ(w.counter(7), 1u);
+  EXPECT_EQ(w.counter(12), 1u);
+
+  r = w.decrement(7);
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.value, 0u);
+  EXPECT_EQ(w.counter(7), 0u);
+
+  ASSERT_TRUE(w.decrement(12).ok);
+  EXPECT_EQ(w.hierarchy_used(), 0u);
+  // Word must be bit-for-bit empty again.
+  EXPECT_EQ(w.raw().count(), 0u);
+  EXPECT_TRUE(w.validate());
+}
+
+TEST(Hcbf, DecrementAtZeroFails) {
+  HcbfWord<64> w(40);
+  const HcbfResult r = w.decrement(3);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(w.raw().count(), 0u);
+  ASSERT_TRUE(w.increment(3).ok);
+  ASSERT_TRUE(w.decrement(3).ok);
+  EXPECT_FALSE(w.decrement(3).ok);
+}
+
+TEST(Hcbf, OverflowRejectedAndWordUntouched) {
+  // b1 = 12 in a 16-bit word: 4 hierarchy bits available.
+  HcbfWord<16> w(12);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(w.increment(static_cast<unsigned>(i)).ok);
+  }
+  const auto before = w.raw();
+  const HcbfResult r = w.increment(5);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(w.raw(), before);
+  EXPECT_EQ(w.counter(5), 0u);
+  EXPECT_TRUE(w.validate());
+
+  // Freeing one bit re-enables insertion.
+  ASSERT_TRUE(w.decrement(0).ok);
+  EXPECT_TRUE(w.increment(5).ok);
+}
+
+TEST(Hcbf, MembershipReadsOnlyLevelOne) {
+  HcbfWord<64> w(32);
+  ASSERT_TRUE(w.increment(1).ok);
+  ASSERT_TRUE(w.increment(9).ok);
+  const std::vector<unsigned> in = {1u, 9u};
+  const std::vector<unsigned> partial = {1u, 10u};
+  EXPECT_TRUE(w.membership(in));
+  EXPECT_FALSE(w.membership(partial));
+  EXPECT_FALSE(w.membership(partial, /*short_circuit=*/false));
+}
+
+TEST(Hcbf, OccupiedBitsMatchesDerivation) {
+  HcbfWord<64> w(30);
+  EXPECT_EQ(mpcbf::core::Hcbf<64>::occupied_bits(w.raw(), 30), 30u);
+  for (unsigned pos : {0u, 0u, 0u, 5u, 29u, 5u}) {
+    ASSERT_TRUE(w.increment(pos).ok);
+  }
+  EXPECT_EQ(mpcbf::core::Hcbf<64>::occupied_bits(w.raw(), 30), 36u);
+  EXPECT_EQ(mpcbf::core::Hcbf<64>::hierarchy_bits(w.raw(), 30),
+            w.hierarchy_used());
+}
+
+// ---- oracle property suite ---------------------------------------------
+
+struct PropertyParams {
+  std::uint64_t seed;
+  unsigned b1;
+};
+
+template <unsigned W>
+void run_oracle(const PropertyParams& params, int iterations) {
+  HcbfWord<W> w(params.b1);
+  std::map<unsigned, unsigned> oracle;  // position -> exact counter
+  unsigned total = 0;                   // sum of counters
+  Xoshiro256 rng(params.seed);
+
+  for (int it = 0; it < iterations; ++it) {
+    const auto pos = static_cast<unsigned>(rng.bounded(params.b1));
+    const bool do_increment = rng.bounded(100) < 60;
+    if (do_increment) {
+      const HcbfResult r = w.increment(pos);
+      if (params.b1 + total < W) {
+        ASSERT_TRUE(r.ok) << "it=" << it;
+        ++oracle[pos];
+        ++total;
+        ASSERT_EQ(r.value, oracle[pos]);
+      } else {
+        ASSERT_FALSE(r.ok) << "overflow must be rejected, it=" << it;
+      }
+    } else {
+      const HcbfResult r = w.decrement(pos);
+      auto node = oracle.find(pos);
+      if (node == oracle.end() || node->second == 0) {
+        ASSERT_FALSE(r.ok) << "it=" << it;
+      } else {
+        ASSERT_TRUE(r.ok) << "it=" << it;
+        --node->second;
+        --total;
+        ASSERT_EQ(r.value, node->second);
+        if (node->second == 0) oracle.erase(node);
+      }
+    }
+    ASSERT_TRUE(w.validate()) << "structural invariant broken at it=" << it;
+    // Spot-check a few counters every round (full sweep is O(b1) walks).
+    for (int probe = 0; probe < 4; ++probe) {
+      const auto p = static_cast<unsigned>(rng.bounded(params.b1));
+      const auto node = oracle.find(p);
+      const unsigned expected = node == oracle.end() ? 0 : node->second;
+      ASSERT_EQ(w.counter(p), expected) << "it=" << it << " pos=" << p;
+    }
+  }
+
+  // Full final sweep.
+  for (unsigned p = 0; p < params.b1; ++p) {
+    const auto node = oracle.find(p);
+    const unsigned expected = node == oracle.end() ? 0 : node->second;
+    EXPECT_EQ(w.counter(p), expected) << "pos=" << p;
+  }
+}
+
+class HcbfOracle : public ::testing::TestWithParam<PropertyParams> {};
+
+TEST_P(HcbfOracle, Width32) { run_oracle<32>(GetParam(), 1200); }
+TEST_P(HcbfOracle, Width64) { run_oracle<64>(GetParam(), 2000); }
+TEST_P(HcbfOracle, Width128) { run_oracle<128>(GetParam(), 2000); }
+TEST_P(HcbfOracle, Width256) { run_oracle<256>(GetParam(), 2000); }
+TEST_P(HcbfOracle, Width512) { run_oracle<512>(GetParam(), 1500); }
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, HcbfOracle,
+    ::testing::Values(PropertyParams{11, 10}, PropertyParams{12, 16},
+                      PropertyParams{13, 20}, PropertyParams{99, 8},
+                      PropertyParams{0xF00D, 24}));
+
+// Canonicality: a word reached by inserts+deletes equals a word built by
+// the surviving inserts alone (the structure has no history).
+TEST(Hcbf, StateIsCanonical) {
+  Xoshiro256 rng(77);
+  constexpr unsigned kB1 = 20;
+  HcbfWord<64> churned(kB1);
+  std::map<unsigned, unsigned> oracle;
+  unsigned total = 0;
+  for (int it = 0; it < 3000; ++it) {
+    const auto pos = static_cast<unsigned>(rng.bounded(kB1));
+    if (rng.bounded(2) == 0 && kB1 + total < 64) {
+      if (churned.increment(pos).ok) {
+        ++oracle[pos];
+        ++total;
+      }
+    } else if (oracle.contains(pos) && oracle[pos] > 0) {
+      ASSERT_TRUE(churned.decrement(pos).ok);
+      if (--oracle[pos] == 0) oracle.erase(pos);
+      --total;
+    }
+  }
+  HcbfWord<64> fresh(kB1);
+  for (const auto& [pos, count] : oracle) {
+    for (unsigned i = 0; i < count; ++i) {
+      ASSERT_TRUE(fresh.increment(pos).ok);
+    }
+  }
+  EXPECT_EQ(churned.raw(), fresh.raw());
+}
+
+}  // namespace

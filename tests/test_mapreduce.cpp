@@ -1,0 +1,252 @@
+// MapReduce engine + reduce-side join: word-count correctness against a
+// sequential reference, counter accounting, and the join's exactness with
+// and without filter pushdown (filters must change cost, never results).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/mpcbf.hpp"
+#include "filters/counting_bloom.hpp"
+#include "mapreduce/engine.hpp"
+#include "mapreduce/join.hpp"
+#include "workload/patent_data.hpp"
+
+namespace {
+
+using mpcbf::mr::JobConfig;
+using mpcbf::mr::JobCounters;
+using mpcbf::workload::PatentData;
+using mpcbf::workload::PatentDataConfig;
+
+TEST(Engine, WordCountMatchesSequentialReference) {
+  const std::vector<std::string> docs = {
+      "the quick brown fox", "jumps over the lazy dog",
+      "the dog barks",       "quick quick quick",
+      "fox and dog and fox", ""};
+
+  // Sequential reference.
+  std::map<std::string, int> expected;
+  for (const auto& d : docs) {
+    std::size_t pos = 0;
+    while (pos < d.size()) {
+      const std::size_t space = d.find(' ', pos);
+      const std::size_t end = space == std::string::npos ? d.size() : space;
+      if (end > pos) ++expected[d.substr(pos, end - pos)];
+      pos = end + 1;
+    }
+  }
+
+  using WcJob = mpcbf::mr::Job<std::string, std::string, int, std::string>;
+  WcJob::MapFn mapper = [](const std::string& d, WcJob::Emitter& emit) {
+    std::size_t pos = 0;
+    while (pos < d.size()) {
+      const std::size_t space = d.find(' ', pos);
+      const std::size_t end = space == std::string::npos ? d.size() : space;
+      if (end > pos) emit.emit(d.substr(pos, end - pos), 1);
+      pos = end + 1;
+    }
+  };
+  WcJob::ReduceFn reducer = [](const std::string& word,
+                               const std::vector<int>& ones,
+                               WcJob::Collector& out) {
+    int total = 0;
+    for (const int v : ones) total += v;
+    out.emit(word + ":" + std::to_string(total));
+  };
+
+  JobConfig cfg;
+  cfg.num_map_tasks = 3;
+  cfg.num_reducers = 2;
+  cfg.threads = 2;
+  WcJob job(mapper, reducer, cfg);
+  JobCounters counters;
+  auto rows = job.run(docs, counters);
+
+  std::map<std::string, int> got;
+  for (const auto& r : rows) {
+    const auto colon = r.rfind(':');
+    got[r.substr(0, colon)] = std::stoi(r.substr(colon + 1));
+  }
+  EXPECT_EQ(got.size(), expected.size());
+  for (const auto& [w, c] : expected) {
+    EXPECT_EQ(got[w], c) << w;
+  }
+  EXPECT_EQ(counters.map_input_records, docs.size());
+  EXPECT_EQ(counters.reduce_input_groups, expected.size());
+  EXPECT_EQ(counters.reduce_output_records, expected.size());
+  EXPECT_GT(counters.map_output_records, 0u);
+  EXPECT_GT(counters.shuffle_bytes, 0u);
+}
+
+TEST(Engine, CountOnlyModeCountsWithoutMaterializing) {
+  using J = mpcbf::mr::Job<int, int, int, int>;
+  J::MapFn mapper = [](const int& x, J::Emitter& e) { e.emit(x % 5, x); };
+  J::ReduceFn reducer = [](const int&, const std::vector<int>& vs,
+                           J::Collector& out) {
+    for (const int v : vs) out.emit(v);
+  };
+  std::vector<int> inputs(1000);
+  for (int i = 0; i < 1000; ++i) inputs[static_cast<std::size_t>(i)] = i;
+  J job(mapper, reducer, JobConfig{4, 3, 2});
+  JobCounters counters;
+  const auto rows = job.run(inputs, counters, /*materialize_output=*/false);
+  EXPECT_TRUE(rows.empty());
+  EXPECT_EQ(counters.reduce_output_records, 1000u);
+  EXPECT_EQ(counters.reduce_input_groups, 5u);
+}
+
+TEST(Engine, EmptyInput) {
+  using J = mpcbf::mr::Job<int, int, int, int>;
+  J job([](const int&, J::Emitter&) {},
+        [](const int&, const std::vector<int>&, J::Collector&) {},
+        JobConfig{2, 2, 1});
+  JobCounters counters;
+  const auto rows = job.run({}, counters);
+  EXPECT_TRUE(rows.empty());
+  EXPECT_EQ(counters.map_output_records, 0u);
+}
+
+PatentData small_patents() {
+  PatentDataConfig cfg;
+  cfg.num_patents = 2000;
+  cfg.num_citations = 20000;
+  cfg.hit_fraction = 0.4;
+  cfg.seed = 5;
+  return PatentData::generate(cfg);
+}
+
+TEST(Join, UnfilteredJoinIsExact) {
+  const auto data = small_patents();
+  const auto stats = mpcbf::mr::run_reduce_side_join(data, nullptr);
+  // Patent ids are unique, so each hit citation joins exactly one patent
+  // row: output cardinality == ground-truth hit count.
+  EXPECT_EQ(stats.joined_rows, data.hit_count());
+  EXPECT_EQ(stats.filter_probes, 0u);
+  EXPECT_EQ(stats.counters.map_input_records,
+            data.patents.size() + data.citations.size());
+  EXPECT_EQ(stats.counters.map_output_records,
+            data.patents.size() + data.citations.size());
+}
+
+TEST(Join, CbfPushdownPreservesResultAndCutsMapOutput) {
+  const auto data = small_patents();
+  mpcbf::filters::CountingBloomFilter cbf(
+      data.patents.size() * 8, 3);  // deliberately tight: visible FPR
+  for (const auto& p : data.patents) cbf.insert(p.id);
+
+  const auto baseline = mpcbf::mr::run_reduce_side_join(data, nullptr);
+  const auto filtered = mpcbf::mr::run_reduce_side_join(
+      data, [&](std::string_view key) { return cbf.contains(key); });
+
+  EXPECT_EQ(filtered.joined_rows, baseline.joined_rows);  // exactness
+  EXPECT_EQ(filtered.filter_probes, data.citations.size());
+  EXPECT_GE(filtered.filter_passes, data.hit_count());  // no false negatives
+  EXPECT_LT(filtered.counters.map_output_records,
+            baseline.counters.map_output_records);
+}
+
+TEST(Join, MpcbfPushdownPassesFewerRecordsThanCbf) {
+  const auto data = small_patents();
+  // 16 bits/key (m/n = 4 counters): tight enough that CBF shows a real
+  // FPR, loose enough that MPCBF's hierarchy overhead doesn't dominate —
+  // the regime of the paper's Table IV.
+  const std::size_t memory = data.patents.size() * 16;
+
+  mpcbf::filters::CountingBloomFilter cbf(memory, 3);
+  mpcbf::core::MpcbfConfig mcfg;
+  mcfg.memory_bits = memory;
+  mcfg.k = 3;
+  mcfg.g = 1;
+  mcfg.expected_n = data.patents.size();
+  // Stash policy: at this deliberately tight memory a rare word overflow
+  // must not turn into a false negative (which would corrupt the join).
+  mcfg.policy = mpcbf::core::OverflowPolicy::kStash;
+  mpcbf::core::Mpcbf<64> mp(mcfg);
+  for (const auto& p : data.patents) {
+    cbf.insert(p.id);
+    ASSERT_TRUE(mp.insert(p.id));
+  }
+
+  const auto with_cbf = mpcbf::mr::run_reduce_side_join(
+      data, [&](std::string_view key) { return cbf.contains(key); });
+  const auto with_mp = mpcbf::mr::run_reduce_side_join(
+      data, [&](std::string_view key) { return mp.contains(key); });
+
+  EXPECT_EQ(with_cbf.joined_rows, with_mp.joined_rows);
+  // The paper's Table IV effect: MPCBF passes fewer false positives.
+  EXPECT_LE(with_mp.filter_passes, with_cbf.filter_passes);
+}
+
+TEST(Engine, CombinerShrinksShuffleWithoutChangingResults) {
+  using WcJob = mpcbf::mr::Job<std::string, std::string, int, std::string>;
+  const std::vector<std::string> docs(200, "a b a b a c");
+
+  WcJob::MapFn mapper = [](const std::string& d, WcJob::Emitter& emit) {
+    std::size_t pos = 0;
+    while (pos < d.size()) {
+      const std::size_t space = d.find(' ', pos);
+      const std::size_t end = space == std::string::npos ? d.size() : space;
+      if (end > pos) emit.emit(d.substr(pos, end - pos), 1);
+      pos = end + 1;
+    }
+  };
+  WcJob::ReduceFn reducer = [](const std::string& word,
+                               const std::vector<int>& counts,
+                               WcJob::Collector& out) {
+    int total = 0;
+    for (const int v : counts) total += v;
+    out.emit(word + ":" + std::to_string(total));
+  };
+
+  JobConfig cfg;
+  cfg.num_map_tasks = 4;
+  cfg.num_reducers = 2;
+  cfg.threads = 2;
+
+  WcJob plain(mapper, reducer, cfg);
+  JobCounters plain_counters;
+  auto plain_rows = plain.run(docs, plain_counters);
+
+  WcJob combined(mapper, reducer, cfg);
+  combined.set_combiner([](const std::string&, std::vector<int>&& counts) {
+    int total = 0;
+    for (const int v : counts) total += v;
+    return total;
+  });
+  JobCounters combined_counters;
+  auto combined_rows = combined.run(docs, combined_counters);
+
+  std::sort(plain_rows.begin(), plain_rows.end());
+  std::sort(combined_rows.begin(), combined_rows.end());
+  EXPECT_EQ(plain_rows, combined_rows);  // identical results
+  // 200 docs x 6 words collapse to <= tasks x reducers x 3 keys.
+  EXPECT_EQ(combined_counters.map_output_records, 1200u);
+  EXPECT_LE(combined_counters.combine_output_records, 4u * 2u * 3u);
+  EXPECT_LT(combined_counters.shuffle_bytes, plain_counters.shuffle_bytes);
+}
+
+TEST(Join, MapSideJoinMatchesReduceSide) {
+  const auto data = small_patents();
+  const auto reduce_side = mpcbf::mr::run_reduce_side_join(data, nullptr);
+  const auto map_side = mpcbf::mr::run_map_side_join(data);
+  EXPECT_EQ(map_side.joined_rows, reduce_side.joined_rows);
+  EXPECT_EQ(map_side.joined_rows, data.hit_count());
+  // Map-side never shuffles dimension rows: strictly fewer map outputs
+  // than the unfiltered reduce-side join's patents+citations.
+  EXPECT_LT(map_side.counters.map_output_records,
+            reduce_side.counters.map_output_records);
+}
+
+TEST(Join, FilterFalsePositivesDieInReducer) {
+  // An always-true "filter" must reproduce the unfiltered result exactly.
+  const auto data = small_patents();
+  const auto all = mpcbf::mr::run_reduce_side_join(
+      data, [](std::string_view) { return true; });
+  EXPECT_EQ(all.joined_rows, data.hit_count());
+  EXPECT_EQ(all.filter_passes, data.citations.size());
+}
+
+}  // namespace

@@ -1,0 +1,187 @@
+// Filter merging: counter-wise union semantics for Mpcbf and CBF —
+// membership of both sides preserved, deletes still valid afterwards,
+// incompatible layouts and overflowing merges rejected atomically.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/mpcbf.hpp"
+#include "filters/counting_bloom.hpp"
+#include "workload/string_sets.hpp"
+
+namespace {
+
+using mpcbf::core::Mpcbf;
+using mpcbf::core::MpcbfConfig;
+using mpcbf::core::OverflowPolicy;
+using mpcbf::filters::CountingBloomFilter;
+using mpcbf::workload::generate_unique_strings;
+
+MpcbfConfig shared_config() {
+  MpcbfConfig cfg;
+  cfg.memory_bits = 1 << 18;
+  cfg.k = 3;
+  cfg.g = 1;
+  cfg.n_max = 12;  // generous: both halves must fit after the merge
+  cfg.seed = 42;
+  return cfg;
+}
+
+TEST(MpcbfMerge, UnionPreservesBothSides) {
+  const auto keys_a = generate_unique_strings(2000, 5, 201);
+  const auto keys_b = generate_unique_strings(2000, 6, 202);
+  Mpcbf<64> a(shared_config());
+  Mpcbf<64> b(shared_config());
+  for (const auto& k : keys_a) ASSERT_TRUE(a.insert(k));
+  for (const auto& k : keys_b) ASSERT_TRUE(b.insert(k));
+
+  ASSERT_TRUE(a.compatible(b));
+  ASSERT_TRUE(a.merge(b));
+  EXPECT_EQ(a.size(), 4000u);
+  EXPECT_TRUE(a.validate());
+  for (const auto& k : keys_a) {
+    ASSERT_TRUE(a.contains(k));
+  }
+  for (const auto& k : keys_b) {
+    ASSERT_TRUE(a.contains(k));
+  }
+}
+
+TEST(MpcbfMerge, MergedStateEqualsDirectConstruction) {
+  // Merge must be semantically identical to inserting everything into one
+  // filter — bit for bit (HCBF state is canonical in the counter map).
+  const auto keys_a = generate_unique_strings(1000, 5, 203);
+  const auto keys_b = generate_unique_strings(1000, 6, 204);
+  Mpcbf<64> a(shared_config());
+  Mpcbf<64> b(shared_config());
+  Mpcbf<64> direct(shared_config());
+  for (const auto& k : keys_a) {
+    ASSERT_TRUE(a.insert(k));
+    ASSERT_TRUE(direct.insert(k));
+  }
+  for (const auto& k : keys_b) {
+    ASSERT_TRUE(b.insert(k));
+    ASSERT_TRUE(direct.insert(k));
+  }
+  ASSERT_TRUE(a.merge(b));
+  for (std::size_t w = 0; w < a.num_words(); ++w) {
+    ASSERT_EQ(a.word(w), direct.word(w)) << w;
+  }
+}
+
+TEST(MpcbfMerge, DeletesRemainValidAfterMerge) {
+  const auto keys_a = generate_unique_strings(800, 5, 205);
+  const auto keys_b = generate_unique_strings(800, 6, 206);
+  Mpcbf<64> a(shared_config());
+  Mpcbf<64> b(shared_config());
+  for (const auto& k : keys_a) ASSERT_TRUE(a.insert(k));
+  for (const auto& k : keys_b) ASSERT_TRUE(b.insert(k));
+  ASSERT_TRUE(a.merge(b));
+  for (const auto& k : keys_a) {
+    ASSERT_TRUE(a.erase(k));
+  }
+  for (const auto& k : keys_b) {
+    ASSERT_TRUE(a.erase(k));
+  }
+  EXPECT_EQ(a.total_hierarchy_bits(), 0u);
+  EXPECT_TRUE(a.validate());
+}
+
+TEST(MpcbfMerge, IncompatibleLayoutRejected) {
+  Mpcbf<64> a(shared_config());
+  MpcbfConfig other = shared_config();
+  other.k = 4;
+  Mpcbf<64> b(other);
+  EXPECT_FALSE(a.compatible(b));
+  EXPECT_FALSE(a.merge(b));
+
+  MpcbfConfig different_seed = shared_config();
+  different_seed.seed = 43;
+  Mpcbf<64> c(different_seed);
+  EXPECT_FALSE(a.merge(c));
+}
+
+TEST(MpcbfMerge, OverflowingMergeRejectedAtomically) {
+  MpcbfConfig cfg;
+  cfg.memory_bits = 64;  // single word, capacity 2 elements (n_max=2)
+  cfg.k = 3;
+  cfg.g = 1;
+  cfg.n_max = 2;
+  cfg.seed = 7;
+  Mpcbf<64> a(cfg);
+  Mpcbf<64> b(cfg);
+  ASSERT_TRUE(a.insert("x"));
+  ASSERT_TRUE(a.insert("y"));
+  ASSERT_TRUE(b.insert("z"));
+
+  const auto before = a.word(0);
+  EXPECT_FALSE(a.merge(b));  // 3 elements cannot fit
+  EXPECT_EQ(a.word(0), before);
+  EXPECT_EQ(a.size(), 2u);
+}
+
+TEST(MpcbfMerge, StashContentsMerge) {
+  MpcbfConfig cfg;
+  cfg.memory_bits = 64 * 4;
+  cfg.k = 3;
+  cfg.g = 1;
+  cfg.n_max = 2;
+  cfg.seed = 11;
+  cfg.policy = OverflowPolicy::kStash;
+  Mpcbf<64> a(cfg);
+  Mpcbf<64> b(cfg);
+  const auto keys = generate_unique_strings(30, 6, 207);
+  for (std::size_t i = 0; i < 15; ++i) ASSERT_TRUE(a.insert(keys[i]));
+  for (std::size_t i = 15; i < 30; ++i) ASSERT_TRUE(b.insert(keys[i]));
+  ASSERT_GT(b.stash_size(), 0u);
+
+  // Words are near-full on both sides, so this merge may legitimately be
+  // rejected; retry semantics: when it succeeds, everything must be
+  // queryable.
+  if (a.merge(b)) {
+    for (const auto& k : keys) {
+      ASSERT_TRUE(a.contains(k)) << k;
+    }
+  }
+}
+
+TEST(CbfMerge, UnionAndCompatibility) {
+  const auto keys_a = generate_unique_strings(2000, 5, 208);
+  const auto keys_b = generate_unique_strings(2000, 6, 209);
+  CountingBloomFilter a(1 << 17, 3, 99);
+  CountingBloomFilter b(1 << 17, 3, 99);
+  CountingBloomFilter other_seed(1 << 17, 3, 100);
+  for (const auto& k : keys_a) a.insert(k);
+  for (const auto& k : keys_b) b.insert(k);
+
+  EXPECT_FALSE(a.merge(other_seed));
+  ASSERT_TRUE(a.merge(b));
+  EXPECT_EQ(a.size(), 4000u);
+  for (const auto& k : keys_a) {
+    ASSERT_TRUE(a.contains(k));
+  }
+  for (const auto& k : keys_b) {
+    ASSERT_TRUE(a.contains(k));
+  }
+  // Deletes of either side stay valid.
+  for (const auto& k : keys_b) {
+    ASSERT_TRUE(a.erase(k));
+  }
+  for (const auto& k : keys_a) {
+    ASSERT_TRUE(a.contains(k));
+  }
+}
+
+TEST(CbfMerge, SaturatesInsteadOfWrapping) {
+  CountingBloomFilter a(256, 2, 5);
+  CountingBloomFilter b(256, 2, 5);
+  for (int i = 0; i < 10; ++i) {
+    a.insert("hot");
+    b.insert("hot");
+  }
+  ASSERT_TRUE(a.merge(b));
+  EXPECT_TRUE(a.contains("hot"));  // counters pinned at max, not wrapped
+}
+
+}  // namespace

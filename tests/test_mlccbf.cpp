@@ -1,0 +1,131 @@
+// MlCcbf: layered unary counters over the whole vector — structural
+// invariants, round trips, memory proportional to counter mass, and
+// agreement with the per-word HCBF on counter semantics.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "filters/mlccbf.hpp"
+#include "workload/string_sets.hpp"
+
+namespace {
+
+using mpcbf::filters::MlCcbf;
+using mpcbf::workload::generate_unique_strings;
+
+TEST(MlCcbf, ConstructionValidation) {
+  EXPECT_THROW(MlCcbf(0, 3), std::invalid_argument);
+  EXPECT_THROW(MlCcbf(100, 0), std::invalid_argument);
+  MlCcbf f(100, 3);
+  EXPECT_EQ(f.layer1_bits(), 100u);
+  EXPECT_TRUE(f.validate());
+}
+
+TEST(MlCcbf, InsertContainsErase) {
+  MlCcbf f(1 << 12, 3);
+  EXPECT_FALSE(f.contains("x"));
+  f.insert("x");
+  EXPECT_TRUE(f.contains("x"));
+  EXPECT_TRUE(f.validate());
+  EXPECT_TRUE(f.erase("x"));
+  EXPECT_FALSE(f.contains("x"));
+  EXPECT_TRUE(f.validate());
+}
+
+TEST(MlCcbf, NoFalseNegatives) {
+  const auto keys = generate_unique_strings(1500, 5, 601);
+  MlCcbf f(1 << 13, 3);
+  for (const auto& k : keys) f.insert(k);
+  for (const auto& k : keys) {
+    ASSERT_TRUE(f.contains(k));
+  }
+  EXPECT_TRUE(f.validate());
+}
+
+TEST(MlCcbf, EraseAllRestoresEmpty) {
+  const auto keys = generate_unique_strings(800, 5, 602);
+  MlCcbf f(1 << 12, 3);
+  for (const auto& k : keys) f.insert(k);
+  for (const auto& k : keys) {
+    ASSERT_TRUE(f.erase(k));
+  }
+  EXPECT_EQ(f.memory_bits(), f.layer1_bits());  // only layer 1 remains
+  EXPECT_EQ(f.num_layers(), 1u);
+  EXPECT_TRUE(f.validate());
+}
+
+TEST(MlCcbf, MemoryTracksCounterMass) {
+  MlCcbf f(1 << 10, 3);
+  const std::size_t empty_bits = f.memory_bits();
+  EXPECT_EQ(empty_bits, 1u << 10);
+  f.insert("a");
+  // One insert = k counters of 1 = k ones + k terminator slots.
+  EXPECT_EQ(f.memory_bits(), empty_bits + 3);
+  f.insert("a");
+  EXPECT_EQ(f.memory_bits(), empty_bits + 6);
+  ASSERT_TRUE(f.erase("a"));
+  EXPECT_EQ(f.memory_bits(), empty_bits + 3);
+}
+
+TEST(MlCcbf, CountTracksMultiplicity) {
+  MlCcbf f(1 << 12, 3);
+  EXPECT_EQ(f.count("m"), 0u);
+  for (int i = 0; i < 6; ++i) f.insert("m");
+  EXPECT_GE(f.count("m"), 6u);
+  ASSERT_TRUE(f.erase("m"));
+  EXPECT_GE(f.count("m"), 5u);
+}
+
+TEST(MlCcbf, DeepCountersSpanManyLayers) {
+  MlCcbf f(64, 1);
+  for (int i = 0; i < 10; ++i) f.insert("deep");
+  EXPECT_EQ(f.count("deep"), 10u);
+  EXPECT_GE(f.num_layers(), 10u);
+  EXPECT_TRUE(f.validate());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(f.erase("deep"));
+  }
+  EXPECT_EQ(f.num_layers(), 1u);
+}
+
+TEST(MlCcbf, RandomChurnKeepsInvariants) {
+  mpcbf::util::Xoshiro256 rng(603);
+  const auto pool = generate_unique_strings(300, 5, 604);
+  MlCcbf f(1 << 11, 3);
+  std::vector<int> live(pool.size(), 0);
+  for (int it = 0; it < 4000; ++it) {
+    const std::size_t i = rng.bounded(pool.size());
+    if (rng.bounded(2) == 0) {
+      f.insert(pool[i]);
+      ++live[i];
+    } else if (live[i] > 0) {
+      ASSERT_TRUE(f.erase(pool[i]));
+      --live[i];
+    }
+    if (it % 500 == 0) {
+      ASSERT_TRUE(f.validate()) << it;
+    }
+  }
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    if (live[i] > 0) {
+      ASSERT_TRUE(f.contains(pool[i]));
+      ASSERT_GE(f.count(pool[i]), static_cast<std::uint32_t>(live[i]));
+    }
+  }
+  EXPECT_TRUE(f.validate());
+}
+
+TEST(MlCcbf, UsesLessMemoryThanCbfAtLowLoad) {
+  // The headline of ref. [19]: compressed counters beat 4-bit-per-counter
+  // CBF when most counters are 0/1. Same slot count: CBF = 4m bits fixed,
+  // ML-CCBF = m + counter-mass bits.
+  const auto keys = generate_unique_strings(2000, 5, 605);
+  constexpr std::size_t kSlots = 1 << 15;
+  MlCcbf f(kSlots, 3);
+  for (const auto& k : keys) f.insert(k);
+  EXPECT_LT(f.memory_bits(), kSlots * 4);
+}
+
+}  // namespace

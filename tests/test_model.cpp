@@ -1,0 +1,312 @@
+// Analytic model: combinatorics kernels against brute-force references,
+// the paper's quoted numeric anchors (m/n=10, k=7 -> f ~ 0.008), formula
+// consistency/monotonicity, overflow bounds, heuristics, and optimal-k
+// search.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "model/combinatorics.hpp"
+#include "model/fpr_model.hpp"
+#include "model/optimal_k.hpp"
+#include "model/overflow_model.hpp"
+
+namespace {
+
+using namespace mpcbf::model;
+
+// --- combinatorics ----------------------------------------------------------
+
+TEST(Combinatorics, LogBinomialCoefficient) {
+  EXPECT_NEAR(std::exp(log_binomial_coefficient(5, 2)), 10.0, 1e-9);
+  EXPECT_NEAR(std::exp(log_binomial_coefficient(10, 5)), 252.0, 1e-6);
+  EXPECT_NEAR(log_binomial_coefficient(100000, 50000),
+              100000 * std::log(2.0) - 0.5 * std::log(3.14159265 / 2 * 100000),
+              1.0);  // Stirling sanity: C(2n,n) ~ 4^n / sqrt(pi n)
+  EXPECT_THROW((void)log_binomial_coefficient(3, 4), std::invalid_argument);
+}
+
+TEST(Combinatorics, BinomialPmfSumsToOne) {
+  double sum = 0.0;
+  for (std::uint64_t j = 0; j <= 30; ++j) {
+    sum += binomial_pmf(30, 0.3, j);
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Combinatorics, BinomialPmfEdgeCases) {
+  EXPECT_DOUBLE_EQ(binomial_pmf(10, 0.0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(10, 0.0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(10, 1.0, 10), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(10, 0.5, 11), 0.0);
+}
+
+TEST(Combinatorics, BinomialSfAgainstDirectSum) {
+  for (std::uint64_t j : {0ull, 1ull, 5ull, 10ull, 20ull}) {
+    double direct = 0.0;
+    for (std::uint64_t i = j; i <= 20; ++i) {
+      direct += binomial_pmf(20, 0.25, i);
+    }
+    EXPECT_NEAR(binomial_sf(20, 0.25, j), direct, 1e-10) << j;
+  }
+}
+
+TEST(Combinatorics, PoissonPmfAndCdf) {
+  EXPECT_NEAR(poisson_pmf(2.0, 0), std::exp(-2.0), 1e-12);
+  EXPECT_NEAR(poisson_pmf(2.0, 2), 2.0 * std::exp(-2.0), 1e-12);
+  EXPECT_NEAR(poisson_cdf(3.0, 1000), 1.0, 1e-12);
+  EXPECT_NEAR(poisson_sf(3.0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(poisson_sf(3.0, 1), 1.0 - std::exp(-3.0), 1e-12);
+}
+
+TEST(Combinatorics, PoissonInv) {
+  // Median of Poisson(1) is 1; the 1e-4-tail quantile grows with lambda.
+  EXPECT_EQ(poisson_inv(0.0, 5.0), 0u);
+  EXPECT_EQ(poisson_inv(std::exp(-1.0), 1.0), 0u);  // CDF(0) = e^-1 exactly
+  EXPECT_EQ(poisson_inv(0.5, 1.0), 1u);
+  const auto q = poisson_inv(0.9999, 2.0);
+  EXPECT_GE(q, 7u);
+  EXPECT_LE(q, 10u);
+  // Monotone in p.
+  EXPECT_LE(poisson_inv(0.5, 4.0), poisson_inv(0.99, 4.0));
+}
+
+TEST(Combinatorics, ExpectBinomialMatchesDirectSum) {
+  const auto phi = [](std::uint64_t j) {
+    return 1.0 - std::pow(0.9, static_cast<double>(j));
+  };
+  double direct = 0.0;
+  for (std::uint64_t j = 0; j <= 40; ++j) {
+    direct += binomial_pmf(40, 0.2, j) * phi(j);
+  }
+  EXPECT_NEAR(expect_binomial(40, 0.2, phi), direct, 1e-10);
+}
+
+TEST(Combinatorics, ExpectBinomialLargeNStable) {
+  // n = 10^5, p = 10^-4: must not over/underflow and must be close to the
+  // Poisson(10) limit.
+  const auto phi = [](std::uint64_t j) {
+    return 1.0 - std::pow(0.97, static_cast<double>(j));
+  };
+  const double binom = expect_binomial(100000, 1e-4, phi);
+  const double poiss = expect_poisson(10.0, phi);
+  EXPECT_NEAR(binom, poiss, 1e-3);
+  EXPECT_GT(binom, 0.0);
+  EXPECT_LT(binom, 1.0);
+}
+
+// --- eq. (1) and the paper's anchor -----------------------------------------
+
+TEST(FprModel, PaperAnchorMnTenKSeven) {
+  // Sec. II-A: "when m/n=10 and k=7, the false positive rate f is about
+  // 0.008".
+  const double f = fpr_bloom(100000, 1000000, 7);
+  EXPECT_NEAR(f, 0.008, 0.001);
+}
+
+TEST(FprModel, OptimalKBloomMatchesLnTwoRule) {
+  EXPECT_EQ(optimal_k_bloom(100000, 1000000), 7u);   // 10 ln2 = 6.93
+  EXPECT_EQ(optimal_k_bloom(100000, 2000000), 14u);  // 20 ln2 = 13.86
+}
+
+TEST(FprModel, FprBloomMonotonicInMemory) {
+  double prev = 1.0;
+  for (std::uint64_t m = 100000; m <= 1600000; m *= 2) {
+    const double f = fpr_bloom(100000, m, 3);
+    EXPECT_LT(f, prev);
+    prev = f;
+  }
+}
+
+// --- PCBF / MPCBF formulas ---------------------------------------------------
+
+TEST(FprModel, Pcbf1WorseThanCbf) {
+  // Fig. 2's message, in the model: PCBF-1 > CBF at equal memory.
+  constexpr std::uint64_t kN = 100000;
+  constexpr std::uint64_t kMemory = 4u << 20;
+  const double f_cbf = fpr_bloom(kN, kMemory / 4, 3);
+  const double f_pcbf = fpr_pcbf1(kN, kMemory / 64, 16, 3);
+  EXPECT_GT(f_pcbf, f_cbf);
+}
+
+TEST(FprModel, PcbfConvergesToCbfWithWordSize) {
+  // Sec. III-A: as w grows, PCBF-1's FPR approaches CBF's.
+  constexpr std::uint64_t kN = 100000;
+  constexpr std::uint64_t kMemory = 4u << 20;
+  const double f_cbf = fpr_bloom(kN, kMemory / 4, 3);
+  double prev_gap = 1e9;
+  for (unsigned w : {64u, 256u, 1024u, 4096u}) {
+    const double f = fpr_pcbf1(kN, kMemory / w, w / 4, 3);
+    const double gap = f - f_cbf;
+    EXPECT_GT(gap, -1e-6) << w;
+    EXPECT_LT(gap, prev_gap) << w;
+    prev_gap = gap;
+  }
+}
+
+TEST(FprModel, PcbfGBetterThanPcbf1) {
+  constexpr std::uint64_t kN = 100000;
+  constexpr std::uint64_t kMemory = 4u << 20;
+  const double f1 = fpr_pcbf_g(kN, kMemory / 64, 16, 4, 1);
+  const double f2 = fpr_pcbf_g(kN, kMemory / 64, 16, 4, 2);
+  EXPECT_LT(f2, f1);
+}
+
+TEST(FprModel, Mpcbf1BeatsCbfByAboutAnOrderOfMagnitude) {
+  // Fig. 5's headline: at the same memory, MPCBF-1's FPR is ~10x below
+  // CBF's for k=3, w=64.
+  constexpr std::uint64_t kN = 100000;
+  constexpr std::uint64_t kMemory = 6u << 20;
+  constexpr unsigned kW = 64;
+  const std::uint64_t l = kMemory / kW;
+  const unsigned b1 = b1_average(kW, 3, kN, l);
+  const double f_cbf = fpr_bloom(kN, kMemory / 4, 3);
+  const double f_mp = fpr_mpcbf1(kN, l, b1, 3);
+  EXPECT_LT(f_mp, f_cbf / 4.0);
+  EXPECT_GT(f_mp, 0.0);
+}
+
+TEST(FprModel, MpcbfGReducesFpr) {
+  constexpr std::uint64_t kN = 100000;
+  constexpr std::uint64_t kMemory = 6u << 20;
+  const std::uint64_t l = kMemory / 64;
+  const unsigned n_max = n_max_heuristic(kN, l, 1);
+  const unsigned n_max2 = n_max_heuristic(kN, l, 2);
+  const double f1 = fpr_mpcbf_g(kN, l, b1_improved(64, 4, 1, n_max), 4, 1);
+  const double f2 = fpr_mpcbf_g(kN, l, b1_improved(64, 4, 2, n_max2), 4, 2);
+  EXPECT_LT(f2, f1);
+}
+
+TEST(FprModel, BlockedBloomBetterThanPcbfWorseThanPlain) {
+  // BF-1 hashes k bits into w slots; PCBF-1 into only w/4 counters —
+  // blocked *bit* filters sit between PCBF and the unpartitioned filter.
+  constexpr std::uint64_t kN = 100000;
+  constexpr std::uint64_t kMemory = 4u << 20;
+  const double f_plain = fpr_bloom(kN, kMemory, 3);
+  const double f_blocked = fpr_blocked_bloom(kN, kMemory / 64, 64, 3, 1);
+  const double f_pcbf = fpr_pcbf1(kN, kMemory / 64, 16, 3);
+  EXPECT_GT(f_blocked, f_plain);
+  EXPECT_LT(f_blocked, f_pcbf);
+  // And it is exactly the MPCBF formula with b1 = w.
+  EXPECT_NEAR(f_blocked, fpr_mpcbf_g(kN, kMemory / 64, 64, 3, 1), 1e-15);
+}
+
+TEST(FprModel, Mpcbf1EqualsPcbf1WhenB1MatchesCounters) {
+  // With b1 == counters-per-word the two formulas coincide by
+  // construction.
+  constexpr std::uint64_t kN = 50000;
+  const double a = fpr_mpcbf1(kN, 65536, 16, 3);
+  const double b = fpr_pcbf1(kN, 65536, 16, 3);
+  EXPECT_NEAR(a, b, 1e-12);
+}
+
+TEST(FprModel, HashesPerWordSplit) {
+  EXPECT_EQ(hashes_per_word(3, 1, 0), 3u);
+  EXPECT_EQ(hashes_per_word(3, 2, 0), 2u);
+  EXPECT_EQ(hashes_per_word(3, 2, 1), 1u);
+  EXPECT_EQ(hashes_per_word(5, 3, 0), 2u);
+  EXPECT_EQ(hashes_per_word(5, 3, 1), 2u);
+  EXPECT_EQ(hashes_per_word(5, 3, 2), 1u);
+  EXPECT_EQ(hashes_per_word(4, 2, 0) + hashes_per_word(4, 2, 1), 4u);
+}
+
+TEST(FprModel, B1Helpers) {
+  EXPECT_EQ(b1_improved(64, 3, 1, 7), 64u - 21u);
+  EXPECT_EQ(b1_improved(64, 3, 2, 7), 64u - 14u);  // ceil(3/2)=2 per word
+  EXPECT_EQ(b1_improved(16, 3, 1, 6), 0u);         // no room left
+  EXPECT_EQ(b1_average(64, 3, 100000, 100000), 61u);
+}
+
+TEST(FprModel, EfficiencyRatioBound) {
+  // Eq. (7): m/n >= w/n_max - k. (The paper's prose example quotes 29/3
+  // for w=32, k=3, which matches neither reading of its own formula; we
+  // pin the formula as printed in eq. (7).)
+  EXPECT_NEAR(efficiency_ratio_lower_bound(32, 3, 3), 32.0 / 3.0 - 3.0,
+              1e-9);
+  EXPECT_NEAR(efficiency_ratio_lower_bound(64, 3, 8), 64.0 / 8.0 - 3.0,
+              1e-9);
+  EXPECT_DOUBLE_EQ(efficiency_ratio_lower_bound(64, 3, 0), 0.0);
+}
+
+// --- overflow models ---------------------------------------------------------
+
+TEST(OverflowModel, BoundDominatesExact) {
+  constexpr std::uint64_t kN = 100000;
+  constexpr std::uint64_t kL = 65536;
+  for (unsigned n_max = 6; n_max <= 14; ++n_max) {
+    const double exact = overflow_exact(kN, kL, 1, n_max);
+    const double bound = overflow_bound(kN, kL, n_max);
+    EXPECT_GE(bound * 1.0000001, exact) << n_max;
+  }
+}
+
+TEST(OverflowModel, DecreasesWithNmax) {
+  double prev = 2.0;
+  for (unsigned n_max = 4; n_max <= 20; n_max += 2) {
+    const double p = overflow_exact(100000, 65536, 1, n_max);
+    EXPECT_LT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(OverflowModel, HeuristicNmaxMakesOverflowRare) {
+  // The eq.-(11) heuristic: with n_max = PoissInv(1-1/l, n/l), the union
+  // bound over all words stays ~O(1) and the per-word probability ~1/l.
+  constexpr std::uint64_t kN = 100000;
+  constexpr std::uint64_t kL = 65536;
+  const unsigned n_max = n_max_heuristic(kN, kL, 1);
+  EXPECT_GE(n_max, 5u);
+  EXPECT_LE(n_max, 14u);
+  EXPECT_LT(overflow_exact(kN, kL, 1, n_max), 2.0 / kL);
+}
+
+TEST(OverflowModel, GVariantMatchesGOne) {
+  EXPECT_NEAR(overflow_bound_g(100000, 65536, 1, 9),
+              overflow_bound(100000, 65536, 9), 1e-15);
+}
+
+TEST(OverflowModel, UnionBound) {
+  // At n_max=11 the per-word tail is small enough that the union bound is
+  // below its cap of 1.
+  const double per_word = overflow_exact(100000, 65536, 1, 11);
+  ASSERT_LT(65536 * per_word, 1.0);
+  EXPECT_NEAR(overflow_any_word(100000, 65536, 1, 11), 65536 * per_word,
+              1e-12);
+  // And the cap engages when the product exceeds 1.
+  EXPECT_DOUBLE_EQ(overflow_any_word(100000, 65536, 1, 2), 1.0);
+}
+
+// --- optimal-k search ---------------------------------------------------------
+
+TEST(OptimalK, CbfMatchesClassicRule) {
+  // 8 Mb of CBF = 2^21 counters over 100K elements: m/n ~ 21 -> k ~ 14.
+  const OptimalK r = optimal_k_cbf(8u << 20, 100000);
+  EXPECT_GE(r.k, 12u);
+  EXPECT_LE(r.k, 16u);
+  EXPECT_GT(r.fpr, 0.0);
+}
+
+TEST(OptimalK, MpcbfOptimalKIsSmallAndStable) {
+  // Fig. 9: MPCBF-1's optimal k stays ~3 across the memory range while
+  // CBF's grows with memory.
+  for (std::uint64_t mem : {4ull << 20, 6ull << 20, 8ull << 20}) {
+    const OptimalK r = optimal_k_mpcbf(mem, 64, 100000, 1);
+    EXPECT_GE(r.k, 2u) << mem;
+    EXPECT_LE(r.k, 5u) << mem;
+    EXPECT_GT(r.b1, 0u);
+  }
+  const OptimalK cbf_small = optimal_k_cbf(4u << 20, 100000);
+  const OptimalK cbf_large = optimal_k_cbf(8u << 20, 100000);
+  EXPECT_GT(cbf_large.k, cbf_small.k);
+}
+
+TEST(OptimalK, MpcbfGThreeBeatsCbfAtOptimalK) {
+  // Fig. 10's headline: MPCBF-3 at its optimal k reaches an FPR about an
+  // order of magnitude below optimal-k CBF at 8 Mb.
+  const OptimalK cbf = optimal_k_cbf(8u << 20, 100000);
+  const OptimalK mp3 = optimal_k_mpcbf(8u << 20, 64, 100000, 3);
+  EXPECT_LT(mp3.fpr, cbf.fpr);
+}
+
+}  // namespace

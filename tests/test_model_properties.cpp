@@ -1,0 +1,108 @@
+// Parameterized model-property sweep: the dominance and monotonicity
+// relations the paper's analysis asserts, checked across a grid of
+// (n, memory, k, w) configurations rather than at hand-picked points.
+// These are the invariants every figure bench silently relies on.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "model/fpr_model.hpp"
+#include "model/overflow_model.hpp"
+
+namespace {
+
+using namespace mpcbf::model;
+
+struct GridPoint {
+  std::uint64_t n;
+  std::uint64_t memory_bits;
+  unsigned k;
+  unsigned w;
+};
+
+class ModelGrid : public ::testing::TestWithParam<GridPoint> {
+ protected:
+  [[nodiscard]] std::uint64_t l() const {
+    return GetParam().memory_bits / GetParam().w;
+  }
+};
+
+TEST_P(ModelGrid, AllRatesAreProbabilities) {
+  const auto [n, memory, k, w] = std::tie(
+      GetParam().n, GetParam().memory_bits, GetParam().k, GetParam().w);
+  for (const double f :
+       {fpr_bloom(n, memory / 4, k), fpr_pcbf1(n, l(), w / 4, k),
+        fpr_pcbf_g(n, l(), w / 4, k, 2),
+        fpr_blocked_bloom(n, l(), w, k, 1),
+        fpr_mpcbf1(n, l(), b1_average(w, k, n, l()), k)}) {
+    ASSERT_GE(f, 0.0);
+    ASSERT_LE(f, 1.0);
+  }
+}
+
+TEST_P(ModelGrid, PcbfDominatesCbf) {
+  const auto& p = GetParam();
+  EXPECT_GE(fpr_pcbf1(p.n, l(), p.w / 4, p.k) * 1.0000001,
+            fpr_bloom(p.n, p.memory_bits / 4, p.k));
+}
+
+TEST_P(ModelGrid, GTwoImprovesOnGOne) {
+  const auto& p = GetParam();
+  if (p.k < 2) GTEST_SKIP();
+  EXPECT_LE(fpr_pcbf_g(p.n, l(), p.w / 4, p.k, 2),
+            fpr_pcbf1(p.n, l(), p.w / 4, p.k) * 1.0000001);
+}
+
+TEST_P(ModelGrid, MpcbfAverageBeatsPcbf) {
+  const auto& p = GetParam();
+  const unsigned b1 = b1_average(p.w, p.k, p.n, l());
+  if (b1 <= p.w / 4) GTEST_SKIP() << "degenerate: b1 below counter count";
+  EXPECT_LT(fpr_mpcbf1(p.n, l(), b1, p.k),
+            fpr_pcbf1(p.n, l(), p.w / 4, p.k));
+}
+
+TEST_P(ModelGrid, FprDecreasesWithMemory) {
+  const auto& p = GetParam();
+  const std::uint64_t l2 = 2 * l();
+  EXPECT_LE(fpr_pcbf1(p.n, l2, p.w / 4, p.k),
+            fpr_pcbf1(p.n, l(), p.w / 4, p.k) * 1.0000001);
+  EXPECT_LE(fpr_bloom(p.n, p.memory_bits / 2, p.k),
+            fpr_bloom(p.n, p.memory_bits / 4, p.k) * 1.0000001);
+}
+
+TEST_P(ModelGrid, LargerB1NeverHurts) {
+  const auto& p = GetParam();
+  const unsigned b1 = b1_average(p.w, p.k, p.n, l());
+  if (b1 + 4 > p.w) GTEST_SKIP();
+  EXPECT_LE(fpr_mpcbf1(p.n, l(), b1 + 4, p.k),
+            fpr_mpcbf1(p.n, l(), b1, p.k) * 1.0000001);
+}
+
+TEST_P(ModelGrid, HeuristicNmaxKeepsOverflowBounded) {
+  const auto& p = GetParam();
+  const unsigned n_max = n_max_heuristic(p.n, l(), 1);
+  // Per-word overflow at the heuristic capacity stays ~<= 1/l by
+  // construction of PoissInv(1 - 1/l, lambda).
+  EXPECT_LE(overflow_exact(p.n, l(), 1, n_max),
+            2.5 / static_cast<double>(l()));
+}
+
+TEST_P(ModelGrid, BoundDominatesExactTail) {
+  const auto& p = GetParam();
+  const unsigned n_max = n_max_heuristic(p.n, l(), 1) + 2;
+  EXPECT_GE(overflow_bound(p.n, l(), n_max) * 1.0000001,
+            overflow_exact(p.n, l(), 1, n_max));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ModelGrid,
+    ::testing::Values(
+        GridPoint{20000, 1u << 19, 3, 32}, GridPoint{20000, 1u << 19, 3, 64},
+        GridPoint{20000, 1u << 19, 4, 64}, GridPoint{20000, 1u << 20, 3, 64},
+        GridPoint{50000, 1u << 21, 3, 64}, GridPoint{50000, 1u << 21, 4, 128},
+        GridPoint{100000, 4u << 20, 3, 64},
+        GridPoint{100000, 6u << 20, 4, 64},
+        GridPoint{100000, 8u << 20, 5, 64},
+        GridPoint{200000, 8u << 20, 3, 128}));
+
+}  // namespace

@@ -1,0 +1,129 @@
+// Occupancy models vs live filters: word-load pmf, hierarchy-bit
+// conservation (exactly k bits per insert), counter-depth distribution
+// against the Poisson model, and stash-size prediction.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/mpcbf.hpp"
+#include "model/occupancy.hpp"
+#include "workload/string_sets.hpp"
+
+namespace {
+
+using mpcbf::core::Mpcbf;
+using mpcbf::core::MpcbfConfig;
+using mpcbf::core::OverflowPolicy;
+using mpcbf::workload::generate_unique_strings;
+
+TEST(Occupancy, WordLoadPmfNormalizes) {
+  double sum = 0.0;
+  for (std::uint64_t j = 0; j <= 60; ++j) {
+    sum += mpcbf::model::word_load_pmf(10000, 2048, 1, j);
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Occupancy, HierarchyBitsAreExactlyKPerInsert) {
+  const auto keys = generate_unique_strings(5000, 5, 1001);
+  MpcbfConfig cfg;
+  cfg.memory_bits = 1 << 19;
+  cfg.k = 3;
+  cfg.g = 1;
+  cfg.n_max = 12;
+  Mpcbf<64> f(cfg);
+  for (const auto& k : keys) {
+    ASSERT_TRUE(f.insert(k));
+  }
+  // Conservation law: total hierarchy bits == k * inserts, exactly.
+  EXPECT_EQ(f.total_hierarchy_bits(), 3u * keys.size());
+  const double per_word = mpcbf::model::expected_hierarchy_bits_per_word(
+      keys.size(), f.num_words(), 3);
+  EXPECT_NEAR(static_cast<double>(f.total_hierarchy_bits()) /
+                  static_cast<double>(f.num_words()),
+              per_word, 1e-9);
+}
+
+TEST(Occupancy, FillReportConsistency) {
+  const auto keys = generate_unique_strings(3000, 5, 1002);
+  MpcbfConfig cfg;
+  cfg.memory_bits = 1 << 18;
+  cfg.k = 3;
+  cfg.g = 1;
+  cfg.n_max = 12;
+  Mpcbf<64> f(cfg);
+  for (const auto& k : keys) {
+    ASSERT_TRUE(f.insert(k));
+  }
+  const auto report = f.fill_report();
+
+  // Histograms account for every word and every position.
+  const std::size_t words = std::accumulate(
+      report.hierarchy_histogram.begin(), report.hierarchy_histogram.end(),
+      std::size_t{0});
+  EXPECT_EQ(words, f.num_words());
+  const std::size_t positions = std::accumulate(
+      report.counter_histogram.begin(), report.counter_histogram.end(),
+      std::size_t{0});
+  EXPECT_EQ(positions, report.total_positions);
+
+  // Counter mass equals hierarchy bits (each unit of a counter is one
+  // hierarchy bit).
+  std::size_t mass = 0;
+  for (std::size_t c = 0; c < report.counter_histogram.size(); ++c) {
+    mass += c * report.counter_histogram[c];
+  }
+  EXPECT_EQ(mass, f.total_hierarchy_bits());
+}
+
+TEST(Occupancy, CounterDepthsFollowPoissonModel) {
+  const auto keys = generate_unique_strings(20000, 5, 1003);
+  MpcbfConfig cfg;
+  cfg.memory_bits = 1 << 20;
+  cfg.k = 3;
+  cfg.g = 1;
+  cfg.n_max = 10;
+  Mpcbf<64> f(cfg);
+  for (const auto& k : keys) {
+    ASSERT_TRUE(f.insert(k));
+  }
+  const auto report = f.fill_report();
+  const double total = static_cast<double>(report.total_positions);
+  for (std::uint64_t c = 0; c <= 3; ++c) {
+    const double measured =
+        c < report.counter_histogram.size()
+            ? static_cast<double>(report.counter_histogram[c]) / total
+            : 0.0;
+    const double predicted = mpcbf::model::counter_value_pmf(
+        keys.size(), f.num_words(), 3, f.b1(), c);
+    EXPECT_NEAR(measured, predicted, predicted * 0.15 + 1e-3)
+        << "counter value " << c;
+  }
+}
+
+TEST(Occupancy, StashPredictionTracksMeasurement) {
+  // Deliberately tight capacity so the stash actually fills.
+  const auto keys = generate_unique_strings(20000, 5, 1004);
+  MpcbfConfig cfg;
+  cfg.memory_bits = 1 << 18;  // 4096 words, lambda ~ 4.9
+  cfg.k = 3;
+  cfg.g = 1;
+  cfg.n_max = 8;
+  cfg.policy = OverflowPolicy::kStash;
+  Mpcbf<64> f(cfg);
+  std::size_t stashed = 0;
+  for (const auto& k : keys) {
+    ASSERT_TRUE(f.insert(k));
+  }
+  stashed = f.stash_size();
+  const double predicted = mpcbf::model::expected_stashed_elements(
+      keys.size(), f.num_words(), 1, cfg.n_max);
+  EXPECT_GT(stashed, 0u);
+  // Order-of-magnitude agreement (the model ignores arrival-order
+  // dynamics; sequential fills stash slightly less than the stationary
+  // tail suggests).
+  EXPECT_LT(static_cast<double>(stashed), predicted * 3.0 + 10);
+  EXPECT_GT(static_cast<double>(stashed), predicted * 0.1 - 10);
+}
+
+}  // namespace

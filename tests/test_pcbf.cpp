@@ -1,0 +1,141 @@
+// Pcbf: the partitioned strawman — one (or g) memory access semantics,
+// delete round-trips, and the paper's key negative result: PCBF's FPR is
+// *worse* than the standard CBF's at equal memory (Fig. 2).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "filters/counting_bloom.hpp"
+#include "filters/pcbf.hpp"
+#include "model/fpr_model.hpp"
+#include "workload/string_sets.hpp"
+
+namespace {
+
+using mpcbf::filters::CountingBloomFilter;
+using mpcbf::filters::Pcbf;
+using mpcbf::filters::PcbfConfig;
+using mpcbf::workload::build_query_set;
+using mpcbf::workload::evaluate_fpr;
+using mpcbf::workload::generate_unique_strings;
+
+TEST(Pcbf, ConstructionValidation) {
+  EXPECT_THROW(Pcbf(1 << 16, 2, 3), std::invalid_argument);
+  EXPECT_THROW(Pcbf(32, 3, 1), std::invalid_argument);
+  Pcbf ok(1 << 16, 3, 1);
+  EXPECT_EQ(ok.counters_per_word(), 16u);
+  EXPECT_EQ(ok.num_words(), (1u << 16) / 64);
+}
+
+TEST(Pcbf, RoundTrip) {
+  const auto keys = generate_unique_strings(4000, 5, 61);
+  Pcbf f(1 << 18, 3, 1);
+  for (const auto& k : keys) f.insert(k);
+  for (const auto& k : keys) {
+    ASSERT_TRUE(f.contains(k));
+  }
+  for (const auto& k : keys) {
+    ASSERT_TRUE(f.erase(k));
+  }
+  for (const auto& k : keys) {
+    EXPECT_FALSE(f.contains(k));
+  }
+}
+
+TEST(Pcbf, OneMemoryAccessForGOne) {
+  const auto keys = generate_unique_strings(3000, 5, 62);
+  Pcbf f(1 << 18, 3, 1);
+  for (const auto& k : keys) f.insert(k);
+  for (const auto& k : keys) (void)f.contains(k);
+  EXPECT_DOUBLE_EQ(f.stats().mean_update_accesses(), 1.0);
+  EXPECT_DOUBLE_EQ(f.stats().mean_query_accesses(), 1.0);
+}
+
+TEST(Pcbf, GTwoUsesTwoAccessesOnUpdates) {
+  const auto keys = generate_unique_strings(3000, 5, 63);
+  Pcbf f(1 << 18, 3, 2);
+  for (const auto& k : keys) f.insert(k);
+  EXPECT_NEAR(f.stats().mean_update_accesses(), 2.0, 0.02);
+}
+
+TEST(Pcbf, CountEstimates) {
+  Pcbf f(1 << 16, 3, 1);
+  for (int i = 0; i < 4; ++i) f.insert("m");
+  EXPECT_GE(f.count("m"), 4u);
+  EXPECT_EQ(f.count("nothere"), 0u);
+}
+
+TEST(Pcbf, ConfigurableWordWidth) {
+  // 128-bit words halve l and double counters-per-word; the round-trip
+  // contract must hold unchanged.
+  PcbfConfig cfg;
+  cfg.memory_bits = 1 << 18;
+  cfg.k = 3;
+  cfg.g = 1;
+  cfg.word_bits = 128;
+  Pcbf f(cfg);
+  EXPECT_EQ(f.counters_per_word(), 32u);
+  EXPECT_EQ(f.num_words(), (1u << 18) / 128);
+  const auto keys = generate_unique_strings(3000, 5, 612);
+  for (const auto& k : keys) f.insert(k);
+  for (const auto& k : keys) {
+    ASSERT_TRUE(f.contains(k));
+  }
+  for (const auto& k : keys) {
+    ASSERT_TRUE(f.erase(k));
+  }
+  for (const auto& k : keys) {
+    EXPECT_FALSE(f.contains(k));
+  }
+}
+
+TEST(Pcbf, WorseFprThanCbfAtEqualMemory) {
+  // The motivating observation of Sec. III-A (Fig. 2).
+  constexpr std::size_t kN = 30000;
+  constexpr std::size_t kMemory = 1 << 20;
+  const auto keys = generate_unique_strings(kN, 5, 64);
+  const auto qs = build_query_set(keys, 100000, 0.0, 65);
+
+  CountingBloomFilter cbf(kMemory, 3);
+  Pcbf pcbf(kMemory, 3, 1);
+  for (const auto& k : keys) {
+    cbf.insert(k);
+    pcbf.insert(k);
+  }
+  const double fpr_cbf = evaluate_fpr(cbf, qs);
+  const double fpr_pcbf = evaluate_fpr(pcbf, qs);
+  EXPECT_GT(fpr_pcbf, fpr_cbf);
+}
+
+TEST(Pcbf, GTwoImprovesFprOverGOne) {
+  constexpr std::size_t kN = 30000;
+  constexpr std::size_t kMemory = 1 << 20;
+  const auto keys = generate_unique_strings(kN, 5, 66);
+  const auto qs = build_query_set(keys, 100000, 0.0, 67);
+
+  Pcbf p1(kMemory, 4, 1);
+  Pcbf p2(kMemory, 4, 2);
+  for (const auto& k : keys) {
+    p1.insert(k);
+    p2.insert(k);
+  }
+  EXPECT_LT(evaluate_fpr(p2, qs), evaluate_fpr(p1, qs));
+}
+
+TEST(Pcbf, EmpiricalFprTracksEquationTwo) {
+  constexpr std::size_t kN = 30000;
+  constexpr std::size_t kMemory = 1 << 20;
+  const auto keys = generate_unique_strings(kN, 5, 68);
+  const auto qs = build_query_set(keys, 100000, 0.0, 69);
+  Pcbf f(kMemory, 3, 1);
+  for (const auto& k : keys) f.insert(k);
+
+  const double fpr = evaluate_fpr(f, qs);
+  const double model =
+      mpcbf::model::fpr_pcbf1(kN, kMemory / 64, 16, 3);
+  EXPECT_LT(fpr, model * 1.6 + 1e-4);
+  EXPECT_GT(fpr, model * 0.6 - 1e-4);
+}
+
+}  // namespace

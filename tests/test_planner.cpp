@@ -1,0 +1,123 @@
+// Configuration planner: feasibility, target satisfaction, minimality
+// pressure, and the MPCBF-vs-CBF memory comparison it exists to answer.
+#include <gtest/gtest.h>
+
+#include "model/fpr_model.hpp"
+#include "model/optimal_k.hpp"
+#include "model/planner.hpp"
+
+namespace {
+
+using namespace mpcbf::model;
+
+TEST(Planner, MeetsTargetFpr) {
+  PlanRequirements req;
+  req.expected_n = 100000;
+  req.target_fpr = 1e-3;
+  req.max_accesses = 1;
+  const FilterPlan plan = plan_mpcbf(req);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_LE(plan.predicted_fpr, 1e-3);
+  EXPECT_EQ(plan.g, 1u);
+  EXPECT_GT(plan.b1, 0u);
+  // Re-derive from the primitives: the plan must be self-consistent.
+  const OptimalK check =
+      optimal_k_mpcbf(plan.memory_bits, 64, req.expected_n, plan.g);
+  EXPECT_EQ(check.k, plan.k);
+  EXPECT_NEAR(check.fpr, plan.predicted_fpr, 1e-12);
+}
+
+TEST(Planner, TighterTargetCostsMoreMemory) {
+  PlanRequirements req;
+  req.expected_n = 50000;
+  req.max_accesses = 1;
+  req.target_fpr = 1e-2;
+  const auto loose = plan_mpcbf(req);
+  req.target_fpr = 1e-4;
+  const auto tight = plan_mpcbf(req);
+  ASSERT_TRUE(loose.feasible);
+  ASSERT_TRUE(tight.feasible);
+  EXPECT_GT(tight.memory_bits, loose.memory_bits);
+}
+
+TEST(Planner, MoreAccessesNeverCostMoreMemory) {
+  PlanRequirements req;
+  req.expected_n = 100000;
+  req.target_fpr = 1e-4;
+  req.max_accesses = 1;
+  const auto g1 = plan_mpcbf(req);
+  req.max_accesses = 3;
+  const auto g3 = plan_mpcbf(req);
+  ASSERT_TRUE(g1.feasible);
+  ASSERT_TRUE(g3.feasible);
+  EXPECT_LE(g3.memory_bits, g1.memory_bits);
+}
+
+TEST(Planner, NearMinimal) {
+  // Halving the planned memory must violate the target (word-granular
+  // binary search can overshoot slightly, but not by 2x).
+  PlanRequirements req;
+  req.expected_n = 40000;
+  req.target_fpr = 1e-3;
+  req.max_accesses = 2;
+  const auto plan = plan_mpcbf(req);
+  ASSERT_TRUE(plan.feasible);
+  const OptimalK halved =
+      optimal_k_mpcbf(plan.memory_bits / 2, 64, req.expected_n, plan.g);
+  EXPECT_GT(halved.fpr, req.target_fpr);
+}
+
+TEST(Planner, OverflowEstimateIsSmall) {
+  PlanRequirements req;
+  req.expected_n = 100000;
+  req.target_fpr = 1e-3;
+  const auto plan = plan_mpcbf(req);
+  ASSERT_TRUE(plan.feasible);
+  // The eq.-(11) heuristic keeps expected overflowing words O(1).
+  EXPECT_LT(plan.expected_overflowing_words, 3.0);
+}
+
+TEST(Planner, InfeasibleTargetReported) {
+  PlanRequirements req;
+  req.expected_n = 1000000;
+  req.target_fpr = 1e-12;
+  req.max_memory_bits = 1 << 20;  // far too small
+  const auto plan = plan_mpcbf(req);
+  EXPECT_FALSE(plan.feasible);
+}
+
+TEST(Planner, InvalidRequirementsThrow) {
+  PlanRequirements req;
+  req.expected_n = 0;
+  EXPECT_THROW((void)plan_mpcbf(req), std::invalid_argument);
+  req.expected_n = 100;
+  req.max_accesses = 0;
+  EXPECT_THROW((void)plan_mpcbf(req), std::invalid_argument);
+}
+
+TEST(Planner, CbfPlanComparableAndConsistent) {
+  PlanRequirements req;
+  req.expected_n = 100000;
+  req.target_fpr = 1e-3;
+  const auto cbf = plan_cbf(req);
+  ASSERT_TRUE(cbf.feasible);
+  EXPECT_LE(cbf.predicted_fpr, req.target_fpr);
+  EXPECT_EQ(cbf.g, cbf.k);  // CBF pays ~k accesses
+
+  // The headline comparison: at a 1-access budget, MPCBF should need at
+  // most modestly more memory than a CBF that spends k accesses — and at
+  // g=2 it should need less.
+  req.max_accesses = 2;
+  const auto mp2 = plan_mpcbf(req);
+  ASSERT_TRUE(mp2.feasible);
+  EXPECT_LT(mp2.memory_bits, cbf.memory_bits);
+}
+
+TEST(Planner, BitsPerElementHelper) {
+  FilterPlan plan;
+  plan.memory_bits = 1000;
+  EXPECT_DOUBLE_EQ(plan.bits_per_element(100), 10.0);
+  EXPECT_DOUBLE_EQ(plan.bits_per_element(0), 0.0);
+}
+
+}  // namespace

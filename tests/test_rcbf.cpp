@@ -1,0 +1,124 @@
+// Rcbf: fingerprint-bucket semantics — round trips, multiset counts,
+// compact memory versus CBF at equal FPR (the ref.-[18] headline), and
+// saturation discipline.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "filters/counting_bloom.hpp"
+#include "filters/rcbf.hpp"
+#include "workload/string_sets.hpp"
+
+namespace {
+
+using mpcbf::filters::CountingBloomFilter;
+using mpcbf::filters::Rcbf;
+using mpcbf::filters::RcbfConfig;
+using mpcbf::workload::build_query_set;
+using mpcbf::workload::evaluate_fpr;
+using mpcbf::workload::generate_unique_strings;
+
+RcbfConfig small_config() {
+  RcbfConfig cfg;
+  cfg.num_buckets = 1 << 13;
+  return cfg;
+}
+
+TEST(Rcbf, ConstructionValidation) {
+  RcbfConfig cfg;
+  cfg.num_buckets = 0;
+  EXPECT_THROW(Rcbf{cfg}, std::invalid_argument);
+  cfg = RcbfConfig{};
+  cfg.fingerprint_bits = 0;
+  EXPECT_THROW(Rcbf{cfg}, std::invalid_argument);
+  cfg = RcbfConfig{};
+  cfg.k = 0;
+  EXPECT_THROW(Rcbf{cfg}, std::invalid_argument);
+}
+
+TEST(Rcbf, RoundTrip) {
+  const auto keys = generate_unique_strings(3000, 5, 701);
+  Rcbf f(small_config());
+  for (const auto& k : keys) f.insert(k);
+  for (const auto& k : keys) {
+    ASSERT_TRUE(f.contains(k));
+  }
+  for (const auto& k : keys) {
+    ASSERT_TRUE(f.erase(k));
+  }
+  for (const auto& k : keys) {
+    EXPECT_FALSE(f.contains(k));
+  }
+  EXPECT_EQ(f.size(), 0u);
+}
+
+TEST(Rcbf, EraseAbsentReportsFalse) {
+  Rcbf f(small_config());
+  EXPECT_FALSE(f.erase("ghost"));
+}
+
+TEST(Rcbf, CountTracksRepetitions) {
+  Rcbf f(small_config());
+  for (int i = 0; i < 5; ++i) f.insert("dup");
+  EXPECT_GE(f.count("dup"), 5u);
+  ASSERT_TRUE(f.erase("dup"));
+  EXPECT_GE(f.count("dup"), 4u);
+  EXPECT_EQ(f.count("never"), 0u);
+}
+
+TEST(Rcbf, MemoryGrowsWithDistinctItemsOnly) {
+  Rcbf f(small_config());
+  const std::size_t empty = f.memory_bits();
+  f.insert("a");
+  const std::size_t one = f.memory_bits();
+  EXPECT_GT(one, empty);
+  f.insert("a");  // repetitions, not new items
+  EXPECT_EQ(f.memory_bits(), one);
+}
+
+TEST(Rcbf, SaturatedRepetitionIsSticky) {
+  RcbfConfig cfg = small_config();
+  cfg.counter_bits = 2;  // max 3
+  Rcbf f(cfg);
+  for (int i = 0; i < 10; ++i) f.insert("hot");
+  for (int i = 0; i < 10; ++i) (void)f.erase("hot");
+  EXPECT_TRUE(f.contains("hot"));  // conservative, never a false negative
+}
+
+TEST(Rcbf, LowFprFromFingerprints) {
+  const auto keys = generate_unique_strings(8000, 5, 702);
+  const auto qs = build_query_set(keys, 60000, 0.0, 703);
+  Rcbf f(small_config());
+  for (const auto& k : keys) f.insert(k);
+  const double fpr = evaluate_fpr(f, qs);
+  // k buckets each matching an 8-bit fingerprint against ~1 item:
+  // roughly (load/2^8)^... — at 1 item/bucket avg, well below 1%.
+  EXPECT_LT(fpr, 0.01);
+}
+
+TEST(Rcbf, BeatsCbfMemoryAtComparableFpr) {
+  // Ref. [18]'s claim: >3x memory advantage over CBF at ~1% FPR. Size a
+  // CBF for ~1% and compare footprints at the same measured accuracy
+  // class.
+  constexpr std::size_t kN = 10000;
+  const auto keys = generate_unique_strings(kN, 5, 704);
+  const auto qs = build_query_set(keys, 80000, 0.0, 705);
+
+  CountingBloomFilter cbf(kN * 40, 5);  // m/n = 10 counters, k=5: ~1%
+  RcbfConfig rcfg;
+  rcfg.num_buckets = kN;  // 1 item/bucket average
+  rcfg.k = 1;             // RCBF's single-probe design point (ref. [18])
+  rcfg.fingerprint_bits = 8;
+  Rcbf rcbf(rcfg);
+  for (const auto& k : keys) {
+    cbf.insert(k);
+    rcbf.insert(k);
+  }
+  const double fpr_cbf = evaluate_fpr(cbf, qs);
+  const double fpr_rcbf = evaluate_fpr(rcbf, qs);
+  EXPECT_LE(fpr_rcbf, fpr_cbf * 2.0 + 1e-3);  // same accuracy class
+  EXPECT_LT(rcbf.memory_bits() * 2, cbf.memory_bits());  // >2x smaller
+}
+
+}  // namespace

@@ -1,0 +1,95 @@
+// Deterministic RNG substrate: reproducibility, range contracts, and
+// rough uniformity (enough to trust the workload generators).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace {
+
+using mpcbf::util::SplitMix64;
+using mpcbf::util::Xoshiro256;
+
+TEST(SplitMix64, DeterministicSequence) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(SplitMix64, KnownVectors) {
+  // Reference values for seed 1234567 from the public-domain sample code.
+  SplitMix64 sm(1234567);
+  EXPECT_EQ(sm.next(), 6457827717110365317ULL);
+  EXPECT_EQ(sm.next(), 3203168211198807973ULL);
+}
+
+TEST(SplitMix64, MixIsStatelessAndAvalanches) {
+  EXPECT_EQ(SplitMix64::mix(7), SplitMix64::mix(7));
+  // Flipping a single input bit flips roughly half of the output bits.
+  const std::uint64_t a = SplitMix64::mix(0x1234);
+  const std::uint64_t b = SplitMix64::mix(0x1235);
+  const int flipped = __builtin_popcountll(a ^ b);
+  EXPECT_GT(flipped, 16);
+  EXPECT_LT(flipped, 48);
+}
+
+TEST(Xoshiro256, DeterministicAndSeedSensitive) {
+  Xoshiro256 a(9);
+  Xoshiro256 b(9);
+  Xoshiro256 c(10);
+  bool any_diff = false;
+  for (int i = 0; i < 64; ++i) {
+    const auto va = a.next();
+    EXPECT_EQ(va, b.next());
+    if (va != c.next()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Xoshiro256, BoundedStaysInRange) {
+  Xoshiro256 rng(123);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 52ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 2000; ++i) {
+      EXPECT_LT(rng.bounded(bound), bound);
+    }
+  }
+}
+
+TEST(Xoshiro256, BoundedRoughlyUniform) {
+  Xoshiro256 rng(5);
+  constexpr int kBuckets = 8;
+  constexpr int kDraws = 80000;
+  std::array<int, kBuckets> hist{};
+  for (int i = 0; i < kDraws; ++i) {
+    ++hist[rng.bounded(kBuckets)];
+  }
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  for (const int h : hist) {
+    EXPECT_NEAR(h, expected, expected * 0.06);
+  }
+}
+
+TEST(Xoshiro256, Uniform01InHalfOpenInterval) {
+  Xoshiro256 rng(77);
+  double sum = 0.0;
+  for (int i = 0; i < 50000; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 50000.0, 0.5, 0.01);
+}
+
+TEST(Xoshiro256, SatisfiesUniformRandomBitGenerator) {
+  static_assert(Xoshiro256::min() == 0);
+  static_assert(Xoshiro256::max() == ~std::uint64_t{0});
+  Xoshiro256 rng(1);
+  EXPECT_NO_THROW((void)rng());
+}
+
+}  // namespace

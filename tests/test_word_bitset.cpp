@@ -1,0 +1,214 @@
+// WordBitset<W>: positional insert/remove and ranged popcount, checked
+// against a straightforward std::vector<bool> reference model across all
+// supported widths (including multi-limb ones where the carry logic
+// lives).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "bitvec/word_bitset.hpp"
+#include "common/rng.hpp"
+
+namespace {
+
+using mpcbf::bits::WordBitset;
+using mpcbf::util::Xoshiro256;
+
+template <unsigned W>
+class RefModel {
+ public:
+  RefModel() : bits_(W, false) {}
+
+  void set(unsigned i) { bits_[i] = true; }
+  void clear(unsigned i) { bits_[i] = false; }
+  [[nodiscard]] bool test(unsigned i) const { return bits_[i]; }
+
+  void insert_zero_at(unsigned pos) {
+    bits_.insert(bits_.begin() + pos, false);
+    bits_.pop_back();
+  }
+
+  void remove_bit_at(unsigned pos) {
+    bits_.erase(bits_.begin() + pos);
+    bits_.push_back(false);
+  }
+
+  [[nodiscard]] unsigned popcount_range(unsigned lo, unsigned hi) const {
+    unsigned c = 0;
+    for (unsigned i = lo; i < hi; ++i) c += bits_[i];
+    return c;
+  }
+
+  template <typename WB>
+  [[nodiscard]] bool matches(const WB& w) const {
+    for (unsigned i = 0; i < W; ++i) {
+      if (w.test(i) != bits_[i]) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::vector<bool> bits_;
+};
+
+TEST(WordBitset, SetTestClear) {
+  WordBitset<64> w;
+  EXPECT_FALSE(w.test(0));
+  w.set(0);
+  w.set(63);
+  EXPECT_TRUE(w.test(0));
+  EXPECT_TRUE(w.test(63));
+  EXPECT_EQ(w.count(), 2u);
+  w.clear(0);
+  EXPECT_FALSE(w.test(0));
+  EXPECT_EQ(w.count(), 1u);
+}
+
+TEST(WordBitset, PopcountRangeSingleLimb) {
+  WordBitset<64> w;
+  for (unsigned i = 0; i < 64; i += 2) w.set(i);
+  EXPECT_EQ(w.popcount_range(0, 64), 32u);
+  EXPECT_EQ(w.popcount_range(0, 1), 1u);
+  EXPECT_EQ(w.popcount_range(1, 2), 0u);
+  EXPECT_EQ(w.popcount_range(10, 10), 0u);
+  EXPECT_EQ(w.popcount_range(0, 10), 5u);
+  EXPECT_EQ(w.popcount_range(63, 64), 0u);
+  EXPECT_EQ(w.popcount_range(62, 64), 1u);
+}
+
+TEST(WordBitset, PopcountRangeCrossLimb) {
+  WordBitset<128> w;
+  w.set(63);
+  w.set(64);
+  w.set(127);
+  EXPECT_EQ(w.popcount_range(0, 128), 3u);
+  EXPECT_EQ(w.popcount_range(63, 65), 2u);
+  EXPECT_EQ(w.popcount_range(64, 128), 2u);
+  EXPECT_EQ(w.popcount_range(65, 127), 0u);
+}
+
+TEST(WordBitset, InsertZeroShiftsTail) {
+  WordBitset<16> w;
+  w.set(0);
+  w.set(1);
+  w.set(15);  // will be discarded by the insert
+  w.insert_zero_at(1);
+  EXPECT_TRUE(w.test(0));
+  EXPECT_FALSE(w.test(1));
+  EXPECT_TRUE(w.test(2));
+  EXPECT_FALSE(w.test(15));
+}
+
+TEST(WordBitset, RemoveBitShiftsTailDown) {
+  WordBitset<16> w;
+  w.set(0);
+  w.set(2);
+  w.set(15);
+  EXPECT_FALSE(w.remove_bit_at(1));
+  EXPECT_TRUE(w.test(0));
+  EXPECT_TRUE(w.test(1));   // old bit 2
+  EXPECT_TRUE(w.test(14));  // old bit 15
+  EXPECT_FALSE(w.test(15));
+}
+
+TEST(WordBitset, RemoveReturnsRemovedValue) {
+  WordBitset<32> w;
+  w.set(5);
+  EXPECT_TRUE(w.remove_bit_at(5));
+  EXPECT_FALSE(w.remove_bit_at(5));
+}
+
+TEST(WordBitset, InsertAtLimbBoundary) {
+  WordBitset<128> w;
+  w.set(63);
+  w.set(64);
+  w.insert_zero_at(63);
+  EXPECT_FALSE(w.test(63));
+  EXPECT_TRUE(w.test(64));  // old 63
+  EXPECT_TRUE(w.test(65));  // old 64
+}
+
+TEST(WordBitset, RemoveAtLimbBoundary) {
+  WordBitset<128> w;
+  w.set(64);
+  w.set(65);
+  w.remove_bit_at(63);
+  EXPECT_TRUE(w.test(63));  // old 64
+  EXPECT_TRUE(w.test(64));  // old 65
+  EXPECT_FALSE(w.test(65));
+}
+
+TEST(WordBitset, EqualityAndToString) {
+  WordBitset<16> a;
+  WordBitset<16> b;
+  EXPECT_EQ(a, b);
+  a.set(3);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a.to_string(), "0001000000000000");
+}
+
+template <unsigned W>
+void run_random_ops_against_model(std::uint64_t seed, int iterations) {
+  WordBitset<W> w;
+  RefModel<W> ref;
+  Xoshiro256 rng(seed);
+  for (int it = 0; it < iterations; ++it) {
+    const auto op = rng.bounded(5);
+    const auto pos = static_cast<unsigned>(rng.bounded(W));
+    switch (op) {
+      case 0:
+        w.set(pos);
+        ref.set(pos);
+        break;
+      case 1:
+        w.clear(pos);
+        ref.clear(pos);
+        break;
+      case 2:
+        w.insert_zero_at(pos);
+        ref.insert_zero_at(pos);
+        break;
+      case 3:
+        w.remove_bit_at(pos);
+        ref.remove_bit_at(pos);
+        break;
+      case 4: {
+        const auto lo = static_cast<unsigned>(rng.bounded(W));
+        const auto hi =
+            lo + static_cast<unsigned>(rng.bounded(W - lo + 1));
+        ASSERT_EQ(w.popcount_range(lo, hi), ref.popcount_range(lo, hi))
+            << "width=" << W << " iteration=" << it;
+        break;
+      }
+    }
+    ASSERT_TRUE(ref.matches(w)) << "width=" << W << " iteration=" << it;
+  }
+}
+
+class WordBitsetProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WordBitsetProperty, Width16MatchesModel) {
+  run_random_ops_against_model<16>(GetParam(), 1500);
+}
+
+TEST_P(WordBitsetProperty, Width32MatchesModel) {
+  run_random_ops_against_model<32>(GetParam(), 1500);
+}
+
+TEST_P(WordBitsetProperty, Width64MatchesModel) {
+  run_random_ops_against_model<64>(GetParam(), 1500);
+}
+
+TEST_P(WordBitsetProperty, Width128MatchesModel) {
+  run_random_ops_against_model<128>(GetParam(), 1500);
+}
+
+TEST_P(WordBitsetProperty, Width256MatchesModel) {
+  run_random_ops_against_model<256>(GetParam(), 1500);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WordBitsetProperty,
+                         ::testing::Values(1u, 2u, 3u, 42u, 0xDEADBEEFu));
+
+}  // namespace

@@ -1,0 +1,160 @@
+// Workload generators: exact cardinalities, alphabet/length contracts,
+// member/non-member labeling, heavy-tailed flow traces, patent-data hit
+// fractions, and churn-driver bookkeeping.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include "common/rng.hpp"
+#include "filters/counting_bloom.hpp"
+#include "workload/churn.hpp"
+#include "workload/flow_trace.hpp"
+#include "workload/patent_data.hpp"
+#include "workload/string_sets.hpp"
+
+namespace {
+
+using namespace mpcbf::workload;
+
+TEST(StringSets, UniqueCountLengthAlphabet) {
+  const auto v = generate_unique_strings(5000, 5, 1);
+  EXPECT_EQ(v.size(), 5000u);
+  std::set<std::string> uniq(v.begin(), v.end());
+  EXPECT_EQ(uniq.size(), 5000u);
+  for (const auto& s : v) {
+    ASSERT_EQ(s.size(), 5u);
+    for (const char c : s) {
+      ASSERT_TRUE((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')) << s;
+    }
+  }
+}
+
+TEST(StringSets, Deterministic) {
+  EXPECT_EQ(generate_unique_strings(100, 5, 9),
+            generate_unique_strings(100, 5, 9));
+  EXPECT_NE(generate_unique_strings(100, 5, 9),
+            generate_unique_strings(100, 5, 10));
+}
+
+TEST(StringSets, ImpossibleRequestThrows) {
+  // 52^2 = 2704 two-char strings; asking for 2000 unique is > half.
+  EXPECT_THROW(generate_unique_strings(2000, 2, 1), std::invalid_argument);
+}
+
+TEST(QuerySetTest, LabelsAreExact) {
+  const auto members = generate_unique_strings(2000, 5, 11);
+  const auto qs = build_query_set(members, 10000, 0.8, 12);
+  ASSERT_EQ(qs.queries.size(), 10000u);
+  std::unordered_set<std::string> member_set(members.begin(), members.end());
+  for (std::size_t i = 0; i < qs.queries.size(); ++i) {
+    ASSERT_EQ(qs.is_member[i], member_set.contains(qs.queries[i])) << i;
+  }
+  // ~80% members.
+  EXPECT_NEAR(static_cast<double>(qs.member_count()), 8000.0, 300.0);
+}
+
+TEST(QuerySetTest, MeasuredFprHelper) {
+  const auto members = generate_unique_strings(100, 5, 13);
+  const auto qs = build_query_set(members, 1000, 0.5, 14);
+  // A filter that says "yes" to everything has FPR 1, "no" FPR 0.
+  std::vector<bool> all_yes(qs.queries.size(), true);
+  std::vector<bool> all_no(qs.queries.size(), false);
+  EXPECT_DOUBLE_EQ(measured_fpr(qs, all_yes), 1.0);
+  EXPECT_DOUBLE_EQ(measured_fpr(qs, all_no), 0.0);
+  EXPECT_THROW((void)measured_fpr(qs, std::vector<bool>(3)), std::invalid_argument);
+}
+
+TEST(FlowTraceTest, ExactCardinalities) {
+  FlowTraceConfig cfg;
+  cfg.total_packets = 50000;
+  cfg.unique_flows = 4000;
+  cfg.seed = 15;
+  const auto trace = FlowTrace::generate(cfg);
+  EXPECT_EQ(trace.packets().size(), 50000u);
+  EXPECT_EQ(trace.unique_flows().size(), 4000u);
+  std::unordered_set<std::uint64_t> distinct(trace.packets().begin(),
+                                             trace.packets().end());
+  EXPECT_EQ(distinct.size(), 4000u);  // every unique flow appears
+}
+
+TEST(FlowTraceTest, HeavyTailedPopularity) {
+  FlowTraceConfig cfg;
+  cfg.total_packets = 100000;
+  cfg.unique_flows = 5000;
+  cfg.seed = 16;
+  const auto trace = FlowTrace::generate(cfg);
+  // Zipf ~1: the top 1% of flows must carry far more than 1% of packets.
+  EXPECT_GT(trace.head_fraction(50), 0.10);
+}
+
+TEST(FlowTraceTest, KeyViewIsEightBytes) {
+  FlowTraceConfig cfg;
+  cfg.total_packets = 100;
+  cfg.unique_flows = 10;
+  const auto trace = FlowTrace::generate(cfg);
+  EXPECT_EQ(trace.packet_key(0).size(), 8u);
+}
+
+TEST(FlowTraceTest, InvalidConfigThrows) {
+  FlowTraceConfig cfg;
+  cfg.total_packets = 10;
+  cfg.unique_flows = 20;
+  EXPECT_THROW(FlowTrace::generate(cfg), std::invalid_argument);
+}
+
+TEST(PatentDataTest, CardinalitiesAndHitFraction) {
+  PatentDataConfig cfg;
+  cfg.num_patents = 5000;
+  cfg.num_citations = 40000;
+  cfg.hit_fraction = 0.45;
+  cfg.seed = 17;
+  const auto data = PatentData::generate(cfg);
+  EXPECT_EQ(data.patents.size(), 5000u);
+  EXPECT_EQ(data.citations.size(), 40000u);
+  EXPECT_NEAR(static_cast<double>(data.hit_count()) / 40000.0, 0.45, 0.02);
+
+  // Ground truth labels are consistent with the actual key sets.
+  std::unordered_set<std::string> keys;
+  for (const auto& p : data.patents) keys.insert(p.id);
+  EXPECT_EQ(keys.size(), 5000u);  // ids unique
+  for (std::size_t i = 0; i < 2000; ++i) {
+    ASSERT_EQ(data.citation_hits[i], keys.contains(data.citations[i].cited))
+        << i;
+  }
+}
+
+TEST(PatentDataTest, InvalidConfigThrows) {
+  PatentDataConfig cfg;
+  cfg.num_patents = 0;
+  EXPECT_THROW(PatentData::generate(cfg), std::invalid_argument);
+  cfg = PatentDataConfig{};
+  cfg.hit_fraction = 1.5;
+  EXPECT_THROW(PatentData::generate(cfg), std::invalid_argument);
+}
+
+TEST(Churn, KeepsCardinalityAndGroundTruth) {
+  mpcbf::filters::CountingBloomFilter f(1 << 18, 3);
+  auto live = generate_unique_strings(2000, 5, 18);
+  const auto replacements = generate_unique_strings(5000, 6, 19);
+  for (const auto& k : live) f.insert(k);
+
+  mpcbf::util::Xoshiro256 rng(20);
+  std::size_t cursor = 0;
+  for (int round = 0; round < 5; ++round) {
+    const auto stats =
+        run_churn_round(f, live, replacements, cursor, 400, rng);
+    EXPECT_EQ(stats.deletes, 400u);
+    EXPECT_EQ(stats.inserts, 400u);
+    EXPECT_EQ(stats.failed_deletes, 0u);
+    EXPECT_EQ(live.size(), 2000u);
+  }
+  EXPECT_EQ(cursor, 2000u);
+  // Every live element must still be positive (no false negatives).
+  for (const auto& k : live) {
+    ASSERT_TRUE(f.contains(k));
+  }
+}
+
+}  // namespace
