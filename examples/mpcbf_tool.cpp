@@ -9,15 +9,24 @@
 //   query --filter FILTER --keys FILE         membership-check a key file
 //   merge --a F1 --b F2 --out F3              counter-wise union of filters
 //   stats --filter FILTER                     print a saved filter's layout
+//   verify --filter FILTER                    integrity-check a snapshot file
+//   snapshot --dir D [--keys FILE] [...]      append to a durable dir & compact
+//   recover --dir D [--out FILTER]            rebuild state from a durable dir
 //
-// Key files are newline-separated keys.
+// Key files are newline-separated keys. A "durable dir" is a
+// DurableMpcbf directory (write-ahead journal + checksummed snapshots,
+// see docs/persistence.md); `snapshot` creates one on first use from the
+// sizing flags (--memory-bits/--k/--g/--expected-n/--n-max).
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/cli.hpp"
+#include "core/durable_mpcbf.hpp"
 #include "core/mpcbf.hpp"
+#include "io/crc32c.hpp"
 #include "model/planner.hpp"
 
 namespace {
@@ -163,11 +172,128 @@ int cmd_stats(const mpcbf::util::CliArgs& args) {
   return 0;
 }
 
+// Loads either a plain saved filter (v2-framed or bare v1) or a
+// DurableMpcbf snapshot file, whose frame payload carries the durable
+// magic and journal watermark ahead of the filter payload.
+mpcbf::core::Mpcbf<64> load_any_filter(std::istream& is) {
+  const auto magic = mpcbf::io::read_raw_magic(is);
+  if (mpcbf::io::magic_equals(magic, mpcbf::io::kFrameMagic)) {
+    std::istringstream payload(
+        mpcbf::io::read_frame_payload_after_magic(is));
+    const auto inner = mpcbf::io::read_raw_magic(payload);
+    if (mpcbf::io::magic_equals(
+            inner, mpcbf::core::DurableMpcbf<64>::kSnapshotMagic)) {
+      (void)mpcbf::io::read_pod<std::uint64_t>(payload);  // watermark
+    } else if (mpcbf::io::magic_equals(inner,
+                                       mpcbf::core::Mpcbf<64>::kMagic)) {
+      payload.seekg(0);  // plain save(): payload is the bare v1 stream
+    } else {
+      throw std::runtime_error("unrecognized frame payload magic");
+    }
+    return mpcbf::core::Mpcbf<64>::load_payload(payload);
+  }
+  if (mpcbf::io::magic_equals(magic, mpcbf::core::Mpcbf<64>::kMagic)) {
+    is.seekg(0);
+    return mpcbf::core::Mpcbf<64>::load(is);
+  }
+  throw std::runtime_error("unrecognized magic");
+}
+
+int cmd_verify(const mpcbf::util::CliArgs& args) {
+  const std::string path = args.get_string("filter", "filter.mpcbf");
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    std::cerr << "cannot open filter file: " << path << "\n";
+    return 1;
+  }
+  try {
+    const auto filter = load_any_filter(is);
+    // load() already CRC-checked the frame and cross-validated the
+    // state; validate() re-derives the word invariants as a belt.
+    if (!filter.validate()) {
+      std::cerr << path << ": INVALID (word state inconsistent)\n";
+      return 1;
+    }
+    std::cout << path << ": ok (" << filter.size() << " elements, "
+              << filter.memory_bits() / 8 / 1024 << " KiB, stash "
+              << filter.stash_size() << ")\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << path << ": CORRUPT: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+mpcbf::core::MpcbfConfig durable_config(const mpcbf::util::CliArgs& args) {
+  mpcbf::core::MpcbfConfig cfg;
+  cfg.memory_bits = args.get_uint("memory-bits", 1 << 20);
+  cfg.k = static_cast<unsigned>(args.get_uint("k", 3));
+  cfg.g = static_cast<unsigned>(args.get_uint("g", 1));
+  cfg.expected_n = args.get_uint("expected-n", 0);
+  cfg.n_max = static_cast<unsigned>(args.get_uint("n-max", 0));
+  if (cfg.expected_n == 0 && cfg.n_max == 0) {
+    cfg.expected_n = args.get_uint("memory-bits", 1 << 20) / 16;
+  }
+  cfg.policy = mpcbf::core::OverflowPolicy::kStash;
+  return cfg;
+}
+
+int cmd_snapshot(const mpcbf::util::CliArgs& args) {
+  const std::string dir = args.get_string("dir", "");
+  if (dir.empty()) {
+    std::cerr << "snapshot: --dir is required\n";
+    return 2;
+  }
+  // An existing directory dictates its own layout; the sizing flags only
+  // matter the first time, when the durable state is created.
+  auto durable = [&] {
+    try {
+      return mpcbf::core::DurableMpcbf<64>::open_existing(dir);
+    } catch (const std::runtime_error&) {
+      return mpcbf::core::DurableMpcbf<64>(dir, durable_config(args));
+    }
+  }();
+  const std::string key_file = args.get_string("keys", "");
+  std::size_t appended = 0;
+  if (!key_file.empty()) {
+    for (const auto& key : read_keys(key_file)) {
+      durable.insert(key);
+      ++appended;
+    }
+  }
+  durable.snapshot();
+  std::cout << "snapshot " << dir << ": +" << appended << " keys, "
+            << durable.size() << " total, journal compacted at seq "
+            << durable.next_seq() - 1 << "\n";
+  return 0;
+}
+
+int cmd_recover(const mpcbf::util::CliArgs& args) {
+  const std::string dir = args.get_string("dir", "");
+  if (dir.empty()) {
+    std::cerr << "recover: --dir is required\n";
+    return 2;
+  }
+  const auto filter = mpcbf::core::DurableMpcbf<64>::recover(dir);
+  std::cout << "recovered " << dir << ": " << filter.size()
+            << " elements, stash " << filter.stash_size() << ", valid: "
+            << (filter.validate() ? "yes" : "NO") << "\n";
+  const std::string out = args.get_string("out", "");
+  if (!out.empty()) {
+    std::ofstream os(out, std::ios::binary);
+    filter.save(os);
+    std::cout << "exported to " << out << "\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::cerr << "usage: mpcbf_tool <plan|build|query|stats> [flags]\n";
+    std::cerr << "usage: mpcbf_tool "
+                 "<plan|build|query|merge|stats|verify|snapshot|recover> "
+                 "[flags]\n";
     return 2;
   }
   const std::string cmd = argv[1];
@@ -178,6 +304,9 @@ int main(int argc, char** argv) {
     if (cmd == "query") return cmd_query(args);
     if (cmd == "merge") return cmd_merge(args);
     if (cmd == "stats") return cmd_stats(args);
+    if (cmd == "verify") return cmd_verify(args);
+    if (cmd == "snapshot") return cmd_snapshot(args);
+    if (cmd == "recover") return cmd_recover(args);
     std::cerr << "unknown subcommand: " << cmd << "\n";
     return 2;
   } catch (const std::exception& e) {

@@ -26,10 +26,15 @@ CounterVector CounterVector::load(std::istream& is) {
   if (bits < 1 || bits > 16) {
     throw std::runtime_error("CounterVector::load: bad counter width");
   }
+  // Cap the allocation a hostile length field can trigger (2 GiB).
+  constexpr std::uint64_t kMaxLimbs = (1ull << 31) / sizeof(std::uint64_t);
+  if (num_counters > kMaxLimbs * 64 / bits) {  // overflow-safe form
+    throw std::runtime_error("CounterVector::load: size out of range");
+  }
   CounterVector v(num_counters, bits);
   v.saturations_ = io::read_pod<std::uint64_t>(is);
   v.underflows_ = io::read_pod<std::uint64_t>(is);
-  auto limbs = io::read_pod_vector<std::uint64_t>(is, 1ull << 40);
+  auto limbs = io::read_pod_vector<std::uint64_t>(is, kMaxLimbs);
   if (limbs.size() != v.limbs_.size()) {
     throw std::runtime_error("CounterVector::load: payload size mismatch");
   }

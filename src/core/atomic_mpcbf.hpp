@@ -25,6 +25,9 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <istream>
+#include <ostream>
+#include <sstream>
 #include <stdexcept>
 #include <string_view>
 #include <vector>
@@ -32,6 +35,8 @@
 #include "bitvec/word_bitset.hpp"
 #include "core/hcbf.hpp"
 #include "hash/hash_stream.hpp"
+#include "io/binary.hpp"
+#include "io/crc32c.hpp"
 #include "model/fpr_model.hpp"
 
 namespace mpcbf::core {
@@ -69,6 +74,19 @@ class AtomicMpcbf {
     words_ = std::vector<std::atomic<std::uint64_t>>(l);
     for (auto& w : words_) w.store(0, std::memory_order_relaxed);
   }
+
+  /// Movable so load() can return by value (atomics themselves are not
+  /// movable; the counter transfers as a relaxed snapshot). Quiescent
+  /// source only.
+  AtomicMpcbf(AtomicMpcbf&& other) noexcept
+      : words_(std::move(other.words_)),
+        k_(other.k_),
+        g_(other.g_),
+        b1_(other.b1_),
+        n_max_(other.n_max_),
+        seed_(other.seed_),
+        overflow_events_(
+            other.overflow_events_.load(std::memory_order_relaxed)) {}
 
   /// Lock-free insert. Returns false if any target word lacks capacity
   /// (words updated before the failing one are rolled back, so the insert
@@ -154,6 +172,68 @@ class AtomicMpcbf {
       if (!Hcbf<64>::validate(w, b1_)) return false;
     }
     return true;
+  }
+
+  // --- serialization ----------------------------------------------------
+
+  static constexpr char kMagic[9] = "MPCBATM2";
+
+  /// Serializes the word array into a v2 frame. Quiescent state only:
+  /// each word is read with one relaxed load, so words mutated while
+  /// saving would tear *across* words (each word itself is consistent).
+  void save(std::ostream& os) const {
+    std::ostringstream payload;
+    io::write_magic(payload, kMagic);
+    io::write_pod<std::uint32_t>(payload, k_);
+    io::write_pod<std::uint32_t>(payload, g_);
+    io::write_pod<std::uint32_t>(payload, b1_);
+    io::write_pod<std::uint32_t>(payload, n_max_);
+    io::write_pod<std::uint64_t>(payload, seed_);
+    io::write_pod<std::uint64_t>(payload, overflow_events());
+    io::write_pod<std::uint64_t>(payload, words_.size());
+    for (const auto& w : words_) {
+      io::write_pod<std::uint64_t>(payload,
+                                   w.load(std::memory_order_relaxed));
+    }
+    io::write_frame(os, payload.str());
+  }
+
+  /// Restores a filter written by save(). Throws std::runtime_error on
+  /// corruption; every word must satisfy the HCBF invariants.
+  static AtomicMpcbf load(std::istream& is) {
+    std::istringstream payload(io::read_frame(is));
+    io::expect_magic(payload, kMagic);
+    const auto k = io::read_pod<std::uint32_t>(payload);
+    const auto g = io::read_pod<std::uint32_t>(payload);
+    const auto b1 = io::read_pod<std::uint32_t>(payload);
+    const auto n_max = io::read_pod<std::uint32_t>(payload);
+    const auto seed = io::read_pod<std::uint64_t>(payload);
+    const auto overflows = io::read_pod<std::uint64_t>(payload);
+    const auto word_count = io::read_pod<std::uint64_t>(payload);
+    constexpr std::uint64_t kMaxWords = (1ull << 31) / sizeof(std::uint64_t);
+    if (word_count == 0 || word_count > kMaxWords) {
+      throw std::runtime_error("AtomicMpcbf::load: word count out of range");
+    }
+    AtomicMpcbf f = [&] {
+      try {
+        return AtomicMpcbf(word_count * kWordBits, k, g, 0, seed, n_max);
+      } catch (const std::invalid_argument& e) {
+        throw std::runtime_error(
+            std::string("AtomicMpcbf::load: bad layout: ") + e.what());
+      }
+    }();
+    if (f.b1_ != b1) {
+      throw std::runtime_error("AtomicMpcbf::load: layout mismatch");
+    }
+    for (auto& w : f.words_) {
+      w.store(io::read_pod<std::uint64_t>(payload),
+              std::memory_order_relaxed);
+    }
+    f.overflow_events_.store(overflows, std::memory_order_relaxed);
+    if (!f.validate()) {
+      throw std::runtime_error("AtomicMpcbf::load: corrupt filter state");
+    }
+    return f;
   }
 
  private:

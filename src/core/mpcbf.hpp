@@ -14,9 +14,9 @@
 // queries and deletes consult, preserving exact semantics at a small memory
 // cost.
 //
-// Thread-safety: const queries are safe concurrently with each other only
-// if metrics are not being recorded concurrently elsewhere; mutations
-// require external synchronization. For lock-free operation on W=64 see
+// Thread-safety: const queries are safe concurrently with each other
+// (metrics counters are relaxed atomics); mutations require external
+// synchronization. For lock-free operation on W=64 see
 // core/atomic_mpcbf.hpp.
 #pragma once
 
@@ -27,6 +27,7 @@
 #include <istream>
 #include <ostream>
 #include <span>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -37,6 +38,7 @@
 #include "core/hcbf.hpp"
 #include "hash/hash_stream.hpp"
 #include "io/binary.hpp"
+#include "io/crc32c.hpp"
 #include "metrics/access_stats.hpp"
 #include "model/fpr_model.hpp"
 
@@ -277,6 +279,7 @@ class Mpcbf {
   [[nodiscard]] unsigned k() const noexcept { return k_; }
   [[nodiscard]] unsigned g() const noexcept { return g_; }
   [[nodiscard]] unsigned n_max() const noexcept { return n_max_; }
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
   [[nodiscard]] std::size_t memory_bits() const noexcept {
     return words_.size() * W;
   }
@@ -446,11 +449,43 @@ class Mpcbf {
   // --- serialization ---------------------------------------------------------
 
   static constexpr char kMagic[9] = "MPCBFv1\0";
+  /// Memory cap applied to untrusted length fields before any
+  /// allocation; a hostile stream cannot make load() request more.
+  static constexpr std::uint64_t kMaxLoadBytes = 1ull << 31;
+  static constexpr std::uint64_t kMaxStashEntries = 1ull << 24;
+  static constexpr std::uint64_t kMaxStashKeyLen = 1ull << 20;
 
-  /// Serializes the full filter state (layout, words, stash, counters) to
-  /// a binary stream. Format is versioned via the magic tag; metrics are
-  /// not persisted.
+  /// Serializes the full filter state (layout, words, stash, counters)
+  /// as a v2 frame: the v1 payload wrapped with magic, format version,
+  /// payload length and CRC32C (io/crc32c.hpp). Metrics are not
+  /// persisted.
   void save(std::ostream& os) const {
+    std::ostringstream payload;
+    save_payload(payload);
+    io::write_frame(os, payload.str());
+  }
+
+  /// Restores a filter previously written by save(). Accepts both the
+  /// framed v2 format and bare v1 streams (pre-frame builds). Throws
+  /// std::runtime_error on format mismatch or corruption — v2 frames are
+  /// CRC-verified before a single payload byte is parsed.
+  static Mpcbf load(std::istream& is) {
+    const auto magic = io::read_raw_magic(is);
+    if (io::magic_equals(magic, io::kFrameMagic)) {
+      std::istringstream payload(io::read_frame_payload_after_magic(is));
+      io::expect_magic(payload, kMagic);
+      return load_body(payload);
+    }
+    if (io::magic_equals(magic, kMagic)) {
+      return load_body(is);  // legacy v1 stream
+    }
+    throw std::runtime_error("Mpcbf::load: unrecognized magic");
+  }
+
+  /// Writes the bare v1 payload (magic + body, no frame) — the unit
+  /// composite containers (DurableMpcbf snapshots, ShardedMpcbf) embed
+  /// inside their own frames.
+  void save_payload(std::ostream& os) const {
     io::write_magic(os, kMagic);
     io::write_pod<std::uint32_t>(os, W);
     io::write_pod<std::uint32_t>(os, k_);
@@ -472,10 +507,19 @@ class Mpcbf {
     }
   }
 
-  /// Restores a filter previously written by save(). Throws
-  /// std::runtime_error on format mismatch or corruption.
-  static Mpcbf load(std::istream& is) {
+  /// Parses a bare v1 payload (counterpart of save_payload).
+  static Mpcbf load_payload(std::istream& is) {
     io::expect_magic(is, kMagic);
+    return load_body(is);
+  }
+
+ private:
+  /// Parses the v1 body (everything after the magic) with full
+  /// cross-validation: every length is memory-capped before allocation,
+  /// the stash must be consistent with the overflow policy, and the
+  /// persisted element count must match the hierarchy-bit conservation
+  /// law where it is derivable.
+  static Mpcbf load_body(std::istream& is) {
     const auto width = io::read_pod<std::uint32_t>(is);
     if (width != W) {
       throw std::runtime_error("Mpcbf::load: word width mismatch");
@@ -485,19 +529,33 @@ class Mpcbf {
     cfg.g = io::read_pod<std::uint32_t>(is);
     const auto b1 = io::read_pod<std::uint32_t>(is);
     cfg.n_max = io::read_pod<std::uint32_t>(is);
-    cfg.policy = static_cast<OverflowPolicy>(io::read_pod<std::uint8_t>(is));
+    const auto policy_byte = io::read_pod<std::uint8_t>(is);
+    if (policy_byte > static_cast<std::uint8_t>(OverflowPolicy::kStash)) {
+      throw std::runtime_error("Mpcbf::load: unknown overflow policy");
+    }
+    cfg.policy = static_cast<OverflowPolicy>(policy_byte);
     cfg.short_circuit = io::read_pod<std::uint8_t>(is) != 0;
     cfg.seed = io::read_pod<std::uint64_t>(is);
     const auto size = io::read_pod<std::uint64_t>(is);
     const auto overflows = io::read_pod<std::uint64_t>(is);
     const auto underflows = io::read_pod<std::uint64_t>(is);
-    auto words = io::read_pod_vector<bits::WordBitset<W>>(is, 1ull << 40);
-    auto hier = io::read_pod_vector<std::uint16_t>(is, 1ull << 40);
+    constexpr std::uint64_t kMaxWords =
+        kMaxLoadBytes / sizeof(bits::WordBitset<W>);
+    auto words = io::read_pod_vector<bits::WordBitset<W>>(is, kMaxWords);
+    auto hier = io::read_pod_vector<std::uint16_t>(is, kMaxWords);
     if (words.empty() || words.size() != hier.size()) {
       throw std::runtime_error("Mpcbf::load: inconsistent word arrays");
     }
     cfg.memory_bits = words.size() * W;
-    Mpcbf f(cfg);
+    Mpcbf f = [&] {
+      try {
+        return Mpcbf(cfg);
+      } catch (const std::invalid_argument& e) {
+        // A corrupt header must read as corruption, not a usage error.
+        throw std::runtime_error(std::string("Mpcbf::load: bad layout: ") +
+                                 e.what());
+      }
+    }();
     if (f.b1_ != b1) {
       throw std::runtime_error("Mpcbf::load: layout mismatch");
     }
@@ -507,18 +565,44 @@ class Mpcbf {
     f.overflow_events_ = overflows;
     f.underflow_events_ = underflows;
     const auto stash_count = io::read_pod<std::uint64_t>(is);
+    if (stash_count > kMaxStashEntries) {
+      throw std::runtime_error("Mpcbf::load: stash count out of range");
+    }
+    std::uint64_t stash_total = 0;
     for (std::uint64_t i = 0; i < stash_count; ++i) {
-      std::string key = io::read_string(is, 1ull << 20);
+      std::string key = io::read_string(is, kMaxStashKeyLen);
       const auto count = io::read_pod<std::uint32_t>(is);
-      f.stash_.emplace(std::move(key), count);
+      if (count == 0) {
+        throw std::runtime_error("Mpcbf::load: zero-count stash entry");
+      }
+      stash_total += count;
+      if (!f.stash_.emplace(std::move(key), count).second) {
+        throw std::runtime_error("Mpcbf::load: duplicate stash key");
+      }
+    }
+    if (!f.stash_.empty() && f.policy_ != OverflowPolicy::kStash) {
+      throw std::runtime_error(
+          "Mpcbf::load: stash entries under a non-stash overflow policy");
     }
     if (!f.validate()) {
       throw std::runtime_error("Mpcbf::load: corrupt filter state");
     }
+    // Conservation law (docs/hcbf-format.md): every successful non-stash
+    // insert adds exactly k hierarchy bits and every successful erase
+    // removes k, so with no underflows on record the persisted element
+    // count is fully derivable from the word state.
+    if (underflows == 0) {
+      if (size < stash_total) {
+        throw std::runtime_error("Mpcbf::load: size below stash total");
+      }
+      if (f.total_hierarchy_bits() != (size - stash_total) * f.k_) {
+        throw std::runtime_error(
+            "Mpcbf::load: element count inconsistent with word state");
+      }
+    }
     return f;
   }
 
- private:
   struct Targets {
     std::array<std::size_t, kMaxG * kMaxKPerWord> word_of;
     std::array<unsigned, kMaxG * kMaxKPerWord> pos;

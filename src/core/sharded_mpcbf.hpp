@@ -13,9 +13,11 @@
 #pragma once
 
 #include <cstdint>
-#include <iosfwd>
+#include <istream>
 #include <memory>
 #include <mutex>
+#include <ostream>
+#include <sstream>
 #include <stdexcept>
 #include <string_view>
 #include <vector>
@@ -117,12 +119,74 @@ class ShardedMpcbf {
     return true;
   }
 
+  // --- serialization ----------------------------------------------------
+
+  static constexpr char kMagic[9] = "MPCBSHD2";
+
+  /// Serializes every shard into one v2 frame (quiescent state only —
+  /// shard locks are taken one at a time, so concurrent mutations would
+  /// tear across shards).
+  void save(std::ostream& os) const {
+    std::ostringstream payload;
+    io::write_magic(payload, kMagic);
+    io::write_pod<std::uint32_t>(payload, W);
+    io::write_pod<std::uint32_t>(payload,
+                                 static_cast<std::uint32_t>(shards_.size()));
+    io::write_pod<std::uint64_t>(payload, shard_seed_);
+    for (const auto& s : shards_) {
+      std::lock_guard<std::mutex> lock(s->mutex);
+      s->filter.save_payload(payload);
+    }
+    io::write_frame(os, payload.str());
+  }
+
+  /// Restores a filter written by save(). Throws std::runtime_error on
+  /// corruption (frame CRC, shard layout disagreement, seed mismatch).
+  static ShardedMpcbf load(std::istream& is) {
+    std::istringstream payload(io::read_frame(is));
+    io::expect_magic(payload, kMagic);
+    const auto width = io::read_pod<std::uint32_t>(payload);
+    if (width != W) {
+      throw std::runtime_error("ShardedMpcbf::load: word width mismatch");
+    }
+    const auto num_shards = io::read_pod<std::uint32_t>(payload);
+    if (num_shards == 0 || num_shards > kMaxShards) {
+      throw std::runtime_error("ShardedMpcbf::load: shard count out of range");
+    }
+    const auto shard_seed = io::read_pod<std::uint64_t>(payload);
+    std::vector<std::unique_ptr<Shard>> shards;
+    shards.reserve(num_shards);
+    for (std::uint32_t i = 0; i < num_shards; ++i) {
+      shards.push_back(
+          std::make_unique<Shard>(Mpcbf<W>::load_payload(payload)));
+      if (!shards[0]->filter.compatible(shards[i]->filter)) {
+        throw std::runtime_error(
+            "ShardedMpcbf::load: shards disagree on layout");
+      }
+    }
+    // The shard hash seed is derived from the per-shard seed; a stored
+    // value that disagrees would route keys to the wrong shards.
+    const std::uint64_t expected_seed = util::SplitMix64::mix(
+        shards[0]->filter.seed() ^ 0x5ad5ad5ad5ad5adULL);
+    if (shard_seed != expected_seed) {
+      throw std::runtime_error("ShardedMpcbf::load: shard seed mismatch");
+    }
+    return ShardedMpcbf(std::move(shards), shard_seed);
+  }
+
  private:
+  static constexpr std::uint32_t kMaxShards = 1u << 16;
+
   struct Shard {
     explicit Shard(const MpcbfConfig& cfg) : filter(cfg) {}
+    explicit Shard(Mpcbf<W>&& f) : filter(std::move(f)) {}
     Mpcbf<W> filter;
     mutable std::mutex mutex;
   };
+
+  ShardedMpcbf(std::vector<std::unique_ptr<Shard>> shards,
+               std::uint64_t shard_seed)
+      : shards_(std::move(shards)), shard_seed_(shard_seed) {}
 
   [[nodiscard]] Shard& shard_of(std::string_view key) const {
     const std::uint64_t h = hash::murmur3_128(key, shard_seed_).lo;

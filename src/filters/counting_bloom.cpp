@@ -1,11 +1,13 @@
 #include "filters/counting_bloom.hpp"
 
 #include <algorithm>
+#include <sstream>
 #include <stdexcept>
 
 #include "filters/word_set.hpp"
 #include "hash/hash_stream.hpp"
 #include "io/binary.hpp"
+#include "io/crc32c.hpp"
 
 namespace mpcbf::filters {
 
@@ -126,20 +128,12 @@ namespace {
 constexpr char kCbfMagic[9] = "MPCBCBF1";
 }  // namespace
 
-void CountingBloomFilter::save(std::ostream& os) const {
-  io::write_magic(os, kCbfMagic);
-  io::write_pod<std::uint32_t>(os, k_);
-  io::write_pod<std::uint64_t>(os, seed_);
-  io::write_pod<std::uint8_t>(os, short_circuit_ ? 1 : 0);
-  io::write_pod<std::uint8_t>(os, double_hashing_ ? 1 : 0);
-  io::write_pod<std::uint64_t>(os, size_);
-  counters_.save(os);
-}
-
-CountingBloomFilter CountingBloomFilter::load(std::istream& is) {
-  io::expect_magic(is, kCbfMagic);
+CountingBloomFilter CountingBloomFilter::load_body(std::istream& is) {
   CbfConfig cfg;
   cfg.k = io::read_pod<std::uint32_t>(is);
+  if (cfg.k == 0 || cfg.k > 64) {
+    throw std::runtime_error("CBF::load: k out of range");
+  }
   cfg.seed = io::read_pod<std::uint64_t>(is);
   cfg.short_circuit = io::read_pod<std::uint8_t>(is) != 0;
   cfg.double_hashing = io::read_pod<std::uint8_t>(is) != 0;
@@ -151,6 +145,31 @@ CountingBloomFilter CountingBloomFilter::load(std::istream& is) {
   f.counters_ = std::move(counters);
   f.size_ = size;
   return f;
+}
+
+void CountingBloomFilter::save(std::ostream& os) const {
+  std::ostringstream payload;
+  io::write_magic(payload, kCbfMagic);
+  io::write_pod<std::uint32_t>(payload, k_);
+  io::write_pod<std::uint64_t>(payload, seed_);
+  io::write_pod<std::uint8_t>(payload, short_circuit_ ? 1 : 0);
+  io::write_pod<std::uint8_t>(payload, double_hashing_ ? 1 : 0);
+  io::write_pod<std::uint64_t>(payload, size_);
+  counters_.save(payload);
+  io::write_frame(os, payload.str());
+}
+
+CountingBloomFilter CountingBloomFilter::load(std::istream& is) {
+  const auto magic = io::read_raw_magic(is);
+  if (io::magic_equals(magic, io::kFrameMagic)) {
+    std::istringstream payload(io::read_frame_payload_after_magic(is));
+    io::expect_magic(payload, kCbfMagic);
+    return load_body(payload);
+  }
+  if (io::magic_equals(magic, kCbfMagic)) {
+    return load_body(is);  // legacy v1 stream
+  }
+  throw std::runtime_error("CBF::load: unrecognized magic");
 }
 
 double CountingBloomFilter::fill_ratio() const noexcept {

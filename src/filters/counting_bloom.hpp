@@ -74,11 +74,15 @@ class CountingBloomFilter {
   /// represented sets). Returns false (untouched) if layouts differ.
   bool merge(const CountingBloomFilter& other);
 
-  /// Binary persistence; metrics are not persisted.
+  /// Binary persistence (v2 CRC-framed; bare v1 streams still load);
+  /// metrics are not persisted.
   void save(std::ostream& os) const;
   static CountingBloomFilter load(std::istream& is);
 
  private:
+  /// Parses the v1 payload body (after the CBF magic).
+  static CountingBloomFilter load_body(std::istream& is);
+
   /// Machine-word id of a counter for access accounting.
   [[nodiscard]] std::size_t word_id(std::size_t counter_index) const noexcept {
     return counter_index * counters_.bits_per_counter() / 64;

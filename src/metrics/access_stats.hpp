@@ -7,9 +7,17 @@
 // split into negative/positive classes because query short-circuiting makes
 // their costs differ (that is why the paper measures CBF at 2.1 — not 3.0 —
 // accesses per query on IP traces).
+//
+// Counters are relaxed atomics so recording from const queries is safe
+// under concurrent readers (filters hold an AccessStats as a `mutable`
+// member and bump it from contains()). Relaxed ordering is sufficient:
+// the counters are independent monotonic tallies, never used to
+// synchronize other memory. Define MPCBF_DISABLE_ACCESS_STATS to compile
+// recording out entirely on hot paths that cannot afford the atomic adds.
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <string_view>
 
@@ -34,78 +42,112 @@ constexpr std::string_view to_string(OpClass c) noexcept {
 
 class AccessStats {
  public:
-  void record(OpClass c, std::uint64_t words_touched,
-              std::uint64_t hash_bits) noexcept {
-    auto& b = buckets_[static_cast<unsigned>(c)];
-    b.ops += 1;
-    b.words += words_touched;
-    b.bits += hash_bits;
+  AccessStats() = default;
+
+  // Filters are copy/movable; counters transfer as a relaxed snapshot
+  // (atomics themselves are neither copyable nor movable).
+  AccessStats(const AccessStats& other) noexcept { copy_from(other); }
+  AccessStats& operator=(const AccessStats& other) noexcept {
+    if (this != &other) copy_from(other);
+    return *this;
   }
 
-  void reset() noexcept { buckets_ = {}; }
+  void record(OpClass c, std::uint64_t words_touched,
+              std::uint64_t hash_bits) noexcept {
+#ifdef MPCBF_DISABLE_ACCESS_STATS
+    (void)c;
+    (void)words_touched;
+    (void)hash_bits;
+#else
+    auto& b = buckets_[static_cast<unsigned>(c)];
+    b.ops.fetch_add(1, std::memory_order_relaxed);
+    b.words.fetch_add(words_touched, std::memory_order_relaxed);
+    b.bits.fetch_add(hash_bits, std::memory_order_relaxed);
+#endif
+  }
+
+  void reset() noexcept {
+    for (auto& b : buckets_) {
+      b.ops.store(0, std::memory_order_relaxed);
+      b.words.store(0, std::memory_order_relaxed);
+      b.bits.store(0, std::memory_order_relaxed);
+    }
+  }
 
   [[nodiscard]] std::uint64_t ops(OpClass c) const noexcept {
-    return buckets_[static_cast<unsigned>(c)].ops;
+    return buckets_[static_cast<unsigned>(c)].ops.load(
+        std::memory_order_relaxed);
   }
 
   /// Mean distinct words touched per operation of class c (0 if none ran).
   [[nodiscard]] double mean_accesses(OpClass c) const noexcept {
     const auto& b = buckets_[static_cast<unsigned>(c)];
-    return b.ops == 0 ? 0.0
-                      : static_cast<double>(b.words) /
-                            static_cast<double>(b.ops);
+    const auto ops = b.ops.load(std::memory_order_relaxed);
+    return ops == 0 ? 0.0
+                    : static_cast<double>(
+                          b.words.load(std::memory_order_relaxed)) /
+                          static_cast<double>(ops);
   }
 
   /// Mean hash bits consumed per operation of class c.
   [[nodiscard]] double mean_bandwidth(OpClass c) const noexcept {
     const auto& b = buckets_[static_cast<unsigned>(c)];
-    return b.ops == 0 ? 0.0
-                      : static_cast<double>(b.bits) /
-                            static_cast<double>(b.ops);
+    const auto ops = b.ops.load(std::memory_order_relaxed);
+    return ops == 0 ? 0.0
+                    : static_cast<double>(
+                          b.bits.load(std::memory_order_relaxed)) /
+                          static_cast<double>(ops);
   }
 
   /// Combined query statistics (positive + negative), the paper's
   /// "query overhead" row.
   [[nodiscard]] double mean_query_accesses() const noexcept {
-    return combined_mean(&Bucket::words);
+    return combined_mean(&Bucket::words, 0, 1);
   }
   [[nodiscard]] double mean_query_bandwidth() const noexcept {
-    return combined_mean(&Bucket::bits);
+    return combined_mean(&Bucket::bits, 0, 1);
   }
 
   /// Combined insert+delete statistics, the paper's "update overhead" row.
   [[nodiscard]] double mean_update_accesses() const noexcept {
-    return update_mean(&Bucket::words);
+    return combined_mean(&Bucket::words, 2, 3);
   }
   [[nodiscard]] double mean_update_bandwidth() const noexcept {
-    return update_mean(&Bucket::bits);
+    return combined_mean(&Bucket::bits, 2, 3);
   }
 
  private:
   struct Bucket {
-    std::uint64_t ops = 0;
-    std::uint64_t words = 0;
-    std::uint64_t bits = 0;
+    std::atomic<std::uint64_t> ops{0};
+    std::atomic<std::uint64_t> words{0};
+    std::atomic<std::uint64_t> bits{0};
   };
 
-  [[nodiscard]] double combined_mean(std::uint64_t Bucket::*field)
-      const noexcept {
-    const auto& n = buckets_[0];
-    const auto& p = buckets_[1];
-    const std::uint64_t ops = n.ops + p.ops;
-    return ops == 0 ? 0.0
-                    : static_cast<double>(n.*field + p.*field) /
-                          static_cast<double>(ops);
+  void copy_from(const AccessStats& other) noexcept {
+    for (unsigned i = 0; i < buckets_.size(); ++i) {
+      buckets_[i].ops.store(
+          other.buckets_[i].ops.load(std::memory_order_relaxed),
+          std::memory_order_relaxed);
+      buckets_[i].words.store(
+          other.buckets_[i].words.load(std::memory_order_relaxed),
+          std::memory_order_relaxed);
+      buckets_[i].bits.store(
+          other.buckets_[i].bits.load(std::memory_order_relaxed),
+          std::memory_order_relaxed);
+    }
   }
 
-  [[nodiscard]] double update_mean(std::uint64_t Bucket::*field)
-      const noexcept {
-    const auto& i = buckets_[2];
-    const auto& d = buckets_[3];
-    const std::uint64_t ops = i.ops + d.ops;
-    return ops == 0 ? 0.0
-                    : static_cast<double>(i.*field + d.*field) /
-                          static_cast<double>(ops);
+  [[nodiscard]] double combined_mean(std::atomic<std::uint64_t> Bucket::*field,
+                                     unsigned a, unsigned b) const noexcept {
+    const std::uint64_t ops =
+        buckets_[a].ops.load(std::memory_order_relaxed) +
+        buckets_[b].ops.load(std::memory_order_relaxed);
+    return ops == 0
+               ? 0.0
+               : static_cast<double>(
+                     (buckets_[a].*field).load(std::memory_order_relaxed) +
+                     (buckets_[b].*field).load(std::memory_order_relaxed)) /
+                     static_cast<double>(ops);
   }
 
   std::array<Bucket, 4> buckets_{};

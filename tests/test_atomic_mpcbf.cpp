@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -196,6 +197,51 @@ TEST(AtomicMpcbf, ReadersDuringWrites) {
 
   EXPECT_EQ(misses.load(), 0);  // established members never flicker
   EXPECT_TRUE(f.validate());
+}
+
+TEST(AtomicMpcbf, SaveLoadRoundTrip) {
+  constexpr int kKeys = 2000;
+  const auto keys = generate_unique_strings(kKeys, 5, 92);
+  const auto probes = generate_unique_strings(kKeys, 7, 93);
+  AtomicMpcbf f(1 << 19, 3, 1, kKeys, 0x9E3779B97F4A7C15ULL, /*n_max=*/8);
+  for (const auto& k : keys) {
+    ASSERT_TRUE(f.insert(k));
+  }
+  std::stringstream ss;
+  f.save(ss);
+  AtomicMpcbf loaded = AtomicMpcbf::load(ss);
+  EXPECT_EQ(loaded.num_words(), f.num_words());
+  EXPECT_EQ(loaded.b1(), f.b1());
+  EXPECT_TRUE(loaded.validate());
+  for (const auto& k : keys) {
+    ASSERT_TRUE(loaded.contains(k));
+  }
+  for (const auto& p : probes) {
+    ASSERT_EQ(loaded.contains(p), f.contains(p)) << p;
+  }
+  // Erase through the loaded instance drains it to exactly empty.
+  for (const auto& k : keys) {
+    ASSERT_TRUE(loaded.erase(k)) << k;
+  }
+  for (const auto& k : keys) {
+    ASSERT_EQ(loaded.count(k), 0u) << k;
+  }
+}
+
+TEST(AtomicMpcbf, LoadRejectsCorruptStream) {
+  AtomicMpcbf f(1 << 12, 3, 1, 50, 0x9E3779B97F4A7C15ULL, /*n_max=*/8);
+  ASSERT_TRUE(f.insert("x"));
+  std::stringstream ss;
+  f.save(ss);
+  std::string data = ss.str();
+  for (const std::size_t offset : {std::size_t{0}, std::size_t{16},
+                                   data.size() / 2, data.size() - 1}) {
+    std::string mutated = data;
+    mutated[offset] ^= 0x04;
+    std::stringstream is(mutated);
+    EXPECT_THROW((void)AtomicMpcbf::load(is), std::runtime_error)
+        << "flip at " << offset;
+  }
 }
 
 }  // namespace

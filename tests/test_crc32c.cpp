@@ -1,0 +1,109 @@
+// CRC32C correctness (published vectors), incremental/adapter
+// equivalence, and the v2 frame container's accept/reject behaviour.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+#include <string>
+
+#include "io/crc32c.hpp"
+
+namespace {
+
+using mpcbf::io::ChecksumReader;
+using mpcbf::io::ChecksumWriter;
+using mpcbf::io::Crc32c;
+using mpcbf::io::crc32c;
+
+TEST(Crc32c, PublishedVectors) {
+  // RFC 3720 (iSCSI) appendix vectors.
+  EXPECT_EQ(crc32c(""), 0x00000000u);
+  EXPECT_EQ(crc32c("123456789"), 0xE3069283u);
+  const std::string zeros(32, '\0');
+  EXPECT_EQ(crc32c(zeros), 0x8A9136AAu);
+  const std::string ones(32, '\xff');
+  EXPECT_EQ(crc32c(ones), 0x62A8AB43u);
+}
+
+TEST(Crc32c, IncrementalMatchesOneShot) {
+  std::mt19937_64 rng(42);
+  std::string data(1013, '\0');  // odd size exercises the byte tail
+  for (auto& c : data) c = static_cast<char>(rng());
+  const std::uint32_t whole = crc32c(data);
+  for (const std::size_t split : {std::size_t{0}, std::size_t{1},
+                                  std::size_t{7}, std::size_t{512},
+                                  data.size()}) {
+    Crc32c acc;
+    acc.update(data.data(), split);
+    acc.update(data.data() + split, data.size() - split);
+    EXPECT_EQ(acc.value(), whole) << "split " << split;
+  }
+}
+
+TEST(Crc32c, AdaptersAgreeWithDirectComputation) {
+  std::ostringstream os;
+  ChecksumWriter writer(os);
+  writer.write_pod<std::uint64_t>(0xDEADBEEFULL);
+  writer.write("hello", 5);
+  const std::string bytes = os.str();
+  EXPECT_EQ(writer.bytes_written(), bytes.size());
+  EXPECT_EQ(writer.crc(), crc32c(bytes));
+
+  std::istringstream is(bytes);
+  ChecksumReader reader(is);
+  EXPECT_EQ(reader.read_pod<std::uint64_t>(), 0xDEADBEEFULL);
+  char buf[5];
+  reader.read(buf, 5);
+  EXPECT_EQ(reader.crc(), writer.crc());
+  EXPECT_EQ(reader.bytes_read(), bytes.size());
+}
+
+TEST(Crc32c, ReaderThrowsOnTruncation) {
+  std::istringstream is("ab");
+  ChecksumReader reader(is);
+  EXPECT_THROW((void)reader.read_pod<std::uint64_t>(), std::runtime_error);
+}
+
+TEST(Frame, RoundTrip) {
+  std::stringstream ss;
+  const std::string payload = "MPCBXYZ1some payload bytes";
+  mpcbf::io::write_frame(ss, payload);
+  EXPECT_EQ(mpcbf::io::read_frame(ss), payload);
+}
+
+TEST(Frame, EveryByteFlipRejected) {
+  std::stringstream ss;
+  mpcbf::io::write_frame(ss, "payload under test, long enough to matter");
+  const std::string framed = ss.str();
+  for (std::size_t i = 0; i < framed.size(); ++i) {
+    std::string mutated = framed;
+    mutated[i] ^= 0x40;
+    std::istringstream is(mutated);
+    EXPECT_THROW((void)mpcbf::io::read_frame(is), std::runtime_error)
+        << "flip at offset " << i;
+  }
+}
+
+TEST(Frame, EveryTruncationRejected) {
+  std::stringstream ss;
+  mpcbf::io::write_frame(ss, "payload under test");
+  const std::string framed = ss.str();
+  for (std::size_t keep = 0; keep < framed.size(); ++keep) {
+    std::istringstream is(framed.substr(0, keep));
+    EXPECT_THROW((void)mpcbf::io::read_frame(is), std::runtime_error)
+        << "kept " << keep;
+  }
+}
+
+TEST(Frame, HostileLengthIsNotAnAllocationBomb) {
+  // Hand-craft a frame header claiming a huge payload; read_frame must
+  // reject the length before allocating.
+  std::stringstream ss;
+  mpcbf::io::write_magic(ss, mpcbf::io::kFrameMagic);
+  mpcbf::io::write_pod<std::uint32_t>(ss, mpcbf::io::kFrameVersion);
+  mpcbf::io::write_pod<std::uint64_t>(ss, ~std::uint64_t{0});
+  mpcbf::io::write_pod<std::uint32_t>(ss, 0);
+  EXPECT_THROW((void)mpcbf::io::read_frame(ss), std::runtime_error);
+}
+
+}  // namespace

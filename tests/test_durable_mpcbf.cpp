@@ -1,0 +1,228 @@
+// DurableMpcbf: journaled mutations, snapshot compaction, recovery
+// equivalence, and watermark handling across snapshot/journal races.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/durable_mpcbf.hpp"
+#include "core/mpcbf.hpp"
+#include "workload/string_sets.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using mpcbf::core::DurableMpcbf;
+using mpcbf::core::Mpcbf;
+using mpcbf::core::MpcbfConfig;
+using mpcbf::core::OverflowPolicy;
+using mpcbf::workload::generate_unique_strings;
+
+MpcbfConfig small_config() {
+  MpcbfConfig cfg;
+  cfg.memory_bits = 1 << 16;
+  cfg.k = 3;
+  cfg.g = 1;
+  cfg.expected_n = 2000;
+  cfg.policy = OverflowPolicy::kStash;
+  return cfg;
+}
+
+class DurableMpcbfTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("mpcbf_durable_test_" + std::string(::testing::UnitTest::
+                                                    GetInstance()
+                                                        ->current_test_info()
+                                                        ->name()));
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  // No fsync in tests: the crash model under test is process death, and
+  // skipping it keeps the suite fast.
+  DurableMpcbf<64>::Options fast_options() {
+    DurableMpcbf<64>::Options opt;
+    opt.fsync = false;
+    return opt;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(DurableMpcbfTest, JournalOnlyRecovery) {
+  const auto keys = generate_unique_strings(500, 6, 1);
+  {
+    DurableMpcbf<64> d(dir_, small_config(), fast_options());
+    for (const auto& k : keys) ASSERT_TRUE(d.insert(k));
+    d.erase(keys[0]);
+    d.flush();
+  }  // no snapshot ever taken: recovery replays the journal from empty
+  const MpcbfConfig cfg = small_config();
+  const Mpcbf<64> recovered = DurableMpcbf<64>::recover(dir_, &cfg);
+  EXPECT_EQ(recovered.size(), keys.size() - 1);
+  for (std::size_t i = 1; i < keys.size(); ++i) {
+    EXPECT_TRUE(recovered.contains(keys[i]));
+  }
+}
+
+TEST_F(DurableMpcbfTest, SnapshotPlusJournalRecovery) {
+  const auto keys = generate_unique_strings(600, 6, 2);
+  const MpcbfConfig cfg = small_config();
+  {
+    DurableMpcbf<64> d(dir_, cfg, fast_options());
+    for (std::size_t i = 0; i < 400; ++i) ASSERT_TRUE(d.insert(keys[i]));
+    d.snapshot();
+    for (std::size_t i = 400; i < keys.size(); ++i) {
+      ASSERT_TRUE(d.insert(keys[i]));
+    }
+    d.flush();
+  }
+  // Reference: the same op sequence on a plain filter.
+  Mpcbf<64> reference(cfg);
+  for (const auto& k : keys) reference.insert(k);
+
+  const Mpcbf<64> recovered = DurableMpcbf<64>::recover(dir_, &cfg);
+  EXPECT_EQ(recovered.size(), reference.size());
+  for (std::size_t w = 0; w < reference.num_words(); ++w) {
+    ASSERT_EQ(recovered.word(w), reference.word(w)) << w;
+  }
+  for (const auto& k : keys) EXPECT_TRUE(recovered.contains(k));
+}
+
+TEST_F(DurableMpcbfTest, ReopenResumesSeamlessly) {
+  const auto keys = generate_unique_strings(300, 6, 3);
+  const MpcbfConfig cfg = small_config();
+  for (int round = 0; round < 3; ++round) {
+    DurableMpcbf<64> d(dir_, cfg, fast_options());
+    EXPECT_EQ(d.size(), static_cast<std::size_t>(round) * 100);
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_TRUE(d.insert(keys[round * 100 + i]));
+    }
+    if (round == 1) d.snapshot();
+    d.flush();
+  }
+  DurableMpcbf<64> d(dir_, cfg, fast_options());
+  EXPECT_EQ(d.size(), keys.size());
+  for (const auto& k : keys) EXPECT_TRUE(d.contains(k));
+}
+
+TEST_F(DurableMpcbfTest, SnapshotTruncatesJournal) {
+  DurableMpcbf<64> d(dir_, small_config(), fast_options());
+  for (const auto& k : generate_unique_strings(200, 6, 4)) d.insert(k);
+  d.snapshot();
+  const auto scan =
+      mpcbf::io::Journal::scan(DurableMpcbf<64>::journal_path(dir_).string());
+  EXPECT_TRUE(scan.records.empty());
+  EXPECT_EQ(scan.base_seq, 201u);
+  EXPECT_FALSE(DurableMpcbf<64>::snapshot_files(dir_).empty());
+}
+
+TEST_F(DurableMpcbfTest, OpenExistingDerivesLayoutFromSnapshot) {
+  const auto keys = generate_unique_strings(150, 6, 5);
+  {
+    DurableMpcbf<64> d(dir_, small_config(), fast_options());
+    for (const auto& k : keys) d.insert(k);
+    d.snapshot();
+  }
+  auto d = DurableMpcbf<64>::open_existing(dir_, fast_options());
+  EXPECT_EQ(d.size(), keys.size());
+  for (const auto& k : keys) EXPECT_TRUE(d.contains(k));
+}
+
+TEST_F(DurableMpcbfTest, OpenExistingWithoutStateThrows) {
+  EXPECT_THROW(DurableMpcbf<64>::open_existing(dir_, fast_options()),
+               std::runtime_error);
+}
+
+TEST_F(DurableMpcbfTest, MismatchedConfigThrows) {
+  {
+    DurableMpcbf<64> d(dir_, small_config(), fast_options());
+    d.insert("x");
+    d.snapshot();
+  }
+  MpcbfConfig other = small_config();
+  other.memory_bits *= 2;
+  EXPECT_THROW((DurableMpcbf<64>(dir_, other, fast_options())),
+               std::runtime_error);
+}
+
+TEST_F(DurableMpcbfTest, CompactedJournalWithoutSnapshotIsUnrecoverable) {
+  {
+    DurableMpcbf<64> d(dir_, small_config(), fast_options());
+    for (const auto& k : generate_unique_strings(50, 6, 6)) d.insert(k);
+    d.snapshot();
+  }
+  // Lose every snapshot; the journal's base_seq still admits 50 records
+  // were compacted away. Recovery must refuse, not serve an empty set.
+  for (const auto& snap : DurableMpcbf<64>::snapshot_files(dir_)) {
+    fs::remove(snap);
+  }
+  const MpcbfConfig cfg = small_config();
+  EXPECT_THROW((void)DurableMpcbf<64>::recover(dir_, &cfg),
+               std::runtime_error);
+}
+
+TEST_F(DurableMpcbfTest, FallsBackToOlderSnapshotWhenJournalStillCovers) {
+  const auto keys = generate_unique_strings(120, 6, 7);
+  const MpcbfConfig cfg = small_config();
+  {
+    DurableMpcbf<64> d(dir_, cfg, fast_options());
+    for (std::size_t i = 0; i < 60; ++i) d.insert(keys[i]);
+    d.snapshot();
+    for (std::size_t i = 60; i < keys.size(); ++i) d.insert(keys[i]);
+    d.flush();
+  }
+  // Plant a garbage "newer" snapshot. Recovery must reject it (CRC) and
+  // fall back to the real one; the journal still holds every record
+  // above that watermark, so no data is lost.
+  {
+    std::ofstream junk(dir_ / "snapshot-ffffffffffffffff.mpcbf",
+                       std::ios::binary);
+    junk << "this is not a snapshot";
+  }
+  const Mpcbf<64> recovered = DurableMpcbf<64>::recover(dir_, &cfg);
+  EXPECT_EQ(recovered.size(), keys.size());
+  for (const auto& k : keys) EXPECT_TRUE(recovered.contains(k));
+}
+
+TEST_F(DurableMpcbfTest, CorruptNewestSnapshotWithCompactedJournalThrows) {
+  const auto keys = generate_unique_strings(120, 6, 8);
+  const MpcbfConfig cfg = small_config();
+  DurableMpcbf<64>::Options opt = fast_options();
+  opt.keep_snapshots = 2;
+  {
+    DurableMpcbf<64> d(dir_, cfg, opt);
+    for (std::size_t i = 0; i < 60; ++i) d.insert(keys[i]);
+    d.snapshot();
+    for (std::size_t i = 60; i < keys.size(); ++i) d.insert(keys[i]);
+    d.snapshot();
+  }
+  auto snaps = DurableMpcbf<64>::snapshot_files(dir_);
+  ASSERT_EQ(snaps.size(), 2u);
+  // Corrupt the newest snapshot. The journal was compacted past the
+  // older snapshot's watermark, so recovery must throw (records 61..120
+  // exist nowhere readable) rather than quietly serve the older state.
+  {
+    std::fstream f(snaps[0], std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(100);
+    f.put('\x7f');
+  }
+  EXPECT_THROW((void)DurableMpcbf<64>::recover(dir_, &cfg),
+               std::runtime_error);
+}
+
+TEST_F(DurableMpcbfTest, GroupCommitFlushEvery) {
+  DurableMpcbf<64>::Options opt = fast_options();
+  opt.flush_every = 16;
+  DurableMpcbf<64> d(dir_, small_config(), opt);
+  for (int i = 0; i < 15; ++i) d.insert("k" + std::to_string(i));
+  EXPECT_EQ(d.pending_records(), 15u);
+  d.insert("k15");  // 16th mutation triggers the group flush
+  EXPECT_EQ(d.pending_records(), 0u);
+}
+
+}  // namespace

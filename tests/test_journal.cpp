@@ -1,0 +1,160 @@
+// Write-ahead journal: append/replay round trips, sequence continuity
+// across reopen and reset, and torn-tail repair semantics.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "io/journal.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using mpcbf::io::Journal;
+using mpcbf::io::JournalOp;
+using mpcbf::io::JournalRecord;
+
+class JournalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("mpcbf_journal_test_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    path_ = (dir_ / "journal.wal").string();
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+  std::string path_;
+};
+
+TEST_F(JournalTest, AppendReplayRoundTrip) {
+  {
+    Journal j(path_);
+    EXPECT_EQ(j.append(JournalOp::kInsert, "alpha"), 1u);
+    EXPECT_EQ(j.append(JournalOp::kErase, "beta"), 2u);
+    EXPECT_EQ(j.append(JournalOp::kInsert, ""), 3u);  // empty key is legal
+    j.flush(false);
+  }
+  const auto records = Journal::replay(path_);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0], (JournalRecord{1, JournalOp::kInsert, "alpha"}));
+  EXPECT_EQ(records[1], (JournalRecord{2, JournalOp::kErase, "beta"}));
+  EXPECT_EQ(records[2], (JournalRecord{3, JournalOp::kInsert, ""}));
+}
+
+TEST_F(JournalTest, ReopenContinuesSequence) {
+  {
+    Journal j(path_);
+    j.append(JournalOp::kInsert, "one");
+    j.flush(false);
+  }
+  {
+    Journal j(path_);
+    EXPECT_EQ(j.next_seq(), 2u);
+    EXPECT_EQ(j.append(JournalOp::kInsert, "two"), 2u);
+    j.flush(false);
+  }
+  const auto records = Journal::replay(path_);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[1].key, "two");
+}
+
+TEST_F(JournalTest, ResetTruncatesAndAdvancesBase) {
+  {
+    Journal j(path_);
+    j.append(JournalOp::kInsert, "pre-snapshot");
+    j.flush(false);
+    j.reset(2);
+    EXPECT_EQ(j.base_seq(), 2u);
+    EXPECT_EQ(j.append(JournalOp::kInsert, "post-snapshot"), 2u);
+    j.flush(false);
+  }
+  const auto scan = Journal::scan(path_);
+  EXPECT_EQ(scan.base_seq, 2u);
+  ASSERT_EQ(scan.records.size(), 1u);
+  EXPECT_EQ(scan.records[0].key, "post-snapshot");
+}
+
+TEST_F(JournalTest, TornTailIsTruncatedOnOpen) {
+  {
+    Journal j(path_);
+    j.append(JournalOp::kInsert, "kept-1");
+    j.append(JournalOp::kInsert, "kept-2");
+    j.flush(false);
+  }
+  const auto full_size = fs::file_size(path_);
+  // Simulate a crash mid-append: a partial third record at the tail.
+  {
+    std::ofstream torn(path_, std::ios::binary | std::ios::app);
+    torn.write("\x03\x00\x00\x00\x00", 5);
+  }
+  {
+    Journal j(path_);
+    EXPECT_EQ(j.repaired_bytes(), 5u);
+    EXPECT_EQ(j.next_seq(), 3u);
+  }
+  EXPECT_EQ(fs::file_size(path_), full_size);
+  EXPECT_EQ(Journal::replay(path_).size(), 2u);
+}
+
+TEST_F(JournalTest, EveryTruncationReplaysAPrefix) {
+  std::vector<JournalRecord> truth;
+  {
+    Journal j(path_);
+    for (int i = 0; i < 20; ++i) {
+      const std::string key = "key-" + std::to_string(i);
+      const auto op = i % 3 == 0 ? JournalOp::kErase : JournalOp::kInsert;
+      truth.push_back({j.append(op, key), op, key});
+    }
+    j.flush(false);
+  }
+  std::ifstream in(path_, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  for (std::size_t keep = 0; keep <= bytes.size(); ++keep) {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(keep));
+    out.close();
+    if (keep < Journal::kHeaderBytes && keep > 0) {
+      EXPECT_THROW((void)Journal::scan(path_), std::runtime_error)
+          << "kept " << keep;
+      continue;
+    }
+    const auto records = Journal::replay(path_);  // keep==0: empty journal
+    ASSERT_LE(records.size(), truth.size());
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      ASSERT_EQ(records[i], truth[i]) << "kept " << keep << " record " << i;
+    }
+  }
+}
+
+TEST_F(JournalTest, CorruptHeaderThrows) {
+  {
+    Journal j(path_);
+    j.append(JournalOp::kInsert, "x");
+    j.flush(false);
+  }
+  std::fstream f(path_, std::ios::binary | std::ios::in | std::ios::out);
+  f.seekp(2);
+  f.put('!');  // clobber the magic
+  f.close();
+  EXPECT_THROW((void)Journal::scan(path_), std::runtime_error);
+  EXPECT_THROW(Journal{path_}, std::runtime_error);
+}
+
+TEST_F(JournalTest, MissingFileScansEmpty) {
+  const auto scan = Journal::scan((dir_ / "nope.wal").string());
+  EXPECT_TRUE(scan.records.empty());
+  EXPECT_EQ(scan.base_seq, 1u);
+  EXPECT_FALSE(scan.tail_torn);
+}
+
+}  // namespace

@@ -1,7 +1,10 @@
 // Binary persistence: exact round-trips for CounterVector, CBF and Mpcbf
-// (including stash contents), format validation, and corruption handling.
+// (including stash contents), format validation, corruption handling,
+// and v1 (pre-frame) backward compatibility against a checked-in blob.
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -150,6 +153,18 @@ TEST(MpcbfIo, StashSurvivesRoundTrip) {
   for (const auto& k : keys) {
     ASSERT_TRUE(loaded.contains(k)) << k;
   }
+  // Erase must route through the reloaded stash exactly as it would have
+  // on the original instance: stashed keys drain the stash, in-word keys
+  // clear their hierarchy bits, and the filter ends empty.
+  for (const auto& k : keys) {
+    ASSERT_TRUE(loaded.erase(k)) << k;
+  }
+  EXPECT_EQ(loaded.size(), 0u);
+  EXPECT_EQ(loaded.stash_size(), 0u);
+  EXPECT_EQ(loaded.total_hierarchy_bits(), 0u);
+  for (const auto& k : keys) {
+    EXPECT_FALSE(loaded.contains(k)) << k;
+  }
 }
 
 TEST(MpcbfIo, WideWordRoundTrip) {
@@ -209,5 +224,110 @@ TEST(MpcbfIo, CorruptPayloadRejected) {
   std::stringstream corrupted(data);
   EXPECT_THROW((void)Mpcbf<64>::load(corrupted), std::runtime_error);
 }
+
+// Bare v1 streams bypass the frame CRC, so the body parser itself must
+// reject hostile field values. save_payload() emits exactly the v1
+// layout (magic 8 | width,k,g,b1,n_max u32 | policy,short_circuit u8 |
+// seed,size,overflows,underflows u64 | words | hier | stash), which
+// these tests patch at fixed offsets.
+constexpr std::size_t kV1PolicyOffset = 8 + 5 * 4;
+constexpr std::size_t kV1WordCountOffset = kV1PolicyOffset + 2 + 4 * 8;
+
+std::string v1_payload_with_stash() {
+  MpcbfConfig cfg;
+  cfg.memory_bits = 64 * 2;
+  cfg.k = 3;
+  cfg.g = 1;
+  cfg.n_max = 2;
+  cfg.policy = OverflowPolicy::kStash;
+  Mpcbf<64> f(cfg);
+  for (const auto& k : generate_unique_strings(20, 6, 106)) {
+    f.insert(k);
+  }
+  std::ostringstream os;
+  f.save_payload(os);
+  return os.str();
+}
+
+TEST(MpcbfIo, UnknownPolicyByteRejected) {
+  std::string data = v1_payload_with_stash();
+  data[kV1PolicyOffset] = 7;
+  std::istringstream is(data);
+  EXPECT_THROW((void)Mpcbf<64>::load(is), std::runtime_error);
+}
+
+TEST(MpcbfIo, StashUnderNonStashPolicyRejected) {
+  std::string data = v1_payload_with_stash();
+  // Rewrite the policy to kReject while stash entries follow: a state no
+  // correct save() can produce.
+  data[kV1PolicyOffset] = 0;
+  std::istringstream is(data);
+  EXPECT_THROW((void)Mpcbf<64>::load(is), std::runtime_error);
+}
+
+TEST(MpcbfIo, HostileWordCountIsNotAnAllocationBomb) {
+  std::string data = v1_payload_with_stash();
+  // Claim 2^40 words: load must reject the length before allocating the
+  // ~8 TiB it implies.
+  const std::uint64_t huge = 1ull << 40;
+  std::memcpy(data.data() + kV1WordCountOffset, &huge, sizeof huge);
+  std::istringstream is(data);
+  EXPECT_THROW((void)Mpcbf<64>::load(is), std::runtime_error);
+}
+
+TEST(MpcbfIo, InconsistentSizeFieldRejected) {
+  // size_ is persisted but also derivable from the word state when no
+  // underflow happened; a mismatch must not load.
+  constexpr std::size_t kV1SizeOffset = kV1PolicyOffset + 2 + 8;
+  std::string data = v1_payload_with_stash();
+  std::uint64_t size;
+  std::memcpy(&size, data.data() + kV1SizeOffset, sizeof size);
+  size += 1;
+  std::memcpy(data.data() + kV1SizeOffset, &size, sizeof size);
+  std::istringstream is(data);
+  EXPECT_THROW((void)Mpcbf<64>::load(is), std::runtime_error);
+}
+
+#ifdef MPCBF_TEST_DATA_DIR
+// The golden blob was written by a pre-frame (v1) build: a bare
+// "MPCBFv1\0" stream of 80 keys (24 of them stashed) at
+// memory_bits=1024, k=3, g=1, n_max=4, seed=0xBEEF, kStash. Loading it
+// proves on-disk compatibility across the v2 framing change.
+TEST(MpcbfIo, LoadsV1GoldenBlob) {
+  const std::string dir = MPCBF_TEST_DATA_DIR;
+  std::ifstream blob(dir + "/mpcbf_v1_golden.bin", std::ios::binary);
+  ASSERT_TRUE(blob) << "missing golden blob";
+  Mpcbf<64> f = Mpcbf<64>::load(blob);
+  EXPECT_EQ(f.size(), 80u);
+  EXPECT_EQ(f.stash_size(), 24u);
+  EXPECT_TRUE(f.validate());
+
+  std::ifstream key_file(dir + "/mpcbf_v1_golden.keys");
+  ASSERT_TRUE(key_file) << "missing golden key list";
+  std::vector<std::string> keys;
+  std::string line;
+  while (std::getline(key_file, line)) {
+    if (!line.empty()) keys.push_back(line);
+  }
+  ASSERT_EQ(keys.size(), 80u);
+  for (const auto& k : keys) {
+    EXPECT_TRUE(f.contains(k)) << k;
+  }
+
+  // Re-saving upgrades to v2 framing; the reloaded filter must be
+  // byte-equivalent in state.
+  std::stringstream ss;
+  f.save(ss);
+  const Mpcbf<64> upgraded = Mpcbf<64>::load(ss);
+  EXPECT_EQ(upgraded.size(), f.size());
+  EXPECT_EQ(upgraded.stash_size(), f.stash_size());
+  for (std::size_t w = 0; w < f.num_words(); ++w) {
+    ASSERT_EQ(upgraded.word(w), f.word(w)) << w;
+  }
+  for (const auto& k : keys) {
+    EXPECT_TRUE(upgraded.contains(k)) << k;
+  }
+}
+#endif  // MPCBF_TEST_DATA_DIR
 
 }  // namespace

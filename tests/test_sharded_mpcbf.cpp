@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -122,6 +123,50 @@ TEST(ShardedMpcbf, ConcurrentMixedWorkload) {
   EXPECT_EQ(errors.load(), 0);
   EXPECT_EQ(f.size(), 0u);
   EXPECT_TRUE(f.validate());
+}
+
+TEST(ShardedMpcbf, SaveLoadRoundTrip) {
+  const auto keys = generate_unique_strings(4000, 5, 406);
+  const auto probes = generate_unique_strings(4000, 7, 407);
+  ShardedMpcbf<64> f(base_config(keys.size()), 8);
+  for (const auto& k : keys) {
+    ASSERT_TRUE(f.insert(k));
+  }
+  std::stringstream ss;
+  f.save(ss);
+  ShardedMpcbf<64> loaded = ShardedMpcbf<64>::load(ss);
+  EXPECT_EQ(loaded.num_shards(), f.num_shards());
+  EXPECT_EQ(loaded.size(), f.size());
+  EXPECT_TRUE(loaded.validate());
+  for (const auto& k : keys) {
+    ASSERT_TRUE(loaded.contains(k));
+  }
+  for (const auto& p : probes) {
+    ASSERT_EQ(loaded.contains(p), f.contains(p)) << p;
+  }
+  // Shard routing must be identical after reload: erasing every key
+  // through the loaded instance only works if each lands in the shard
+  // that holds it.
+  for (const auto& k : keys) {
+    ASSERT_TRUE(loaded.erase(k)) << k;
+  }
+  EXPECT_EQ(loaded.size(), 0u);
+}
+
+TEST(ShardedMpcbf, LoadRejectsCorruptStream) {
+  ShardedMpcbf<64> f(base_config(100), 2);
+  ASSERT_TRUE(f.insert("x"));
+  std::stringstream ss;
+  f.save(ss);
+  std::string data = ss.str();
+  for (const std::size_t offset : {std::size_t{0}, std::size_t{30},
+                                   data.size() / 2, data.size() - 1}) {
+    std::string mutated = data;
+    mutated[offset] ^= 0x08;
+    std::stringstream is(mutated);
+    EXPECT_THROW((void)ShardedMpcbf<64>::load(is), std::runtime_error)
+        << "flip at " << offset;
+  }
 }
 
 TEST(ShardedMpcbf, ClearResetsAllShards) {
