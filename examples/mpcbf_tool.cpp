@@ -8,7 +8,8 @@
 //   build --keys FILE --out FILTER [...]      build & save from a key file
 //   query --filter FILTER --keys FILE         membership-check a key file
 //   merge --a F1 --b F2 --out F3              counter-wise union of filters
-//   stats --filter FILTER                     print a saved filter's layout
+//   stats --filter FILTER | --dir D           layout + metric registry dump
+//         [--keys FILE] [--prometheus]        (optionally after a workload)
 //   verify --filter FILTER                    integrity-check a snapshot file
 //   snapshot --dir D [--keys FILE] [...]      append to a durable dir & compact
 //   recover --dir D [--out FILTER]            rebuild state from a durable dir
@@ -27,6 +28,7 @@
 #include "core/durable_mpcbf.hpp"
 #include "core/mpcbf.hpp"
 #include "io/crc32c.hpp"
+#include "metrics/export.hpp"
 #include "model/planner.hpp"
 
 namespace {
@@ -150,28 +152,6 @@ int cmd_merge(const mpcbf::util::CliArgs& args) {
   return 0;
 }
 
-int cmd_stats(const mpcbf::util::CliArgs& args) {
-  std::ifstream is(args.get_string("filter", "filter.mpcbf"),
-                   std::ios::binary);
-  if (!is) {
-    std::cerr << "cannot open filter file\n";
-    return 1;
-  }
-  const auto filter = mpcbf::core::Mpcbf<64>::load(is);
-  std::cout << "words:          " << filter.num_words() << " x 64 bits\n"
-            << "memory:         " << filter.memory_bits() / 8 / 1024
-            << " KiB\n"
-            << "k / g:          " << filter.k() << " / " << filter.g() << "\n"
-            << "b1 / n_max:     " << filter.b1() << " / " << filter.n_max()
-            << "\n"
-            << "elements:       " << filter.size() << "\n"
-            << "hierarchy bits: " << filter.total_hierarchy_bits() << " ("
-            << "max/word " << filter.max_word_hierarchy_bits() << ")\n"
-            << "stash entries:  " << filter.stash_size() << "\n"
-            << "valid:          " << (filter.validate() ? "yes" : "NO") << "\n";
-  return 0;
-}
-
 // Loads either a plain saved filter (v2-framed or bare v1) or a
 // DurableMpcbf snapshot file, whose frame payload carries the durable
 // magic and journal watermark ahead of the filter payload.
@@ -197,6 +177,58 @@ mpcbf::core::Mpcbf<64> load_any_filter(std::istream& is) {
     return mpcbf::core::Mpcbf<64>::load(is);
   }
   throw std::runtime_error("unrecognized magic");
+}
+
+// Layout report for a saved filter (--filter) or a durable directory
+// (--dir, recovered through the WAL — which also populates the journal/
+// durability series). With --keys the key file is replayed as a query
+// workload (scalar + batch passes, exercising both accounting paths)
+// before the metric registry is dumped: Prometheus exposition format
+// under --prometheus, the one-line-per-series human summary otherwise.
+int cmd_stats(const mpcbf::util::CliArgs& args) {
+  const std::string dir = args.get_string("dir", "");
+  const auto filter = [&]() -> mpcbf::core::Mpcbf<64> {
+    if (!dir.empty()) {
+      return mpcbf::core::DurableMpcbf<64>::recover(dir);
+    }
+    const std::string path = args.get_string("filter", "filter.mpcbf");
+    std::ifstream is(path, std::ios::binary);
+    if (!is) throw std::runtime_error("cannot open filter file: " + path);
+    return load_any_filter(is);
+  }();
+  std::cout << "words:          " << filter.num_words() << " x 64 bits\n"
+            << "memory:         " << filter.memory_bits() / 8 / 1024
+            << " KiB\n"
+            << "k / g:          " << filter.k() << " / " << filter.g() << "\n"
+            << "b1 / n_max:     " << filter.b1() << " / " << filter.n_max()
+            << "\n"
+            << "elements:       " << filter.size() << "\n"
+            << "hierarchy bits: " << filter.total_hierarchy_bits() << " ("
+            << "max/word " << filter.max_word_hierarchy_bits() << ")\n"
+            << "stash entries:  " << filter.stash_size() << "\n"
+            << "valid:          " << (filter.validate() ? "yes" : "NO") << "\n";
+  const std::string key_file = args.get_string("keys", "");
+  if (!key_file.empty()) {
+    const auto keys = read_keys(key_file);
+    std::size_t hits = 0;
+    for (const auto& key : keys) {
+      hits += filter.contains(key) ? 1 : 0;
+    }
+    std::vector<std::uint8_t> out(keys.size());
+    filter.contains_batch(keys, out);
+    std::cout << "workload:       " << keys.size() << " keys, " << hits
+              << " positive\n";
+  }
+  auto& reg = mpcbf::metrics::Registry::global();
+  mpcbf::metrics::publish_filter(reg, dir.empty() ? "mpcbf64" : "durable",
+                                 filter);
+  if (args.get_bool("prometheus")) {
+    reg.write_prometheus(std::cout);
+  } else {
+    std::cout << "--- metrics ---\n";
+    reg.write_summary(std::cout);
+  }
+  return 0;
 }
 
 int cmd_verify(const mpcbf::util::CliArgs& args) {

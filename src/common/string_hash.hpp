@@ -1,0 +1,34 @@
+// Transparent (heterogeneous) hash/equality for std::string-keyed maps,
+// so std::string_view probes hit the map without materializing a
+// temporary std::string per lookup (C++20 P0919 heterogeneous lookup
+// for unordered containers). Used by the MPCBF overflow stash, whose
+// find() sits on the query hot path.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace mpcbf::util {
+
+struct StringHash {
+  using is_transparent = void;
+  [[nodiscard]] std::size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+  [[nodiscard]] std::size_t operator()(const std::string& s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+  [[nodiscard]] std::size_t operator()(const char* s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+
+/// string -> count map with allocation-free string_view lookups.
+template <typename V>
+using StringKeyMap =
+    std::unordered_map<std::string, V, StringHash, std::equal_to<>>;
+
+}  // namespace mpcbf::util

@@ -37,6 +37,8 @@
 #include "hash/hash_stream.hpp"
 #include "io/binary.hpp"
 #include "io/crc32c.hpp"
+#include "metrics/access_stats.hpp"
+#include "metrics/timer.hpp"
 #include "model/fpr_model.hpp"
 
 namespace mpcbf::core {
@@ -85,52 +87,82 @@ class AtomicMpcbf {
         b1_(other.b1_),
         n_max_(other.n_max_),
         seed_(other.seed_),
+        stats_(other.stats_),
         overflow_events_(
-            other.overflow_events_.load(std::memory_order_relaxed)) {}
+            other.overflow_events_.load(std::memory_order_relaxed)),
+        underflow_events_(
+            other.underflow_events_.load(std::memory_order_relaxed)) {}
 
   /// Lock-free insert. Returns false if any target word lacks capacity
   /// (words updated before the failing one are rolled back, so the insert
   /// is all-or-nothing from the caller's perspective).
   bool insert(std::string_view key) {
+    const bool timed = stats_.should_sample();
+    const std::uint64_t t0 = timed ? metrics::now_ns() : 0;
     Targets t;
-    derive(key, t);
+    const std::uint64_t bits = derive(key, t);
     unsigned done = 0;
     for (; done < t.num_groups; ++done) {
       if (!apply_word(t, done, /*increment=*/true)) break;
     }
-    if (done == t.num_groups) return true;
+    if (done == t.num_groups) {
+      record_op(metrics::OpClass::kInsert, t.num_groups, bits, timed, t0);
+      return true;
+    }
     // Roll back the words already updated.
     for (unsigned u = 0; u < done; ++u) {
       apply_word(t, u, /*increment=*/false);
     }
     overflow_events_.fetch_add(1, std::memory_order_relaxed);
+    // A rejected insert still touched every word up to and including the
+    // failing one (plus the rollback writes to the first `done`).
+    record_op(metrics::OpClass::kInsert, 2 * done + 1, bits, timed, t0);
     return false;
   }
 
-  /// Membership query: one atomic load per (distinct) word.
+  /// Membership query: one atomic load per (distinct) word. Hashing is
+  /// eager here (derive() consumes the whole stream before the first
+  /// load), so accounted hash bits do not shrink under short-circuiting
+  /// the way the lazy scalar Mpcbf's do — word touches still stop at the
+  /// first miss.
   [[nodiscard]] bool contains(std::string_view key) const {
+    const bool timed = stats_.should_sample();
+    const std::uint64_t t0 = timed ? metrics::now_ns() : 0;
     Targets t;
-    derive(key, t);
+    const std::uint64_t bits = derive(key, t);
     for (unsigned gi = 0; gi < t.num_groups; ++gi) {
       bits::WordBitset<64> w;
       w.set_limb(0, words_[t.word[gi]].load(std::memory_order_acquire));
       for (unsigned i = 0; i < t.kw[gi]; ++i) {
-        if (!w.test(t.pos[gi][i])) return false;
+        if (!w.test(t.pos[gi][i])) {
+          record_op(metrics::OpClass::kQueryNegative, gi + 1, bits, timed,
+                    t0);
+          return false;
+        }
       }
     }
+    record_op(metrics::OpClass::kQueryPositive, t.num_groups, bits, timed,
+              t0);
     return true;
   }
 
   /// Lock-free delete of one prior insert. Returns false (and leaves the
   /// remaining words untouched for that position) when a counter
-  /// underflows — the never-inserted-key contract violation.
+  /// underflows — the never-inserted-key contract violation. Each
+  /// underflowing word counts one underflow event.
   bool erase(std::string_view key) {
+    const bool timed = stats_.should_sample();
+    const std::uint64_t t0 = timed ? metrics::now_ns() : 0;
     Targets t;
-    derive(key, t);
+    const std::uint64_t bits = derive(key, t);
     bool ok = true;
     for (unsigned gi = 0; gi < t.num_groups; ++gi) {
-      ok &= apply_word(t, gi, /*increment=*/false);
+      if (!apply_word(t, gi, /*increment=*/false)) {
+        ok = false;
+        underflow_events_.fetch_add(1, std::memory_order_relaxed);
+      }
     }
+    record_op(metrics::OpClass::kDelete, t.num_groups, bits, timed, t0);
     return ok;
   }
 
@@ -160,9 +192,18 @@ class AtomicMpcbf {
   [[nodiscard]] std::uint64_t overflow_events() const noexcept {
     return overflow_events_.load(std::memory_order_relaxed);
   }
+  [[nodiscard]] std::uint64_t underflow_events() const noexcept {
+    return underflow_events_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] std::size_t memory_bits() const noexcept {
     return words_.size() * kWordBits;
   }
+  /// Access-bandwidth / latency accounting (relaxed atomics, safe to read
+  /// while other threads operate on the filter).
+  [[nodiscard]] const metrics::AccessStats& stats() const noexcept {
+    return stats_;
+  }
+  void reset_stats() noexcept { stats_.reset(); }
 
   /// Structural check (quiescent state only).
   [[nodiscard]] bool validate() const {
@@ -244,9 +285,18 @@ class AtomicMpcbf {
     unsigned num_groups = 0;
   };
 
+  /// Records one operation's tallies and, for sampled ops, its latency.
+  void record_op(metrics::OpClass c, std::uint64_t words,
+                 std::uint64_t bits, bool timed,
+                 std::uint64_t t0) const noexcept {
+    stats_.record(c, words, bits);
+    if (timed) stats_.record_latency(c, metrics::now_ns() - t0);
+  }
+
   /// Derives word/position targets, merging duplicate words so each word
-  /// is CASed exactly once per operation.
-  void derive(std::string_view key, Targets& t) const {
+  /// is CASed exactly once per operation. Returns the accounted hash bits
+  /// consumed (the paper's access-bandwidth unit).
+  std::uint64_t derive(std::string_view key, Targets& t) const {
     hash::HashBitStream stream(key, seed_);
     for (unsigned gi = 0; gi < g_; ++gi) {
       const std::size_t w = stream.next_index(words_.size());
@@ -268,6 +318,7 @@ class AtomicMpcbf {
             static_cast<unsigned>(stream.next_index(b1_));
       }
     }
+    return stream.accounted_bits();
   }
 
   /// CAS loop applying all of group `gi`'s increments (or decrements) to
@@ -305,7 +356,11 @@ class AtomicMpcbf {
   unsigned b1_ = 0;
   unsigned n_max_ = 0;
   std::uint64_t seed_;
+  mutable metrics::AccessStats stats_;
   std::atomic<std::uint64_t> overflow_events_{0};
+  // Not persisted: the v2 frame layout predates this counter and stays
+  // byte-compatible.
+  std::atomic<std::uint64_t> underflow_events_{0};
 };
 
 }  // namespace mpcbf::core

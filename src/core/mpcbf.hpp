@@ -35,11 +35,13 @@
 #include <vector>
 
 #include "bitvec/word_bitset.hpp"
+#include "common/string_hash.hpp"
 #include "core/hcbf.hpp"
 #include "hash/hash_stream.hpp"
 #include "io/binary.hpp"
 #include "io/crc32c.hpp"
 #include "metrics/access_stats.hpp"
+#include "metrics/timer.hpp"
 #include "model/fpr_model.hpp"
 
 namespace mpcbf::core {
@@ -128,6 +130,8 @@ class Mpcbf {
   /// Inserts `key`. Returns false only under OverflowPolicy::kReject when
   /// some target word cannot absorb the element.
   bool insert(std::string_view key) {
+    const bool timed = stats_.should_sample();
+    const std::uint64_t t0 = timed ? metrics::now_ns() : 0;
     Targets t;
     hash::HashBitStream stream(key, seed_);
     derive_all(stream, t);
@@ -138,14 +142,14 @@ class Mpcbf {
         case OverflowPolicy::kThrow:
           throw std::overflow_error("Mpcbf: word overflow on insert");
         case OverflowPolicy::kReject:
-          stats_.record(metrics::OpClass::kInsert, t.distinct_words,
-                        stream.accounted_bits());
+          record_op(metrics::OpClass::kInsert, t.distinct_words,
+                    stream.accounted_bits(), timed, t0);
           return false;
         case OverflowPolicy::kStash:
           ++stash_[std::string(key)];
           ++size_;
-          stats_.record(metrics::OpClass::kInsert, t.distinct_words,
-                        stream.accounted_bits());
+          record_op(metrics::OpClass::kInsert, t.distinct_words,
+                    stream.accounted_bits(), timed, t0);
           return true;
       }
     }
@@ -160,14 +164,16 @@ class Mpcbf {
       extra_bits += r.extra_bits;
     }
     ++size_;
-    stats_.record(metrics::OpClass::kInsert, t.distinct_words,
-                  stream.accounted_bits() + extra_bits);
+    record_op(metrics::OpClass::kInsert, t.distinct_words,
+              stream.accounted_bits() + extra_bits, timed, t0);
     return true;
   }
 
   /// Membership query. False positives possible; false negatives are not
   /// (for keys whose inserts all succeeded).
   [[nodiscard]] bool contains(std::string_view key) const {
+    const bool timed = stats_.should_sample();
+    const std::uint64_t t0 = timed ? metrics::now_ns() : 0;
     hash::HashBitStream stream(key, seed_);
     bool positive = true;
     std::size_t words_touched = 0;
@@ -193,26 +199,29 @@ class Mpcbf {
       }
     }
     if (!positive && !stash_.empty()) {
-      auto it = stash_.find(std::string(key));
+      auto it = stash_.find(key);
       if (it != stash_.end() && it->second > 0) positive = true;
     }
-    stats_.record(positive ? metrics::OpClass::kQueryPositive
-                           : metrics::OpClass::kQueryNegative,
-                  words_touched, stream.accounted_bits());
+    record_op(positive ? metrics::OpClass::kQueryPositive
+                       : metrics::OpClass::kQueryNegative,
+              words_touched, stream.accounted_bits(), timed, t0);
     return positive;
   }
 
   /// Deletes one prior insert of `key`. Deleting a key that was never
   /// inserted is a contract violation (as in any CBF): the structure stays
   /// valid but other keys may turn falsely negative. Returns false and
-  /// counts an underflow when a target counter was already zero.
+  /// counts an underflow when a target counter was already zero; size()
+  /// is unchanged by such a failed erase.
   bool erase(std::string_view key) {
+    const bool timed = stats_.should_sample();
+    const std::uint64_t t0 = timed ? metrics::now_ns() : 0;
     if (!stash_.empty()) {
-      auto it = stash_.find(std::string(key));
+      auto it = stash_.find(key);
       if (it != stash_.end() && it->second > 0) {
         if (--it->second == 0) stash_.erase(it);
         --size_;
-        stats_.record(metrics::OpClass::kDelete, 0, 0);
+        record_op(metrics::OpClass::kDelete, 0, 0, timed, t0);
         return true;
       }
     }
@@ -233,9 +242,12 @@ class Mpcbf {
         ++underflow_events_;
       }
     }
-    if (size_ > 0) --size_;
-    stats_.record(metrics::OpClass::kDelete, t.distinct_words,
-                  stream.accounted_bits() + extra_bits);
+    // A fully/partially underflowed erase removed nothing that was ever
+    // counted: size_ only tracks successful operations, so a
+    // contract-violating delete must not drift it low.
+    if (ok && size_ > 0) --size_;
+    record_op(metrics::OpClass::kDelete, t.distinct_words,
+              stream.accounted_bits() + extra_bits, timed, t0);
     return ok;
   }
 
@@ -254,7 +266,7 @@ class Mpcbf {
     }
     std::uint32_t stashed = 0;
     if (!stash_.empty()) {
-      auto it = stash_.find(std::string(key));
+      auto it = stash_.find(key);
       if (it != stash_.end()) stashed = it->second;
     }
     return min_c + stashed;
@@ -295,6 +307,7 @@ class Mpcbf {
   [[nodiscard]] metrics::AccessStats& stats() const noexcept {
     return stats_;
   }
+  void reset_stats() noexcept { stats_.reset(); }
 
   /// Aggregate hierarchy occupancy across words — the quantity whose
   /// per-word cap is k/g * n_max.
@@ -366,6 +379,17 @@ class Mpcbf {
   /// the per-word cache miss behind the next key's hashing — the software
   /// analogue of the pipelined lookups the paper targets in hardware.
   /// `out[i]` is set to the verdict for `keys[i]`; sizes must match.
+  ///
+  /// AccessStats parity with scalar contains(): evaluation replays the
+  /// scalar visit order (short_circuit_ honoured, duplicate words
+  /// deduplicated, hash bits accounted only up to the short-circuit
+  /// point), so a batch and a scalar pass over the same keys produce
+  /// identical per-class op counts, word touches and accounted bits —
+  /// the property tests/test_stats_parity.cpp locks in. Accounting is
+  /// aggregated across the whole call (one atomic trio per op class)
+  /// and sampled chunks record their per-key average latency — timing
+  /// every chunk would put two clock reads plus a histogram record on
+  /// the hot path and blow the <5% overhead budget.
   void contains_batch(std::span<const std::string> keys,
                       std::span<std::uint8_t> out) const {
     if (keys.size() != out.size()) {
@@ -373,8 +397,15 @@ class Mpcbf {
     }
     constexpr std::size_t kChunk = 32;
     std::array<Targets, kChunk> targets;
+    // Call-local tallies, indexed by OpClass value (negative=0,
+    // positive=1); published as one atomic trio per op class at the end.
+    std::array<std::uint64_t, 2> agg_ops{};
+    std::array<std::uint64_t, 2> agg_words{};
+    std::array<std::uint64_t, 2> agg_bits{};
     for (std::size_t base = 0; base < keys.size(); base += kChunk) {
       const std::size_t count = std::min(kChunk, keys.size() - base);
+      const bool timed = stats_.should_sample();
+      const std::uint64_t t0 = timed ? metrics::now_ns() : 0;
       for (std::size_t i = 0; i < count; ++i) {
         targets[i].total_positions = 0;
         hash::HashBitStream stream(keys[base + i], seed_);
@@ -384,22 +415,26 @@ class Mpcbf {
         }
       }
       for (std::size_t i = 0; i < count; ++i) {
-        bool positive = true;
-        for (unsigned p = 0; p < targets[i].total_positions && positive;
-             ++p) {
-          positive =
-              words_[targets[i].word_of[p]].test(targets[i].pos[p]);
-        }
+        const BatchEval ev = evaluate_targets(targets[i]);
+        bool positive = ev.positive;
         if (!positive && !stash_.empty()) {
-          auto it = stash_.find(std::string(keys[base + i]));
+          auto it = stash_.find(std::string_view(keys[base + i]));
           positive = it != stash_.end() && it->second > 0;
         }
         out[base + i] = positive ? 1 : 0;
-        stats_.record(positive ? metrics::OpClass::kQueryPositive
-                               : metrics::OpClass::kQueryNegative,
-                      targets[i].distinct_words, 0);
+        const unsigned cls = positive ? 1u : 0u;
+        ++agg_ops[cls];
+        agg_words[cls] += ev.words_touched;
+        agg_bits[cls] += ev.hash_bits;
+      }
+      if (timed) {
+        stats_.record_batch_latency((metrics::now_ns() - t0) / count);
       }
     }
+    stats_.record_n(metrics::OpClass::kQueryNegative, agg_ops[0],
+                    agg_words[0], agg_bits[0]);
+    stats_.record_n(metrics::OpClass::kQueryPositive, agg_ops[1],
+                    agg_words[1], agg_bits[1]);
   }
 
   // --- merge ---------------------------------------------------------------
@@ -606,6 +641,10 @@ class Mpcbf {
   struct Targets {
     std::array<std::size_t, kMaxG * kMaxKPerWord> word_of;
     std::array<unsigned, kMaxG * kMaxKPerWord> pos;
+    // Word index per group, including groups with zero positions (uneven
+    // k/g splits): those words have no word_of entry yet still cost a
+    // memory touch, which batch accounting must replicate.
+    std::array<std::size_t, kMaxG> group_word;
     unsigned total_positions = 0;
     std::size_t distinct_words = 0;
   };
@@ -618,6 +657,7 @@ class Mpcbf {
     std::size_t distinct = 0;
     for (unsigned wi = 0; wi < g_; ++wi) {
       const std::size_t w = stream.next_index(words_.size());
+      t.group_word[wi] = w;
       bool new_word = true;
       for (std::size_t s = 0; s < distinct; ++s) {
         if (seen[s] == w) {
@@ -635,6 +675,58 @@ class Mpcbf {
       }
     }
     t.distinct_words = distinct;
+  }
+
+  /// Records one operation's tallies and, for sampled ops, its latency.
+  /// Const because filters record from const queries into mutable stats_.
+  void record_op(metrics::OpClass c, std::uint64_t words,
+                 std::uint64_t bits, bool timed,
+                 std::uint64_t t0) const noexcept {
+    stats_.record(c, words, bits);
+    if (timed) stats_.record_latency(c, metrics::now_ns() - t0);
+  }
+
+  struct BatchEval {
+    bool positive;
+    std::size_t words_touched;
+    std::uint64_t hash_bits;
+  };
+
+  /// Evaluates pre-derived targets with exactly the scalar contains()
+  /// visit order and accounting: hash bits are charged per word index
+  /// (ceil_log2(l)) and per consumed position (ceil_log2(b1)), stopping
+  /// at the same point scalar short-circuiting stops the lazy stream,
+  /// and words_touched deduplicates colliding groups identically. This
+  /// is what makes batch and scalar stats bit-for-bit comparable.
+  [[nodiscard]] BatchEval evaluate_targets(const Targets& t) const {
+    const unsigned log2_l = hash::ceil_log2(words_.size());
+    const unsigned log2_b1 = hash::ceil_log2(b1_);
+    BatchEval ev{true, 0, 0};
+    std::array<std::size_t, kMaxG> seen{};
+    unsigned idx = 0;
+    for (unsigned wi = 0; wi < g_; ++wi) {
+      const unsigned kw = model::hashes_per_word(k_, g_, wi);
+      if (!ev.positive && short_circuit_) break;
+      const std::size_t w = t.group_word[wi];
+      ev.hash_bits += log2_l;
+      bool new_word = true;
+      for (std::size_t s = 0; s < ev.words_touched; ++s) {
+        if (seen[s] == w) {
+          new_word = false;
+          break;
+        }
+      }
+      if (new_word) seen[ev.words_touched++] = w;
+      for (unsigned i = 0; i < kw; ++i) {
+        ev.hash_bits += log2_b1;
+        if (!words_[w].test(t.pos[idx + i])) {
+          ev.positive = false;
+          if (short_circuit_) break;
+        }
+      }
+      idx += kw;
+    }
+    return ev;
   }
 
   /// All-or-nothing capacity check: aggregates the increments each distinct
@@ -676,7 +768,9 @@ class Mpcbf {
   std::size_t size_ = 0;
   std::uint64_t overflow_events_ = 0;
   std::uint64_t underflow_events_ = 0;
-  std::unordered_map<std::string, std::uint32_t> stash_;
+  // Transparent hash/eq: string_view probes on the query path are
+  // allocation-free; only inserts materialize a std::string key.
+  util::StringKeyMap<std::uint32_t> stash_;
   mutable metrics::AccessStats stats_;
 };
 

@@ -97,6 +97,42 @@ class ShardedMpcbf {
     return total;
   }
 
+  [[nodiscard]] std::uint64_t underflow_events() const {
+    std::uint64_t total = 0;
+    for (const auto& s : shards_) {
+      std::lock_guard<std::mutex> lock(s->mutex);
+      total += s->filter.underflow_events();
+    }
+    return total;
+  }
+
+  [[nodiscard]] std::size_t stash_size() const {
+    std::size_t total = 0;
+    for (const auto& s : shards_) {
+      std::lock_guard<std::mutex> lock(s->mutex);
+      total += s->filter.stash_size();
+    }
+    return total;
+  }
+
+  /// Aggregated access/latency stats across all shards (snapshot by
+  /// value: per-shard AccessStats live under the shard locks).
+  [[nodiscard]] metrics::AccessStats stats_snapshot() const {
+    metrics::AccessStats out;
+    for (const auto& s : shards_) {
+      std::lock_guard<std::mutex> lock(s->mutex);
+      out.merge(s->filter.stats());
+    }
+    return out;
+  }
+
+  void reset_stats() {
+    for (auto& s : shards_) {
+      std::lock_guard<std::mutex> lock(s->mutex);
+      s->filter.reset_stats();
+    }
+  }
+
   [[nodiscard]] std::size_t memory_bits() const {
     std::size_t total = 0;
     for (const auto& s : shards_) {

@@ -7,6 +7,8 @@
 
 #include "io/binary.hpp"
 #include "io/crc32c.hpp"
+#include "metrics/registry.hpp"
+#include "metrics/timer.hpp"
 
 #ifdef __unix__
 #include <fcntl.h>
@@ -16,6 +18,37 @@
 namespace mpcbf::io {
 
 namespace {
+
+// Journal activity is process-global and low-frequency (one flush per
+// group commit, one scan per recovery), so it records straight into the
+// global registry — unlike the per-filter hot paths, which stay
+// instance-local (see metrics/export.hpp).
+struct JournalMetrics {
+  metrics::Counter& appends =
+      metrics::Registry::global().counter(
+          "mpcbf_journal_appends_total", "Records appended to the WAL");
+  metrics::Counter& flushes = metrics::Registry::global().counter(
+      "mpcbf_journal_flushes_total", "WAL flushes (buffered)");
+  metrics::Counter& syncs = metrics::Registry::global().counter(
+      "mpcbf_journal_syncs_total", "WAL flushes that also fsynced");
+  metrics::Histogram& flush_ns = metrics::Registry::global().histogram(
+      "mpcbf_journal_flush_duration_ns",
+      "WAL flush (+fsync when requested) latency in nanoseconds");
+  metrics::Counter& replayed = metrics::Registry::global().counter(
+      "mpcbf_journal_records_replayed_total",
+      "Valid records decoded by journal scans");
+  metrics::Counter& repaired = metrics::Registry::global().counter(
+      "mpcbf_journal_repaired_bytes_total",
+      "Torn-tail bytes truncated on journal open");
+  metrics::Counter& resets = metrics::Registry::global().counter(
+      "mpcbf_journal_resets_total",
+      "Journal truncations after snapshot (group-commit watermark)");
+
+  static JournalMetrics& get() {
+    static JournalMetrics m;
+    return m;
+  }
+};
 
 /// fsync the file at `path` (POSIX); a no-op elsewhere. Opening a second
 /// descriptor just to sync is the portable way to pair with ofstream.
@@ -85,6 +118,7 @@ JournalScan Journal::scan(const std::string& path) {
     ++expected_seq;
   }
   result.tail_torn = result.valid_bytes != result.total_bytes;
+  JournalMetrics::get().replayed.inc(result.records.size());
   return result;
 }
 
@@ -103,6 +137,7 @@ Journal::Journal(std::string path) : path_(std::move(path)) {
   if (s.tail_torn) {
     std::filesystem::resize_file(path_, s.valid_bytes);
     repaired_bytes_ = s.total_bytes - s.valid_bytes;
+    JournalMetrics::get().repaired.inc(repaired_bytes_);
   }
   base_seq_ = s.base_seq;
   next_seq_ = s.base_seq + s.records.size();
@@ -144,17 +179,23 @@ std::uint64_t Journal::append(JournalOp op, std::string_view key) {
     throw std::runtime_error("journal: append failed: " + path_);
   }
   ++next_seq_;
+  JournalMetrics::get().appends.inc();
   return seq;
 }
 
 void Journal::flush(bool sync) {
+  auto& m = JournalMetrics::get();
+  const std::uint64_t t0 = metrics::kStatsEnabled ? metrics::now_ns() : 0;
   out_.flush();
   if (!out_) {
     throw std::runtime_error("journal: flush failed: " + path_);
   }
   if (sync) {
     sync_file(path_);
+    m.syncs.inc();
   }
+  m.flushes.inc();
+  if (metrics::kStatsEnabled) m.flush_ns.record(metrics::now_ns() - t0);
 }
 
 void Journal::reset(std::uint64_t base_seq) {
@@ -162,6 +203,7 @@ void Journal::reset(std::uint64_t base_seq) {
   base_seq_ = base_seq;
   next_seq_ = base_seq;
   repaired_bytes_ = 0;
+  JournalMetrics::get().resets.inc();
 }
 
 }  // namespace mpcbf::io

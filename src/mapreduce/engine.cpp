@@ -17,4 +17,36 @@ std::string JobCounters::to_string() const {
   return os.str();
 }
 
+void JobCounters::publish(metrics::Registry& reg) const {
+  reg.counter("mpcbf_mr_jobs_total", "MapReduce jobs completed").inc();
+  reg.counter("mpcbf_mr_records_total", "Records flowing through jobs",
+              {{"stage", "map_input"}})
+      .inc(map_input_records);
+  reg.counter("mpcbf_mr_records_total", {}, {{"stage", "map_output"}})
+      .inc(map_output_records);
+  reg.counter("mpcbf_mr_records_total", {}, {{"stage", "combine_output"}})
+      .inc(combine_output_records);
+  reg.counter("mpcbf_mr_records_total", {}, {{"stage", "reduce_groups"}})
+      .inc(reduce_input_groups);
+  reg.counter("mpcbf_mr_records_total", {}, {{"stage", "reduce_output"}})
+      .inc(reduce_output_records);
+  reg.counter("mpcbf_mr_shuffle_bytes_total",
+              "Bytes moved by the shuffle phase")
+      .inc(shuffle_bytes);
+  const auto to_ns = [](double s) {
+    return s <= 0.0 ? std::uint64_t{0}
+                    : static_cast<std::uint64_t>(s * 1e9);
+  };
+  reg.histogram("mpcbf_mr_phase_duration_ns",
+                "Per-job phase wall time in nanoseconds",
+                {{"phase", "map"}})
+      .record(to_ns(map_seconds));
+  reg.histogram("mpcbf_mr_phase_duration_ns", {}, {{"phase", "shuffle"}})
+      .record(to_ns(shuffle_seconds));
+  reg.histogram("mpcbf_mr_phase_duration_ns", {}, {{"phase", "reduce"}})
+      .record(to_ns(reduce_seconds));
+  reg.histogram("mpcbf_mr_phase_duration_ns", {}, {{"phase", "total"}})
+      .record(to_ns(total_seconds));
+}
+
 }  // namespace mpcbf::mr

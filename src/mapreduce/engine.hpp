@@ -28,6 +28,7 @@
 
 #include "common/stopwatch.hpp"
 #include "common/thread_pool.hpp"
+#include "metrics/registry.hpp"
 
 namespace mpcbf::mr {
 
@@ -50,6 +51,11 @@ struct JobCounters {
   double total_seconds = 0.0;
 
   [[nodiscard]] std::string to_string() const;
+
+  /// Mirrors the Hadoop-style counters into the process registry
+  /// (mpcbf_mr_* series). Job::run() calls this once per job; call it
+  /// yourself only for counters accumulated outside run().
+  void publish(metrics::Registry& reg) const;
 };
 
 namespace detail {
@@ -135,6 +141,9 @@ class Job {
   std::vector<Out> run(const std::vector<Input>& inputs,
                        JobCounters& counters,
                        bool materialize_output = true) {
+    // Callers accumulate across runs; the registry must only see this
+    // run's contribution, so publish the before/after delta at the end.
+    const JobCounters before = counters;
     util::Stopwatch total;
     const unsigned threads =
         cfg_.threads != 0 ? cfg_.threads
@@ -251,6 +260,25 @@ class Job {
     }
     counters.reduce_seconds += reduce_watch.elapsed_seconds();
     counters.total_seconds += total.elapsed_seconds();
+
+    JobCounters delta;
+    delta.map_input_records =
+        counters.map_input_records - before.map_input_records;
+    delta.map_output_records =
+        counters.map_output_records - before.map_output_records;
+    delta.combine_output_records =
+        counters.combine_output_records - before.combine_output_records;
+    delta.shuffle_bytes = counters.shuffle_bytes - before.shuffle_bytes;
+    delta.reduce_input_groups =
+        counters.reduce_input_groups - before.reduce_input_groups;
+    delta.reduce_output_records =
+        counters.reduce_output_records - before.reduce_output_records;
+    delta.map_seconds = counters.map_seconds - before.map_seconds;
+    delta.shuffle_seconds =
+        counters.shuffle_seconds - before.shuffle_seconds;
+    delta.reduce_seconds = counters.reduce_seconds - before.reduce_seconds;
+    delta.total_seconds = counters.total_seconds - before.total_seconds;
+    delta.publish(metrics::Registry::global());
 
     std::vector<Out> result;
     if (materialize_output) {

@@ -1,5 +1,10 @@
 // Per-operation access accounting — the instrument behind the paper's
-// Tables I–III and Fig. 11.
+// Tables I–III and Fig. 11, now a thin adapter over the observability
+// layer's primitives (metrics/registry.hpp): each per-op-class bucket is
+// a trio of registry Counter cells plus a log-scale latency Histogram,
+// so a filter's stats can be published into the process-wide Registry
+// verbatim (metrics/export.hpp) while staying instance-local — bench
+// loops construct thousands of filters and must not leak registry series.
 //
 // Every filter in this repository records, for each operation it executes,
 // (a) how many distinct memory words it touched and (b) how many hash bits
@@ -14,12 +19,20 @@
 // the counters are independent monotonic tallies, never used to
 // synchronize other memory. Define MPCBF_DISABLE_ACCESS_STATS to compile
 // recording out entirely on hot paths that cannot afford the atomic adds.
+//
+// Latency is sampled, not per-op: timing every operation would cost two
+// clock reads (~40ns) against query costs of the same order. should_sample
+// admits every kLatencySampleEvery-th operation; batch queries record one
+// per-key average per chunk instead (see Mpcbf::contains_batch).
 #pragma once
 
 #include <array>
 #include <atomic>
 #include <cstdint>
 #include <string_view>
+
+#include "metrics/histogram.hpp"
+#include "metrics/registry.hpp"
 
 namespace mpcbf::metrics {
 
@@ -30,6 +43,10 @@ enum class OpClass : unsigned {
   kDelete = 3,
 };
 
+inline constexpr unsigned kNumOpClasses = 4;
+/// One in kLatencySampleEvery operations is latency-timed.
+inline constexpr std::uint64_t kLatencySampleEvery = 64;
+
 constexpr std::string_view to_string(OpClass c) noexcept {
   switch (c) {
     case OpClass::kQueryNegative: return "query-";
@@ -38,6 +55,17 @@ constexpr std::string_view to_string(OpClass c) noexcept {
     case OpClass::kDelete: return "delete";
   }
   return "?";
+}
+
+/// Prometheus-safe label value for an op class.
+constexpr std::string_view op_label(OpClass c) noexcept {
+  switch (c) {
+    case OpClass::kQueryNegative: return "query_negative";
+    case OpClass::kQueryPositive: return "query_positive";
+    case OpClass::kInsert: return "insert";
+    case OpClass::kDelete: return "delete";
+  }
+  return "unknown";
 }
 
 class AccessStats {
@@ -54,48 +82,104 @@ class AccessStats {
 
   void record(OpClass c, std::uint64_t words_touched,
               std::uint64_t hash_bits) noexcept {
-#ifdef MPCBF_DISABLE_ACCESS_STATS
-    (void)c;
-    (void)words_touched;
-    (void)hash_bits;
-#else
     auto& b = buckets_[static_cast<unsigned>(c)];
-    b.ops.fetch_add(1, std::memory_order_relaxed);
-    b.words.fetch_add(words_touched, std::memory_order_relaxed);
-    b.bits.fetch_add(hash_bits, std::memory_order_relaxed);
+    b.ops.inc();
+    b.words.inc(words_touched);
+    b.bits.inc(hash_bits);
+  }
+
+  /// Aggregated record for batch paths: `n` operations of class c that
+  /// together touched `words_touched` words and consumed `hash_bits`
+  /// bits. One trio of atomic adds instead of n — identical totals.
+  void record_n(OpClass c, std::uint64_t n, std::uint64_t words_touched,
+                std::uint64_t hash_bits) noexcept {
+    if (n == 0) return;
+    auto& b = buckets_[static_cast<unsigned>(c)];
+    b.ops.inc(n);
+    b.words.inc(words_touched);
+    b.bits.inc(hash_bits);
+  }
+
+  /// True for the operations that should be latency-timed (one in
+  /// kLatencySampleEvery). The tick is thread-local — an atomic tick
+  /// would cost as much as the tallies it gates on machines with slow
+  /// relaxed RMWs — so the sample rate holds per thread, across every
+  /// AccessStats instance that thread touches. Always false when stats
+  /// are compiled out, so callers skip the clock reads entirely.
+  [[nodiscard]] bool should_sample() noexcept {
+#ifdef MPCBF_DISABLE_ACCESS_STATS
+    return false;
+#else
+    thread_local std::uint64_t tick = 0;
+    return (tick++ % kLatencySampleEvery) == 0;
 #endif
+  }
+
+  /// Records one sampled operation latency in nanoseconds.
+  void record_latency(OpClass c, std::uint64_t ns) noexcept {
+    latency_[static_cast<unsigned>(c)].record(ns);
+  }
+
+  /// Records one batch-query chunk's per-key average latency (ns).
+  void record_batch_latency(std::uint64_t ns_per_key) noexcept {
+    batch_latency_.record(ns_per_key);
   }
 
   void reset() noexcept {
     for (auto& b : buckets_) {
-      b.ops.store(0, std::memory_order_relaxed);
-      b.words.store(0, std::memory_order_relaxed);
-      b.bits.store(0, std::memory_order_relaxed);
+      b.ops.reset();
+      b.words.reset();
+      b.bits.reset();
     }
+    for (auto& h : latency_) h.reset();
+    batch_latency_.reset();
+  }
+
+  /// Folds `other`'s tallies into this instance (sharded filters
+  /// aggregate their shards' stats through this).
+  void merge(const AccessStats& other) noexcept {
+    for (unsigned i = 0; i < kNumOpClasses; ++i) {
+      buckets_[i].ops.inc(other.buckets_[i].ops.value());
+      buckets_[i].words.inc(other.buckets_[i].words.value());
+      buckets_[i].bits.inc(other.buckets_[i].bits.value());
+      latency_[i].merge(other.latency_[i]);
+    }
+    batch_latency_.merge(other.batch_latency_);
   }
 
   [[nodiscard]] std::uint64_t ops(OpClass c) const noexcept {
-    return buckets_[static_cast<unsigned>(c)].ops.load(
-        std::memory_order_relaxed);
+    return buckets_[static_cast<unsigned>(c)].ops.value();
+  }
+  /// Total distinct-word touches across all operations of class c.
+  [[nodiscard]] std::uint64_t words(OpClass c) const noexcept {
+    return buckets_[static_cast<unsigned>(c)].words.value();
+  }
+  /// Total accounted hash bits across all operations of class c.
+  [[nodiscard]] std::uint64_t bits(OpClass c) const noexcept {
+    return buckets_[static_cast<unsigned>(c)].bits.value();
+  }
+  [[nodiscard]] const Histogram& latency(OpClass c) const noexcept {
+    return latency_[static_cast<unsigned>(c)];
+  }
+  [[nodiscard]] const Histogram& batch_latency() const noexcept {
+    return batch_latency_;
   }
 
   /// Mean distinct words touched per operation of class c (0 if none ran).
   [[nodiscard]] double mean_accesses(OpClass c) const noexcept {
     const auto& b = buckets_[static_cast<unsigned>(c)];
-    const auto ops = b.ops.load(std::memory_order_relaxed);
+    const auto ops = b.ops.value();
     return ops == 0 ? 0.0
-                    : static_cast<double>(
-                          b.words.load(std::memory_order_relaxed)) /
+                    : static_cast<double>(b.words.value()) /
                           static_cast<double>(ops);
   }
 
   /// Mean hash bits consumed per operation of class c.
   [[nodiscard]] double mean_bandwidth(OpClass c) const noexcept {
     const auto& b = buckets_[static_cast<unsigned>(c)];
-    const auto ops = b.ops.load(std::memory_order_relaxed);
+    const auto ops = b.ops.value();
     return ops == 0 ? 0.0
-                    : static_cast<double>(
-                          b.bits.load(std::memory_order_relaxed)) /
+                    : static_cast<double>(b.bits.value()) /
                           static_cast<double>(ops);
   }
 
@@ -118,39 +202,37 @@ class AccessStats {
 
  private:
   struct Bucket {
-    std::atomic<std::uint64_t> ops{0};
-    std::atomic<std::uint64_t> words{0};
-    std::atomic<std::uint64_t> bits{0};
+    Counter ops;
+    Counter words;
+    Counter bits;
   };
 
   void copy_from(const AccessStats& other) noexcept {
-    for (unsigned i = 0; i < buckets_.size(); ++i) {
-      buckets_[i].ops.store(
-          other.buckets_[i].ops.load(std::memory_order_relaxed),
-          std::memory_order_relaxed);
-      buckets_[i].words.store(
-          other.buckets_[i].words.load(std::memory_order_relaxed),
-          std::memory_order_relaxed);
-      buckets_[i].bits.store(
-          other.buckets_[i].bits.load(std::memory_order_relaxed),
-          std::memory_order_relaxed);
+    for (unsigned i = 0; i < kNumOpClasses; ++i) {
+      buckets_[i].ops.reset();
+      buckets_[i].ops.inc(other.buckets_[i].ops.value());
+      buckets_[i].words.reset();
+      buckets_[i].words.inc(other.buckets_[i].words.value());
+      buckets_[i].bits.reset();
+      buckets_[i].bits.inc(other.buckets_[i].bits.value());
+      latency_[i] = other.latency_[i];
     }
+    batch_latency_ = other.batch_latency_;
   }
 
-  [[nodiscard]] double combined_mean(std::atomic<std::uint64_t> Bucket::*field,
-                                     unsigned a, unsigned b) const noexcept {
+  [[nodiscard]] double combined_mean(Counter Bucket::*field, unsigned a,
+                                     unsigned b) const noexcept {
     const std::uint64_t ops =
-        buckets_[a].ops.load(std::memory_order_relaxed) +
-        buckets_[b].ops.load(std::memory_order_relaxed);
-    return ops == 0
-               ? 0.0
-               : static_cast<double>(
-                     (buckets_[a].*field).load(std::memory_order_relaxed) +
-                     (buckets_[b].*field).load(std::memory_order_relaxed)) /
-                     static_cast<double>(ops);
+        buckets_[a].ops.value() + buckets_[b].ops.value();
+    return ops == 0 ? 0.0
+                    : static_cast<double>((buckets_[a].*field).value() +
+                                          (buckets_[b].*field).value()) /
+                          static_cast<double>(ops);
   }
 
-  std::array<Bucket, 4> buckets_{};
+  std::array<Bucket, kNumOpClasses> buckets_{};
+  std::array<Histogram, kNumOpClasses> latency_{};
+  Histogram batch_latency_{};
 };
 
 }  // namespace mpcbf::metrics

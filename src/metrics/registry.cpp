@@ -1,0 +1,195 @@
+#include "metrics/registry.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <stdexcept>
+#include <vector>
+
+namespace mpcbf::metrics {
+
+namespace {
+
+/// Prometheus label-value escaping: backslash, double quote, newline.
+void append_escaped(std::string& out, std::string_view v) {
+  for (const char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+}
+
+/// Series name as exported: name alone, or name{labels}.
+std::string series_name(const std::string& name, const std::string& labels) {
+  if (labels.empty()) return name;
+  return name + "{" + labels + "}";
+}
+
+/// `name_bucket{labels,le="v"}` — labels may be empty.
+std::string bucket_series(const std::string& name, const std::string& labels,
+                          const std::string& le) {
+  std::string out = name + "_bucket{";
+  if (!labels.empty()) {
+    out += labels;
+    out += ",";
+  }
+  out += "le=\"" + le + "\"}";
+  return out;
+}
+
+void write_header(std::ostream& os, const std::string& name,
+                  const std::string& help, std::string_view type) {
+  if (!help.empty()) {
+    os << "# HELP " << name << " " << help << "\n";
+  }
+  os << "# TYPE " << name << " " << type << "\n";
+}
+
+}  // namespace
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+std::string Registry::label_key(std::initializer_list<LabelView> labels) {
+  std::vector<LabelView> sorted(labels);
+  std::sort(sorted.begin(), sorted.end());
+  std::string key;
+  for (const auto& [k, v] : sorted) {
+    if (!key.empty()) key += ",";
+    key.append(k);
+    key += "=\"";
+    append_escaped(key, v);
+    key += "\"";
+  }
+  return key;
+}
+
+void Registry::claim_name(std::string_view name, Type type) {
+  const auto it = types_.find(name);
+  if (it == types_.end()) {
+    types_.emplace(std::string(name), type);
+  } else if (it->second != type) {
+    throw std::logic_error("metric '" + std::string(name) +
+                           "' re-registered as a different type");
+  }
+}
+
+Counter& Registry::counter(std::string_view name, std::string_view help,
+                           std::initializer_list<LabelView> labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  claim_name(name, Type::kCounter);
+  auto& family = counters_[std::string(name)];
+  if (family.help.empty()) family.help = std::string(help);
+  auto& cell = family.series[label_key(labels)];
+  if (!cell) cell = std::make_unique<Counter>();
+  return *cell;
+}
+
+Gauge& Registry::gauge(std::string_view name, std::string_view help,
+                       std::initializer_list<LabelView> labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  claim_name(name, Type::kGauge);
+  auto& family = gauges_[std::string(name)];
+  if (family.help.empty()) family.help = std::string(help);
+  auto& cell = family.series[label_key(labels)];
+  if (!cell) cell = std::make_unique<Gauge>();
+  return *cell;
+}
+
+Histogram& Registry::histogram(std::string_view name, std::string_view help,
+                               std::initializer_list<LabelView> labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  claim_name(name, Type::kHistogram);
+  auto& family = histograms_[std::string(name)];
+  if (family.help.empty()) family.help = std::string(help);
+  auto& cell = family.series[label_key(labels)];
+  if (!cell) cell = std::make_unique<Histogram>();
+  return *cell;
+}
+
+void Registry::write_prometheus(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, family] : counters_) {
+    write_header(os, name, family.help, "counter");
+    for (const auto& [labels, cell] : family.series) {
+      os << series_name(name, labels) << " " << cell->value() << "\n";
+    }
+  }
+  for (const auto& [name, family] : gauges_) {
+    write_header(os, name, family.help, "gauge");
+    for (const auto& [labels, cell] : family.series) {
+      os << series_name(name, labels) << " " << cell->value() << "\n";
+    }
+  }
+  for (const auto& [name, family] : histograms_) {
+    write_header(os, name, family.help, "histogram");
+    for (const auto& [labels, cell] : family.series) {
+      std::uint64_t cumulative = 0;
+      for (unsigned i = 0; i < Histogram::kNumBuckets; ++i) {
+        const auto c = cell->bucket_count(i);
+        if (c == 0) continue;  // sparse: only boundaries that hold samples
+        cumulative += c;
+        os << bucket_series(name, labels,
+                            std::to_string(Histogram::bucket_upper(i)))
+           << " " << cumulative << "\n";
+      }
+      os << bucket_series(name, labels, "+Inf") << " " << cell->count()
+         << "\n";
+      os << name << "_sum" << (labels.empty() ? "" : "{" + labels + "}")
+         << " " << cell->sum() << "\n";
+      os << name << "_count" << (labels.empty() ? "" : "{" + labels + "}")
+         << " " << cell->count() << "\n";
+    }
+  }
+}
+
+void Registry::write_summary(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, family] : counters_) {
+    for (const auto& [labels, cell] : family.series) {
+      os << series_name(name, labels) << " = " << cell->value() << "\n";
+    }
+  }
+  for (const auto& [name, family] : gauges_) {
+    for (const auto& [labels, cell] : family.series) {
+      os << series_name(name, labels) << " = " << cell->value() << "\n";
+    }
+  }
+  for (const auto& [name, family] : histograms_) {
+    for (const auto& [labels, cell] : family.series) {
+      os << series_name(name, labels) << ": count=" << cell->count()
+         << " mean=" << cell->mean() << " p50=" << cell->quantile(0.50)
+         << " p95=" << cell->quantile(0.95)
+         << " p99=" << cell->quantile(0.99) << " max=" << cell->max()
+         << "\n";
+    }
+  }
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, family] : counters_) {
+    for (auto& [labels, cell] : family.series) cell->reset();
+  }
+  for (auto& [name, family] : gauges_) {
+    for (auto& [labels, cell] : family.series) cell->reset();
+  }
+  for (auto& [name, family] : histograms_) {
+    for (auto& [labels, cell] : family.series) cell->reset();
+  }
+}
+
+std::size_t Registry::series_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [name, family] : counters_) n += family.series.size();
+  for (const auto& [name, family] : gauges_) n += family.series.size();
+  for (const auto& [name, family] : histograms_) n += family.series.size();
+  return n;
+}
+
+}  // namespace mpcbf::metrics

@@ -1,0 +1,48 @@
+// Monotonic nanosecond clock helpers for latency metrics.
+//
+// kStatsEnabled mirrors MPCBF_DISABLE_ACCESS_STATS so hot paths can guard
+// clock reads with `if constexpr` and compile them out entirely in
+// stats-disabled builds. ScopedLatency records elapsed nanoseconds into a
+// Histogram at scope exit — the one-liner the IO and mapreduce layers use
+// where the op is orders of magnitude above clock cost.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "metrics/histogram.hpp"
+
+namespace mpcbf::metrics {
+
+#ifdef MPCBF_DISABLE_ACCESS_STATS
+inline constexpr bool kStatsEnabled = false;
+#else
+inline constexpr bool kStatsEnabled = true;
+#endif
+
+[[nodiscard]] inline std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Records the lifetime of the scope into `sink` (nanoseconds). A no-op
+/// (no clock read) when stats are compiled out.
+class ScopedLatency {
+ public:
+  explicit ScopedLatency(Histogram& sink) noexcept : sink_(sink) {
+    if constexpr (kStatsEnabled) start_ = now_ns();
+  }
+  ~ScopedLatency() {
+    if constexpr (kStatsEnabled) sink_.record(now_ns() - start_);
+  }
+  ScopedLatency(const ScopedLatency&) = delete;
+  ScopedLatency& operator=(const ScopedLatency&) = delete;
+
+ private:
+  Histogram& sink_;
+  std::uint64_t start_ = 0;
+};
+
+}  // namespace mpcbf::metrics

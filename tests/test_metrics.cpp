@@ -1,0 +1,269 @@
+// Observability primitives: histogram bucketing/quantile bracketing
+// properties, registry series semantics, Prometheus exposition format,
+// and the AccessStats adapter's aggregate operations.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "metrics/access_stats.hpp"
+#include "metrics/export.hpp"
+#include "metrics/histogram.hpp"
+#include "metrics/registry.hpp"
+#include "metrics/timer.hpp"
+
+namespace {
+
+using mpcbf::metrics::AccessStats;
+using mpcbf::metrics::Histogram;
+using mpcbf::metrics::OpClass;
+using mpcbf::metrics::Registry;
+
+TEST(Histogram, BucketIndexRoundTrips) {
+  // Every value maps to a bucket whose [implied lower, upper] range
+  // contains it, and bucket_upper is the largest value in the bucket.
+  for (std::uint64_t v :
+       {0ull, 1ull, 2ull, 3ull, 4ull, 5ull, 7ull, 8ull, 100ull, 1023ull,
+        1024ull, 123456789ull, ~0ull}) {
+    const unsigned i = Histogram::bucket_index(v);
+    ASSERT_LT(i, Histogram::kNumBuckets);
+    EXPECT_LE(v, Histogram::bucket_upper(i)) << v;
+    EXPECT_EQ(Histogram::bucket_index(Histogram::bucket_upper(i)), i) << v;
+    if (i > 0) {
+      EXPECT_GT(v, Histogram::bucket_upper(i - 1)) << v;
+    }
+  }
+}
+
+TEST(Histogram, BucketWidthBounded) {
+  // Sub-bucketing keeps the upper bound within 25% of the lower bound,
+  // which is what bounds the quantile overestimate. Indices 4..7 are the
+  // dead zone between exact and octave buckets, so start at 8.
+  for (unsigned i = 8; i + 1 < Histogram::kNumBuckets; ++i) {
+    const std::uint64_t lower = Histogram::bucket_upper(i - 1) + 1;
+    const std::uint64_t upper = Histogram::bucket_upper(i);
+    EXPECT_LE(upper - lower, lower / 4) << "bucket " << i;
+  }
+}
+
+TEST(Histogram, QuantileBracketsTrueQuantile) {
+  // Property: against a reference sorted sample set, quantile(q) is
+  // >= the true rank-⌈q·n⌉ sample and <= 25% above it (clamped to max).
+  std::mt19937_64 rng(42);
+  std::lognormal_distribution<double> dist(6.0, 2.0);
+  Histogram h;
+  std::vector<std::uint64_t> samples;
+  for (int i = 0; i < 20000; ++i) {
+    const auto v = static_cast<std::uint64_t>(dist(rng));
+    samples.push_back(v);
+    h.record(v);
+  }
+  std::sort(samples.begin(), samples.end());
+  for (double q : {0.0, 0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0}) {
+    auto rank = static_cast<std::uint64_t>(
+        q * static_cast<double>(samples.size()));
+    if (rank < 1) rank = 1;
+    if (rank > samples.size()) rank = samples.size();
+    const std::uint64_t truth = samples[rank - 1];
+    const std::uint64_t est = h.quantile(q);
+    EXPECT_GE(est, truth) << "q=" << q;
+    EXPECT_LE(est, truth + truth / 4 + 1) << "q=" << q;
+    EXPECT_LE(est, h.max()) << "q=" << q;
+  }
+}
+
+TEST(Histogram, CountSumMaxMeanMerge) {
+  Histogram a;
+  a.record(10);
+  a.record(20);
+  a.record(30);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.sum(), 60u);
+  EXPECT_EQ(a.max(), 30u);
+  EXPECT_DOUBLE_EQ(a.mean(), 20.0);
+
+  Histogram b;
+  b.record(1000);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 4u);
+  EXPECT_EQ(b.sum(), 1060u);
+  EXPECT_EQ(b.max(), 1000u);
+
+  b.reset();
+  EXPECT_EQ(b.count(), 0u);
+  EXPECT_EQ(b.quantile(0.5), 0u);
+}
+
+TEST(Histogram, ConcurrentRecordingLosesNothing) {
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.record(static_cast<std::uint64_t>(t * kPerThread + i));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(h.count(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h.max(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread - 1);
+}
+
+TEST(Registry, CountersGaugesAndLabels) {
+  Registry reg;
+  auto& c = reg.counter("test_ops_total", "ops", {{"kind", "a"}});
+  c.inc();
+  c.inc(4);
+  EXPECT_EQ(c.value(), 5u);
+  // Same name+labels returns the same cell; different labels a new one.
+  EXPECT_EQ(&reg.counter("test_ops_total", "", {{"kind", "a"}}), &c);
+  auto& c2 = reg.counter("test_ops_total", "", {{"kind", "b"}});
+  EXPECT_NE(&c2, &c);
+  EXPECT_EQ(c2.value(), 0u);
+  // Label order must not matter (canonicalized sorted).
+  auto& c3 = reg.counter("test_multi_total", "",
+                         {{"x", "1"}, {"y", "2"}});
+  auto& c4 = reg.counter("test_multi_total", "",
+                         {{"y", "2"}, {"x", "1"}});
+  EXPECT_EQ(&c3, &c4);
+
+  auto& g = reg.gauge("test_gauge", "g");
+  g.set(2.5);
+  g.add(0.5);
+  EXPECT_DOUBLE_EQ(g.value(), 3.0);
+  EXPECT_EQ(reg.series_count(), 4u);
+}
+
+TEST(Registry, TypeCollisionThrows) {
+  Registry reg;
+  reg.counter("test_name");
+  EXPECT_THROW(reg.gauge("test_name"), std::logic_error);
+  EXPECT_THROW(reg.histogram("test_name"), std::logic_error);
+}
+
+TEST(Registry, PrometheusExposition) {
+  Registry reg;
+  reg.counter("demo_total", "A demo counter", {{"op", "read"}}).inc(7);
+  reg.gauge("demo_gauge", "A demo gauge").set(1.5);
+  auto& h = reg.histogram("demo_ns", "A demo histogram");
+  h.record(5);
+  h.record(500);
+
+  std::ostringstream os;
+  reg.write_prometheus(os);
+  const std::string text = os.str();
+
+  EXPECT_NE(text.find("# HELP demo_total A demo counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE demo_total counter"), std::string::npos);
+  EXPECT_NE(text.find("demo_total{op=\"read\"} 7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE demo_gauge gauge"), std::string::npos);
+  EXPECT_NE(text.find("demo_gauge 1.5"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE demo_ns histogram"), std::string::npos);
+  EXPECT_NE(text.find("demo_ns_bucket{le=\"+Inf\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("demo_ns_sum 505"), std::string::npos);
+  EXPECT_NE(text.find("demo_ns_count 2"), std::string::npos);
+
+  // Exposition-format sanity: every non-comment line is `name{...} value`
+  // with a parseable numeric value.
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const auto space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    EXPECT_NO_THROW({ (void)std::stod(line.substr(space + 1)); }) << line;
+  }
+}
+
+TEST(Registry, LabelValueEscaping) {
+  Registry reg;
+  reg.counter("esc_total", "", {{"path", "a\"b\\c\nd"}}).inc();
+  std::ostringstream os;
+  reg.write_prometheus(os);
+  EXPECT_NE(os.str().find("esc_total{path=\"a\\\"b\\\\c\\nd\"} 1"),
+            std::string::npos);
+}
+
+TEST(Registry, ResetZeroesButKeepsSeries) {
+  Registry reg;
+  reg.counter("r_total").inc(3);
+  reg.histogram("r_ns").record(9);
+  reg.reset();
+  EXPECT_EQ(reg.series_count(), 2u);
+  EXPECT_EQ(reg.counter("r_total").value(), 0u);
+  std::ostringstream os;
+  reg.write_prometheus(os);
+  EXPECT_NE(os.str().find("r_total 0"), std::string::npos);
+}
+
+TEST(AccessStatsAdapter, RecordNMatchesRecordLoop) {
+  AccessStats a;
+  AccessStats b;
+  for (int i = 0; i < 10; ++i) a.record(OpClass::kInsert, 2, 17);
+  b.record_n(OpClass::kInsert, 10, 20, 170);
+  EXPECT_EQ(a.ops(OpClass::kInsert), b.ops(OpClass::kInsert));
+  EXPECT_EQ(a.words(OpClass::kInsert), b.words(OpClass::kInsert));
+  EXPECT_EQ(a.bits(OpClass::kInsert), b.bits(OpClass::kInsert));
+  EXPECT_DOUBLE_EQ(a.mean_update_bandwidth(), b.mean_update_bandwidth());
+}
+
+TEST(AccessStatsAdapter, MergeAggregates) {
+  AccessStats a;
+  AccessStats b;
+  a.record(OpClass::kQueryPositive, 1, 10);
+  a.record_latency(OpClass::kQueryPositive, 100);
+  b.record(OpClass::kQueryPositive, 3, 30);
+  b.record_latency(OpClass::kQueryPositive, 200);
+  a.merge(b);
+  EXPECT_EQ(a.ops(OpClass::kQueryPositive), 2u);
+  EXPECT_EQ(a.words(OpClass::kQueryPositive), 4u);
+  EXPECT_EQ(a.bits(OpClass::kQueryPositive), 40u);
+  EXPECT_EQ(a.latency(OpClass::kQueryPositive).count(), 2u);
+  EXPECT_EQ(a.latency(OpClass::kQueryPositive).max(), 200u);
+}
+
+TEST(AccessStatsAdapter, PublishesIntoRegistry) {
+  AccessStats s;
+  s.record(OpClass::kQueryNegative, 1, 11);
+  s.record(OpClass::kInsert, 2, 22);
+  s.record_latency(OpClass::kInsert, 1234);
+  Registry reg;
+  mpcbf::metrics::publish_access_stats(reg, "unit", s);
+  std::ostringstream os;
+  reg.write_prometheus(os);
+  const std::string text = os.str();
+  EXPECT_NE(
+      text.find(
+          "mpcbf_filter_ops_total{filter=\"unit\",op=\"query_negative\"} 1"),
+      std::string::npos);
+  EXPECT_NE(
+      text.find(
+          "mpcbf_filter_hash_bits_total{filter=\"unit\",op=\"insert\"} 22"),
+      std::string::npos);
+  EXPECT_NE(text.find("mpcbf_filter_op_duration_ns_count{filter=\"unit\","
+                      "op=\"insert\"} 1"),
+            std::string::npos);
+}
+
+TEST(AccessStatsAdapter, SamplingTicks) {
+  AccessStats s;
+  unsigned sampled = 0;
+  for (std::uint64_t i = 0; i < 2 * mpcbf::metrics::kLatencySampleEvery;
+       ++i) {
+    sampled += s.should_sample() ? 1 : 0;
+  }
+  EXPECT_EQ(sampled, 2u);
+}
+
+}  // namespace
