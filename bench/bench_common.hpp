@@ -19,6 +19,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "common/cli.hpp"
 #include "common/rng.hpp"
 #include "common/stopwatch.hpp"
@@ -75,6 +76,10 @@ FilterHandle wrap_filter(std::string name, std::shared_ptr<F> f) {
   h.overflows = [f]() -> std::uint64_t {
     if constexpr (requires { f->overflow_events(); }) {
       return f->overflow_events();
+    } else if constexpr (requires { f->saturations(); }) {
+      // CBF/PCBF/VICBF count counter saturation instead of word
+      // overflow — same failure class, different name.
+      return f->saturations();
     } else {
       return 0;
     }

@@ -14,6 +14,8 @@ int main(int argc, char** argv) {
   const std::size_t n = args.get_uint("n", 100000);
   const std::string csv = args.get_string("csv", "");
   args.reject_unknown({"n", "csv"});
+  mpcbf::bench::JsonReport report("design_space");
+  report.config("n", n);
 
   std::cout << "=== Design space: memory needed to hit a target FPR ===\n";
   std::cout << "n=" << n << " (bits/element; [k] = hash count, "
@@ -52,6 +54,8 @@ int main(int argc, char** argv) {
     }
   }
   table.emit(csv);
+  report.add_table("design_space", table);
+  report.write();
 
   std::cout << "\nReading guide: down a column, accuracy costs memory "
                "log-linearly; across a row,\neach extra MPCBF access buys "

@@ -17,6 +17,9 @@ int main(int argc, char** argv) {
   const unsigned k = static_cast<unsigned>(args.get_uint("k", 3));
   const std::string csv = args.get_string("csv", "");
   args.reject_unknown({"n", "k", "csv"});
+  mpcbf::bench::JsonReport report("fig02_pcbf_fpr");
+  report.config("n", n);
+  report.config("k", k);
 
   std::cout << "=== Figure 2: FPR of CBF vs PCBF-1/PCBF-2, varying word "
                "size (model) ===\n";
@@ -37,6 +40,8 @@ int main(int argc, char** argv) {
     }
   }
   table.emit(csv);
+  report.add_table("fpr_model", table);
+  report.write();
 
   std::cout << "\nShape check: every PCBF column should dominate (be worse "
                "than)\nthe CBF column, with the gap narrowing as w grows "

@@ -16,6 +16,9 @@ int main(int argc, char** argv) {
   const unsigned k = static_cast<unsigned>(args.get_uint("k", 3));
   const std::string csv = args.get_string("csv", "");
   args.reject_unknown({"n", "k", "csv"});
+  mpcbf::bench::JsonReport report("fig05_mpcbf_fpr_model");
+  report.config("n", n);
+  report.config("k", k);
 
   std::cout << "=== Figure 5: FPR of CBF vs MPCBF-1/MPCBF-2, k=" << k
             << " (model, average b1) ===\n";
@@ -41,6 +44,8 @@ int main(int argc, char** argv) {
     }
   }
   table.emit(csv);
+  report.add_table("fpr_model", table);
+  report.write();
 
   std::cout << "\nShape check: MPCBF-1 ~1 order of magnitude below CBF; "
                "MPCBF-2 below MPCBF-1;\nincreasing w lowers the MPCBF "

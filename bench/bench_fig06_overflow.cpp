@@ -19,6 +19,10 @@ int main(int argc, char** argv) {
   const double mem_mb = args.get_double("mem-mb", 6.0);
   const std::string csv = args.get_string("csv", "");
   args.reject_unknown({"n", "k", "mem-mb", "csv"});
+  mpcbf::bench::JsonReport report("fig06_overflow");
+  report.config("n", n);
+  report.config("k", k);
+  report.config("mem_mb", mem_mb);
 
   const std::size_t memory = bench::megabits(mem_mb);
 
@@ -40,6 +44,8 @@ int main(int argc, char** argv) {
     }
   }
   table.emit(csv);
+  report.add_table("overflow_model", table);
+  report.write();
 
   for (unsigned w : {32u, 64u}) {
     const std::uint64_t l = memory / w;

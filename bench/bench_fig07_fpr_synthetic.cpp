@@ -29,6 +29,12 @@ int main(int argc, char** argv) {
   const std::uint64_t seed = args.get_uint("seed", 1);
   const std::string csv = args.get_string("csv", "");
   args.reject_unknown({"n", "queries", "trials", "full", "seed", "csv"});
+  mpcbf::bench::JsonReport report("fig07_fpr_synthetic");
+  report.config("full", full);
+  report.config("n", n);
+  report.config("queries", num_queries);
+  report.config("trials", trials);
+  report.config("seed", seed);
 
   std::cout << "=== Figure 7: measured FPR on synthetic sets ===\n";
   std::cout << "n=" << n << " queries=" << num_queries
@@ -86,10 +92,12 @@ int main(int argc, char** argv) {
       }
     }
     table.emit(csv.empty() ? "" : "k" + std::to_string(k) + "_" + csv);
+    report.add_table("k" + std::to_string(k), table);
   }
 
   std::cout << "\nShape check: PCBF > CBF > MPCBF-1 > MPCBF-2 at k=3; at "
                "k=4 MPCBF-1 can sit\nslightly above CBF while MPCBF-2 "
                "stays well below (Sec. IV-B, Fig. 7).\n";
+  report.write();
   return 0;
 }

@@ -47,6 +47,11 @@ int main(int argc, char** argv) {
   const std::uint64_t seed = args.get_uint("seed", 2);
   const std::string csv = args.get_string("csv", "");
   args.reject_unknown({"n", "queries", "full", "seed", "csv"});
+  mpcbf::bench::JsonReport report("fig08_query_time");
+  report.config("full", full);
+  report.config("n", n);
+  report.config("queries", num_queries);
+  report.config("seed", seed);
 
   constexpr unsigned kK = 3;
   std::cout << "=== Figure 8: execution time of " << num_queries
@@ -86,14 +91,28 @@ int main(int argc, char** argv) {
       mp2.insert(key);
     }
 
+    const double cbf_s = time_queries(cbf, queries, sink);
+    const double pcbf1_s = time_queries(pcbf1, queries, sink);
+    const double pcbf2_s = time_queries(pcbf2, queries, sink);
+    const double mp1_s = time_queries(mp1, queries, sink);
+    const double mp2_s = time_queries(mp2, queries, sink);
     table.row().add(bench::format_mb(memory));
-    table.addf(time_queries(cbf, queries, sink) * 1e3, 1);
-    table.addf(time_queries(pcbf1, queries, sink) * 1e3, 1);
-    table.addf(time_queries(pcbf2, queries, sink) * 1e3, 1);
-    table.addf(time_queries(mp1, queries, sink) * 1e3, 1);
-    table.addf(time_queries(mp2, queries, sink) * 1e3, 1);
+    table.addf(cbf_s * 1e3, 1);
+    table.addf(pcbf1_s * 1e3, 1);
+    table.addf(pcbf2_s * 1e3, 1);
+    table.addf(mp1_s * 1e3, 1);
+    table.addf(mp2_s * 1e3, 1);
+    // Per-query cost in ns — the series bench_compare.py gates on.
+    const double per_q = 1e9 / static_cast<double>(num_queries);
+    const std::string mb_label = bench::format_mb(memory) + "Mb";
+    report.metric("ns_per_query/CBF/" + mb_label, cbf_s * per_q);
+    report.metric("ns_per_query/PCBF-1/" + mb_label, pcbf1_s * per_q);
+    report.metric("ns_per_query/PCBF-2/" + mb_label, pcbf2_s * per_q);
+    report.metric("ns_per_query/MPCBF-1/" + mb_label, mp1_s * per_q);
+    report.metric("ns_per_query/MPCBF-2/" + mb_label, mp2_s * per_q);
   }
   table.emit(csv);
+  report.add_table("query_time_ms", table);
 
   // Hash-free projection: precompute each query's word index and level-1
   // positions once, then time only the vector reads (MPCBF-1 vs CBF).
@@ -172,6 +191,8 @@ int main(int argc, char** argv) {
 
     std::cout << "CBF     reads-only: " << cbf_ms << " ms\n";
     std::cout << "MPCBF-1 reads-only: " << mp_ms << " ms\n";
+    report.metric("reads_only_ms/CBF", cbf_ms);
+    report.metric("reads_only_ms/MPCBF-1", mp_ms);
   }
 
   std::cout << "\n[sink=" << sink << "]\n";
@@ -179,5 +200,6 @@ int main(int argc, char** argv) {
                "MPCBF-1/PCBF-1 at or below CBF;\nthe g=2 variants pay one "
                "extra hash in software but win on reads-only time\n(Sec. "
                "IV-B's hardware-hashing argument).\n";
+  report.write();
   return 0;
 }

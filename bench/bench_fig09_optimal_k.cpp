@@ -17,6 +17,9 @@ int main(int argc, char** argv) {
   const unsigned w = static_cast<unsigned>(args.get_uint("w", 64));
   const std::string csv = args.get_string("csv", "");
   args.reject_unknown({"n", "w", "csv"});
+  mpcbf::bench::JsonReport report("fig09_optimal_k");
+  report.config("n", n);
+  report.config("w", w);
 
   std::cout << "=== Figure 9: optimal k vs memory (model search) ===\n";
   std::cout << "n=" << n << " w=" << w << "\n\n";
@@ -33,6 +36,8 @@ int main(int argc, char** argv) {
     }
   }
   table.emit(csv);
+  report.add_table("optimal_k", table);
+  report.write();
 
   std::cout << "\nShape check: CBF's k* climbs ~6 -> ~12 across the sweep; "
                "MPCBF k* stays\nnearly flat (3 / 4-5 / 5), Sec. IV-C.\n";

@@ -21,6 +21,11 @@ int main(int argc, char** argv) {
   const bool no_sim = args.get_bool("no-sim");
   const std::string csv = args.get_string("csv", "");
   args.reject_unknown({"n", "w", "sim-n", "no-sim", "csv"});
+  mpcbf::bench::JsonReport report("fig10_fpr_optimal_k");
+  report.config("n", n);
+  report.config("w", w);
+  report.config("sim_n", sim_n);
+  report.config("no_sim", no_sim);
 
   std::cout << "=== Figure 10: FPR with optimal k (model) ===\n";
   std::cout << "n=" << n << " w=" << w << "\n\n";
@@ -39,6 +44,7 @@ int main(int argc, char** argv) {
     }
   }
   table.emit(csv);
+  report.add_table("fpr_optimal_k", table);
 
   if (!no_sim) {
     // Empirical spot check at a scaled cardinality: build CBF and MPCBF-2
@@ -88,5 +94,6 @@ int main(int argc, char** argv) {
   std::cout << "\nShape check: optimal-k CBF approaches MPCBF-2's FPR at 8 "
                "Mb but pays ~12 accesses\nvs ~2; MPCBF-3 stays ~10x below "
                "optimal-k CBF (Sec. IV-C).\n";
+  report.write();
   return 0;
 }

@@ -23,6 +23,11 @@ int main(int argc, char** argv) {
   const std::uint64_t seed = args.get_uint("seed", 3);
   const std::string csv = args.get_string("csv", "");
   args.reject_unknown({"n", "queries", "full", "seed", "csv"});
+  mpcbf::bench::JsonReport report("fig11_query_overhead");
+  report.config("full", full);
+  report.config("n", n);
+  report.config("queries", num_queries);
+  report.config("seed", seed);
 
   std::cout << "=== Figure 11: query overhead with optimal k ===\n";
   std::cout << "n=" << n << " queries=" << num_queries << " seed=" << seed
@@ -70,6 +75,8 @@ int main(int argc, char** argv) {
     }
   }
   table.emit(csv);
+  report.add_table("query_overhead", table);
+  report.write();
 
   std::cout << "\nShape check: CBF accesses/query track its growing k* "
                "(~5-10); MPCBF-g stay\nnear 1.0/1.8/2.6 across the whole "

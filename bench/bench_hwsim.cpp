@@ -25,6 +25,11 @@ int main(int argc, char** argv) {
   const std::uint64_t seed = args.get_uint("seed", 12);
   const std::string csv = args.get_string("csv", "");
   args.reject_unknown({"keys", "clock-ghz", "latency", "seed", "csv"});
+  mpcbf::bench::JsonReport report("hwsim");
+  report.config("keys", num_keys);
+  report.config("clock_ghz", clock_ghz);
+  report.config("latency", latency);
+  report.config("seed", seed);
 
   constexpr double kLineRateMpps = 148.8;  // 100GbE @ 64B packets
 
@@ -80,6 +85,7 @@ int main(int argc, char** argv) {
     table.add(who.empty() ? "none" : who);
   }
   table.emit(csv);
+  report.add_table("query_throughput", table);
 
   // Updates: read-modify-write per word (two port slots) — the hardware
   // Table II. Shown at the mid bank count.
@@ -95,6 +101,7 @@ int main(int argc, char** argv) {
     upd.addf(sim.run(hwsim::as_updates(mp1)).mops_per_second(clock_ghz), 0);
     upd.addf(sim.run(hwsim::as_updates(mp2)).mops_per_second(clock_ghz), 0);
     upd.emit("");
+    report.add_table("update_throughput", upd);
   }
 
   std::cout << "\n(Mops/s, sustained.) Expected shape: MPCBF-1 pins the "
@@ -103,5 +110,6 @@ int main(int argc, char** argv) {
                "to approach the same rate — and optimal-k CBF (k~12) is "
                "hopeless on small SRAMs.\nThis is the quantified version "
                "of the paper's Sec. I motivation.\n";
+  report.write();
   return 0;
 }

@@ -6,6 +6,8 @@
 // stay journal-free and identical to the plain filter).
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include <filesystem>
 #include <memory>
 #include <string>
@@ -175,4 +177,38 @@ BENCHMARK(BM_DurableQuery);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): runs the registered
+// benchmarks through a reporter that captures each benchmark's adjusted
+// real time, then writes the BENCH_journal.json telemetry record.
+namespace {
+
+class JsonCaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      captured.emplace_back(run.benchmark_name(),
+                            run.GetAdjustedRealTime());
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  std::vector<std::pair<std::string, double>> captured;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonCaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  mpcbf::bench::JsonReport report("journal");
+  for (const auto& [bench_name, ns] : reporter.captured) {
+    report.metric(bench_name, ns);
+  }
+  report.write();
+  return 0;
+}
+

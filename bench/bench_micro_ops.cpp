@@ -5,6 +5,8 @@
 // single-operation cost.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include <memory>
 #include <string>
 #include <vector>
@@ -188,4 +190,38 @@ BENCHMARK(BM_WordBitset_InsertRemove);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): runs the registered
+// benchmarks through a reporter that captures each benchmark's adjusted
+// real time, then writes the BENCH_micro_ops.json telemetry record.
+namespace {
+
+class JsonCaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      captured.emplace_back(run.benchmark_name(),
+                            run.GetAdjustedRealTime());
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  std::vector<std::pair<std::string, double>> captured;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonCaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  mpcbf::bench::JsonReport report("micro_ops");
+  for (const auto& [bench_name, ns] : reporter.captured) {
+    report.metric(bench_name, ns);
+  }
+  report.write();
+  return 0;
+}
+

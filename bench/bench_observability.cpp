@@ -44,6 +44,13 @@ int main(int argc, char** argv) {
   const std::uint64_t seed = args.get_uint("seed", 7);
   const std::string csv = args.get_string("csv", "");
   args.reject_unknown({"n", "queries", "seed", "csv"});
+  mpcbf::bench::JsonReport report(mpcbf::metrics::kStatsEnabled
+                                    ? "observability"
+                                    : "observability_nostats");
+  report.config("n", n);
+  report.config("queries", num_queries);
+  report.config("seed", seed);
+  report.config("stats_enabled", mpcbf::metrics::kStatsEnabled);
 
   std::cout << "=== Observability overhead (stats="
             << (metrics::kStatsEnabled ? "on" : "off") << ") ===\n"
@@ -104,6 +111,12 @@ int main(int argc, char** argv) {
   table.row().add("counter inc").addf(ctr_ns, 2);
   table.print(std::cout);
   std::cout << "(sink " << sink % 10 << ")\n";
+  report.add_table("ns_per_op", table);
+  report.metric("scalar_contains_ns", scalar_ns);
+  report.metric("batch_contains_ns", batch_ns);
+  report.metric("insert_erase_ns", update_ns);
+  report.metric("histogram_record_ns", hist_ns);
+  report.metric("counter_inc_ns", ctr_ns);
 
   if (!csv.empty()) {
     std::ofstream os(csv);
@@ -112,5 +125,6 @@ int main(int argc, char** argv) {
        << scalar_ns << "," << batch_ns << "," << update_ns << ","
        << hist_ns << "," << ctr_ns << "\n";
   }
+  report.write();
   return 0;
 }

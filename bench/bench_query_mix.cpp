@@ -19,6 +19,11 @@ int main(int argc, char** argv) {
   const std::uint64_t seed = args.get_uint("seed", 13);
   const std::string csv = args.get_string("csv", "");
   args.reject_unknown({"n", "queries", "mem-mb", "seed", "csv"});
+  mpcbf::bench::JsonReport report("query_mix");
+  report.config("n", n);
+  report.config("queries", num_queries);
+  report.config("mem_mb", mem_mb);
+  report.config("seed", seed);
 
   const auto memory = static_cast<std::size_t>(
       mem_mb * 1024 * 1024 * (static_cast<double>(n) / 100000.0));
@@ -49,6 +54,8 @@ int main(int argc, char** argv) {
     }
   }
   table.emit(csv);
+  report.add_table("accesses_by_member_fraction", table);
+  report.write();
 
   std::cout << "\nShape check: CBF climbs from ~1.1 (all-negative, "
                "short-circuit at the first\nzero) to ~3.0 (all-positive); "

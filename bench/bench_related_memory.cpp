@@ -23,6 +23,11 @@ int main(int argc, char** argv) {
   const std::uint64_t seed = args.get_uint("seed", 10);
   const std::string csv = args.get_string("csv", "");
   args.reject_unknown({"n", "queries", "bits-per-key", "seed", "csv"});
+  mpcbf::bench::JsonReport report("related_memory");
+  report.config("n", n);
+  report.config("queries", num_queries);
+  report.config("bits_per_key", bits_per_key);
+  report.config("seed", seed);
 
   const std::size_t memory = n * bits_per_key;
   std::cout << "=== Related-work landscape: FPR / bits-per-element / "
@@ -95,6 +100,8 @@ int main(int argc, char** argv) {
     }
   }
   table.emit(csv);
+  report.add_table("landscape", table);
+  report.write();
 
   std::cout << "\nReading guide: RCBF and ML-CCBF report their *used* "
                "footprint (their whole\npoint); the array-based filters "

@@ -68,6 +68,10 @@ int main(int argc, char** argv) {
   const std::uint64_t seed = args.get_uint("seed", 11);
   const std::string csv = args.get_string("csv", "");
   args.reject_unknown({"ops", "threads-max", "seed", "csv"});
+  mpcbf::bench::JsonReport report("scaling");
+  report.config("ops", ops);
+  report.config("threads_max", threads_max);
+  report.config("seed", seed);
 
   std::cout << "=== Concurrency scaling (mixed 50q/30i/20e workload) ===\n";
   std::cout << "ops=" << ops << " hardware threads="
@@ -136,6 +140,8 @@ int main(int argc, char** argv) {
     }
   }
   table.emit(csv);
+  report.add_table("throughput", table);
+  report.write();
 
   // --- batched vs scalar queries -------------------------------------------
   std::cout << "\n=== Batched vs scalar queries (prefetch pipelining) ===\n";

@@ -23,6 +23,11 @@ int main(int argc, char** argv) {
   const std::uint64_t seed = args.get_uint("seed", 5);
   const std::string csv = args.get_string("csv", "");
   args.reject_unknown({"n", "queries", "mem-mb", "seed", "csv"});
+  mpcbf::bench::JsonReport report("table1_query_overhead");
+  report.config("n", n);
+  report.config("queries", num_queries);
+  report.config("mem_mb", mem_mb);
+  report.config("seed", seed);
 
   const std::size_t memory = bench::megabits(mem_mb);
   std::cout << "=== Table I: query overhead, k=3 and k=4 (synthetic) ===\n";
@@ -61,6 +66,8 @@ int main(int argc, char** argv) {
     table.addf(cells[v][2], 2).addf(cells[v][3], 1);
   }
   table.emit(csv);
+  report.add_table("table1", table);
+  report.write();
 
   std::cout << "\nShape check: g=1 variants pin 1.0 access at both k; g=2 "
                "~1.5-1.8; CBF ~2+;\nCBF bandwidth = k*log2(m) dwarfs the "

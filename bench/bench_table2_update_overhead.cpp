@@ -21,6 +21,11 @@ int main(int argc, char** argv) {
   const std::uint64_t seed = args.get_uint("seed", 6);
   const std::string csv = args.get_string("csv", "");
   args.reject_unknown({"n", "churn", "mem-mb", "seed", "csv"});
+  mpcbf::bench::JsonReport report("table2_update_overhead");
+  report.config("n", n);
+  report.config("churn", churn);
+  report.config("mem_mb", mem_mb);
+  report.config("seed", seed);
 
   const std::size_t memory = bench::megabits(mem_mb);
   std::cout << "=== Table II: update overhead, k=3 and k=4 (synthetic) "
@@ -69,6 +74,8 @@ int main(int argc, char** argv) {
     table.addf(cells[v][2], 2).addf(cells[v][3], 1);
   }
   table.emit(csv);
+  report.add_table("table2", table);
+  report.write();
 
   std::cout << "\nShape check: CBF ~k accesses per update; g=1 variants "
                "1.0; g=2 ~2.0;\nMPCBF bandwidth a little above PCBF (the "

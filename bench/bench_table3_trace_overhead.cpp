@@ -22,6 +22,10 @@ int main(int argc, char** argv) {
   const std::uint64_t seed = args.get_uint("seed", 7);
   const std::string csv = args.get_string("csv", "");
   args.reject_unknown({"full", "mem-mb", "seed", "csv"});
+  mpcbf::bench::JsonReport report("table3_trace_overhead");
+  report.config("full", full);
+  report.config("mem_mb", mem_mb);
+  report.config("seed", seed);
 
   workload::FlowTraceConfig tcfg =
       full ? workload::FlowTraceConfig::paper_scale()
@@ -69,6 +73,8 @@ int main(int argc, char** argv) {
     table.addf(upd_acc, 2).addf(upd_bw, 1);
   }
   table.emit(csv);
+  report.add_table("table3", table);
+  report.write();
 
   std::cout << "\nShape check vs the paper's Table III: CBF ~2.1/3.0 "
                "accesses (query/update);\nPCBF-1 & MPCBF-1 exactly "

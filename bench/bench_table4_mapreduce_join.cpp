@@ -27,6 +27,11 @@ int main(int argc, char** argv) {
   const std::uint64_t seed = args.get_uint("seed", 8);
   const std::string csv = args.get_string("csv", "");
   args.reject_unknown({"full", "bits-per-key", "reducers", "seed", "csv"});
+  mpcbf::bench::JsonReport report("table4_mapreduce_join");
+  report.config("full", full);
+  report.config("bits_per_key", bits_per_key);
+  report.config("reducers", reducers);
+  report.config("seed", seed);
 
   workload::PatentDataConfig dcfg =
       full ? workload::PatentDataConfig::paper_scale()
@@ -132,6 +137,8 @@ int main(int argc, char** argv) {
     }
   }
   table.emit(csv);
+  report.add_table("table4", table);
+  report.write();
 
   std::cout << "\nShape check vs Table IV: FPR drops steeply CBF -> "
                "MPCBF-1 -> MPCBF-2;\nmap outputs and total time fall "

@@ -38,6 +38,7 @@
 #include "io/binary.hpp"
 #include "io/crc32c.hpp"
 #include "metrics/access_stats.hpp"
+#include "trace/trace.hpp"
 #include "metrics/timer.hpp"
 #include "model/fpr_model.hpp"
 
@@ -97,6 +98,7 @@ class AtomicMpcbf {
   /// (words updated before the failing one are rolled back, so the insert
   /// is all-or-nothing from the caller's perspective).
   bool insert(std::string_view key) {
+    MPCBF_TRACE_SPAN(span, kCore, "atomic_mpcbf.insert");
     const bool timed = stats_.should_sample();
     const std::uint64_t t0 = timed ? metrics::now_ns() : 0;
     Targets t;
@@ -106,6 +108,7 @@ class AtomicMpcbf {
       if (!apply_word(t, done, /*increment=*/true)) break;
     }
     if (done == t.num_groups) {
+      span.set_arg("words", t.num_groups);
       record_op(metrics::OpClass::kInsert, t.num_groups, bits, timed, t0);
       return true;
     }
@@ -114,6 +117,7 @@ class AtomicMpcbf {
       apply_word(t, u, /*increment=*/false);
     }
     overflow_events_.fetch_add(1, std::memory_order_relaxed);
+    MPCBF_TRACE_INSTANT(kCore, "atomic_mpcbf.overflow_reject");
     // A rejected insert still touched every word up to and including the
     // failing one (plus the rollback writes to the first `done`).
     record_op(metrics::OpClass::kInsert, 2 * done + 1, bits, timed, t0);
@@ -126,6 +130,7 @@ class AtomicMpcbf {
   /// the way the lazy scalar Mpcbf's do — word touches still stop at the
   /// first miss.
   [[nodiscard]] bool contains(std::string_view key) const {
+    MPCBF_TRACE_SPAN(span, kCore, "atomic_mpcbf.query");
     const bool timed = stats_.should_sample();
     const std::uint64_t t0 = timed ? metrics::now_ns() : 0;
     Targets t;
@@ -135,12 +140,14 @@ class AtomicMpcbf {
       w.set_limb(0, words_[t.word[gi]].load(std::memory_order_acquire));
       for (unsigned i = 0; i < t.kw[gi]; ++i) {
         if (!w.test(t.pos[gi][i])) {
+          span.set_arg("words", gi + 1);
           record_op(metrics::OpClass::kQueryNegative, gi + 1, bits, timed,
                     t0);
           return false;
         }
       }
     }
+    span.set_arg("words", t.num_groups);
     record_op(metrics::OpClass::kQueryPositive, t.num_groups, bits, timed,
               t0);
     return true;
@@ -151,6 +158,7 @@ class AtomicMpcbf {
   /// underflows — the never-inserted-key contract violation. Each
   /// underflowing word counts one underflow event.
   bool erase(std::string_view key) {
+    MPCBF_TRACE_SPAN(span, kCore, "atomic_mpcbf.erase");
     const bool timed = stats_.should_sample();
     const std::uint64_t t0 = timed ? metrics::now_ns() : 0;
     Targets t;

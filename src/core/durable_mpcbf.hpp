@@ -48,6 +48,7 @@
 #include "io/journal.hpp"
 #include "metrics/registry.hpp"
 #include "metrics/timer.hpp"
+#include "trace/trace.hpp"
 
 #ifdef __unix__
 #include <fcntl.h>
@@ -136,6 +137,8 @@ class DurableMpcbf {
   /// Forces buffered journal records to stable storage. After this
   /// returns, every prior mutation survives any crash.
   void flush() {
+    MPCBF_TRACE_SPAN(span, kIo, "wal.flush");
+    span.set_arg("records", pending_);
     journal_.flush(options_.fsync);
     pending_ = 0;
   }
@@ -145,6 +148,7 @@ class DurableMpcbf {
   /// journal to the new watermark. Old snapshots beyond
   /// Options::keep_snapshots are removed.
   void snapshot() {
+    MPCBF_TRACE_SPAN(span, kIo, "durable.snapshot");
     auto& m = durable_metrics();
     const std::uint64_t t0 =
         metrics::kStatsEnabled ? metrics::now_ns() : 0;
@@ -241,10 +245,15 @@ class DurableMpcbf {
 
   void log_op(io::JournalOp op, std::string_view key) {
     crash_point("journal:pre-append");
-    journal_.append(op, key);
+    {
+      MPCBF_TRACE_SPAN(span, kIo, "wal.append");
+      journal_.append(op, key);
+    }
     ++pending_;
     crash_point("journal:post-append");
     if (pending_ >= options_.flush_every) {
+      MPCBF_TRACE_SPAN(span, kIo, "wal.group_commit");
+      span.set_arg("records", pending_);
       // pending_ is the group-commit batch this flush makes durable.
       durable_metrics().commit_batch.record(pending_);
       journal_.flush(options_.fsync);
@@ -282,6 +291,7 @@ class DurableMpcbf {
   }
 
   static void sync_path(const std::filesystem::path& p) {
+    MPCBF_TRACE_SPAN(span, kIo, "durable.fsync");
 #ifdef __unix__
     const int fd = ::open(p.c_str(), O_RDONLY);
     if (fd >= 0) {
@@ -297,6 +307,7 @@ class DurableMpcbf {
   /// watermark. Throws on any corruption (frame CRC, magic, layout).
   static std::pair<Mpcbf<W>, std::uint64_t> load_snapshot(
       const std::filesystem::path& path) {
+    MPCBF_TRACE_SPAN(span, kIo, "durable.snapshot_load");
     std::ifstream is(path, std::ios::binary);
     if (!is) {
       throw std::runtime_error("DurableMpcbf: cannot open " + path.string());
@@ -336,6 +347,7 @@ class DurableMpcbf {
 
   static Mpcbf<W> recover_filter(const std::filesystem::path& dir,
                                  const MpcbfConfig* cfg) {
+    MPCBF_TRACE_SPAN(span, kIo, "durable.recover");
     std::filesystem::create_directories(dir);
     std::optional<Mpcbf<W>> filter;
     std::uint64_t watermark = 0;
@@ -376,14 +388,18 @@ class DurableMpcbf {
           "snapshot; state is unrecoverable without that snapshot");
     }
     std::uint64_t replayed = 0;
-    for (const auto& rec : scan.records) {
-      if (rec.seq <= watermark) continue;  // already in the snapshot
-      if (rec.op == io::JournalOp::kInsert) {
-        (void)filter->insert(rec.key);
-      } else {
-        (void)filter->erase(rec.key);
+    {
+      MPCBF_TRACE_SPAN(replay_span, kIo, "durable.replay");
+      for (const auto& rec : scan.records) {
+        if (rec.seq <= watermark) continue;  // already in the snapshot
+        if (rec.op == io::JournalOp::kInsert) {
+          (void)filter->insert(rec.key);
+        } else {
+          (void)filter->erase(rec.key);
+        }
+        ++replayed;
       }
-      ++replayed;
+      replay_span.set_arg("records", replayed);
     }
     durable_metrics().recoveries.inc();
     durable_metrics().replayed.inc(replayed);

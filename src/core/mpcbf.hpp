@@ -43,6 +43,7 @@
 #include "metrics/access_stats.hpp"
 #include "metrics/timer.hpp"
 #include "model/fpr_model.hpp"
+#include "trace/trace.hpp"
 
 namespace mpcbf::core {
 
@@ -130,11 +131,13 @@ class Mpcbf {
   /// Inserts `key`. Returns false only under OverflowPolicy::kReject when
   /// some target word cannot absorb the element.
   bool insert(std::string_view key) {
+    MPCBF_TRACE_SPAN(span, kCore, "mpcbf.insert");
     const bool timed = stats_.should_sample();
     const std::uint64_t t0 = timed ? metrics::now_ns() : 0;
     Targets t;
     hash::HashBitStream stream(key, seed_);
     derive_all(stream, t);
+    span.set_arg("words", t.distinct_words);
 
     if (!capacity_ok(t)) {
       ++overflow_events_;
@@ -142,10 +145,13 @@ class Mpcbf {
         case OverflowPolicy::kThrow:
           throw std::overflow_error("Mpcbf: word overflow on insert");
         case OverflowPolicy::kReject:
+          MPCBF_TRACE_INSTANT(kCore, "mpcbf.overflow_reject");
           record_op(metrics::OpClass::kInsert, t.distinct_words,
                     stream.accounted_bits(), timed, t0);
           return false;
         case OverflowPolicy::kStash:
+          MPCBF_TRACE_INSTANT(kCore, "mpcbf.stash_divert", "stash_size",
+                              stash_.size() + 1);
           ++stash_[std::string(key)];
           ++size_;
           record_op(metrics::OpClass::kInsert, t.distinct_words,
@@ -155,13 +161,20 @@ class Mpcbf {
     }
 
     std::uint64_t extra_bits = 0;
-    for (unsigned i = 0; i < t.total_positions; ++i) {
-      const std::size_t w = t.word_of[i];
-      const HcbfResult r =
-          Hcbf<W>::increment(words_[w], b1_, t.pos[i], hier_used_[w]);
-      assert(r.ok);
-      ++hier_used_[w];
-      extra_bits += r.extra_bits;
+    {
+      // The hierarchical counter walk — the paper's "bits spent only on
+      // non-zero counters" machinery; depth is the hierarchy bits the
+      // walk claimed across all target words.
+      MPCBF_TRACE_SPAN(walk, kCore, "mpcbf.level_walk");
+      for (unsigned i = 0; i < t.total_positions; ++i) {
+        const std::size_t w = t.word_of[i];
+        const HcbfResult r =
+            Hcbf<W>::increment(words_[w], b1_, t.pos[i], hier_used_[w]);
+        assert(r.ok);
+        ++hier_used_[w];
+        extra_bits += r.extra_bits;
+      }
+      walk.set_arg("depth", extra_bits);
     }
     ++size_;
     record_op(metrics::OpClass::kInsert, t.distinct_words,
@@ -172,6 +185,7 @@ class Mpcbf {
   /// Membership query. False positives possible; false negatives are not
   /// (for keys whose inserts all succeeded).
   [[nodiscard]] bool contains(std::string_view key) const {
+    MPCBF_TRACE_SPAN(span, kCore, "mpcbf.query");
     const bool timed = stats_.should_sample();
     const std::uint64_t t0 = timed ? metrics::now_ns() : 0;
     hash::HashBitStream stream(key, seed_);
@@ -181,6 +195,8 @@ class Mpcbf {
     for (unsigned t = 0; t < g_; ++t) {
       if (!positive && short_circuit_) break;
       const std::size_t w = stream.next_index(words_.size());
+      MPCBF_TRACE_SPAN(fetch, kCore, "mpcbf.word_fetch");
+      fetch.set_arg("word", w);
       bool new_word = true;
       for (std::size_t s = 0; s < words_touched; ++s) {
         if (seen[s] == w) {
@@ -199,9 +215,11 @@ class Mpcbf {
       }
     }
     if (!positive && !stash_.empty()) {
+      MPCBF_TRACE_SPAN(probe, kCore, "mpcbf.stash_probe");
       auto it = stash_.find(key);
       if (it != stash_.end() && it->second > 0) positive = true;
     }
+    span.set_arg("words", words_touched);
     record_op(positive ? metrics::OpClass::kQueryPositive
                        : metrics::OpClass::kQueryNegative,
               words_touched, stream.accounted_bits(), timed, t0);
@@ -214,6 +232,7 @@ class Mpcbf {
   /// counts an underflow when a target counter was already zero; size()
   /// is unchanged by such a failed erase.
   bool erase(std::string_view key) {
+    MPCBF_TRACE_SPAN(span, kCore, "mpcbf.erase");
     const bool timed = stats_.should_sample();
     const std::uint64_t t0 = timed ? metrics::now_ns() : 0;
     if (!stash_.empty()) {
@@ -231,16 +250,20 @@ class Mpcbf {
 
     bool ok = true;
     std::uint64_t extra_bits = 0;
-    for (unsigned i = 0; i < t.total_positions; ++i) {
-      const std::size_t w = t.word_of[i];
-      const HcbfResult r = Hcbf<W>::decrement(words_[w], b1_, t.pos[i]);
-      if (r.ok) {
-        --hier_used_[w];
-        extra_bits += r.extra_bits;
-      } else {
-        ok = false;
-        ++underflow_events_;
+    {
+      MPCBF_TRACE_SPAN(walk, kCore, "mpcbf.level_walk");
+      for (unsigned i = 0; i < t.total_positions; ++i) {
+        const std::size_t w = t.word_of[i];
+        const HcbfResult r = Hcbf<W>::decrement(words_[w], b1_, t.pos[i]);
+        if (r.ok) {
+          --hier_used_[w];
+          extra_bits += r.extra_bits;
+        } else {
+          ok = false;
+          ++underflow_events_;
+        }
       }
+      walk.set_arg("depth", extra_bits);
     }
     // A fully/partially underflowed erase removed nothing that was ever
     // counted: size_ only tracks successful operations, so a
@@ -395,6 +418,8 @@ class Mpcbf {
     if (keys.size() != out.size()) {
       throw std::invalid_argument("contains_batch: size mismatch");
     }
+    MPCBF_TRACE_SPAN(span, kCore, "mpcbf.query_batch");
+    span.set_arg("keys", keys.size());
     constexpr std::size_t kChunk = 32;
     std::array<Targets, kChunk> targets;
     // Call-local tallies, indexed by OpClass value (negative=0,

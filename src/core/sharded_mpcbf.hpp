@@ -25,6 +25,7 @@
 #include "common/rng.hpp"
 #include "core/mpcbf.hpp"
 #include "hash/murmur3.hpp"
+#include "trace/trace.hpp"
 
 namespace mpcbf::core {
 
@@ -49,19 +50,25 @@ class ShardedMpcbf {
   }
 
   bool insert(std::string_view key) {
+    MPCBF_TRACE_SPAN(span, kShard, "shard.insert");
     Shard& s = shard_of(key);
+    if (span.live()) span.set_arg("shard", shard_index(key));
     std::lock_guard<std::mutex> lock(s.mutex);
     return s.filter.insert(key);
   }
 
   [[nodiscard]] bool contains(std::string_view key) const {
+    MPCBF_TRACE_SPAN(span, kShard, "shard.query");
     const Shard& s = shard_of(key);
+    if (span.live()) span.set_arg("shard", shard_index(key));
     std::lock_guard<std::mutex> lock(s.mutex);
     return s.filter.contains(key);
   }
 
   bool erase(std::string_view key) {
+    MPCBF_TRACE_SPAN(span, kShard, "shard.erase");
     Shard& s = shard_of(key);
+    if (span.live()) span.set_arg("shard", shard_index(key));
     std::lock_guard<std::mutex> lock(s.mutex);
     return s.filter.erase(key);
   }
@@ -224,9 +231,13 @@ class ShardedMpcbf {
                std::uint64_t shard_seed)
       : shards_(std::move(shards)), shard_seed_(shard_seed) {}
 
-  [[nodiscard]] Shard& shard_of(std::string_view key) const {
+  [[nodiscard]] std::size_t shard_index(std::string_view key) const {
     const std::uint64_t h = hash::murmur3_128(key, shard_seed_).lo;
-    return *shards_[h % shards_.size()];
+    return static_cast<std::size_t>(h % shards_.size());
+  }
+
+  [[nodiscard]] Shard& shard_of(std::string_view key) const {
+    return *shards_[shard_index(key)];
   }
 
   std::vector<std::unique_ptr<Shard>> shards_;

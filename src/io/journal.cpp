@@ -9,6 +9,7 @@
 #include "io/crc32c.hpp"
 #include "metrics/registry.hpp"
 #include "metrics/timer.hpp"
+#include "trace/trace.hpp"
 
 #ifdef __unix__
 #include <fcntl.h>
@@ -191,6 +192,7 @@ void Journal::flush(bool sync) {
     throw std::runtime_error("journal: flush failed: " + path_);
   }
   if (sync) {
+    MPCBF_TRACE_SPAN(span, kIo, "journal.fsync");
     sync_file(path_);
     m.syncs.inc();
   }

@@ -29,6 +29,7 @@
 #include "common/stopwatch.hpp"
 #include "common/thread_pool.hpp"
 #include "metrics/registry.hpp"
+#include "trace/trace.hpp"
 
 namespace mpcbf::mr {
 
@@ -144,6 +145,8 @@ class Job {
     // Callers accumulate across runs; the registry must only see this
     // run's contribution, so publish the before/after delta at the end.
     const JobCounters before = counters;
+    MPCBF_TRACE_SPAN(job_span, kMapReduce, "mr.job");
+    job_span.set_arg("inputs", inputs.size());
     util::Stopwatch total;
     const unsigned threads =
         cfg_.threads != 0 ? cfg_.threads
@@ -164,7 +167,10 @@ class Job {
 
     const std::size_t chunk = (inputs.size() + m - 1) / m;
     std::vector<std::uint64_t> task_combined(m, 0);
-    util::parallel_for(pool, m, [&](std::size_t t) {
+    {
+      MPCBF_TRACE_SPAN(map_span, kMapReduce, "mr.map");
+      map_span.set_arg("tasks", m);
+      util::parallel_for(pool, m, [&](std::size_t t) {
       const std::size_t lo = t * chunk;
       const std::size_t hi = std::min(inputs.size(), lo + chunk);
       Emitter emitter(buckets[t], task_records[t], task_bytes[t]);
@@ -202,6 +208,7 @@ class Job {
         }
       }
     });
+    }
     counters.map_input_records += inputs.size();
     for (unsigned t = 0; t < m; ++t) {
       counters.map_output_records += task_records[t];
@@ -213,6 +220,9 @@ class Job {
     // --- shuffle ----------------------------------------------------------
     util::Stopwatch shuffle_watch;
     std::vector<std::vector<std::pair<K2, V2>>> partitions(r);
+    {
+    MPCBF_TRACE_SPAN(shuffle_span, kMapReduce, "mr.shuffle");
+    shuffle_span.set_arg("partitions", r);
     util::parallel_for(pool, r, [&](std::size_t p) {
       std::size_t total_pairs = 0;
       for (unsigned t = 0; t < m; ++t) total_pairs += buckets[t][p].size();
@@ -227,6 +237,7 @@ class Job {
           partitions[p].begin(), partitions[p].end(),
           [](const auto& a, const auto& b) { return a.first < b.first; });
     });
+    }
     counters.shuffle_seconds += shuffle_watch.elapsed_seconds();
 
     // --- reduce -----------------------------------------------------------
@@ -234,6 +245,9 @@ class Job {
     std::vector<std::vector<Out>> outputs(r);
     std::vector<std::uint64_t> out_counts(r, 0);
     std::vector<std::uint64_t> group_counts(r, 0);
+    {
+    MPCBF_TRACE_SPAN(reduce_span, kMapReduce, "mr.reduce");
+    reduce_span.set_arg("partitions", r);
     util::parallel_for(pool, r, [&](std::size_t p) {
       auto& part = partitions[p];
       Collector collector(materialize_output ? &outputs[p] : nullptr,
@@ -254,6 +268,7 @@ class Job {
       part.clear();
       part.shrink_to_fit();
     });
+    }
     for (unsigned p = 0; p < r; ++p) {
       counters.reduce_input_groups += group_counts[p];
       counters.reduce_output_records += out_counts[p];

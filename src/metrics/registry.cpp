@@ -9,6 +9,21 @@ namespace mpcbf::metrics {
 
 namespace {
 
+/// Prometheus metric-name grammar: [a-zA-Z_:][a-zA-Z0-9_:]*. Anything
+/// else would silently break scrapes, so registration rejects it.
+bool valid_metric_name(std::string_view name) {
+  if (name.empty()) return false;
+  const auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':';
+  };
+  if (!head(name.front())) return false;
+  for (const char c : name.substr(1)) {
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  }
+  return true;
+}
+
 /// Prometheus label-value escaping: backslash, double quote, newline.
 void append_escaped(std::string& out, std::string_view v) {
   for (const char c : v) {
@@ -69,6 +84,10 @@ std::string Registry::label_key(std::initializer_list<LabelView> labels) {
 }
 
 void Registry::claim_name(std::string_view name, Type type) {
+  if (!valid_metric_name(name)) {
+    throw std::invalid_argument("invalid Prometheus metric name '" +
+                                std::string(name) + "'");
+  }
   const auto it = types_.find(name);
   if (it == types_.end()) {
     types_.emplace(std::string(name), type);

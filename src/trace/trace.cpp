@@ -1,0 +1,236 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cinttypes>
+#include <cstdio>
+#include <ostream>
+
+#include "metrics/timer.hpp"
+
+namespace mpcbf::trace {
+
+// Single-producer (owning thread) / single-consumer (drain, serialized
+// by the Tracer mutex) bounded ring. The producer publishes a slot with
+// a release store of head_; the consumer acquires head_, copies the
+// slots out, then releases tail_ back to the producer. A full ring drops
+// the event and counts it — recording must never block or reallocate.
+struct Tracer::ThreadRing {
+  explicit ThreadRing(std::uint32_t tid_in) : tid(tid_in) {}
+
+  bool try_push(const Event& e) noexcept {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail >= kRingCapacity) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    slots[head % kRingCapacity] = e;
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side: moves everything recorded so far into `sink`.
+  void drain_into(std::vector<CollectedEvent>& sink) {
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    for (; tail != head; ++tail) {
+      sink.push_back({slots[tail % kRingCapacity], tid});
+    }
+    tail_.store(tail, std::memory_order_release);
+  }
+
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  void reset_dropped() noexcept {
+    dropped_.store(0, std::memory_order_relaxed);
+  }
+
+  const std::uint32_t tid;
+  std::array<Event, kRingCapacity> slots{};
+  std::atomic<std::uint64_t> head_{0};
+  std::atomic<std::uint64_t> tail_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+// Thread-local owner of one ring; keeps the ring alive (shared with the
+// Tracer's registry) and caches the raw pointer so the steady-state
+// record path is ring-lookup-free.
+class Tracer::RingHandle {
+ public:
+  ThreadRing* ring = nullptr;
+  std::shared_ptr<ThreadRing> owner;
+};
+
+Tracer& Tracer::global() {
+  static Tracer instance;
+  return instance;
+}
+
+Tracer::ThreadRing& Tracer::ring_for_this_thread() {
+  thread_local RingHandle handle;
+  if (handle.ring == nullptr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    handle.owner = std::make_shared<ThreadRing>(next_tid_++);
+    handle.ring = handle.owner.get();
+    rings_.push_back(handle.owner);
+  }
+  return *handle.ring;
+}
+
+void Tracer::record(const Event& e) { ring_for_this_thread().try_push(e); }
+
+const std::vector<CollectedEvent>& Tracer::drain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& ring : rings_) {
+    ring->drain_into(backlog_);
+  }
+  return backlog_;
+}
+
+std::uint64_t Tracer::dropped() const noexcept {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& ring : rings_) total += ring->dropped();
+  return total;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& ring : rings_) {
+    std::vector<CollectedEvent> discard;
+    ring->drain_into(discard);
+    ring->reset_dropped();
+  }
+  backlog_.clear();
+}
+
+namespace {
+
+/// JSON string escaping for names (static literals in practice, but the
+/// writer must not be able to emit broken JSON regardless).
+void write_json_string(std::ostream& os, const char* s) {
+  os << '"';
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+/// Microsecond timestamp with nanosecond resolution kept as fraction
+/// (Chrome's ts/dur unit is microseconds).
+void write_us(std::ostream& os, std::uint64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%" PRIu64 ".%03u", ns / 1000,
+                static_cast<unsigned>(ns % 1000));
+  os << buf;
+}
+
+std::vector<CollectedEvent> sorted_snapshot(
+    const std::vector<CollectedEvent>& backlog) {
+  std::vector<CollectedEvent> events(backlog);
+  std::stable_sort(events.begin(), events.end(),
+                   [](const CollectedEvent& a, const CollectedEvent& b) {
+                     return a.event.ts_ns < b.event.ts_ns;
+                   });
+  return events;
+}
+
+}  // namespace
+
+void Tracer::write_chrome_json(std::ostream& os) {
+  const auto events = sorted_snapshot(drain());
+  const std::uint64_t drops = dropped();
+  const std::uint64_t base =
+      events.empty() ? 0 : events.front().event.ts_ns;
+  os << "{\"traceEvents\":[\n";
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+        "\"args\":{\"name\":\"mpcbf\"}}";
+  for (const auto& [e, tid] : events) {
+    os << ",\n{";
+    os << "\"name\":";
+    write_json_string(os, e.name);
+    os << ",\"cat\":\"" << to_string(e.cat) << "\"";
+    if (e.dur_ns != 0) {
+      os << ",\"ph\":\"X\",\"dur\":";
+      write_us(os, e.dur_ns);
+    } else {
+      os << ",\"ph\":\"i\",\"s\":\"t\"";
+    }
+    os << ",\"pid\":1,\"tid\":" << tid << ",\"ts\":";
+    write_us(os, e.ts_ns - base);
+    if (e.arg_name != nullptr) {
+      os << ",\"args\":{";
+      write_json_string(os, e.arg_name);
+      os << ":" << e.arg << "}";
+    }
+    os << "}";
+  }
+  if (drops != 0) {
+    // Truncation must be visible in the viewer, not just in logs.
+    const std::uint64_t end_ts =
+        events.empty() ? 0 : events.back().event.ts_ns - base;
+    os << ",\n{\"name\":\"trace.dropped_events\",\"cat\":\"tool\","
+          "\"ph\":\"i\",\"s\":\"g\",\"pid\":1,\"tid\":0,\"ts\":";
+    write_us(os, end_ts);
+    os << ",\"args\":{\"count\":" << drops << "}}";
+  }
+  os << "\n],\"displayTimeUnit\":\"ns\"}\n";
+}
+
+void Tracer::write_timeline(std::ostream& os) {
+  const auto events = sorted_snapshot(drain());
+  const std::uint64_t base =
+      events.empty() ? 0 : events.front().event.ts_ns;
+  for (const auto& [e, tid] : events) {
+    os << "+" << (e.ts_ns - base) << "ns\tt" << tid << "\t["
+       << to_string(e.cat) << "] " << e.name;
+    if (e.dur_ns != 0) os << " dur=" << e.dur_ns << "ns";
+    if (e.arg_name != nullptr) os << " " << e.arg_name << "=" << e.arg;
+    os << "\n";
+  }
+  const std::uint64_t drops = dropped();
+  if (drops != 0) os << "(" << drops << " events dropped)\n";
+}
+
+void ScopedSpan::finish() {
+  Event e;
+  e.ts_ns = t0_;
+  // Sub-clock-resolution spans still need dur > 0 to render as "X"
+  // complete events (dur 0 is the instant encoding).
+  e.dur_ns = std::max<std::uint64_t>(1, metrics::now_ns() - t0_);
+  e.name = name_;
+  e.arg_name = arg_name_;
+  e.arg = arg_;
+  e.cat = cat_;
+  Tracer::global().record(e);
+}
+
+void instant(Category cat, const char* name, const char* arg_name,
+             std::uint64_t arg) noexcept {
+  if (!Tracer::armed()) return;
+  Event e;
+  e.ts_ns = metrics::now_ns();
+  e.name = name;
+  e.arg_name = arg_name;
+  e.arg = arg;
+  e.cat = cat;
+  Tracer::global().record(e);
+}
+
+}  // namespace mpcbf::trace

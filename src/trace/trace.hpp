@@ -1,0 +1,215 @@
+// Structured tracing — the "where did this operation's nanoseconds go"
+// layer on top of the aggregate counters in src/metrics/.
+//
+// Design: each thread owns a fixed-capacity single-producer ring of POD
+// events; the process-wide Tracer registers every ring and drains them
+// (SPSC acquire/release, no locks on the hot path). Recording is guarded
+// by one relaxed atomic load — tracing is *armed* explicitly (a debug /
+// replay session, never always-on), so the disarmed cost on a query is a
+// predicted-not-taken branch. When the owning thread outruns the
+// collector the ring drops the event and counts it (dropped());
+// drops are reported in the output, never silent.
+//
+// Output: Chrome trace-event JSON ("ph":"X" complete spans + "i"
+// instants), loadable in chrome://tracing and Perfetto, plus a plain
+// text timeline. Span names are static strings (no allocation, no
+// copying on the hot path); one optional u64 argument per event carries
+// structured data (level-walk depth, shard index, batch size).
+//
+// Instrumentation sites use the MPCBF_TRACE_* macros below. Compiling
+// with MPCBF_DISABLE_TRACING replaces every macro with an inert no-op
+// object — zero tracer references, zero codegen — mirroring
+// MPCBF_DISABLE_ACCESS_STATS for the metrics layer (the filters are
+// header-only, so the definition takes effect per translation unit).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "metrics/timer.hpp"
+
+namespace mpcbf::trace {
+
+enum class Category : std::uint8_t {
+  kCore,       ///< filter hot paths (query/insert/erase/level walk)
+  kIo,         ///< WAL append/flush/fsync, snapshot save/load
+  kShard,      ///< ShardedMpcbf fan-out
+  kMapReduce,  ///< mapreduce stage execution
+  kTool,       ///< CLI / harness driver scopes
+};
+
+[[nodiscard]] constexpr const char* to_string(Category c) noexcept {
+  switch (c) {
+    case Category::kCore: return "core";
+    case Category::kIo: return "io";
+    case Category::kShard: return "shard";
+    case Category::kMapReduce: return "mapreduce";
+    case Category::kTool: return "tool";
+  }
+  return "?";
+}
+
+/// One recorded event. `name`/`arg_name` must be static-storage strings
+/// (string literals at every call site); dur_ns == 0 marks an instant.
+struct Event {
+  std::uint64_t ts_ns = 0;
+  std::uint64_t dur_ns = 0;
+  const char* name = nullptr;
+  const char* arg_name = nullptr;
+  std::uint64_t arg = 0;
+  Category cat = Category::kCore;
+};
+
+/// An Event paired with the id of the thread ring it came from.
+struct CollectedEvent {
+  Event event;
+  std::uint32_t tid = 0;
+};
+
+class Tracer {
+ public:
+  /// Events a thread can buffer between drains. Power of two; at ~48
+  /// bytes per event a ring is ~768 KiB, paid only by threads that
+  /// record while armed.
+  static constexpr std::size_t kRingCapacity = 16384;
+
+  static Tracer& global();
+
+  /// Recording gate, checked (relaxed) by every instrumentation site.
+  [[nodiscard]] static bool armed() noexcept {
+    return armed_.load(std::memory_order_relaxed);
+  }
+
+  /// Starts/stops recording. arm() does not clear prior events —
+  /// sessions can be stitched; call clear() for a fresh capture.
+  void arm() noexcept { armed_.store(true, std::memory_order_relaxed); }
+  void disarm() noexcept { armed_.store(false, std::memory_order_relaxed); }
+
+  /// Records one event into the calling thread's ring (drops + counts
+  /// when the ring is full). Call sites should gate on armed() first so
+  /// the disarmed path never reaches here.
+  void record(const Event& e);
+
+  /// Moves every buffered event out of the thread rings into the
+  /// collector's backlog and returns the backlog (oldest drain first;
+  /// within a ring, record order). Thread-safe; concurrent recorders
+  /// keep recording into the space this frees.
+  const std::vector<CollectedEvent>& drain();
+
+  /// Events dropped because a ring was full, process-wide, since the
+  /// last clear().
+  [[nodiscard]] std::uint64_t dropped() const noexcept;
+
+  /// Drops the backlog and zeroes drop counters (rings stay registered).
+  void clear();
+
+  /// Drains and writes the Chrome trace-event JSON object
+  /// ({"traceEvents":[...]}), loadable in chrome://tracing / Perfetto.
+  /// Timestamps are rebased to the earliest event. Dropped-event counts
+  /// are emitted as metadata instants so truncation is visible in the UI.
+  void write_chrome_json(std::ostream& os);
+
+  /// Drains and writes a plain one-line-per-event timeline, sorted by
+  /// timestamp (diagnostic / test-friendly output).
+  void write_timeline(std::ostream& os);
+
+ private:
+  Tracer() = default;
+
+  struct ThreadRing;
+  class RingHandle;
+
+  ThreadRing& ring_for_this_thread();
+
+  inline static std::atomic<bool> armed_{false};
+
+  mutable std::mutex mu_;  // guards rings_ registration and backlog_/drain
+  std::vector<std::shared_ptr<ThreadRing>> rings_;
+  std::vector<CollectedEvent> backlog_;
+  std::uint32_t next_tid_ = 1;
+};
+
+/// RAII span: captures the begin timestamp on construction and emits one
+/// complete ("X") event on destruction. Construction checks the armed
+/// gate once; a disarmed span costs one load + branch and never reads
+/// the clock. `set_arg` attaches the span's structured argument (last
+/// call wins) — safe to call whether or not the span is live.
+class ScopedSpan {
+ public:
+  // Inline so a disarmed span compiles down to one relaxed load and an
+  // untaken branch at the call site — no function call on the hot path.
+  ScopedSpan(Category cat, const char* name) noexcept
+      : name_(name), cat_(cat), live_(Tracer::armed()) {
+    if (live_) t0_ = metrics::now_ns();
+  }
+  ~ScopedSpan() {
+    if (live_) finish();
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  void set_arg(const char* arg_name, std::uint64_t value) noexcept {
+    arg_name_ = arg_name;
+    arg_ = value;
+  }
+
+  /// True when the tracer was armed at construction (events will be
+  /// emitted) — lets call sites skip arg computation when idle.
+  [[nodiscard]] bool live() const noexcept { return live_; }
+
+ private:
+  /// Cold path: builds the Event and hands it to the tracer.
+  void finish();
+
+  std::uint64_t t0_ = 0;
+  const char* name_ = nullptr;
+  const char* arg_name_ = nullptr;
+  std::uint64_t arg_ = 0;
+  Category cat_ = Category::kCore;
+  bool live_ = false;
+};
+
+/// Emits a zero-duration instant event (armed-gated like ScopedSpan).
+void instant(Category cat, const char* name,
+             const char* arg_name = nullptr, std::uint64_t arg = 0) noexcept;
+
+/// Inert stand-ins the MPCBF_DISABLE_TRACING macros expand to: every
+/// member is an empty inline, so instrumented call sites compile to
+/// nothing without per-site #ifdefs.
+struct NullSpan {
+  void set_arg(const char*, std::uint64_t) const noexcept {}
+  [[nodiscard]] bool live() const noexcept { return false; }
+};
+
+}  // namespace mpcbf::trace
+
+// --- instrumentation macros ------------------------------------------------
+//
+// MPCBF_TRACE_SPAN(var, category, "name");   // RAII span named `var`
+// var.set_arg("depth", depth);               // optional structured arg
+// MPCBF_TRACE_INSTANT(category, "name");     // point event
+//
+// `category` is the bare enumerator name (kCore, kIo, ...).
+#ifdef MPCBF_DISABLE_TRACING
+#define MPCBF_TRACE_SPAN(var, category, name) \
+  [[maybe_unused]] const ::mpcbf::trace::NullSpan var {}
+#define MPCBF_TRACE_INSTANT(category, ...) \
+  do {                                     \
+  } while (false)
+#else
+#define MPCBF_TRACE_SPAN(var, category, name)   \
+  ::mpcbf::trace::ScopedSpan var(               \
+      ::mpcbf::trace::Category::category, name)
+#define MPCBF_TRACE_INSTANT(category, ...)                                 \
+  do {                                                                     \
+    if (::mpcbf::trace::Tracer::armed()) {                                 \
+      ::mpcbf::trace::instant(::mpcbf::trace::Category::category,          \
+                              __VA_ARGS__);                                \
+    }                                                                      \
+  } while (false)
+#endif

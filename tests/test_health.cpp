@@ -1,0 +1,215 @@
+// HealthProber: component metrics on empty and loaded filters, alarm
+// firing at saturation (callback + instance counter + registry counter),
+// FPR drift agreement with the closed-form model, gauge publication,
+// and the background watch() lifecycle.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/mpcbf.hpp"
+#include "metrics/health.hpp"
+#include "metrics/registry.hpp"
+#include "workload/string_sets.hpp"
+
+namespace {
+
+using mpcbf::core::Mpcbf;
+using mpcbf::core::MpcbfConfig;
+using mpcbf::core::OverflowPolicy;
+using mpcbf::metrics::HealthProber;
+using mpcbf::metrics::HealthSample;
+using mpcbf::metrics::Registry;
+using mpcbf::metrics::Severity;
+
+Mpcbf<64> make_filter(std::size_t memory_bits, std::size_t expected_n,
+                      unsigned k = 3, unsigned g = 1) {
+  MpcbfConfig cfg;
+  cfg.memory_bits = memory_bits;
+  cfg.k = k;
+  cfg.g = g;
+  cfg.expected_n = expected_n;
+  cfg.policy = OverflowPolicy::kStash;
+  return Mpcbf<64>(cfg);
+}
+
+TEST(Health, EmptyFilterScoresZeroAndOk) {
+  auto filter = make_filter(1 << 16, 1000);
+  Registry reg;
+  HealthProber::Config cfg;
+  cfg.registry = &reg;
+  cfg.fpr_probes = 256;
+  HealthProber prober(std::move(cfg));
+  const HealthSample s = prober.probe(filter);
+  EXPECT_EQ(s.elements, 0u);
+  EXPECT_DOUBLE_EQ(s.level1_fill, 0.0);
+  EXPECT_DOUBLE_EQ(s.saturation_score, 0.0);
+  EXPECT_EQ(s.severity, Severity::kOk);
+  EXPECT_EQ(prober.alarms(), 0u);
+}
+
+TEST(Health, LoadedFilterReportsFillAndUtilization) {
+  auto filter = make_filter(1 << 18, 4000);
+  const auto keys = mpcbf::workload::generate_unique_strings(4000, 5, 11);
+  for (const auto& k : keys) filter.insert(k);
+
+  Registry reg;
+  HealthProber::Config cfg;
+  cfg.registry = &reg;
+  HealthProber prober(std::move(cfg));
+  const HealthSample s = prober.probe(filter);
+  EXPECT_EQ(s.elements, 4000u);
+  EXPECT_GT(s.level1_fill, 0.0);
+  EXPECT_LT(s.level1_fill, 1.0);
+  EXPECT_GT(s.hierarchy_utilization, 0.0);
+  EXPECT_FALSE(s.hierarchy_histogram.empty());
+  EXPECT_GE(s.saturation_score, 100.0 * s.level1_fill - 1e-9);
+}
+
+TEST(Health, SaturatedFilterFiresAlarms) {
+  // Undersized on purpose: ~16x more elements than the geometry expects
+  // drives level-1 fill (and the stash) toward saturation.
+  auto filter = make_filter(4096, 64);
+  const auto keys = mpcbf::workload::generate_unique_strings(1000, 5, 23);
+  for (const auto& k : keys) filter.insert(k);
+
+  Registry reg;
+  std::atomic<int> callback_fires{0};
+  Severity seen = Severity::kOk;
+  HealthProber::Config cfg;
+  cfg.registry = &reg;
+  cfg.fpr_probes = 64;
+  cfg.on_alarm = [&](const HealthSample& s) {
+    callback_fires.fetch_add(1);
+    seen = s.severity;
+  };
+  HealthProber prober(std::move(cfg));
+  const HealthSample s = prober.probe(filter);
+
+  EXPECT_GE(s.saturation_score, 90.0);
+  EXPECT_EQ(s.severity, Severity::kCritical);
+  EXPECT_EQ(seen, Severity::kCritical);
+  EXPECT_EQ(callback_fires.load(), 1);
+  EXPECT_EQ(prober.alarms(), 1u);
+
+  std::ostringstream os;
+  reg.write_prometheus(os);
+  EXPECT_NE(os.str().find("mpcbf_health_alarms_total{filter=\"mpcbf\","
+                          "severity=\"critical\"} 1"),
+            std::string::npos);
+}
+
+TEST(Health, WarnThresholdClassifiesBetweenOkAndCritical) {
+  auto filter = make_filter(1 << 16, 1000);
+  const auto keys = mpcbf::workload::generate_unique_strings(1000, 5, 7);
+  for (const auto& k : keys) filter.insert(k);
+
+  HealthProber::Config cfg;
+  cfg.registry = nullptr;  // classification only, no gauges
+  cfg.fpr_probes = 0;
+  HealthProber probe_only(std::move(cfg));
+  const HealthSample base = probe_only.sample(filter);
+  ASSERT_GT(base.saturation_score, 0.0);
+
+  // Re-classify the same filter with thresholds straddling its score.
+  HealthProber::Config warn_cfg;
+  warn_cfg.registry = nullptr;
+  warn_cfg.fpr_probes = 0;
+  warn_cfg.warn_score = base.saturation_score - 1.0;
+  warn_cfg.critical_score = base.saturation_score + 1.0;
+  HealthProber warn_prober(std::move(warn_cfg));
+  EXPECT_EQ(warn_prober.sample(filter).severity, Severity::kWarn);
+
+  HealthProber::Config crit_cfg;
+  crit_cfg.registry = nullptr;
+  crit_cfg.fpr_probes = 0;
+  crit_cfg.warn_score = base.saturation_score / 2.0;
+  crit_cfg.critical_score = base.saturation_score - 1.0;
+  HealthProber crit_prober(std::move(crit_cfg));
+  EXPECT_EQ(crit_prober.sample(filter).severity, Severity::kCritical);
+}
+
+TEST(Health, FprDriftAgreesWithModel) {
+  // At a memory budget tight enough for a measurable FPR, the empirical
+  // probe should land near the eq. (8)/(9) prediction — the same
+  // model-vs-measurement agreement bench_fig07 demonstrates.
+  const std::size_t n = 20000;
+  auto filter = make_filter(n * 8, n, 3, 1);
+  const auto keys = mpcbf::workload::generate_unique_strings(n, 5, 99);
+  for (const auto& k : keys) filter.insert(k);
+
+  HealthProber::Config cfg;
+  cfg.registry = nullptr;
+  cfg.fpr_probes = 50000;
+  HealthProber prober(std::move(cfg));
+  const HealthSample s = prober.sample(filter);
+
+  ASSERT_GT(s.predicted_fpr, 0.0);
+  // Enough probes that the expected false-positive count is well above
+  // Poisson noise.
+  ASSERT_GE(s.predicted_fpr * static_cast<double>(cfg.fpr_probes), 20.0);
+  EXPECT_GT(s.measured_fpr, s.predicted_fpr / 4.0);
+  EXPECT_LT(s.measured_fpr, s.predicted_fpr * 4.0);
+  EXPECT_NEAR(s.fpr_drift, s.measured_fpr - s.predicted_fpr, 1e-12);
+}
+
+TEST(Health, PublishesGaugesIntoRegistry) {
+  auto filter = make_filter(1 << 16, 500);
+  filter.insert("one");
+  filter.insert("two");
+
+  Registry reg;
+  HealthProber::Config cfg;
+  cfg.registry = &reg;
+  cfg.filter_label = "unit";
+  cfg.fpr_probes = 128;
+  HealthProber prober(std::move(cfg));
+  prober.probe(filter);
+
+  std::ostringstream os;
+  reg.write_prometheus(os);
+  const std::string text = os.str();
+  for (const char* gauge :
+       {"mpcbf_health_level1_fill{filter=\"unit\"}",
+        "mpcbf_health_hierarchy_utilization{filter=\"unit\"}",
+        "mpcbf_health_stash_pressure{filter=\"unit\"}",
+        "mpcbf_health_overflow_rate{filter=\"unit\"}",
+        "mpcbf_health_fpr_predicted{filter=\"unit\"}",
+        "mpcbf_health_fpr_measured{filter=\"unit\"}",
+        "mpcbf_health_fpr_drift{filter=\"unit\"}",
+        "mpcbf_health_saturation_score{filter=\"unit\"}",
+        "mpcbf_health_elements{filter=\"unit\"} 2",
+        "mpcbf_health_hierarchy_words{filter=\"unit\",used=\"0\"}"}) {
+    EXPECT_NE(text.find(gauge), std::string::npos) << gauge;
+  }
+}
+
+TEST(Health, WatchFiresRepeatedlyUntilStopped) {
+  auto filter = make_filter(4096, 64);
+  const auto keys = mpcbf::workload::generate_unique_strings(1000, 5, 31);
+  for (const auto& k : keys) filter.insert(k);
+
+  Registry reg;
+  std::atomic<int> fires{0};
+  HealthProber::Config cfg;
+  cfg.registry = &reg;
+  cfg.fpr_probes = 0;
+  cfg.on_alarm = [&](const HealthSample&) { fires.fetch_add(1); };
+  HealthProber prober(std::move(cfg));
+  prober.watch(filter, std::chrono::milliseconds(5));
+  while (fires.load() < 3) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  prober.stop();
+  prober.stop();  // idempotent
+  const int after_stop = fires.load();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(fires.load(), after_stop);
+  EXPECT_GE(prober.alarms(), 3u);
+}
+
+}  // namespace

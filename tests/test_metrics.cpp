@@ -195,6 +195,45 @@ TEST(Registry, LabelValueEscaping) {
             std::string::npos);
 }
 
+TEST(Registry, RejectsInvalidMetricNames) {
+  Registry reg;
+  // Valid per the Prometheus grammar [a-zA-Z_:][a-zA-Z0-9_:]*.
+  EXPECT_NO_THROW(reg.counter("good_name_total"));
+  EXPECT_NO_THROW(reg.counter("_leading_underscore"));
+  EXPECT_NO_THROW(reg.counter(":colon:name"));
+  EXPECT_NO_THROW(reg.counter("name2_with_digits9"));
+  // Invalid: empty, leading digit, hyphens/dots/spaces/unicode.
+  EXPECT_THROW(reg.counter(""), std::invalid_argument);
+  EXPECT_THROW(reg.counter("9starts_with_digit"), std::invalid_argument);
+  EXPECT_THROW(reg.counter("has-hyphen"), std::invalid_argument);
+  EXPECT_THROW(reg.counter("has.dot"), std::invalid_argument);
+  EXPECT_THROW(reg.counter("has space"), std::invalid_argument);
+  EXPECT_THROW(reg.gauge("naïve"), std::invalid_argument);
+  EXPECT_THROW(reg.histogram("bad{label}"), std::invalid_argument);
+  // A rejected name must not leave a half-registered family behind.
+  std::ostringstream os;
+  reg.write_prometheus(os);
+  EXPECT_EQ(os.str().find("has-hyphen"), std::string::npos);
+}
+
+TEST(Histogram, QuantileMonotoneAtBucketEdges) {
+  // Feed values straddling bucket boundaries and assert quantile(q) is
+  // non-decreasing in q — bucket-edge rounding must never invert ranks.
+  Histogram h;
+  for (unsigned i = 0; i + 1 < Histogram::kNumBuckets && i < 40; ++i) {
+    const std::uint64_t upper = Histogram::bucket_upper(i);
+    h.record(upper);             // last value of bucket i
+    h.record(upper + 1);         // first value of bucket i+1
+  }
+  std::uint64_t prev = 0;
+  for (double q = 0.0; q <= 1.0; q += 0.01) {
+    const std::uint64_t est = h.quantile(q);
+    EXPECT_GE(est, prev) << "q=" << q;
+    prev = est;
+  }
+  EXPECT_LE(prev, h.max());
+}
+
 TEST(Registry, ResetZeroesButKeepsSeries) {
   Registry reg;
   reg.counter("r_total").inc(3);
