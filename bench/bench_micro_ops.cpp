@@ -7,12 +7,16 @@
 
 #include "bench_json.hpp"
 
+#include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "core/atomic_mpcbf.hpp"
 #include "core/hcbf.hpp"
 #include "core/mpcbf.hpp"
+#include "core/sharded_mpcbf.hpp"
 #include "filters/blocked_bloom.hpp"
 #include "filters/bloom.hpp"
 #include "filters/counting_bloom.hpp"
@@ -96,13 +100,13 @@ auto make_mp1 = [] {
   return std::make_unique<core::Mpcbf<64>>(
       core::MpcbfConfig{kMemory, 3, 1, kN, 0,
                         core::OverflowPolicy::kStash,
-                        0x9E3779B97F4A7C15ULL, true});
+                        hash::kDefaultSeed, true});
 };
 auto make_mp2 = [] {
   return std::make_unique<core::Mpcbf<64>>(
       core::MpcbfConfig{kMemory, 3, 2, kN, 0,
                         core::OverflowPolicy::kStash,
-                        0x9E3779B97F4A7C15ULL, true});
+                        hash::kDefaultSeed, true});
 };
 auto make_dlcbf = [] {
   filters::DlcbfConfig cfg;
@@ -150,6 +154,108 @@ BENCHMARK(BM_DLCBF_QueryPositive);
 BENCHMARK(BM_DLCBF_InsertErase);
 BENCHMARK(BM_VICBF_QueryPositive);
 BENCHMARK(BM_VICBF_InsertErase);
+
+// --- batch pipeline vs scalar loop --------------------------------------
+//
+// The batch benches use a filter much larger than the last-level cache so
+// every word access is a real memory round-trip — the regime the engine's
+// derive → prefetch → resolve pipeline targets. One benchmark iteration
+// processes kBatchLen keys, so values here are ns per *batch*, directly
+// comparable between the Scalar and Batch variants of the same filter.
+constexpr std::size_t kBatchMemory = 1u << 28;  // 256 Mb = 32 MiB of words
+constexpr std::size_t kBatchN = 200000;
+constexpr std::size_t kBatchLen = 4096;
+
+const std::vector<std::string>& batch_members() {
+  static const auto v = workload::generate_unique_strings(kBatchN, 6, 777);
+  return v;
+}
+
+// Alternates hits and misses so both verdicts (and the short-circuit
+// paths) are represented, like a real lookup stream.
+const std::vector<std::string>& batch_mixed() {
+  static const auto v = [] {
+    const auto miss = workload::generate_unique_strings(kBatchN, 8, 888);
+    std::vector<std::string> mixed;
+    mixed.reserve(2 * kBatchN);
+    for (std::size_t i = 0; i < kBatchN; ++i) {
+      mixed.push_back(batch_members()[i]);
+      mixed.push_back(miss[i]);
+    }
+    return mixed;
+  }();
+  return v;
+}
+
+std::unique_ptr<core::AtomicMpcbf> make_atomic_filled() {
+  auto f = std::make_unique<core::AtomicMpcbf>(kBatchMemory, 3, 2, kBatchN);
+  for (const auto& key : batch_members()) (void)f->insert(key);
+  return f;
+}
+
+std::unique_ptr<core::ShardedMpcbf<64>> make_sharded_filled() {
+  core::MpcbfConfig cfg;
+  cfg.memory_bits = kBatchMemory;
+  cfg.k = 3;
+  cfg.g = 2;
+  cfg.expected_n = kBatchN;
+  auto f = std::make_unique<core::ShardedMpcbf<64>>(cfg, 16);
+  for (const auto& key : batch_members()) (void)f->insert(key);
+  return f;
+}
+
+template <typename Filter>
+void query_scalar_loop(benchmark::State& state, Filter& f) {
+  const auto& keys = batch_mixed();
+  std::size_t base = 0;
+  std::vector<std::uint8_t> out(kBatchLen);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < kBatchLen; ++i) {
+      out[i] = f.contains(keys[base + i]) ? 1 : 0;
+    }
+    benchmark::DoNotOptimize(out.data());
+    base = (base + kBatchLen) % (keys.size() - kBatchLen);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kBatchLen));
+}
+
+template <typename Filter>
+void query_batch(benchmark::State& state, Filter& f) {
+  const auto& keys = batch_mixed();
+  std::size_t base = 0;
+  std::vector<std::uint8_t> out(kBatchLen);
+  for (auto _ : state) {
+    f.contains_batch(std::span<const std::string>(&keys[base], kBatchLen),
+                     std::span<std::uint8_t>(out));
+    benchmark::DoNotOptimize(out.data());
+    base = (base + kBatchLen) % (keys.size() - kBatchLen);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kBatchLen));
+}
+
+void BM_ATOMIC_QueryScalarLoop4k(benchmark::State& state) {
+  static const auto f = make_atomic_filled();
+  query_scalar_loop(state, *f);
+}
+void BM_ATOMIC_QueryBatch4k(benchmark::State& state) {
+  static const auto f = make_atomic_filled();
+  query_batch(state, *f);
+}
+void BM_SHARDED_QueryScalarLoop4k(benchmark::State& state) {
+  static const auto f = make_sharded_filled();
+  query_scalar_loop(state, *f);
+}
+void BM_SHARDED_QueryBatch4k(benchmark::State& state) {
+  static const auto f = make_sharded_filled();
+  query_batch(state, *f);
+}
+
+BENCHMARK(BM_ATOMIC_QueryScalarLoop4k);
+BENCHMARK(BM_ATOMIC_QueryBatch4k);
+BENCHMARK(BM_SHARDED_QueryScalarLoop4k);
+BENCHMARK(BM_SHARDED_QueryBatch4k);
 
 // --- HCBF word primitives -----------------------------------------------
 

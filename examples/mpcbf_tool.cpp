@@ -7,6 +7,7 @@
 //   plan  --n N --fpr F [--accesses G]        size a filter from the model
 //   build --keys FILE --out FILTER [...]      build & save from a key file
 //   query --filter FILTER --keys FILE         membership-check a key file
+//         [--batch]                           via the batched engine pipeline
 //   merge --a F1 --b F2 --out F3              counter-wise union of filters
 //   stats --filter FILTER | --dir D           layout + metric registry dump
 //         [--keys FILE] [--prometheus]        (optionally after a workload)
@@ -123,11 +124,24 @@ int cmd_query(const mpcbf::util::CliArgs& args) {
   auto filter = mpcbf::core::Mpcbf<64>::load(is);
   const auto keys = read_keys(args.get_string("keys", ""));
   std::size_t hits = 0;
-  for (const auto& key : keys) {
-    const bool hit = filter.contains(key);
-    hits += hit;
-    if (args.get_bool("verbose")) {
-      std::cout << (hit ? "+ " : "- ") << key << "\n";
+  if (args.get_bool("batch")) {
+    // Engine batch pipeline (derive → prefetch → resolve): same verdicts
+    // as the scalar loop, fewer memory stalls on large filters.
+    std::vector<std::uint8_t> out(keys.size());
+    filter.contains_batch(keys, out);
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      hits += out[i];
+      if (args.get_bool("verbose")) {
+        std::cout << (out[i] ? "+ " : "- ") << keys[i] << "\n";
+      }
+    }
+  } else {
+    for (const auto& key : keys) {
+      const bool hit = filter.contains(key);
+      hits += hit;
+      if (args.get_bool("verbose")) {
+        std::cout << (hit ? "+ " : "- ") << key << "\n";
+      }
     }
   }
   std::cout << hits << "/" << keys.size() << " keys positive\n";

@@ -7,9 +7,14 @@
 // a query is literally one atomic load per word (g loads for MPCBF-g), and
 // inserts/deletes are lock-free (some thread always makes progress).
 //
-// Capacity is re-derived from the word value inside the CAS loop via the
-// level-size invariant (Hcbf::occupied_bits), so no out-of-word metadata
-// exists and the CAS publishes a fully consistent word.
+// Built on core/word_engine.hpp: target derivation is the shared
+// TargetDeriver (same canonical hash order as Mpcbf), regrouped by
+// distinct word (engine::group_by_word) so each word is CASed exactly
+// once per operation, and the word vector is the engine's AtomicWords64
+// storage policy. Capacity is re-derived from the word value inside the
+// CAS loop via the level-size invariant (Hcbf::occupied_bits), so no
+// out-of-word metadata exists and the CAS publishes a fully consistent
+// word.
 //
 // Semantics under concurrency:
 //  * per-word updates are linearizable (single-CAS publication);
@@ -23,17 +28,21 @@
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <istream>
 #include <ostream>
+#include <span>
 #include <sstream>
 #include <stdexcept>
+#include <string>
 #include <string_view>
 #include <vector>
 
 #include "bitvec/word_bitset.hpp"
 #include "core/hcbf.hpp"
+#include "core/word_engine.hpp"
 #include "hash/hash_stream.hpp"
 #include "io/binary.hpp"
 #include "io/crc32c.hpp"
@@ -47,19 +56,17 @@ namespace mpcbf::core {
 class AtomicMpcbf {
  public:
   static constexpr unsigned kWordBits = 64;
-  static constexpr unsigned kMaxG = 8;
-  static constexpr unsigned kMaxKPerWord = 16;
+  static constexpr unsigned kMaxG = engine::kMaxG;
+  static constexpr unsigned kMaxKPerWord = engine::kMaxKPerWord;
 
   /// `n_max` = 0 derives the per-word capacity from `expected_n` via the
   /// eq.-(11) heuristic; a nonzero value overrides it (callers wanting
   /// stronger no-overflow guarantees add headroom here).
   AtomicMpcbf(std::size_t memory_bits, unsigned k, unsigned g,
               std::size_t expected_n,
-              std::uint64_t seed = 0x9E3779B97F4A7C15ULL, unsigned n_max = 0)
+              std::uint64_t seed = hash::kDefaultSeed, unsigned n_max = 0)
       : k_(k), g_(g), seed_(seed) {
-    if (k == 0 || g == 0 || g > k || g > kMaxG) {
-      throw std::invalid_argument("AtomicMpcbf: need 1 <= g <= k (g <= 8)");
-    }
+    engine::validate_shape(k, g, "AtomicMpcbf");
     const std::size_t l = memory_bits / kWordBits;
     if (l == 0) {
       throw std::invalid_argument("AtomicMpcbf: memory smaller than a word");
@@ -74,15 +81,14 @@ class AtomicMpcbf {
       throw std::invalid_argument(
           "AtomicMpcbf: configuration leaves no first-level bits");
     }
-    words_ = std::vector<std::atomic<std::uint64_t>>(l);
-    for (auto& w : words_) w.store(0, std::memory_order_relaxed);
+    store_.init(l);
   }
 
   /// Movable so load() can return by value (atomics themselves are not
   /// movable; the counter transfers as a relaxed snapshot). Quiescent
   /// source only.
   AtomicMpcbf(AtomicMpcbf&& other) noexcept
-      : words_(std::move(other.words_)),
+      : store_(std::move(other.store_)),
         k_(other.k_),
         g_(other.g_),
         b1_(other.b1_),
@@ -101,56 +107,27 @@ class AtomicMpcbf {
     MPCBF_TRACE_SPAN(span, kCore, "atomic_mpcbf.insert");
     const bool timed = stats_.should_sample();
     const std::uint64_t t0 = timed ? metrics::now_ns() : 0;
-    Targets t;
-    const std::uint64_t bits = derive(key, t);
-    unsigned done = 0;
-    for (; done < t.num_groups; ++done) {
-      if (!apply_word(t, done, /*increment=*/true)) break;
-    }
-    if (done == t.num_groups) {
-      span.set_arg("words", t.num_groups);
-      record_op(metrics::OpClass::kInsert, t.num_groups, bits, timed, t0);
-      return true;
-    }
-    // Roll back the words already updated.
-    for (unsigned u = 0; u < done; ++u) {
-      apply_word(t, u, /*increment=*/false);
-    }
-    overflow_events_.fetch_add(1, std::memory_order_relaxed);
-    MPCBF_TRACE_INSTANT(kCore, "atomic_mpcbf.overflow_reject");
-    // A rejected insert still touched every word up to and including the
-    // failing one (plus the rollback writes to the first `done`).
-    record_op(metrics::OpClass::kInsert, 2 * done + 1, bits, timed, t0);
-    return false;
+    engine::WordPlan p;
+    const std::uint64_t bits = derive(key, p);
+    return insert_planned(p, bits, span, timed, t0);
   }
 
   /// Membership query: one atomic load per (distinct) word. Hashing is
-  /// eager here (derive() consumes the whole stream before the first
-  /// load), so accounted hash bits do not shrink under short-circuiting
-  /// the way the lazy scalar Mpcbf's do — word touches still stop at the
-  /// first miss.
+  /// eager here (the whole stream is consumed before the first load), so
+  /// accounted hash bits do not shrink under short-circuiting the way the
+  /// lazy scalar Mpcbf's do — word touches still stop at the first miss.
   [[nodiscard]] bool contains(std::string_view key) const {
     MPCBF_TRACE_SPAN(span, kCore, "atomic_mpcbf.query");
     const bool timed = stats_.should_sample();
     const std::uint64_t t0 = timed ? metrics::now_ns() : 0;
-    Targets t;
-    const std::uint64_t bits = derive(key, t);
-    for (unsigned gi = 0; gi < t.num_groups; ++gi) {
-      bits::WordBitset<64> w;
-      w.set_limb(0, words_[t.word[gi]].load(std::memory_order_acquire));
-      for (unsigned i = 0; i < t.kw[gi]; ++i) {
-        if (!w.test(t.pos[gi][i])) {
-          span.set_arg("words", gi + 1);
-          record_op(metrics::OpClass::kQueryNegative, gi + 1, bits, timed,
-                    t0);
-          return false;
-        }
-      }
-    }
-    span.set_arg("words", t.num_groups);
-    record_op(metrics::OpClass::kQueryPositive, t.num_groups, bits, timed,
-              t0);
-    return true;
+    engine::WordPlan p;
+    const std::uint64_t bits = derive(key, p);
+    const engine::EagerEval ev = engine::evaluate_eager(store_, p, b1_);
+    span.set_arg("words", ev.words_touched);
+    record_op(ev.positive ? metrics::OpClass::kQueryPositive
+                          : metrics::OpClass::kQueryNegative,
+              ev.words_touched, bits, timed, t0);
+    return ev.positive;
   }
 
   /// Lock-free delete of one prior insert. Returns false (and leaves the
@@ -161,37 +138,73 @@ class AtomicMpcbf {
     MPCBF_TRACE_SPAN(span, kCore, "atomic_mpcbf.erase");
     const bool timed = stats_.should_sample();
     const std::uint64_t t0 = timed ? metrics::now_ns() : 0;
-    Targets t;
-    const std::uint64_t bits = derive(key, t);
+    engine::WordPlan p;
+    const std::uint64_t bits = derive(key, p);
     bool ok = true;
-    for (unsigned gi = 0; gi < t.num_groups; ++gi) {
-      if (!apply_word(t, gi, /*increment=*/false)) {
+    for (unsigned s = 0; s < p.num_words; ++s) {
+      if (!store_.apply_group(p, s, b1_, /*increment=*/false)) {
         ok = false;
         underflow_events_.fetch_add(1, std::memory_order_relaxed);
       }
     }
-    record_op(metrics::OpClass::kDelete, t.num_groups, bits, timed, t0);
+    record_op(metrics::OpClass::kDelete, p.num_words, bits, timed, t0);
     return ok;
   }
 
   /// Multiplicity estimate from a per-word atomic snapshot.
   [[nodiscard]] std::uint32_t count(std::string_view key) const {
-    Targets t;
-    derive(key, t);
+    engine::WordPlan p;
+    derive(key, p);
     unsigned min_c = ~0u;
-    for (unsigned gi = 0; gi < t.num_groups; ++gi) {
+    for (unsigned s = 0; s < p.num_words; ++s) {
       bits::WordBitset<64> w;
-      w.set_limb(0, words_[t.word[gi]].load(std::memory_order_acquire));
-      for (unsigned i = 0; i < t.kw[gi]; ++i) {
-        min_c = std::min(min_c, Hcbf<64>::counter(w, b1_, t.pos[gi][i]));
+      w.set_limb(0, store_.load_acquire(p.word[s]));
+      for (unsigned i = p.offset[s]; i < p.offset[s + 1]; ++i) {
+        min_c = std::min(min_c, Hcbf<64>::counter(w, b1_, p.pos[i]));
         if (min_c == 0) return 0;
       }
     }
     return min_c;
   }
 
+  // --- batch operations --------------------------------------------------
+
+  /// Membership for a batch of keys through the engine's software
+  /// pipeline: a chunk of keys is hashed and its word plans built first,
+  /// every distinct word prefetched, then each key resolved from a
+  /// snapshot — hiding the per-word cache miss behind the next key's
+  /// hashing. `out[i]` receives the verdict for `keys[i]`.
+  ///
+  /// Stats parity with scalar contains(): evaluation stops at the same
+  /// first-miss word and hashing is eager in both, so a batch and a
+  /// scalar pass over the same (quiescent) keys produce identical
+  /// per-class op counts, word touches and accounted bits. Tallies are
+  /// aggregated per call (one atomic trio per op class); sampled chunks
+  /// record their per-key average latency.
+  void contains_batch(std::span<const std::string> keys,
+                      std::span<std::uint8_t> out) const {
+    contains_batch_impl<std::string>(keys, out);
+  }
+  void contains_batch(std::span<const std::string_view> keys,
+                      std::span<std::uint8_t> out) const {
+    contains_batch_impl<std::string_view>(keys, out);
+  }
+
+  /// Batched lock-free inserts through the same pipeline; `ok[i]`
+  /// receives insert(keys[i])'s return value. Each key is applied (and
+  /// accounted) exactly as a scalar insert, so overflow rollback and
+  /// stats match a scalar loop op for op.
+  void insert_batch(std::span<const std::string> keys,
+                    std::span<std::uint8_t> ok) {
+    insert_batch_impl<std::string>(keys, ok);
+  }
+  void insert_batch(std::span<const std::string_view> keys,
+                    std::span<std::uint8_t> ok) {
+    insert_batch_impl<std::string_view>(keys, ok);
+  }
+
   [[nodiscard]] std::size_t num_words() const noexcept {
-    return words_.size();
+    return store_.size();
   }
   [[nodiscard]] unsigned b1() const noexcept { return b1_; }
   [[nodiscard]] unsigned k() const noexcept { return k_; }
@@ -204,7 +217,7 @@ class AtomicMpcbf {
     return underflow_events_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] std::size_t memory_bits() const noexcept {
-    return words_.size() * kWordBits;
+    return store_.size() * kWordBits;
   }
   /// Access-bandwidth / latency accounting (relaxed atomics, safe to read
   /// while other threads operate on the filter).
@@ -215,9 +228,9 @@ class AtomicMpcbf {
 
   /// Structural check (quiescent state only).
   [[nodiscard]] bool validate() const {
-    for (const auto& aw : words_) {
+    for (std::size_t i = 0; i < store_.size(); ++i) {
       bits::WordBitset<64> w;
-      w.set_limb(0, aw.load(std::memory_order_relaxed));
+      w.set_limb(0, store_.load_relaxed(i));
       if (!Hcbf<64>::validate(w, b1_)) return false;
     }
     return true;
@@ -239,10 +252,9 @@ class AtomicMpcbf {
     io::write_pod<std::uint32_t>(payload, n_max_);
     io::write_pod<std::uint64_t>(payload, seed_);
     io::write_pod<std::uint64_t>(payload, overflow_events());
-    io::write_pod<std::uint64_t>(payload, words_.size());
-    for (const auto& w : words_) {
-      io::write_pod<std::uint64_t>(payload,
-                                   w.load(std::memory_order_relaxed));
+    io::write_pod<std::uint64_t>(payload, store_.size());
+    for (std::size_t i = 0; i < store_.size(); ++i) {
+      io::write_pod<std::uint64_t>(payload, store_.load_relaxed(i));
     }
     io::write_frame(os, payload.str());
   }
@@ -274,9 +286,8 @@ class AtomicMpcbf {
     if (f.b1_ != b1) {
       throw std::runtime_error("AtomicMpcbf::load: layout mismatch");
     }
-    for (auto& w : f.words_) {
-      w.store(io::read_pod<std::uint64_t>(payload),
-              std::memory_order_relaxed);
+    for (std::size_t i = 0; i < f.store_.size(); ++i) {
+      f.store_.store_relaxed(i, io::read_pod<std::uint64_t>(payload));
     }
     f.overflow_events_.store(overflows, std::memory_order_relaxed);
     if (!f.validate()) {
@@ -286,12 +297,10 @@ class AtomicMpcbf {
   }
 
  private:
-  struct Targets {
-    std::size_t word[kMaxG];
-    unsigned kw[kMaxG];
-    unsigned pos[kMaxG][kMaxKPerWord];
-    unsigned num_groups = 0;
-  };
+  /// The layout scalars the engine needs; trivially constructed per op.
+  [[nodiscard]] engine::TargetDeriver deriver() const noexcept {
+    return engine::TargetDeriver(store_.size(), k_, g_, b1_);
+  }
 
   /// Records one operation's tallies and, for sampled ops, its latency.
   void record_op(metrics::OpClass c, std::uint64_t words,
@@ -301,64 +310,112 @@ class AtomicMpcbf {
     if (timed) stats_.record_latency(c, metrics::now_ns() - t0);
   }
 
-  /// Derives word/position targets, merging duplicate words so each word
-  /// is CASed exactly once per operation. Returns the accounted hash bits
-  /// consumed (the paper's access-bandwidth unit).
-  std::uint64_t derive(std::string_view key, Targets& t) const {
+  /// Derives the canonical targets and regroups them by distinct word so
+  /// each word is CASed exactly once per operation. Returns the accounted
+  /// hash bits consumed (the paper's access-bandwidth unit).
+  std::uint64_t derive(std::string_view key, engine::WordPlan& p) const {
     hash::HashBitStream stream(key, seed_);
-    for (unsigned gi = 0; gi < g_; ++gi) {
-      const std::size_t w = stream.next_index(words_.size());
-      unsigned slot = t.num_groups;
-      for (unsigned s = 0; s < t.num_groups; ++s) {
-        if (t.word[s] == w) {
-          slot = s;
-          break;
-        }
-      }
-      if (slot == t.num_groups) {
-        t.word[slot] = w;
-        t.kw[slot] = 0;
-        ++t.num_groups;
-      }
-      const unsigned kw = model::hashes_per_word(k_, g_, gi);
-      for (unsigned i = 0; i < kw; ++i) {
-        t.pos[slot][t.kw[slot]++] =
-            static_cast<unsigned>(stream.next_index(b1_));
-      }
-    }
+    engine::Targets t;
+    deriver().derive_all(stream, t);
+    engine::group_by_word(t, p);
     return stream.accounted_bits();
   }
 
-  /// CAS loop applying all of group `gi`'s increments (or decrements) to
-  /// its word. Returns false on overflow/underflow (word unchanged).
-  bool apply_word(const Targets& t, unsigned gi, bool increment) {
-    std::atomic<std::uint64_t>& slot = words_[t.word[gi]];
-    std::uint64_t expected = slot.load(std::memory_order_acquire);
-    for (;;) {
-      bits::WordBitset<64> w;
-      w.set_limb(0, expected);
-      unsigned used = Hcbf<64>::hierarchy_bits(w, b1_);
-      bool ok = true;
-      for (unsigned i = 0; i < t.kw[gi] && ok; ++i) {
-        if (increment) {
-          const HcbfResult r = Hcbf<64>::increment(w, b1_, t.pos[gi][i], used);
-          ok = r.ok;
-          if (ok) ++used;
-        } else {
-          ok = Hcbf<64>::decrement(w, b1_, t.pos[gi][i]).ok;
-        }
-      }
-      if (!ok) return false;
-      if (slot.compare_exchange_weak(expected, w.limb(0),
-                                     std::memory_order_release,
-                                     std::memory_order_acquire)) {
-        return true;
-      }
-      // expected reloaded by compare_exchange; retry on the fresh value.
+  /// The insert body after planning — per-word CAS application with
+  /// all-or-nothing rollback and accounting — shared by scalar insert()
+  /// and the batch pipeline so they cannot diverge.
+  template <class Span>
+  bool insert_planned(const engine::WordPlan& p, std::uint64_t bits,
+                      Span& span, bool timed, std::uint64_t t0) {
+    unsigned done = 0;
+    for (; done < p.num_words; ++done) {
+      if (!store_.apply_group(p, done, b1_, /*increment=*/true)) break;
     }
+    if (done == p.num_words) {
+      span.set_arg("words", p.num_words);
+      record_op(metrics::OpClass::kInsert, p.num_words, bits, timed, t0);
+      return true;
+    }
+    // Roll back the words already updated.
+    for (unsigned u = 0; u < done; ++u) {
+      store_.apply_group(p, u, /*b1=*/b1_, /*increment=*/false);
+    }
+    overflow_events_.fetch_add(1, std::memory_order_relaxed);
+    MPCBF_TRACE_INSTANT(kCore, "atomic_mpcbf.overflow_reject");
+    // A rejected insert still touched every word up to and including the
+    // failing one (plus the rollback writes to the first `done`).
+    record_op(metrics::OpClass::kInsert, 2 * done + 1, bits, timed, t0);
+    return false;
   }
 
-  std::vector<std::atomic<std::uint64_t>> words_;
+  template <class Key>
+  void contains_batch_impl(std::span<const Key> keys,
+                           std::span<std::uint8_t> out) const {
+    if (keys.size() != out.size()) {
+      throw std::invalid_argument("contains_batch: size mismatch");
+    }
+    MPCBF_TRACE_SPAN(span, kCore, "atomic_mpcbf.query_batch");
+    span.set_arg("keys", keys.size());
+    std::array<engine::WordPlan, engine::kBatchChunk> plans;
+    std::array<std::uint64_t, engine::kBatchChunk> bits;
+    engine::BatchStatsAccumulator acc;
+    bool timed = false;
+    std::uint64_t t0 = 0;
+    engine::chunked_pipeline(
+        keys.size(),
+        [&](std::size_t key_i, std::size_t slot) {
+          bits[slot] = derive(keys[key_i], plans[slot]);
+          for (unsigned s = 0; s < plans[slot].num_words; ++s) {
+            store_.prefetch(plans[slot].word[s], /*for_write=*/false);
+          }
+        },
+        [&](std::size_t key_i, std::size_t slot) {
+          const engine::EagerEval ev =
+              engine::evaluate_eager(store_, plans[slot], b1_);
+          out[key_i] = ev.positive ? 1 : 0;
+          acc.add(ev.positive, ev.words_touched, bits[slot]);
+        },
+        [&](std::size_t) {
+          timed = stats_.should_sample();
+          t0 = timed ? metrics::now_ns() : 0;
+        },
+        [&](std::size_t count) {
+          if (timed) {
+            stats_.record_batch_latency((metrics::now_ns() - t0) / count);
+          }
+        });
+    acc.publish(stats_);
+  }
+
+  template <class Key>
+  void insert_batch_impl(std::span<const Key> keys,
+                         std::span<std::uint8_t> ok) {
+    if (keys.size() != ok.size()) {
+      throw std::invalid_argument("insert_batch: size mismatch");
+    }
+    MPCBF_TRACE_SPAN(span, kCore, "atomic_mpcbf.insert_batch");
+    span.set_arg("keys", keys.size());
+    std::array<engine::WordPlan, engine::kBatchChunk> plans;
+    std::array<std::uint64_t, engine::kBatchChunk> bits;
+    engine::chunked_pipeline(
+        keys.size(),
+        [&](std::size_t key_i, std::size_t slot) {
+          bits[slot] = derive(keys[key_i], plans[slot]);
+          for (unsigned s = 0; s < plans[slot].num_words; ++s) {
+            store_.prefetch(plans[slot].word[s], /*for_write=*/true);
+          }
+        },
+        [&](std::size_t key_i, std::size_t slot) {
+          MPCBF_TRACE_SPAN(op, kCore, "atomic_mpcbf.insert");
+          const bool timed = stats_.should_sample();
+          const std::uint64_t t0 = timed ? metrics::now_ns() : 0;
+          ok[key_i] =
+              insert_planned(plans[slot], bits[slot], op, timed, t0) ? 1 : 0;
+        },
+        [](std::size_t) {}, [](std::size_t) {});
+  }
+
+  engine::AtomicWords64 store_;
   unsigned k_;
   unsigned g_;
   unsigned b1_ = 0;

@@ -37,6 +37,7 @@
 #include <fstream>
 #include <functional>
 #include <optional>
+#include <span>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -125,6 +126,22 @@ class DurableMpcbf {
     return filter_.erase(key);
   }
 
+  /// Batched inserts with the WAL invariant intact: every key is
+  /// journaled (group-commit flushes included) before any is applied in
+  /// memory, so an acknowledged batch survives a crash mid-apply. The
+  /// in-memory application then runs the engine's prefetch pipeline.
+  /// `ok[i]` receives insert(keys[i])'s return value.
+  void insert_batch(std::span<const std::string> keys,
+                    std::span<std::uint8_t> ok) {
+    if (keys.size() != ok.size()) {
+      throw std::invalid_argument("insert_batch: size mismatch");
+    }
+    for (const auto& key : keys) {
+      log_op(io::JournalOp::kInsert, key);
+    }
+    filter_.insert_batch(keys, ok);
+  }
+
   // --- queries (journal-free, same cost as the plain filter) ------------
 
   [[nodiscard]] bool contains(std::string_view key) const {
@@ -132,6 +149,11 @@ class DurableMpcbf {
   }
   [[nodiscard]] std::uint32_t count(std::string_view key) const {
     return filter_.count(key);
+  }
+  /// Batched membership through the underlying engine pipeline.
+  void contains_batch(std::span<const std::string> keys,
+                      std::span<std::uint8_t> out) const {
+    filter_.contains_batch(keys, out);
   }
 
   /// Forces buffered journal records to stable storage. After this

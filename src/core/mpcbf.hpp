@@ -37,6 +37,7 @@
 #include "bitvec/word_bitset.hpp"
 #include "common/string_hash.hpp"
 #include "core/hcbf.hpp"
+#include "core/word_engine.hpp"
 #include "hash/hash_stream.hpp"
 #include "io/binary.hpp"
 #include "io/crc32c.hpp"
@@ -65,7 +66,7 @@ struct MpcbfConfig {
   /// Per-word element capacity; 0 = derive from expected_n via PoissInv.
   unsigned n_max = 0;
   OverflowPolicy policy = OverflowPolicy::kReject;
-  std::uint64_t seed = 0x9E3779B97F4A7C15ULL;
+  std::uint64_t seed = hash::kDefaultSeed;
   /// Stop a query at the first unset bit (paper's measured behaviour).
   bool short_circuit = true;
 };
@@ -74,8 +75,8 @@ template <unsigned W = 64>
 class Mpcbf {
  public:
   static constexpr unsigned kWordBits = W;
-  static constexpr unsigned kMaxG = 8;
-  static constexpr unsigned kMaxKPerWord = 32;
+  static constexpr unsigned kMaxG = engine::kMaxG;
+  static constexpr unsigned kMaxKPerWord = engine::kMaxKPerWord;
 
   explicit Mpcbf(const MpcbfConfig& cfg)
       : k_(cfg.k),
@@ -83,15 +84,10 @@ class Mpcbf {
         policy_(cfg.policy),
         seed_(cfg.seed),
         short_circuit_(cfg.short_circuit) {
-    if (cfg.k == 0) throw std::invalid_argument("Mpcbf: k must be >= 1");
-    if (cfg.g == 0 || cfg.g > cfg.k) {
-      throw std::invalid_argument("Mpcbf: need 1 <= g <= k");
-    }
-    if (cfg.g > kMaxG) throw std::invalid_argument("Mpcbf: g too large");
+    engine::validate_shape(cfg.k, cfg.g, "Mpcbf");
     const std::size_t l = cfg.memory_bits / W;
     if (l == 0) throw std::invalid_argument("Mpcbf: memory smaller than one word");
-    words_.resize(l);
-    hier_used_.assign(l, 0);
+    store_.init(l);
 
     n_max_ = cfg.n_max;
     if (n_max_ == 0) {
@@ -109,16 +105,13 @@ class Mpcbf {
           "Mpcbf: n_max*ceil(k/g) leaves no first-level bits in a " +
           std::to_string(W) + "-bit word");
     }
-    if ((k_ + g_ - 1) / g_ > kMaxKPerWord) {
-      throw std::invalid_argument("Mpcbf: too many hashes per word");
-    }
   }
 
   /// Convenience: size the filter for `expected_n` elements at `memory_bits`
   /// total, deriving n_max via the paper's heuristic.
   static Mpcbf with_memory(std::size_t memory_bits, unsigned k, unsigned g,
                            std::size_t expected_n,
-                           std::uint64_t seed = 0x9E3779B97F4A7C15ULL) {
+                           std::uint64_t seed = hash::kDefaultSeed) {
     MpcbfConfig cfg;
     cfg.memory_bits = memory_bits;
     cfg.k = k;
@@ -134,52 +127,11 @@ class Mpcbf {
     MPCBF_TRACE_SPAN(span, kCore, "mpcbf.insert");
     const bool timed = stats_.should_sample();
     const std::uint64_t t0 = timed ? metrics::now_ns() : 0;
-    Targets t;
+    engine::Targets t;
     hash::HashBitStream stream(key, seed_);
-    derive_all(stream, t);
+    deriver().derive_all(stream, t);
     span.set_arg("words", t.distinct_words);
-
-    if (!capacity_ok(t)) {
-      ++overflow_events_;
-      switch (policy_) {
-        case OverflowPolicy::kThrow:
-          throw std::overflow_error("Mpcbf: word overflow on insert");
-        case OverflowPolicy::kReject:
-          MPCBF_TRACE_INSTANT(kCore, "mpcbf.overflow_reject");
-          record_op(metrics::OpClass::kInsert, t.distinct_words,
-                    stream.accounted_bits(), timed, t0);
-          return false;
-        case OverflowPolicy::kStash:
-          MPCBF_TRACE_INSTANT(kCore, "mpcbf.stash_divert", "stash_size",
-                              stash_.size() + 1);
-          ++stash_[std::string(key)];
-          ++size_;
-          record_op(metrics::OpClass::kInsert, t.distinct_words,
-                    stream.accounted_bits(), timed, t0);
-          return true;
-      }
-    }
-
-    std::uint64_t extra_bits = 0;
-    {
-      // The hierarchical counter walk — the paper's "bits spent only on
-      // non-zero counters" machinery; depth is the hierarchy bits the
-      // walk claimed across all target words.
-      MPCBF_TRACE_SPAN(walk, kCore, "mpcbf.level_walk");
-      for (unsigned i = 0; i < t.total_positions; ++i) {
-        const std::size_t w = t.word_of[i];
-        const HcbfResult r =
-            Hcbf<W>::increment(words_[w], b1_, t.pos[i], hier_used_[w]);
-        assert(r.ok);
-        ++hier_used_[w];
-        extra_bits += r.extra_bits;
-      }
-      walk.set_arg("depth", extra_bits);
-    }
-    ++size_;
-    record_op(metrics::OpClass::kInsert, t.distinct_words,
-              stream.accounted_bits() + extra_bits, timed, t0);
-    return true;
+    return insert_derived(key, t, stream.accounted_bits(), timed, t0);
   }
 
   /// Membership query. False positives possible; false negatives are not
@@ -190,30 +142,23 @@ class Mpcbf {
     const std::uint64_t t0 = timed ? metrics::now_ns() : 0;
     hash::HashBitStream stream(key, seed_);
     bool positive = true;
-    std::size_t words_touched = 0;
-    std::array<std::size_t, kMaxG> seen{};
+    engine::SeenWords seen;
     for (unsigned t = 0; t < g_; ++t) {
       if (!positive && short_circuit_) break;
-      const std::size_t w = stream.next_index(words_.size());
+      const std::size_t w = stream.next_index(store_.size());
       MPCBF_TRACE_SPAN(fetch, kCore, "mpcbf.word_fetch");
       fetch.set_arg("word", w);
-      bool new_word = true;
-      for (std::size_t s = 0; s < words_touched; ++s) {
-        if (seen[s] == w) {
-          new_word = false;
-          break;
-        }
-      }
-      if (new_word) seen[words_touched++] = w;
+      seen.add(w);
       const unsigned kw = model::hashes_per_word(k_, g_, t);
       for (unsigned i = 0; i < kw; ++i) {
         const auto pos = static_cast<unsigned>(stream.next_index(b1_));
-        if (!words_[w].test(pos)) {
+        if (!store_.test(w, pos)) {
           positive = false;
           if (short_circuit_) break;
         }
       }
     }
+    const std::size_t words_touched = seen.count;
     if (!positive && !stash_.empty()) {
       MPCBF_TRACE_SPAN(probe, kCore, "mpcbf.stash_probe");
       auto it = stash_.find(key);
@@ -244,49 +189,34 @@ class Mpcbf {
         return true;
       }
     }
-    Targets t;
+    engine::Targets t;
     hash::HashBitStream stream(key, seed_);
-    derive_all(stream, t);
+    deriver().derive_all(stream, t);
 
-    bool ok = true;
-    std::uint64_t extra_bits = 0;
+    typename engine::LevelWalk<W>::DecrementResult walk_result;
     {
       MPCBF_TRACE_SPAN(walk, kCore, "mpcbf.level_walk");
-      for (unsigned i = 0; i < t.total_positions; ++i) {
-        const std::size_t w = t.word_of[i];
-        const HcbfResult r = Hcbf<W>::decrement(words_[w], b1_, t.pos[i]);
-        if (r.ok) {
-          --hier_used_[w];
-          extra_bits += r.extra_bits;
-        } else {
-          ok = false;
-          ++underflow_events_;
-        }
-      }
-      walk.set_arg("depth", extra_bits);
+      walk_result = engine::LevelWalk<W>::decrement_all(store_, b1_, t);
+      walk.set_arg("depth", walk_result.extra_bits);
     }
+    underflow_events_ += walk_result.underflows;
     // A fully/partially underflowed erase removed nothing that was ever
     // counted: size_ only tracks successful operations, so a
     // contract-violating delete must not drift it low.
-    if (ok && size_ > 0) --size_;
+    if (walk_result.ok && size_ > 0) --size_;
     record_op(metrics::OpClass::kDelete, t.distinct_words,
-              stream.accounted_bits() + extra_bits, timed, t0);
-    return ok;
+              stream.accounted_bits() + walk_result.extra_bits, timed, t0);
+    return walk_result.ok;
   }
 
   /// Multiplicity estimate: the minimum of the key's counters (plus any
   /// stashed copies). Like CBF count estimates, never an undercount for
   /// correctly inserted keys.
   [[nodiscard]] std::uint32_t count(std::string_view key) const {
-    Targets t;
+    engine::Targets t;
     hash::HashBitStream stream(key, seed_);
-    derive_all(stream, t);
-    unsigned min_c = ~0u;
-    for (unsigned i = 0; i < t.total_positions; ++i) {
-      min_c = std::min(min_c,
-                       Hcbf<W>::counter(words_[t.word_of[i]], b1_, t.pos[i]));
-      if (min_c == 0) break;
-    }
+    deriver().derive_all(stream, t);
+    const unsigned min_c = engine::LevelWalk<W>::min_counter(store_, b1_, t);
     std::uint32_t stashed = 0;
     if (!stash_.empty()) {
       auto it = stash_.find(key);
@@ -296,8 +226,7 @@ class Mpcbf {
   }
 
   void clear() {
-    for (auto& w : words_) w.reset();
-    std::fill(hier_used_.begin(), hier_used_.end(), std::uint16_t{0});
+    store_.reset();
     stash_.clear();
     size_ = 0;
     overflow_events_ = 0;
@@ -308,7 +237,7 @@ class Mpcbf {
 
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
   [[nodiscard]] std::size_t num_words() const noexcept {
-    return words_.size();
+    return store_.size();
   }
   [[nodiscard]] unsigned b1() const noexcept { return b1_; }
   [[nodiscard]] unsigned k() const noexcept { return k_; }
@@ -316,7 +245,7 @@ class Mpcbf {
   [[nodiscard]] unsigned n_max() const noexcept { return n_max_; }
   [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
   [[nodiscard]] std::size_t memory_bits() const noexcept {
-    return words_.size() * W;
+    return store_.size() * W;
   }
   [[nodiscard]] std::uint64_t overflow_events() const noexcept {
     return overflow_events_;
@@ -336,13 +265,13 @@ class Mpcbf {
   /// per-word cap is k/g * n_max.
   [[nodiscard]] std::uint64_t total_hierarchy_bits() const noexcept {
     std::uint64_t t = 0;
-    for (auto u : hier_used_) t += u;
+    for (auto u : store_.usage()) t += u;
     return t;
   }
 
   [[nodiscard]] unsigned max_word_hierarchy_bits() const noexcept {
     unsigned m = 0;
-    for (auto u : hier_used_) m = std::max<unsigned>(m, u);
+    for (auto u : store_.usage()) m = std::max<unsigned>(m, u);
     return m;
   }
 
@@ -360,13 +289,13 @@ class Mpcbf {
   [[nodiscard]] FillReport fill_report() const {
     FillReport report;
     report.hierarchy_histogram.assign(W - b1_ + 1, 0);
-    for (const auto u : hier_used_) {
+    for (const auto u : store_.usage()) {
       ++report.hierarchy_histogram[u];
     }
-    report.total_positions = words_.size() * b1_;
-    for (std::size_t w = 0; w < words_.size(); ++w) {
+    report.total_positions = store_.size() * b1_;
+    for (std::size_t w = 0; w < store_.size(); ++w) {
       for (unsigned pos = 0; pos < b1_; ++pos) {
-        const unsigned c = Hcbf<W>::counter(words_[w], b1_, pos);
+        const unsigned c = store_.counter(w, b1_, pos);
         if (c >= report.counter_histogram.size()) {
           report.counter_histogram.resize(c + 1, 0);
         }
@@ -382,9 +311,10 @@ class Mpcbf {
   /// Structural self-check for tests: every word satisfies the HCBF
   /// invariants and its cached usage matches the derived value.
   [[nodiscard]] bool validate() const {
-    for (std::size_t w = 0; w < words_.size(); ++w) {
-      if (!Hcbf<W>::validate(words_[w], b1_)) return false;
-      if (Hcbf<W>::hierarchy_bits(words_[w], b1_) != hier_used_[w]) {
+    for (std::size_t w = 0; w < store_.size(); ++w) {
+      if (!Hcbf<W>::validate(store_.words()[w], b1_)) return false;
+      if (Hcbf<W>::hierarchy_bits(store_.words()[w], b1_) !=
+          store_.usage()[w]) {
         return false;
       }
     }
@@ -392,7 +322,7 @@ class Mpcbf {
   }
 
   [[nodiscard]] const bits::WordBitset<W>& word(std::size_t i) const {
-    return words_.at(i);
+    return store_.words().at(i);
   }
 
   // --- batch queries ------------------------------------------------------
@@ -415,51 +345,25 @@ class Mpcbf {
   /// the hot path and blow the <5% overhead budget.
   void contains_batch(std::span<const std::string> keys,
                       std::span<std::uint8_t> out) const {
-    if (keys.size() != out.size()) {
-      throw std::invalid_argument("contains_batch: size mismatch");
-    }
-    MPCBF_TRACE_SPAN(span, kCore, "mpcbf.query_batch");
-    span.set_arg("keys", keys.size());
-    constexpr std::size_t kChunk = 32;
-    std::array<Targets, kChunk> targets;
-    // Call-local tallies, indexed by OpClass value (negative=0,
-    // positive=1); published as one atomic trio per op class at the end.
-    std::array<std::uint64_t, 2> agg_ops{};
-    std::array<std::uint64_t, 2> agg_words{};
-    std::array<std::uint64_t, 2> agg_bits{};
-    for (std::size_t base = 0; base < keys.size(); base += kChunk) {
-      const std::size_t count = std::min(kChunk, keys.size() - base);
-      const bool timed = stats_.should_sample();
-      const std::uint64_t t0 = timed ? metrics::now_ns() : 0;
-      for (std::size_t i = 0; i < count; ++i) {
-        targets[i].total_positions = 0;
-        hash::HashBitStream stream(keys[base + i], seed_);
-        derive_all(stream, targets[i]);
-        for (unsigned p = 0; p < targets[i].total_positions; ++p) {
-          __builtin_prefetch(&words_[targets[i].word_of[p]], 0, 1);
-        }
-      }
-      for (std::size_t i = 0; i < count; ++i) {
-        const BatchEval ev = evaluate_targets(targets[i]);
-        bool positive = ev.positive;
-        if (!positive && !stash_.empty()) {
-          auto it = stash_.find(std::string_view(keys[base + i]));
-          positive = it != stash_.end() && it->second > 0;
-        }
-        out[base + i] = positive ? 1 : 0;
-        const unsigned cls = positive ? 1u : 0u;
-        ++agg_ops[cls];
-        agg_words[cls] += ev.words_touched;
-        agg_bits[cls] += ev.hash_bits;
-      }
-      if (timed) {
-        stats_.record_batch_latency((metrics::now_ns() - t0) / count);
-      }
-    }
-    stats_.record_n(metrics::OpClass::kQueryNegative, agg_ops[0],
-                    agg_words[0], agg_bits[0]);
-    stats_.record_n(metrics::OpClass::kQueryPositive, agg_ops[1],
-                    agg_words[1], agg_bits[1]);
+    contains_batch_impl<std::string>(keys, out);
+  }
+  void contains_batch(std::span<const std::string_view> keys,
+                      std::span<std::uint8_t> out) const {
+    contains_batch_impl<std::string_view>(keys, out);
+  }
+
+  /// Inserts a batch of keys through the same derive → prefetch → resolve
+  /// pipeline; `ok[i]` receives insert(keys[i])'s return value. Stats and
+  /// overflow behaviour match a scalar insert loop op for op (each key
+  /// records its own kInsert tallies and sampled latency), so batch and
+  /// scalar loads remain comparable in every report.
+  void insert_batch(std::span<const std::string> keys,
+                    std::span<std::uint8_t> ok) {
+    insert_batch_impl<std::string>(keys, ok);
+  }
+  void insert_batch(std::span<const std::string_view> keys,
+                    std::span<std::uint8_t> ok) {
+    insert_batch_impl<std::string_view>(keys, ok);
   }
 
   // --- merge ---------------------------------------------------------------
@@ -469,7 +373,7 @@ class Mpcbf {
   [[nodiscard]] bool compatible(const Mpcbf& other) const noexcept {
     return k_ == other.k_ && g_ == other.g_ && b1_ == other.b1_ &&
            n_max_ == other.n_max_ && seed_ == other.seed_ &&
-           words_.size() == other.words_.size();
+           store_.size() == other.store_.size();
   }
 
   /// Folds `other`'s contents into this filter (counter-wise addition —
@@ -479,23 +383,21 @@ class Mpcbf {
   /// would overflow.
   bool merge(const Mpcbf& other) {
     if (!compatible(other)) return false;
-    for (std::size_t w = 0; w < words_.size(); ++w) {
-      if (hier_used_[w] + other.hier_used_[w] >
+    for (std::size_t w = 0; w < store_.size(); ++w) {
+      if (store_.usage()[w] + other.store_.usage()[w] >
           static_cast<unsigned>(W - b1_)) {
         ++overflow_events_;
         return false;
       }
     }
-    for (std::size_t w = 0; w < words_.size(); ++w) {
-      if (other.hier_used_[w] == 0) continue;
+    for (std::size_t w = 0; w < store_.size(); ++w) {
+      if (other.store_.usage()[w] == 0) continue;
       for (unsigned pos = 0; pos < b1_; ++pos) {
-        const unsigned c = Hcbf<W>::counter(other.words_[w], b1_, pos);
+        const unsigned c = other.store_.counter(w, b1_, pos);
         for (unsigned i = 0; i < c; ++i) {
-          const HcbfResult r =
-              Hcbf<W>::increment(words_[w], b1_, pos, hier_used_[w]);
+          const HcbfResult r = store_.increment(w, b1_, pos);
           assert(r.ok);
           (void)r;
-          ++hier_used_[w];
         }
       }
     }
@@ -558,8 +460,8 @@ class Mpcbf {
     io::write_pod<std::uint64_t>(os, size_);
     io::write_pod<std::uint64_t>(os, overflow_events_);
     io::write_pod<std::uint64_t>(os, underflow_events_);
-    io::write_pod_vector(os, words_);
-    io::write_pod_vector(os, hier_used_);
+    io::write_pod_vector(os, store_.words());
+    io::write_pod_vector(os, store_.usage());
     io::write_pod<std::uint64_t>(os, stash_.size());
     for (const auto& [key, count] : stash_) {
       io::write_string(os, key);
@@ -619,8 +521,8 @@ class Mpcbf {
     if (f.b1_ != b1) {
       throw std::runtime_error("Mpcbf::load: layout mismatch");
     }
-    f.words_ = std::move(words);
-    f.hier_used_ = std::move(hier);
+    f.store_.words() = std::move(words);
+    f.store_.usage() = std::move(hier);
     f.size_ = size;
     f.overflow_events_ = overflows;
     f.underflow_events_ = underflows;
@@ -663,43 +565,9 @@ class Mpcbf {
     return f;
   }
 
-  struct Targets {
-    std::array<std::size_t, kMaxG * kMaxKPerWord> word_of;
-    std::array<unsigned, kMaxG * kMaxKPerWord> pos;
-    // Word index per group, including groups with zero positions (uneven
-    // k/g splits): those words have no word_of entry yet still cost a
-    // memory touch, which batch accounting must replicate.
-    std::array<std::size_t, kMaxG> group_word;
-    unsigned total_positions = 0;
-    std::size_t distinct_words = 0;
-  };
-
-  /// Derives all g word indices and k positions in the canonical order
-  /// (word t, then its positions — the order queries consume, so inserts,
-  /// deletes and queries agree on every hash bit).
-  void derive_all(hash::HashBitStream& stream, Targets& t) const {
-    std::array<std::size_t, kMaxG> seen{};
-    std::size_t distinct = 0;
-    for (unsigned wi = 0; wi < g_; ++wi) {
-      const std::size_t w = stream.next_index(words_.size());
-      t.group_word[wi] = w;
-      bool new_word = true;
-      for (std::size_t s = 0; s < distinct; ++s) {
-        if (seen[s] == w) {
-          new_word = false;
-          break;
-        }
-      }
-      if (new_word) seen[distinct++] = w;
-      const unsigned kw = model::hashes_per_word(k_, g_, wi);
-      for (unsigned i = 0; i < kw; ++i) {
-        t.word_of[t.total_positions] = w;
-        t.pos[t.total_positions] =
-            static_cast<unsigned>(stream.next_index(b1_));
-        ++t.total_positions;
-      }
-    }
-    t.distinct_words = distinct;
+  /// The layout scalars the engine needs; trivially constructed per op.
+  [[nodiscard]] engine::TargetDeriver deriver() const noexcept {
+    return engine::TargetDeriver(store_.size(), k_, g_, b1_);
   }
 
   /// Records one operation's tallies and, for sampled ops, its latency.
@@ -711,78 +579,133 @@ class Mpcbf {
     if (timed) stats_.record_latency(c, metrics::now_ns() - t0);
   }
 
-  struct BatchEval {
-    bool positive;
-    std::size_t words_touched;
-    std::uint64_t hash_bits;
-  };
+  /// The insert body after derivation — capacity check, overflow policy,
+  /// level walk, accounting — shared verbatim by scalar insert() and the
+  /// batch pipeline so they cannot diverge.
+  bool insert_derived(std::string_view key, const engine::Targets& t,
+                      std::uint64_t derive_bits, bool timed,
+                      std::uint64_t t0) {
+    if (!engine::capacity_ok(t, store_.hier_used_span(), W - b1_)) {
+      ++overflow_events_;
+      switch (policy_) {
+        case OverflowPolicy::kThrow:
+          throw std::overflow_error("Mpcbf: word overflow on insert");
+        case OverflowPolicy::kReject:
+          MPCBF_TRACE_INSTANT(kCore, "mpcbf.overflow_reject");
+          record_op(metrics::OpClass::kInsert, t.distinct_words, derive_bits,
+                    timed, t0);
+          return false;
+        case OverflowPolicy::kStash:
+          MPCBF_TRACE_INSTANT(kCore, "mpcbf.stash_divert", "stash_size",
+                              stash_.size() + 1);
+          ++stash_[std::string(key)];
+          ++size_;
+          record_op(metrics::OpClass::kInsert, t.distinct_words, derive_bits,
+                    timed, t0);
+          return true;
+      }
+    }
 
-  /// Evaluates pre-derived targets with exactly the scalar contains()
-  /// visit order and accounting: hash bits are charged per word index
-  /// (ceil_log2(l)) and per consumed position (ceil_log2(b1)), stopping
-  /// at the same point scalar short-circuiting stops the lazy stream,
-  /// and words_touched deduplicates colliding groups identically. This
-  /// is what makes batch and scalar stats bit-for-bit comparable.
-  [[nodiscard]] BatchEval evaluate_targets(const Targets& t) const {
-    const unsigned log2_l = hash::ceil_log2(words_.size());
-    const unsigned log2_b1 = hash::ceil_log2(b1_);
-    BatchEval ev{true, 0, 0};
-    std::array<std::size_t, kMaxG> seen{};
-    unsigned idx = 0;
-    for (unsigned wi = 0; wi < g_; ++wi) {
-      const unsigned kw = model::hashes_per_word(k_, g_, wi);
-      if (!ev.positive && short_circuit_) break;
-      const std::size_t w = t.group_word[wi];
-      ev.hash_bits += log2_l;
-      bool new_word = true;
-      for (std::size_t s = 0; s < ev.words_touched; ++s) {
-        if (seen[s] == w) {
-          new_word = false;
-          break;
-        }
-      }
-      if (new_word) seen[ev.words_touched++] = w;
-      for (unsigned i = 0; i < kw; ++i) {
-        ev.hash_bits += log2_b1;
-        if (!words_[w].test(t.pos[idx + i])) {
-          ev.positive = false;
-          if (short_circuit_) break;
-        }
-      }
-      idx += kw;
+    std::uint64_t extra_bits = 0;
+    {
+      // The hierarchical counter walk — the paper's "bits spent only on
+      // non-zero counters" machinery; depth is the hierarchy bits the
+      // walk claimed across all target words.
+      MPCBF_TRACE_SPAN(walk, kCore, "mpcbf.level_walk");
+      extra_bits = engine::LevelWalk<W>::increment_all(store_, b1_, t);
+      walk.set_arg("depth", extra_bits);
     }
-    return ev;
-  }
-
-  /// All-or-nothing capacity check: aggregates the increments each distinct
-  /// word would receive (g hash words can collide) before mutating.
-  [[nodiscard]] bool capacity_ok(const Targets& t) const noexcept {
-    std::array<std::size_t, kMaxG> word{};
-    std::array<unsigned, kMaxG> needed{};
-    std::size_t n_distinct = 0;
-    for (unsigned i = 0; i < t.total_positions; ++i) {
-      bool found = false;
-      for (std::size_t s = 0; s < n_distinct; ++s) {
-        if (word[s] == t.word_of[i]) {
-          ++needed[s];
-          found = true;
-          break;
-        }
-      }
-      if (!found) {
-        word[n_distinct] = t.word_of[i];
-        needed[n_distinct] = 1;
-        ++n_distinct;
-      }
-    }
-    for (std::size_t s = 0; s < n_distinct; ++s) {
-      if (hier_used_[word[s]] + needed[s] > W - b1_) return false;
-    }
+    ++size_;
+    record_op(metrics::OpClass::kInsert, t.distinct_words,
+              derive_bits + extra_bits, timed, t0);
     return true;
   }
 
-  std::vector<bits::WordBitset<W>> words_;
-  std::vector<std::uint16_t> hier_used_;  // derivable cache; see validate()
+  template <class Key>
+  void contains_batch_impl(std::span<const Key> keys,
+                           std::span<std::uint8_t> out) const {
+    if (keys.size() != out.size()) {
+      throw std::invalid_argument("contains_batch: size mismatch");
+    }
+    MPCBF_TRACE_SPAN(span, kCore, "mpcbf.query_batch");
+    span.set_arg("keys", keys.size());
+    const engine::TargetDeriver der = deriver();
+    std::array<engine::Targets, engine::kBatchChunk> targets;
+    engine::BatchStatsAccumulator acc;
+    bool timed = false;
+    std::uint64_t t0 = 0;
+    engine::chunked_pipeline(
+        keys.size(),
+        [&](std::size_t key_i, std::size_t slot) {
+          targets[slot].total_positions = 0;
+          hash::HashBitStream stream(keys[key_i], seed_);
+          der.derive_all(stream, targets[slot]);
+          for (unsigned p = 0; p < targets[slot].total_positions; ++p) {
+            store_.prefetch(targets[slot].word_of[p], /*for_write=*/false);
+          }
+        },
+        [&](std::size_t key_i, std::size_t slot) {
+          const engine::BatchEval ev = engine::evaluate_lazy(
+              targets[slot], store_.size(), k_, g_, b1_, short_circuit_,
+              [this](std::size_t w, unsigned pos) {
+                return store_.test(w, pos);
+              });
+          bool positive = ev.positive;
+          if (!positive && !stash_.empty()) {
+            auto it = stash_.find(std::string_view(keys[key_i]));
+            positive = it != stash_.end() && it->second > 0;
+          }
+          out[key_i] = positive ? 1 : 0;
+          acc.add(positive, ev.words_touched, ev.hash_bits);
+        },
+        [&](std::size_t) {
+          timed = stats_.should_sample();
+          t0 = timed ? metrics::now_ns() : 0;
+        },
+        [&](std::size_t count) {
+          if (timed) {
+            stats_.record_batch_latency((metrics::now_ns() - t0) / count);
+          }
+        });
+    acc.publish(stats_);
+  }
+
+  template <class Key>
+  void insert_batch_impl(std::span<const Key> keys,
+                         std::span<std::uint8_t> ok) {
+    if (keys.size() != ok.size()) {
+      throw std::invalid_argument("insert_batch: size mismatch");
+    }
+    MPCBF_TRACE_SPAN(span, kCore, "mpcbf.insert_batch");
+    span.set_arg("keys", keys.size());
+    const engine::TargetDeriver der = deriver();
+    std::array<engine::Targets, engine::kBatchChunk> targets;
+    std::array<std::uint64_t, engine::kBatchChunk> derive_bits;
+    engine::chunked_pipeline(
+        keys.size(),
+        [&](std::size_t key_i, std::size_t slot) {
+          targets[slot].total_positions = 0;
+          hash::HashBitStream stream(keys[key_i], seed_);
+          der.derive_all(stream, targets[slot]);
+          derive_bits[slot] = stream.accounted_bits();
+          for (unsigned p = 0; p < targets[slot].total_positions; ++p) {
+            store_.prefetch(targets[slot].word_of[p], /*for_write=*/true);
+          }
+        },
+        [&](std::size_t key_i, std::size_t slot) {
+          // Per-key accounting exactly as scalar insert(): each op records
+          // its own kInsert tallies and sampled latency.
+          const bool timed = stats_.should_sample();
+          const std::uint64_t t0 = timed ? metrics::now_ns() : 0;
+          ok[key_i] = insert_derived(keys[key_i], targets[slot],
+                                     derive_bits[slot], timed, t0)
+                          ? 1
+                          : 0;
+        },
+        [](std::size_t) {}, [](std::size_t) {});
+  }
+
+  engine::PlainWords<W> store_;
   unsigned k_;
   unsigned g_;
   unsigned b1_ = 0;

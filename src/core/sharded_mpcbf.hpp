@@ -17,8 +17,10 @@
 #include <memory>
 #include <mutex>
 #include <ostream>
+#include <span>
 #include <sstream>
 #include <stdexcept>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -77,6 +79,35 @@ class ShardedMpcbf {
     const Shard& s = shard_of(key);
     std::lock_guard<std::mutex> lock(s.mutex);
     return s.filter.count(key);
+  }
+
+  // --- batch operations --------------------------------------------------
+
+  /// Batched membership: keys are first grouped by shard, then each shard
+  /// is locked once and queried through the Mpcbf engine pipeline
+  /// (derive → prefetch → resolve), and the verdicts scattered back to
+  /// the caller's order. One lock acquisition per touched shard instead
+  /// of one per key, and the per-shard pipeline keeps its prefetch
+  /// locality. `out[i]` receives the verdict for `keys[i]`.
+  void contains_batch(std::span<const std::string> keys,
+                      std::span<std::uint8_t> out) const {
+    contains_batch_impl<std::string>(keys, out);
+  }
+  void contains_batch(std::span<const std::string_view> keys,
+                      std::span<std::uint8_t> out) const {
+    contains_batch_impl<std::string_view>(keys, out);
+  }
+
+  /// Batched inserts with the same group-by-shard pass; `ok[i]` receives
+  /// insert(keys[i])'s return value. Within a shard, keys are applied in
+  /// caller order, so overflow outcomes match a scalar loop exactly.
+  void insert_batch(std::span<const std::string> keys,
+                    std::span<std::uint8_t> ok) {
+    insert_batch_impl<std::string>(keys, ok);
+  }
+  void insert_batch(std::span<const std::string_view> keys,
+                    std::span<std::uint8_t> ok) {
+    insert_batch_impl<std::string_view>(keys, ok);
   }
 
   void clear() {
@@ -238,6 +269,76 @@ class ShardedMpcbf {
 
   [[nodiscard]] Shard& shard_of(std::string_view key) const {
     return *shards_[shard_index(key)];
+  }
+
+  /// Group-by-shard pass shared by the batch operations: buckets each
+  /// key's view and original index per shard. Views into the caller's
+  /// keys, so no key bytes are copied.
+  template <class Key>
+  void group_by_shard(std::span<const Key> keys,
+                      std::vector<std::vector<std::string_view>>& shard_keys,
+                      std::vector<std::vector<std::size_t>>& shard_idx) const {
+    shard_keys.assign(shards_.size(), {});
+    shard_idx.assign(shards_.size(), {});
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      const std::size_t s = shard_index(keys[i]);
+      shard_keys[s].emplace_back(keys[i]);
+      shard_idx[s].push_back(i);
+    }
+  }
+
+  template <class Key>
+  void contains_batch_impl(std::span<const Key> keys,
+                           std::span<std::uint8_t> out) const {
+    if (keys.size() != out.size()) {
+      throw std::invalid_argument("contains_batch: size mismatch");
+    }
+    MPCBF_TRACE_SPAN(span, kShard, "shard.query_batch");
+    span.set_arg("keys", keys.size());
+    std::vector<std::vector<std::string_view>> shard_keys;
+    std::vector<std::vector<std::size_t>> shard_idx;
+    group_by_shard(keys, shard_keys, shard_idx);
+    std::vector<std::uint8_t> verdicts;
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      if (shard_keys[s].empty()) continue;
+      verdicts.resize(shard_keys[s].size());
+      {
+        std::lock_guard<std::mutex> lock(shards_[s]->mutex);
+        shards_[s]->filter.contains_batch(
+            std::span<const std::string_view>(shard_keys[s]),
+            std::span<std::uint8_t>(verdicts));
+      }
+      for (std::size_t j = 0; j < shard_idx[s].size(); ++j) {
+        out[shard_idx[s][j]] = verdicts[j];
+      }
+    }
+  }
+
+  template <class Key>
+  void insert_batch_impl(std::span<const Key> keys,
+                         std::span<std::uint8_t> ok) {
+    if (keys.size() != ok.size()) {
+      throw std::invalid_argument("insert_batch: size mismatch");
+    }
+    MPCBF_TRACE_SPAN(span, kShard, "shard.insert_batch");
+    span.set_arg("keys", keys.size());
+    std::vector<std::vector<std::string_view>> shard_keys;
+    std::vector<std::vector<std::size_t>> shard_idx;
+    group_by_shard(keys, shard_keys, shard_idx);
+    std::vector<std::uint8_t> results;
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      if (shard_keys[s].empty()) continue;
+      results.resize(shard_keys[s].size());
+      {
+        std::lock_guard<std::mutex> lock(shards_[s]->mutex);
+        shards_[s]->filter.insert_batch(
+            std::span<const std::string_view>(shard_keys[s]),
+            std::span<std::uint8_t>(results));
+      }
+      for (std::size_t j = 0; j < shard_idx[s].size(); ++j) {
+        ok[shard_idx[s][j]] = results[j];
+      }
+    }
   }
 
   std::vector<std::unique_ptr<Shard>> shards_;

@@ -1,0 +1,540 @@
+// Word engine — the shared kernel every MPCBF variant is built from.
+//
+// The paper's contribution is one small machine: hash bits are turned into
+// g word targets with ⌈k/g⌉ level-1 positions each (Sec. III-C), and each
+// word runs the hierarchical counter walk of core/hcbf.hpp. Before this
+// header existed that kernel was hand-copied into Mpcbf, AtomicMpcbf and
+// (indirectly) ShardedMpcbf/DurableMpcbf, each copy drifting on limits and
+// missing the batched prefetch pipeline. This header is the single source:
+//
+//   * TargetDeriver — HashBitStream -> Targets (words + positions) in the
+//     one canonical derivation order every operation must agree on, with
+//     the paper's consumed-bit accounting riding along in the stream.
+//   * WordPlan / group_by_word — the same targets regrouped by *distinct*
+//     word, the layout single-CAS-per-word storage needs.
+//   * LevelWalk<W> — the hierarchical increment/decrement/min-counter
+//     walk applied across a target set, storage-policy agnostic.
+//   * PlainWords<W> / AtomicWords64 — the two storage policies: a plain
+//     word vector with a cached hierarchy-usage sidecar (external
+//     synchronization), and a seq-consistent CAS-loop word vector that
+//     re-derives capacity from the word value (lock-free, W == 64).
+//   * evaluate_lazy / evaluate_eager — membership evaluation over
+//     pre-derived targets replaying each scalar query's exact visit order
+//     and accounting, which is what makes batch and scalar stats
+//     bit-for-bit comparable (tests/test_stats_parity.cpp).
+//   * chunked_pipeline + BatchStatsAccumulator — the software-pipelined
+//     batch skeleton (derive a chunk -> prefetch its words -> resolve)
+//     and the one-publish-per-class stats plumbing shared by every
+//     contains_batch/insert_batch.
+//
+// Stats/trace stay pluggable: the engine records through the caller's
+// AccessStats and the MPCBF_TRACE_* macros at the filter layer, so the
+// MPCBF_DISABLE_ACCESS_STATS / MPCBF_DISABLE_TRACING twins compile the
+// instrumentation out exactly as before.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bitvec/word_bitset.hpp"
+#include "core/hcbf.hpp"
+#include "hash/hash_stream.hpp"
+#include "metrics/access_stats.hpp"
+#include "model/fpr_model.hpp"
+
+namespace mpcbf::core::engine {
+
+// Hot-path force-inline: the engine decomposes what used to be one big
+// member function per operation into small policy pieces; without the
+// hint GCC keeps some of them (notably derive_all) out of line at -O2,
+// costing ~15% on scalar insert/erase.
+#if defined(__GNUC__) || defined(__clang__)
+#define MPCBF_ENGINE_INLINE __attribute__((always_inline)) inline
+#else
+#define MPCBF_ENGINE_INLINE inline
+#endif
+
+/// Hard limits shared by every variant. g is bounded by the fixed-size
+/// target arrays; ⌈k/g⌉ by the per-word position arrays. One word can
+/// receive up to k = kMaxG * kMaxKPerWord positions when all g hashes
+/// collide, which is what sizes the flat arrays below.
+inline constexpr unsigned kMaxG = 8;
+inline constexpr unsigned kMaxKPerWord = 32;
+inline constexpr unsigned kMaxPositions = kMaxG * kMaxKPerWord;
+
+/// Shared constructor validation: every variant accepts and rejects the
+/// same (k, g) shapes. `name` prefixes the exception message.
+[[noreturn]] inline void throw_shape_error(const char* name,
+                                           const char* what) {
+  std::string msg(name);
+  msg.append(": ").append(what);
+  throw std::invalid_argument(msg);
+}
+
+inline void validate_shape(unsigned k, unsigned g, const char* name) {
+  if (k == 0) throw_shape_error(name, "k must be >= 1");
+  if (g == 0 || g > k) throw_shape_error(name, "need 1 <= g <= k");
+  if (g > kMaxG) throw_shape_error(name, "g too large");
+  if ((k + g - 1) / g > kMaxKPerWord) {
+    throw_shape_error(name, "too many hashes per word");
+  }
+}
+
+/// Fixed-capacity set of the distinct words an operation touches — the
+/// paper's "memory accesses" unit (duplicate hash words cost one access).
+struct SeenWords {
+  std::array<std::size_t, kMaxG> ids;
+  std::size_t count = 0;
+
+  /// Returns true iff `w` was not already present.
+  bool add(std::size_t w) noexcept {
+    for (std::size_t s = 0; s < count; ++s) {
+      if (ids[s] == w) return false;
+    }
+    ids[count++] = w;
+    return true;
+  }
+};
+
+/// An operation's derived targets in canonical (derivation) order:
+/// word t, then its positions — the order queries consume, so inserts,
+/// deletes and queries agree on every hash bit.
+struct Targets {
+  std::array<std::size_t, kMaxPositions> word_of;
+  std::array<unsigned, kMaxPositions> pos;
+  // Word index per hash group, including groups with zero positions
+  // (uneven k/g splits): those words have no word_of entry yet still cost
+  // a memory touch, which batch accounting must replicate.
+  std::array<std::size_t, kMaxG> group_word;
+  unsigned total_positions = 0;
+  std::size_t distinct_words = 0;
+};
+
+/// The same targets regrouped by distinct word (first-seen order),
+/// positions contiguous per word in derivation order — the layout a
+/// single-CAS-per-word storage applies in one shot. CSR-style so a word
+/// that absorbs every group's positions still fits.
+struct WordPlan {
+  std::array<std::size_t, kMaxG> word;
+  std::array<unsigned, kMaxG + 1> offset;
+  std::array<unsigned, kMaxPositions> pos;
+  unsigned num_words = 0;
+};
+
+/// Turns a HashBitStream into the Targets word/position set. Holds only
+/// the layout scalars, so filters construct one per operation for free.
+class TargetDeriver {
+ public:
+  TargetDeriver(std::size_t num_words, unsigned k, unsigned g,
+                unsigned b1) noexcept
+      : num_words_(num_words), k_(k), g_(g), b1_(b1) {}
+
+  /// Derives all g word indices and k positions in the canonical order.
+  /// Consumed-bit accounting accrues in the stream itself.
+  MPCBF_ENGINE_INLINE void derive_all(hash::HashBitStream& stream,
+                                      Targets& t) const {
+    SeenWords seen;
+    t.total_positions = 0;
+    for (unsigned wi = 0; wi < g_; ++wi) {
+      const std::size_t w = stream.next_index(num_words_);
+      t.group_word[wi] = w;
+      seen.add(w);
+      const unsigned kw = model::hashes_per_word(k_, g_, wi);
+      for (unsigned i = 0; i < kw; ++i) {
+        t.word_of[t.total_positions] = w;
+        t.pos[t.total_positions] =
+            static_cast<unsigned>(stream.next_index(b1_));
+        ++t.total_positions;
+      }
+    }
+    t.distinct_words = seen.count;
+  }
+
+  [[nodiscard]] std::size_t num_words() const noexcept { return num_words_; }
+  [[nodiscard]] unsigned k() const noexcept { return k_; }
+  [[nodiscard]] unsigned g() const noexcept { return g_; }
+  [[nodiscard]] unsigned b1() const noexcept { return b1_; }
+
+ private:
+  std::size_t num_words_;
+  unsigned k_;
+  unsigned g_;
+  unsigned b1_;
+};
+
+/// Regroups canonical targets by distinct word. Position order within a
+/// word is derivation order, so applying a plan produces bit-identical
+/// word state to applying the flat targets.
+inline void group_by_word(const Targets& t, WordPlan& p) noexcept {
+  p.num_words = 0;
+  unsigned filled = 0;
+  p.offset[0] = 0;
+  for (unsigned i = 0; i < t.total_positions; ++i) {
+    bool known = false;
+    for (unsigned s = 0; s < p.num_words; ++s) {
+      if (p.word[s] == t.word_of[i]) {
+        known = true;
+        break;
+      }
+    }
+    if (known) continue;
+    const std::size_t w = t.word_of[i];
+    p.word[p.num_words] = w;
+    for (unsigned j = i; j < t.total_positions; ++j) {
+      if (t.word_of[j] == w) p.pos[filled++] = t.pos[j];
+    }
+    p.offset[++p.num_words] = filled;
+  }
+}
+
+/// Verdict + accounting of one evaluated query, in the paper's units.
+struct BatchEval {
+  bool positive;
+  std::size_t words_touched;
+  std::uint64_t hash_bits;
+};
+
+/// Evaluates pre-derived targets with exactly the lazy scalar query's
+/// visit order and accounting: hash bits are charged per word index
+/// (ceil_log2(l)) and per consumed position (ceil_log2(b1)), stopping at
+/// the same point scalar short-circuiting stops the lazy stream, and
+/// words_touched deduplicates colliding groups identically. `test(w, pos)`
+/// reads a level-1 bit.
+template <class TestBit>
+[[nodiscard]] BatchEval evaluate_lazy(const Targets& t, std::size_t num_words,
+                                      unsigned k, unsigned g, unsigned b1,
+                                      bool short_circuit, TestBit&& test) {
+  const unsigned log2_l = hash::ceil_log2(num_words);
+  const unsigned log2_b1 = hash::ceil_log2(b1);
+  BatchEval ev{true, 0, 0};
+  SeenWords seen;
+  unsigned idx = 0;
+  for (unsigned wi = 0; wi < g; ++wi) {
+    const unsigned kw = model::hashes_per_word(k, g, wi);
+    if (!ev.positive && short_circuit) break;
+    const std::size_t w = t.group_word[wi];
+    ev.hash_bits += log2_l;
+    seen.add(w);
+    ev.words_touched = seen.count;
+    for (unsigned i = 0; i < kw; ++i) {
+      ev.hash_bits += log2_b1;
+      if (!test(w, t.pos[idx + i])) {
+        ev.positive = false;
+        if (short_circuit) break;
+      }
+    }
+    idx += kw;
+  }
+  return ev;
+}
+
+/// All-or-nothing capacity check: aggregates the increments each distinct
+/// word would receive (g hash words can collide) before mutating.
+/// `capacity` is the word's hierarchy budget, W - b1.
+[[nodiscard]] inline bool capacity_ok(
+    const Targets& t, std::span<const std::uint16_t> hier_used,
+    unsigned capacity) noexcept {
+  std::array<std::size_t, kMaxG> word{};
+  std::array<unsigned, kMaxG> needed{};
+  std::size_t n_distinct = 0;
+  for (unsigned i = 0; i < t.total_positions; ++i) {
+    bool found = false;
+    for (std::size_t s = 0; s < n_distinct; ++s) {
+      if (word[s] == t.word_of[i]) {
+        ++needed[s];
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      word[n_distinct] = t.word_of[i];
+      needed[n_distinct] = 1;
+      ++n_distinct;
+    }
+  }
+  for (std::size_t s = 0; s < n_distinct; ++s) {
+    if (hier_used[word[s]] + needed[s] > capacity) return false;
+  }
+  return true;
+}
+
+// --- storage policies ----------------------------------------------------
+
+/// Plain storage: a word vector plus the cached per-word hierarchy usage
+/// (derivable from the word state; kept in sync by increment/decrement).
+/// Mutations require external synchronization; const reads are safe
+/// concurrently with each other.
+template <unsigned W>
+class PlainWords {
+ public:
+  using Word = bits::WordBitset<W>;
+
+  void init(std::size_t l) {
+    words_.resize(l);
+    hier_used_.assign(l, 0);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return words_.size(); }
+  [[nodiscard]] bool test(std::size_t w, unsigned pos) const noexcept {
+    return words_[w].test(pos);
+  }
+  void prefetch(std::size_t w, bool for_write) const noexcept {
+    __builtin_prefetch(&words_[w], for_write ? 1 : 0, 1);
+  }
+
+  /// Increments the counter at (w, pos), keeping the usage cache in sync.
+  HcbfResult increment(std::size_t w, unsigned b1, unsigned pos) noexcept {
+    const HcbfResult r = Hcbf<W>::increment(words_[w], b1, pos, hier_used_[w]);
+    if (r.ok) ++hier_used_[w];
+    return r;
+  }
+
+  HcbfResult decrement(std::size_t w, unsigned b1, unsigned pos) noexcept {
+    const HcbfResult r = Hcbf<W>::decrement(words_[w], b1, pos);
+    if (r.ok) --hier_used_[w];
+    return r;
+  }
+
+  [[nodiscard]] unsigned counter(std::size_t w, unsigned b1,
+                                 unsigned pos) const noexcept {
+    return Hcbf<W>::counter(words_[w], b1, pos);
+  }
+
+  [[nodiscard]] std::uint16_t hier_used(std::size_t w) const noexcept {
+    return hier_used_[w];
+  }
+  [[nodiscard]] std::span<const std::uint16_t> hier_used_span()
+      const noexcept {
+    return hier_used_;
+  }
+
+  void reset() {
+    for (auto& w : words_) w.reset();
+    std::fill(hier_used_.begin(), hier_used_.end(), std::uint16_t{0});
+  }
+
+  // Raw access for serialization, merge and structural validation — the
+  // usage cache and word vector move as a pair.
+  [[nodiscard]] std::vector<Word>& words() noexcept { return words_; }
+  [[nodiscard]] const std::vector<Word>& words() const noexcept {
+    return words_;
+  }
+  [[nodiscard]] std::vector<std::uint16_t>& usage() noexcept {
+    return hier_used_;
+  }
+  [[nodiscard]] const std::vector<std::uint16_t>& usage() const noexcept {
+    return hier_used_;
+  }
+
+ private:
+  std::vector<Word> words_;
+  std::vector<std::uint16_t> hier_used_;
+};
+
+/// Lock-free storage over 64-bit words: every mutation is a
+/// load → pure transform → CAS loop, capacity re-derived from the word
+/// value inside the loop (no out-of-word metadata), so the CAS publishes
+/// a fully consistent word and some thread always makes progress.
+class AtomicWords64 {
+ public:
+  static constexpr unsigned kWordBits = 64;
+
+  void init(std::size_t l) {
+    words_ = std::vector<std::atomic<std::uint64_t>>(l);
+    for (auto& w : words_) w.store(0, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return words_.size(); }
+  [[nodiscard]] std::uint64_t load_acquire(std::size_t w) const noexcept {
+    return words_[w].load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::uint64_t load_relaxed(std::size_t w) const noexcept {
+    return words_[w].load(std::memory_order_relaxed);
+  }
+  void store_relaxed(std::size_t w, std::uint64_t v) noexcept {
+    words_[w].store(v, std::memory_order_relaxed);
+  }
+  void prefetch(std::size_t w, bool for_write) const noexcept {
+    __builtin_prefetch(&words_[w], for_write ? 1 : 0, 1);
+  }
+
+  /// CAS loop applying all of plan group `s`'s increments (or decrements)
+  /// to its word. Returns false on overflow/underflow (word unchanged).
+  bool apply_group(const WordPlan& p, unsigned s, unsigned b1,
+                   bool increment) noexcept {
+    std::atomic<std::uint64_t>& slot = words_[p.word[s]];
+    std::uint64_t expected = slot.load(std::memory_order_acquire);
+    for (;;) {
+      bits::WordBitset<64> w;
+      w.set_limb(0, expected);
+      unsigned used = Hcbf<64>::hierarchy_bits(w, b1);
+      bool ok = true;
+      for (unsigned i = p.offset[s]; i < p.offset[s + 1] && ok; ++i) {
+        if (increment) {
+          const HcbfResult r = Hcbf<64>::increment(w, b1, p.pos[i], used);
+          ok = r.ok;
+          if (ok) ++used;
+        } else {
+          ok = Hcbf<64>::decrement(w, b1, p.pos[i]).ok;
+        }
+      }
+      if (!ok) return false;
+      if (slot.compare_exchange_weak(expected, w.limb(0),
+                                     std::memory_order_release,
+                                     std::memory_order_acquire)) {
+        return true;
+      }
+      // expected reloaded by compare_exchange; retry on the fresh value.
+    }
+  }
+
+ private:
+  std::vector<std::atomic<std::uint64_t>> words_;
+};
+
+/// Eager-evaluation verdict: one atomic snapshot per distinct word, test
+/// its positions in derivation order, stop at the first unset bit — the
+/// exact visit order of the eager scalar query (hash bits don't shrink
+/// under short-circuiting there; the caller accounts the full derivation).
+struct EagerEval {
+  bool positive;
+  unsigned words_touched;
+};
+
+[[nodiscard]] inline EagerEval evaluate_eager(const AtomicWords64& words,
+                                              const WordPlan& p,
+                                              unsigned b1) noexcept {
+  (void)b1;
+  for (unsigned s = 0; s < p.num_words; ++s) {
+    bits::WordBitset<64> w;
+    w.set_limb(0, words.load_acquire(p.word[s]));
+    for (unsigned i = p.offset[s]; i < p.offset[s + 1]; ++i) {
+      if (!w.test(p.pos[i])) {
+        return {false, s + 1};
+      }
+    }
+  }
+  return {true, p.num_words};
+}
+
+// --- the hierarchical level walk -----------------------------------------
+
+/// Width-templated level walk over a full target set — the "bits spent
+/// only on non-zero counters" machinery of Sec. III-B, applied across the
+/// g words an operation touches. Storage must expose the PlainWords
+/// increment/decrement/counter signatures.
+template <unsigned W>
+struct LevelWalk {
+  /// Applies every increment; the caller must have verified capacity
+  /// (capacity_ok), so failure is a programming error. Returns the
+  /// hierarchy-addressing bits the walk claimed (update bandwidth).
+  template <class Storage>
+  static std::uint64_t increment_all(Storage& s, unsigned b1,
+                                     const Targets& t) noexcept {
+    std::uint64_t extra_bits = 0;
+    for (unsigned i = 0; i < t.total_positions; ++i) {
+      const HcbfResult r = s.increment(t.word_of[i], b1, t.pos[i]);
+      assert(r.ok);
+      extra_bits += r.extra_bits;
+    }
+    return extra_bits;
+  }
+
+  struct DecrementResult {
+    bool ok = true;               ///< false if any counter underflowed
+    std::uint64_t extra_bits = 0;
+    unsigned underflows = 0;
+  };
+
+  /// Applies every decrement, continuing past underflowing positions
+  /// (each counts one underflow) — the contract-violation semantics every
+  /// CBF shares.
+  template <class Storage>
+  static DecrementResult decrement_all(Storage& s, unsigned b1,
+                                       const Targets& t) noexcept {
+    DecrementResult out;
+    for (unsigned i = 0; i < t.total_positions; ++i) {
+      const HcbfResult r = s.decrement(t.word_of[i], b1, t.pos[i]);
+      if (r.ok) {
+        out.extra_bits += r.extra_bits;
+      } else {
+        out.ok = false;
+        ++out.underflows;
+      }
+    }
+    return out;
+  }
+
+  /// Multiplicity estimate: minimum counter across the target set, with
+  /// the zero early-exit every scalar count() uses.
+  template <class Storage>
+  [[nodiscard]] static unsigned min_counter(const Storage& s, unsigned b1,
+                                            const Targets& t) noexcept {
+    unsigned min_c = ~0u;
+    for (unsigned i = 0; i < t.total_positions; ++i) {
+      min_c = std::min(min_c, s.counter(t.word_of[i], b1, t.pos[i]));
+      if (min_c == 0) break;
+    }
+    return min_c;
+  }
+};
+
+// --- batch pipeline ------------------------------------------------------
+
+/// Keys per pipeline chunk: large enough to hide a memory round-trip
+/// behind the next keys' hashing, small enough that a chunk's targets
+/// stay cache-resident.
+inline constexpr std::size_t kBatchChunk = 32;
+
+/// The software-pipelined batch skeleton shared by every variant:
+/// derive(i) hashes key i and issues its prefetches; resolve(i) runs
+/// after the whole chunk derived, by which time the words are in flight
+/// or resident — the software analogue of the pipelined lookups the
+/// paper targets in hardware. `chunk_begin(count)` / `chunk_end(count)`
+/// bracket each chunk for sampled timing.
+template <class DeriveFn, class ResolveFn, class ChunkBegin, class ChunkEnd>
+void chunked_pipeline(std::size_t n, DeriveFn&& derive, ResolveFn&& resolve,
+                      ChunkBegin&& chunk_begin, ChunkEnd&& chunk_end) {
+  for (std::size_t base = 0; base < n; base += kBatchChunk) {
+    const std::size_t count = std::min(kBatchChunk, n - base);
+    chunk_begin(count);
+    for (std::size_t i = 0; i < count; ++i) derive(base + i, i);
+    for (std::size_t i = 0; i < count; ++i) resolve(base + i, i);
+    chunk_end(count);
+  }
+}
+
+/// Call-local query tallies indexed by verdict (negative=0, positive=1),
+/// published as one atomic trio per op class at the end of a batch call —
+/// identical totals to per-op recording at a fraction of the atomic
+/// traffic.
+class BatchStatsAccumulator {
+ public:
+  void add(bool positive, std::size_t words_touched,
+           std::uint64_t hash_bits) noexcept {
+    const unsigned cls = positive ? 1u : 0u;
+    ++ops_[cls];
+    words_[cls] += words_touched;
+    bits_[cls] += hash_bits;
+  }
+
+  void publish(metrics::AccessStats& stats) const noexcept {
+    stats.record_n(metrics::OpClass::kQueryNegative, ops_[0], words_[0],
+                   bits_[0]);
+    stats.record_n(metrics::OpClass::kQueryPositive, ops_[1], words_[1],
+                   bits_[1]);
+  }
+
+ private:
+  std::array<std::uint64_t, 2> ops_{};
+  std::array<std::uint64_t, 2> words_{};
+  std::array<std::uint64_t, 2> bits_{};
+};
+
+}  // namespace mpcbf::core::engine

@@ -24,7 +24,7 @@ class BlockedBloomFilter {
   /// `memory_bits` total, w-bit blocks, k bits per key split over g blocks.
   BlockedBloomFilter(std::size_t memory_bits, unsigned k, unsigned g = 1,
                      unsigned word_bits = 64,
-                     std::uint64_t seed = 0x9E3779B97F4A7C15ULL)
+                     std::uint64_t seed = hash::kDefaultSeed)
       : bits_(memory_bits / word_bits * word_bits),
         num_words_(memory_bits / word_bits),
         word_bits_(word_bits),

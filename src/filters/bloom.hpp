@@ -20,7 +20,7 @@ class BloomFilter {
  public:
   /// `num_bits` filter bits, `k` hash functions.
   BloomFilter(std::size_t num_bits, unsigned k,
-              std::uint64_t seed = 0x9E3779B97F4A7C15ULL,
+              std::uint64_t seed = hash::kDefaultSeed,
               bool short_circuit = true)
       : bits_(num_bits), k_(k), seed_(seed), short_circuit_(short_circuit) {}
 

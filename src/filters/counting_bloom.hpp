@@ -14,6 +14,7 @@
 #include <string_view>
 
 #include "bitvec/counter_vector.hpp"
+#include "hash/hash_stream.hpp"
 #include "metrics/access_stats.hpp"
 
 namespace mpcbf::filters {
@@ -23,7 +24,7 @@ struct CbfConfig {
   std::size_t memory_bits = 1 << 20;
   unsigned k = 3;
   unsigned counter_bits = 4;
-  std::uint64_t seed = 0x9E3779B97F4A7C15ULL;
+  std::uint64_t seed = hash::kDefaultSeed;
   bool short_circuit = true;
   /// Derive positions as h1 + i*h2 instead of k independent hashes.
   bool double_hashing = false;
@@ -35,7 +36,7 @@ class CountingBloomFilter {
 
   /// Convenience: memory_bits of 4-bit counters with k independent hashes.
   CountingBloomFilter(std::size_t memory_bits, unsigned k,
-                      std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+                      std::uint64_t seed = hash::kDefaultSeed);
 
   void insert(std::string_view key);
   [[nodiscard]] bool contains(std::string_view key) const;

@@ -16,6 +16,7 @@
 #include <string_view>
 #include <vector>
 
+#include "hash/hash_stream.hpp"
 #include "metrics/access_stats.hpp"
 
 namespace mpcbf::filters {
@@ -26,7 +27,7 @@ struct DlcbfConfig {
   unsigned bucket_cells = 8;   ///< cells per bucket
   unsigned fingerprint_bits = 14;
   unsigned counter_bits = 2;   ///< per-cell multiplicity counter
-  std::uint64_t seed = 0x9E3779B97F4A7C15ULL;
+  std::uint64_t seed = hash::kDefaultSeed;
 };
 
 class Dlcbf {

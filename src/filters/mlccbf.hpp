@@ -32,7 +32,7 @@ class MlCcbf {
  public:
   /// `m` layer-1 bits, `k` hash functions.
   MlCcbf(std::size_t m, unsigned k,
-         std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+         std::uint64_t seed = hash::kDefaultSeed);
 
   void insert(std::string_view key);
   [[nodiscard]] bool contains(std::string_view key) const;

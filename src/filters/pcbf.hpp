@@ -13,6 +13,7 @@
 #include <string_view>
 
 #include "bitvec/counter_vector.hpp"
+#include "core/word_engine.hpp"
 #include "filters/word_set.hpp"
 #include "hash/hash_stream.hpp"
 #include "metrics/access_stats.hpp"
@@ -26,7 +27,7 @@ struct PcbfConfig {
   unsigned g = 1;          ///< memory accesses (words per element)
   unsigned word_bits = 64;
   unsigned counter_bits = 4;
-  std::uint64_t seed = 0x9E3779B97F4A7C15ULL;
+  std::uint64_t seed = hash::kDefaultSeed;
   bool short_circuit = true;
 };
 
@@ -41,33 +42,25 @@ class Pcbf {
         word_bits_(cfg.word_bits),
         seed_(cfg.seed),
         short_circuit_(cfg.short_circuit) {
-    if (cfg.k == 0 || cfg.g == 0 || cfg.g > cfg.k) {
-      throw std::invalid_argument("Pcbf: need 1 <= g <= k");
-    }
+    core::engine::validate_shape(cfg.k, cfg.g, "Pcbf");
     if (num_words_ == 0) {
       throw std::invalid_argument("Pcbf: memory smaller than one word");
     }
   }
 
   Pcbf(std::size_t memory_bits, unsigned k, unsigned g = 1,
-       std::uint64_t seed = 0x9E3779B97F4A7C15ULL)
+       std::uint64_t seed = hash::kDefaultSeed)
       : Pcbf(PcbfConfig{memory_bits, k, g, 64, 4, seed, true}) {}
 
   void insert(std::string_view key) {
+    core::engine::Targets t;
     hash::HashBitStream stream(key, seed_);
-    WordSet touched;
-    for (unsigned t = 0; t < g_; ++t) {
-      const std::size_t w = stream.next_index(num_words_);
-      touched.add(w);
-      const unsigned kw = model::hashes_per_word(k_, g_, t);
-      for (unsigned i = 0; i < kw; ++i) {
-        const std::size_t c =
-            w * counters_per_word_ + stream.next_index(counters_per_word_);
-        counters_.increment(c);
-      }
+    deriver().derive_all(stream, t);
+    for (unsigned i = 0; i < t.total_positions; ++i) {
+      counters_.increment(counter_index(t.word_of[i], t.pos[i]));
     }
     ++size_;
-    stats_.record(metrics::OpClass::kInsert, touched.count,
+    stats_.record(metrics::OpClass::kInsert, t.distinct_words,
                   stream.accounted_bits());
   }
 
@@ -96,36 +89,27 @@ class Pcbf {
   }
 
   bool erase(std::string_view key) {
+    core::engine::Targets t;
     hash::HashBitStream stream(key, seed_);
-    WordSet touched;
+    deriver().derive_all(stream, t);
     bool ok = true;
-    for (unsigned t = 0; t < g_; ++t) {
-      const std::size_t w = stream.next_index(num_words_);
-      touched.add(w);
-      const unsigned kw = model::hashes_per_word(k_, g_, t);
-      for (unsigned i = 0; i < kw; ++i) {
-        const std::size_t c =
-            w * counters_per_word_ + stream.next_index(counters_per_word_);
-        ok &= counters_.decrement(c);
-      }
+    for (unsigned i = 0; i < t.total_positions; ++i) {
+      ok &= counters_.decrement(counter_index(t.word_of[i], t.pos[i]));
     }
     if (size_ > 0) --size_;
-    stats_.record(metrics::OpClass::kDelete, touched.count,
+    stats_.record(metrics::OpClass::kDelete, t.distinct_words,
                   stream.accounted_bits());
     return ok;
   }
 
   [[nodiscard]] std::uint32_t count(std::string_view key) const {
+    core::engine::Targets t;
     hash::HashBitStream stream(key, seed_);
+    deriver().derive_all(stream, t);
     std::uint32_t min_c = ~std::uint32_t{0};
-    for (unsigned t = 0; t < g_; ++t) {
-      const std::size_t w = stream.next_index(num_words_);
-      const unsigned kw = model::hashes_per_word(k_, g_, t);
-      for (unsigned i = 0; i < kw; ++i) {
-        const std::size_t c =
-            w * counters_per_word_ + stream.next_index(counters_per_word_);
-        min_c = std::min(min_c, counters_.get(c));
-      }
+    for (unsigned i = 0; i < t.total_positions; ++i) {
+      min_c = std::min(min_c, counters_.get(counter_index(t.word_of[i],
+                                                          t.pos[i])));
     }
     return min_c;
   }
@@ -153,6 +137,20 @@ class Pcbf {
   }
 
  private:
+  /// Shared target derivation (core/word_engine.hpp): a PCBF "position"
+  /// is a counter slot within a word, so b1 = counters_per_word. Used on
+  /// the full-stream paths (insert/erase/count); contains() keeps the
+  /// lazy stream so short-circuiting saves its hash bits.
+  [[nodiscard]] core::engine::TargetDeriver deriver() const noexcept {
+    return core::engine::TargetDeriver(num_words_, k_, g_,
+                                       counters_per_word_);
+  }
+
+  [[nodiscard]] std::size_t counter_index(std::size_t word,
+                                          unsigned slot) const noexcept {
+    return word * counters_per_word_ + slot;
+  }
+
   bits::CounterVector counters_;
   unsigned counters_per_word_;
   std::size_t num_words_;

@@ -30,7 +30,7 @@ struct RcbfConfig {
   unsigned k = 3;                 ///< buckets probed per key
   unsigned fingerprint_bits = 8;  ///< stored per (key, bucket) item
   unsigned counter_bits = 4;      ///< per-item repetition counter
-  std::uint64_t seed = 0x9E3779B97F4A7C15ULL;
+  std::uint64_t seed = hash::kDefaultSeed;
 };
 
 class Rcbf {

@@ -21,6 +21,7 @@
 #include <string_view>
 
 #include "bitvec/counter_vector.hpp"
+#include "hash/hash_stream.hpp"
 #include "metrics/access_stats.hpp"
 
 namespace mpcbf::filters {
@@ -29,7 +30,7 @@ struct SpectralConfig {
   std::size_t memory_bits = 1 << 20;
   unsigned k = 3;
   unsigned counter_bits = 4;
-  std::uint64_t seed = 0x9E3779B97F4A7C15ULL;
+  std::uint64_t seed = hash::kDefaultSeed;
   /// Disable to get plain-CBF increment behaviour (for A/B comparison).
   bool minimum_increase = true;
 };

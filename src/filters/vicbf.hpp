@@ -14,6 +14,7 @@
 #include <string_view>
 
 #include "bitvec/counter_vector.hpp"
+#include "hash/hash_stream.hpp"
 #include "metrics/access_stats.hpp"
 
 namespace mpcbf::filters {
@@ -23,7 +24,7 @@ struct VicbfConfig {
   unsigned k = 3;
   unsigned counter_bits = 8;  ///< wide enough for several D_L increments
   unsigned L = 4;             ///< D_L = {L, ..., 2L-1}; must be a power of two
-  std::uint64_t seed = 0x9E3779B97F4A7C15ULL;
+  std::uint64_t seed = hash::kDefaultSeed;
   bool short_circuit = true;
 };
 

@@ -23,6 +23,13 @@
 
 namespace mpcbf::hash {
 
+/// Default hash seed for every filter in the library: the 64-bit golden
+/// ratio (2^64/φ), the standard odd constant with well-mixed bits. One
+/// definition so configs, convenience constructors, and tools can't
+/// drift apart; serialization records the seed, so changing a filter's
+/// seed is a layout change, not a cosmetic one.
+inline constexpr std::uint64_t kDefaultSeed = 0x9E3779B97F4A7C15ULL;
+
 /// ceil(log2(x)) for x >= 1; 0 for x <= 1. This is the paper's accounting
 /// unit for addressing a structure of x slots.
 [[nodiscard]] constexpr unsigned ceil_log2(std::uint64_t x) noexcept {

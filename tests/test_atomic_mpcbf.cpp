@@ -95,7 +95,7 @@ TEST(AtomicMpcbf, ConcurrentDisjointInserts) {
   // Explicit n_max with headroom over the eq.-(11) heuristic: this test
   // requires zero rejected inserts, and the heuristic tolerates ~one
   // overflowing word per filter.
-  AtomicMpcbf f(1 << 20, 3, 1, kThreads * kPerThread, 0x9E3779B97F4A7C15ULL,
+  AtomicMpcbf f(1 << 20, 3, 1, kThreads * kPerThread, mpcbf::hash::kDefaultSeed,
                 /*n_max=*/10);
 
   std::vector<std::thread> threads;
@@ -130,7 +130,7 @@ TEST(AtomicMpcbf, ConcurrentInsertEraseChurn) {
   constexpr int kThreads = 4;
   constexpr int kKeys = 500;
   constexpr int kRounds = 30;
-  AtomicMpcbf f(1 << 19, 3, 1, kThreads * kKeys, 0x9E3779B97F4A7C15ULL,
+  AtomicMpcbf f(1 << 19, 3, 1, kThreads * kKeys, mpcbf::hash::kDefaultSeed,
                 /*n_max=*/8);
 
   std::vector<std::thread> threads;
@@ -171,7 +171,7 @@ TEST(AtomicMpcbf, ConcurrentInsertEraseChurn) {
 TEST(AtomicMpcbf, ReadersDuringWrites) {
   constexpr int kKeys = 3000;
   const auto keys = generate_unique_strings(kKeys, 6, 91);
-  AtomicMpcbf f(1 << 20, 3, 1, kKeys, 0x9E3779B97F4A7C15ULL, /*n_max=*/8);
+  AtomicMpcbf f(1 << 20, 3, 1, kKeys, mpcbf::hash::kDefaultSeed, /*n_max=*/8);
 
   // Pre-insert the first half; readers continuously verify it stays
   // visible while a writer adds the second half.
@@ -203,7 +203,7 @@ TEST(AtomicMpcbf, SaveLoadRoundTrip) {
   constexpr int kKeys = 2000;
   const auto keys = generate_unique_strings(kKeys, 5, 92);
   const auto probes = generate_unique_strings(kKeys, 7, 93);
-  AtomicMpcbf f(1 << 19, 3, 1, kKeys, 0x9E3779B97F4A7C15ULL, /*n_max=*/8);
+  AtomicMpcbf f(1 << 19, 3, 1, kKeys, mpcbf::hash::kDefaultSeed, /*n_max=*/8);
   for (const auto& k : keys) {
     ASSERT_TRUE(f.insert(k));
   }
@@ -229,7 +229,7 @@ TEST(AtomicMpcbf, SaveLoadRoundTrip) {
 }
 
 TEST(AtomicMpcbf, LoadRejectsCorruptStream) {
-  AtomicMpcbf f(1 << 12, 3, 1, 50, 0x9E3779B97F4A7C15ULL, /*n_max=*/8);
+  AtomicMpcbf f(1 << 12, 3, 1, 50, mpcbf::hash::kDefaultSeed, /*n_max=*/8);
   ASSERT_TRUE(f.insert("x"));
   std::stringstream ss;
   f.save(ss);

@@ -1,0 +1,296 @@
+// Batch/scalar parity for the non-sequential variants, mirroring
+// tests/test_stats_parity.cpp (which pins the plain Mpcbf): a
+// contains_batch/insert_batch call on AtomicMpcbf or ShardedMpcbf must
+// return bit-identical verdicts AND identical per-op-class AccessStats
+// to the equivalent scalar loop. Also exercises contains_batch under
+// concurrent inserts (run under TSan in CI) and the DurableMpcbf batch
+// journaling path.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "core/atomic_mpcbf.hpp"
+#include "core/durable_mpcbf.hpp"
+#include "core/mpcbf.hpp"
+#include "core/sharded_mpcbf.hpp"
+#include "metrics/access_stats.hpp"
+#include "workload/string_sets.hpp"
+
+namespace {
+
+using mpcbf::core::AtomicMpcbf;
+using mpcbf::core::DurableMpcbf;
+using mpcbf::core::Mpcbf;
+using mpcbf::core::MpcbfConfig;
+using mpcbf::core::OverflowPolicy;
+using mpcbf::core::ShardedMpcbf;
+using mpcbf::metrics::AccessStats;
+using mpcbf::metrics::OpClass;
+using mpcbf::workload::generate_unique_strings;
+
+// Asserts the per-class op/word/bit tallies of two stats objects agree.
+void expect_same_accounting(const AccessStats& scalar,
+                            const AccessStats& batch) {
+  for (unsigned i = 0; i < mpcbf::metrics::kNumOpClasses; ++i) {
+    const auto c = static_cast<OpClass>(i);
+    EXPECT_EQ(scalar.ops(c), batch.ops(c)) << "ops class " << i;
+    EXPECT_EQ(scalar.words(c), batch.words(c)) << "words class " << i;
+    EXPECT_EQ(scalar.bits(c), batch.bits(c)) << "bits class " << i;
+  }
+}
+
+// Interleaves inserted keys with never-inserted probes so both query
+// verdicts appear, including mid-chunk verdict flips.
+std::vector<std::string> mixed_workload(const std::vector<std::string>& keys,
+                                        const std::vector<std::string>& probes) {
+  std::vector<std::string> mixed;
+  mixed.reserve(keys.size() + probes.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    mixed.push_back(keys[i]);
+    mixed.push_back(probes[i]);
+  }
+  return mixed;
+}
+
+// --- AtomicMpcbf --------------------------------------------------------
+
+// Runs the same mixed workload through scalar contains() on one filter
+// and contains_batch() on an identically-built twin, then compares both
+// verdicts and accounting.
+void run_atomic_query_parity(unsigned k, unsigned g, std::size_t n_keys) {
+  const auto keys = generate_unique_strings(n_keys, 6, 301 + k);
+  const auto probes = generate_unique_strings(n_keys, 8, 302 + g);
+  AtomicMpcbf scalar_f(1 << 18, k, g, n_keys);
+  AtomicMpcbf batch_f(1 << 18, k, g, n_keys);
+  for (const auto& key : keys) {
+    ASSERT_EQ(scalar_f.insert(key), batch_f.insert(key));
+  }
+  const auto mixed = mixed_workload(keys, probes);
+  scalar_f.reset_stats();
+  batch_f.reset_stats();
+
+  std::vector<std::uint8_t> scalar_out(mixed.size());
+  for (std::size_t i = 0; i < mixed.size(); ++i) {
+    scalar_out[i] = scalar_f.contains(mixed[i]) ? 1 : 0;
+  }
+  std::vector<std::uint8_t> batch_out(mixed.size(), 0xFF);
+  batch_f.contains_batch(mixed, batch_out);
+
+  ASSERT_EQ(scalar_out, batch_out);
+  expect_same_accounting(scalar_f.stats(), batch_f.stats());
+}
+
+TEST(AtomicBatchParity, QueryG1) { run_atomic_query_parity(3, 1, 1500); }
+TEST(AtomicBatchParity, QueryG2) { run_atomic_query_parity(4, 2, 2000); }
+TEST(AtomicBatchParity, QueryG4UnevenK) {
+  // k=6, g=4 exercises uneven hashes_per_word splits.
+  run_atomic_query_parity(6, 4, 2000);
+}
+
+TEST(AtomicBatchParity, InsertBatchMatchesScalarLoopIncludingOverflow) {
+  // Tight capacity (n_max=1) forces overflow rejects, so the rollback
+  // path and its words-touched accounting (2*done+1) are exercised too.
+  const auto keys = generate_unique_strings(400, 6, 303);
+  AtomicMpcbf scalar_f(1 << 10, 4, 2, 0, 0xAB, /*n_max=*/1);
+  AtomicMpcbf batch_f(1 << 10, 4, 2, 0, 0xAB, /*n_max=*/1);
+
+  std::vector<std::uint8_t> scalar_ok(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    scalar_ok[i] = scalar_f.insert(keys[i]) ? 1 : 0;
+  }
+  std::vector<std::uint8_t> batch_ok(keys.size(), 0xFF);
+  batch_f.insert_batch(keys, batch_ok);
+
+  ASSERT_EQ(scalar_ok, batch_ok);
+  EXPECT_GT(scalar_f.overflow_events(), 0u);
+  EXPECT_EQ(scalar_f.overflow_events(), batch_f.overflow_events());
+  expect_same_accounting(scalar_f.stats(), batch_f.stats());
+  // Word state is identical, so every later query must agree.
+  for (const auto& key : keys) {
+    EXPECT_EQ(scalar_f.contains(key), batch_f.contains(key));
+  }
+}
+
+TEST(AtomicBatchParity, StringViewOverloadMatchesStringOverload) {
+  const auto keys = generate_unique_strings(300, 6, 304);
+  AtomicMpcbf f(1 << 16, 4, 2, keys.size());
+  std::vector<std::uint8_t> ok(keys.size());
+  std::vector<std::string_view> views(keys.begin(), keys.end());
+  f.insert_batch(std::span<const std::string_view>(views),
+                 std::span<std::uint8_t>(ok));
+  std::vector<std::uint8_t> out_str(keys.size());
+  std::vector<std::uint8_t> out_view(keys.size());
+  f.contains_batch(keys, out_str);
+  f.contains_batch(std::span<const std::string_view>(views),
+                   std::span<std::uint8_t>(out_view));
+  EXPECT_EQ(out_str, out_view);
+  // Every accepted key must query positive (rejected keys may not).
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    if (ok[i]) EXPECT_EQ(out_str[i], 1);
+  }
+}
+
+TEST(AtomicBatchParity, ContainsBatchUnderConcurrentInserts) {
+  // Pre-inserted keys must stay positive while other threads insert:
+  // counters only grow, so a batch query racing lock-free inserts can
+  // never lose an established key. This is the TSan workout for the
+  // prefetch + snapshot-resolve pipeline against the CAS write path.
+  const std::size_t n_established = 512;
+  const std::size_t n_per_writer = 2000;
+  const unsigned n_writers = 4;
+  const auto established = generate_unique_strings(n_established, 6, 305);
+  AtomicMpcbf f(1 << 21, 4, 2,
+                n_established + n_writers * n_per_writer);
+  for (const auto& key : established) ASSERT_TRUE(f.insert(key));
+
+  std::vector<std::thread> writers;
+  writers.reserve(n_writers);
+  for (unsigned w = 0; w < n_writers; ++w) {
+    writers.emplace_back([&f, w] {
+      const auto keys =
+          generate_unique_strings(n_per_writer, 10, 400 + w);
+      for (const auto& key : keys) (void)f.insert(key);
+    });
+  }
+
+  std::vector<std::uint8_t> out(established.size());
+  for (int round = 0; round < 50; ++round) {
+    f.contains_batch(established, out);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      ASSERT_EQ(out[i], 1) << "established key lost in round " << round;
+    }
+  }
+  for (auto& t : writers) t.join();
+  EXPECT_TRUE(f.validate());
+}
+
+// --- ShardedMpcbf -------------------------------------------------------
+
+MpcbfConfig sharded_config() {
+  MpcbfConfig cfg;
+  cfg.memory_bits = 1 << 18;
+  cfg.k = 4;
+  cfg.g = 2;
+  cfg.expected_n = 2000;
+  return cfg;
+}
+
+TEST(ShardedBatchParity, QueryVerdictsAndStatsMatchScalarLoop) {
+  const auto cfg = sharded_config();
+  const auto keys = generate_unique_strings(2000, 6, 306);
+  const auto probes = generate_unique_strings(2000, 8, 307);
+  ShardedMpcbf<64> scalar_f(cfg, 8);
+  ShardedMpcbf<64> batch_f(cfg, 8);
+  for (const auto& key : keys) {
+    ASSERT_EQ(scalar_f.insert(key), batch_f.insert(key));
+  }
+  const auto mixed = mixed_workload(keys, probes);
+  scalar_f.reset_stats();
+  batch_f.reset_stats();
+
+  std::vector<std::uint8_t> scalar_out(mixed.size());
+  for (std::size_t i = 0; i < mixed.size(); ++i) {
+    scalar_out[i] = scalar_f.contains(mixed[i]) ? 1 : 0;
+  }
+  std::vector<std::uint8_t> batch_out(mixed.size(), 0xFF);
+  batch_f.contains_batch(mixed, batch_out);
+
+  ASSERT_EQ(scalar_out, batch_out);
+  expect_same_accounting(scalar_f.stats_snapshot(),
+                         batch_f.stats_snapshot());
+}
+
+TEST(ShardedBatchParity, InsertBatchMatchesScalarLoopIncludingOverflow) {
+  MpcbfConfig cfg = sharded_config();
+  cfg.memory_bits = 1 << 12;  // tight: some shards overflow
+  cfg.expected_n = 0;
+  cfg.n_max = 1;
+  cfg.policy = OverflowPolicy::kReject;
+  const auto keys = generate_unique_strings(600, 6, 308);
+  ShardedMpcbf<64> scalar_f(cfg, 4);
+  ShardedMpcbf<64> batch_f(cfg, 4);
+
+  std::vector<std::uint8_t> scalar_ok(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    scalar_ok[i] = scalar_f.insert(keys[i]) ? 1 : 0;
+  }
+  std::vector<std::uint8_t> batch_ok(keys.size(), 0xFF);
+  batch_f.insert_batch(keys, batch_ok);
+
+  ASSERT_EQ(scalar_ok, batch_ok);
+  EXPECT_GT(scalar_f.overflow_events(), 0u);
+  EXPECT_EQ(scalar_f.overflow_events(), batch_f.overflow_events());
+  EXPECT_EQ(scalar_f.size(), batch_f.size());
+  expect_same_accounting(scalar_f.stats_snapshot(),
+                         batch_f.stats_snapshot());
+  for (const auto& key : keys) {
+    EXPECT_EQ(scalar_f.contains(key), batch_f.contains(key));
+  }
+}
+
+TEST(ShardedBatchParity, BatchUnderConcurrentMutators) {
+  // Striped locks serialize per shard; a batch query concurrent with
+  // scalar inserts of other keys must keep established keys positive.
+  const auto cfg = sharded_config();
+  const auto established = generate_unique_strings(400, 6, 309);
+  ShardedMpcbf<64> f(cfg, 8);
+  for (const auto& key : established) ASSERT_TRUE(f.insert(key));
+
+  std::vector<std::thread> writers;
+  for (unsigned w = 0; w < 4; ++w) {
+    writers.emplace_back([&f, w] {
+      const auto keys = generate_unique_strings(800, 10, 500 + w);
+      for (const auto& key : keys) (void)f.insert(key);
+    });
+  }
+  std::vector<std::uint8_t> out(established.size());
+  for (int round = 0; round < 30; ++round) {
+    f.contains_batch(established, out);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      ASSERT_EQ(out[i], 1) << "established key lost in round " << round;
+    }
+  }
+  for (auto& t : writers) t.join();
+  EXPECT_TRUE(f.validate());
+}
+
+// --- DurableMpcbf -------------------------------------------------------
+
+TEST(DurableBatchParity, InsertBatchJournalsEveryKeyBeforeApplying) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() / "mpcbf_batch_parity_durable";
+  fs::remove_all(dir);
+  MpcbfConfig cfg;
+  cfg.memory_bits = 1 << 16;
+  cfg.k = 3;
+  cfg.g = 1;
+  cfg.expected_n = 1000;
+  const auto keys = generate_unique_strings(500, 6, 310);
+  std::vector<std::uint8_t> ok(keys.size(), 0xFF);
+  {
+    DurableMpcbf<64>::Options opt;
+    opt.fsync = false;
+    DurableMpcbf<64> d(dir, cfg, opt);
+    d.insert_batch(keys, ok);
+    std::vector<std::uint8_t> out(keys.size());
+    d.contains_batch(keys, out);
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      ASSERT_EQ(ok[i], 1u);
+      ASSERT_EQ(out[i], 1u);
+    }
+  }
+  // Recovery replays the journaled batch: every acknowledged key is back.
+  const Mpcbf<64> recovered = DurableMpcbf<64>::recover(dir, &cfg);
+  EXPECT_EQ(recovered.size(), keys.size());
+  for (const auto& key : keys) {
+    EXPECT_TRUE(recovered.contains(key));
+  }
+  fs::remove_all(dir);
+}
+
+}  // namespace

@@ -10,8 +10,10 @@
 // docs/hcbf-format.md.
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/mpcbf.hpp"
 #include "hash/fnv.hpp"
@@ -71,6 +73,50 @@ TEST(Golden, FilterStateDigestPinned) {
   const auto f = build_fixed_scenario();
   const std::uint64_t digest = state_digest(f);
   EXPECT_EQ(digest, 11530402583806741934ULL) << "new value: " << digest;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  EXPECT_TRUE(is.good()) << "missing golden fixture: " << path;
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+TEST(Golden, SnapshotV2BlobRoundTrips) {
+  // tests/data/mpcbf_v2_golden.bin was written by the build *before* the
+  // word-engine refactor (CRC-framed v2 container): memory=2^13 bits,
+  // k=4, g=2, n_max=6, seed=0xB10B, reject policy; 300 inserts (18
+  // rejected), every 5th-accepted-with-i%5==2 erased, plus 2 phantom
+  // erases. Loading it and re-saving must reproduce the exact bytes, and
+  // every surviving key (tests/data/mpcbf_v2_golden.keys) must still hit.
+  const std::string dir = MPCBF_TEST_DATA_DIR;
+  const std::string blob = read_file(dir + "/mpcbf_v2_golden.bin");
+  ASSERT_FALSE(blob.empty());
+
+  std::istringstream is(blob);
+  auto f = Mpcbf<64>::load(is);
+  EXPECT_EQ(f.size(), 225u);
+  EXPECT_EQ(f.overflow_events(), 18u);
+  EXPECT_EQ(f.underflow_events(), 7u);
+  EXPECT_EQ(f.b1(), 52u);
+  EXPECT_EQ(f.stash_size(), 0u);
+  EXPECT_TRUE(f.validate());
+
+  std::ostringstream os;
+  f.save(os);
+  EXPECT_EQ(os.str(), blob) << "re-saved snapshot differs from the "
+                               "pre-refactor golden bytes";
+
+  std::ifstream keys(dir + "/mpcbf_v2_golden.keys");
+  ASSERT_TRUE(keys.good());
+  std::string key;
+  std::size_t n = 0;
+  while (std::getline(keys, key)) {
+    EXPECT_TRUE(f.contains(key)) << "lost key " << key;
+    ++n;
+  }
+  EXPECT_EQ(n, 225u);
 }
 
 TEST(Golden, SerializationByteStreamPinned) {

@@ -1,0 +1,271 @@
+// Unit tests for the shared word-engine core (src/core/word_engine.hpp)
+// plus the cross-variant shape-validation contract: every filter built on
+// the engine must accept and reject exactly the same (k, g) shapes. The
+// kMaxKPerWord satellite regression lives here — Mpcbf historically
+// allowed ⌈k/g⌉ up to 32 while AtomicMpcbf silently capped its position
+// arrays at 16, so a k=40, g=2 filter worked on one and corrupted memory
+// on the other.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "core/atomic_mpcbf.hpp"
+#include "core/mpcbf.hpp"
+#include "core/word_engine.hpp"
+#include "filters/pcbf.hpp"
+#include "hash/hash_stream.hpp"
+
+namespace {
+
+namespace engine = mpcbf::core::engine;
+using mpcbf::core::AtomicMpcbf;
+using mpcbf::core::Mpcbf;
+using mpcbf::core::MpcbfConfig;
+using mpcbf::filters::Pcbf;
+using mpcbf::filters::PcbfConfig;
+
+// --- validate_shape -----------------------------------------------------
+
+TEST(WordEngine, ValidateShapeAcceptsAllLegalShapes) {
+  for (unsigned g = 1; g <= engine::kMaxG; ++g) {
+    for (unsigned k = g; k <= g * engine::kMaxKPerWord; ++k) {
+      EXPECT_NO_THROW(engine::validate_shape(k, g, "t"))
+          << "k=" << k << " g=" << g;
+    }
+  }
+}
+
+TEST(WordEngine, ValidateShapeRejectsIllegalShapes) {
+  EXPECT_THROW(engine::validate_shape(0, 1, "t"), std::invalid_argument);
+  EXPECT_THROW(engine::validate_shape(3, 0, "t"), std::invalid_argument);
+  EXPECT_THROW(engine::validate_shape(2, 3, "t"), std::invalid_argument);
+  EXPECT_THROW(engine::validate_shape(9, 9, "t"), std::invalid_argument);
+  // ⌈k/g⌉ > kMaxKPerWord: 33 positions would overflow a per-word array.
+  EXPECT_THROW(engine::validate_shape(33, 1, "t"), std::invalid_argument);
+  EXPECT_THROW(engine::validate_shape(66, 2, "t"), std::invalid_argument);
+}
+
+TEST(WordEngine, ShapeErrorMessageNamesTheVariant) {
+  try {
+    engine::validate_shape(66, 2, "SomeFilter");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("SomeFilter"), std::string::npos);
+  }
+}
+
+// --- cross-variant rejection parity (the kMaxKPerWord satellite) --------
+
+TEST(WordEngine, VariantsRejectTheSameOverWideShapes) {
+  // ⌈66/2⌉ = 33 > kMaxKPerWord: every variant must reject it, not just
+  // some. Before the shared constant, AtomicMpcbf advertised 16 while
+  // Mpcbf enforced 32.
+  MpcbfConfig cfg;
+  cfg.memory_bits = 1 << 16;
+  cfg.k = 66;
+  cfg.g = 2;
+  cfg.n_max = 1;
+  EXPECT_THROW(Mpcbf<64>{cfg}, std::invalid_argument);
+  EXPECT_THROW(AtomicMpcbf(1 << 16, 66, 2, 100), std::invalid_argument);
+  PcbfConfig pcfg;
+  pcfg.memory_bits = 1 << 16;
+  pcfg.k = 66;
+  pcfg.g = 2;
+  EXPECT_THROW(Pcbf{pcfg}, std::invalid_argument);
+}
+
+TEST(WordEngine, VariantsAcceptTheSameMaxWidthShape) {
+  // ⌈64/2⌉ = 32 = kMaxKPerWord exactly — accepted everywhere. With
+  // n_max=1 the wide Mpcbf layout still leaves b1 = 64 - 32 = 32 >= 2.
+  MpcbfConfig cfg;
+  cfg.memory_bits = 1 << 16;
+  cfg.k = 64;
+  cfg.g = 2;
+  cfg.n_max = 1;
+  EXPECT_NO_THROW(Mpcbf<64>{cfg});
+  EXPECT_NO_THROW(AtomicMpcbf(1 << 16, 64, 2, 0, mpcbf::hash::kDefaultSeed,
+                              /*n_max=*/1));
+  PcbfConfig pcfg;
+  pcfg.memory_bits = 1 << 16;
+  pcfg.k = 64;
+  pcfg.g = 2;
+  EXPECT_NO_THROW(Pcbf{pcfg});
+}
+
+TEST(WordEngine, VariantConstantsAliasTheEngine) {
+  EXPECT_EQ(Mpcbf<64>::kMaxG, engine::kMaxG);
+  EXPECT_EQ(Mpcbf<64>::kMaxKPerWord, engine::kMaxKPerWord);
+  EXPECT_EQ(AtomicMpcbf::kMaxG, engine::kMaxG);
+  EXPECT_EQ(AtomicMpcbf::kMaxKPerWord, engine::kMaxKPerWord);
+}
+
+// --- SeenWords ----------------------------------------------------------
+
+TEST(WordEngine, SeenWordsDeduplicates) {
+  engine::SeenWords seen;
+  EXPECT_TRUE(seen.add(7));
+  EXPECT_TRUE(seen.add(3));
+  EXPECT_FALSE(seen.add(7));
+  EXPECT_FALSE(seen.add(3));
+  EXPECT_TRUE(seen.add(1));
+  EXPECT_EQ(seen.count, 3u);
+}
+
+// --- TargetDeriver ------------------------------------------------------
+
+TEST(WordEngine, DeriveAllMatchesManualStreamConsumption) {
+  // The deriver must consume the stream in the documented canonical
+  // order: for each group, one word index then ⌈k/g⌉ position indices.
+  const std::size_t l = 1024;
+  const unsigned k = 5, g = 2, b1 = 52;
+  engine::TargetDeriver d(l, k, g, b1);
+  engine::Targets t;
+  mpcbf::hash::HashBitStream s1("derive-key", 0x5EED);
+  d.derive_all(s1, t);
+
+  mpcbf::hash::HashBitStream s2("derive-key", 0x5EED);
+  unsigned idx = 0;
+  for (unsigned wi = 0; wi < g; ++wi) {
+    const std::size_t w = s2.next_index(l);
+    EXPECT_EQ(t.group_word[wi], w);
+    const unsigned kw = mpcbf::model::hashes_per_word(k, g, wi);
+    for (unsigned i = 0; i < kw; ++i, ++idx) {
+      EXPECT_EQ(t.word_of[idx], w);
+      EXPECT_EQ(t.pos[idx], s2.next_index(b1));
+    }
+  }
+  EXPECT_EQ(t.total_positions, k);
+  EXPECT_EQ(s1.accounted_bits(), s2.accounted_bits());
+}
+
+// --- group_by_word ------------------------------------------------------
+
+engine::Targets make_targets(
+    std::initializer_list<std::pair<std::size_t, unsigned>> entries) {
+  engine::Targets t;
+  t.total_positions = 0;
+  engine::SeenWords seen;
+  for (const auto& [w, pos] : entries) {
+    t.word_of[t.total_positions] = w;
+    t.pos[t.total_positions] = pos;
+    ++t.total_positions;
+    seen.add(w);
+  }
+  t.distinct_words = seen.count;
+  return t;
+}
+
+TEST(WordEngine, GroupByWordKeepsFirstSeenOrderAndDerivationOrder) {
+  // Words 9 and 4 collide across groups; positions must regroup per
+  // distinct word, contiguous, preserving derivation order within each.
+  const auto t = make_targets({{9, 1}, {9, 5}, {4, 2}, {9, 7}, {4, 0}});
+  engine::WordPlan p;
+  engine::group_by_word(t, p);
+  ASSERT_EQ(p.num_words, 2u);
+  EXPECT_EQ(p.word[0], 9u);
+  EXPECT_EQ(p.word[1], 4u);
+  ASSERT_EQ(p.offset[0], 0u);
+  ASSERT_EQ(p.offset[1], 3u);
+  ASSERT_EQ(p.offset[2], 5u);
+  EXPECT_EQ(p.pos[0], 1u);
+  EXPECT_EQ(p.pos[1], 5u);
+  EXPECT_EQ(p.pos[2], 7u);
+  EXPECT_EQ(p.pos[3], 2u);
+  EXPECT_EQ(p.pos[4], 0u);
+}
+
+TEST(WordEngine, GroupByWordSingleWordAbsorbsEverything) {
+  const auto t = make_targets({{3, 0}, {3, 1}, {3, 2}});
+  engine::WordPlan p;
+  engine::group_by_word(t, p);
+  ASSERT_EQ(p.num_words, 1u);
+  EXPECT_EQ(p.word[0], 3u);
+  EXPECT_EQ(p.offset[1], 3u);
+}
+
+// --- capacity_ok --------------------------------------------------------
+
+TEST(WordEngine, CapacityOkAggregatesCollidingGroups) {
+  // Word 2 receives three increments; capacity checks must see the sum,
+  // not each position in isolation.
+  const auto t = make_targets({{2, 0}, {2, 1}, {5, 3}, {2, 4}});
+  std::vector<std::uint16_t> used = {0, 0, 10, 0, 0, 11};
+  EXPECT_TRUE(engine::capacity_ok(t, used, 13));   // 10+3<=13, 11+1<=13
+  EXPECT_FALSE(engine::capacity_ok(t, used, 12));  // word 2 would hit 13
+  used[5] = 12;
+  EXPECT_FALSE(engine::capacity_ok(t, used, 12));  // word 5 full too
+}
+
+// --- evaluate_lazy ------------------------------------------------------
+
+TEST(WordEngine, EvaluateLazyStopsAtFirstMissWhenShortCircuiting) {
+  const auto t = make_targets({{0, 1}, {0, 2}, {1, 3}});
+  std::size_t probes = 0;
+  const auto ev = engine::evaluate_lazy(
+      t, /*num_words=*/16, /*k=*/3, /*g=*/2, /*b1=*/8,
+      /*short_circuit=*/true, [&](std::size_t, unsigned) {
+        ++probes;
+        return false;  // first probe already misses
+      });
+  EXPECT_FALSE(ev.positive);
+  EXPECT_EQ(probes, 1u);
+  EXPECT_EQ(ev.words_touched, 1u);
+  // One word index (ceil_log2(16) = 4) + one position (ceil_log2(8) = 3).
+  EXPECT_EQ(ev.hash_bits, 7u);
+}
+
+TEST(WordEngine, EvaluateLazyConsumesFullBudgetWithoutShortCircuit) {
+  const auto t = make_targets({{0, 1}, {0, 2}, {1, 3}});
+  std::size_t probes = 0;
+  const auto ev = engine::evaluate_lazy(
+      t, 16, 3, 2, 8, /*short_circuit=*/false,
+      [&](std::size_t, unsigned) {
+        ++probes;
+        return false;
+      });
+  EXPECT_FALSE(ev.positive);
+  EXPECT_EQ(probes, 3u);
+  EXPECT_EQ(ev.words_touched, 2u);
+  // Two word indices (2*4) + three positions (3*3).
+  EXPECT_EQ(ev.hash_bits, 17u);
+}
+
+// --- chunked_pipeline ---------------------------------------------------
+
+TEST(WordEngine, ChunkedPipelineDerivesWholeChunkBeforeResolving) {
+  const std::size_t n = engine::kBatchChunk + 5;  // one full + one partial
+  std::vector<char> derived(n, 0);
+  std::vector<std::size_t> chunk_sizes;
+  std::size_t resolved = 0;
+  engine::chunked_pipeline(
+      n,
+      [&](std::size_t key_i, std::size_t) { derived[key_i] = 1; },
+      [&](std::size_t key_i, std::size_t) {
+        // Pipelining contract: by resolve time the whole chunk derived.
+        const std::size_t chunk_base =
+            (key_i / engine::kBatchChunk) * engine::kBatchChunk;
+        const std::size_t chunk_end =
+            std::min(chunk_base + engine::kBatchChunk, n);
+        for (std::size_t j = chunk_base; j < chunk_end; ++j) {
+          ASSERT_EQ(derived[j], 1) << "key " << j << " not derived yet";
+        }
+        ++resolved;
+      },
+      [&](std::size_t count) { chunk_sizes.push_back(count); },
+      [](std::size_t) {});
+  EXPECT_EQ(resolved, n);
+  ASSERT_EQ(chunk_sizes.size(), 2u);
+  EXPECT_EQ(chunk_sizes[0], engine::kBatchChunk);
+  EXPECT_EQ(chunk_sizes[1], 5u);
+}
+
+// --- default seed constant ----------------------------------------------
+
+TEST(WordEngine, DefaultSeedIsTheSharedConstant) {
+  EXPECT_EQ(mpcbf::hash::kDefaultSeed, 0x9E3779B97F4A7C15ULL);
+  EXPECT_EQ(MpcbfConfig{}.seed, mpcbf::hash::kDefaultSeed);
+  EXPECT_EQ(PcbfConfig{}.seed, mpcbf::hash::kDefaultSeed);
+}
+
+}  // namespace
