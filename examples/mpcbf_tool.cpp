@@ -16,8 +16,16 @@
 //   recover --dir D [--out FILTER]            rebuild state from a durable dir
 //   health --filter FILTER | --dir D          saturation / FPR-drift probe
 //          [--probes N] [--warn S] [--critical S] [--prometheus]
+//          [--watch] [--interval-ms MS]       re-probe until SIGINT/SIGTERM
 //   trace --keys FILE [--filter F | --dir D]  record a keyfile replay to
 //         [--out T.trace.json] [--timeline T] Chrome trace-event JSON
+//   serve --dir D | --filter F | (sizing)     run mpcbfd (docs/server.md)
+//         [--port P] [--bind A] [--workers N] until SIGINT/SIGTERM; durable
+//         [--port-file PATH]                  dirs snapshot on shutdown
+//   client --port P [--host H]                one batched RPC against a
+//          --op query|insert|erase|stats|     running server
+//               health|snapshot
+//          [--keys FILE] [--verbose]
 //
 // Key files are newline-separated keys. A "durable dir" is a
 // DurableMpcbf directory (write-ahead journal + checksummed snapshots,
@@ -36,6 +44,9 @@
 #include "metrics/export.hpp"
 #include "metrics/health.hpp"
 #include "model/planner.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "net/shutdown.hpp"
 #include "trace/trace.hpp"
 
 namespace {
@@ -365,6 +376,29 @@ int cmd_health(const mpcbf::util::CliArgs& args) {
               << "]: saturation score " << s.saturation_score << "\n";
   };
   mpcbf::metrics::HealthProber prober(cfg);
+
+  if (args.get_bool("watch")) {
+    // Re-probe on an interval until SIGINT/SIGTERM (same latch as
+    // `serve`), then flush the registry and exit 0 — so a supervised
+    // watcher always leaves a final scrape behind.
+    mpcbf::net::ShutdownSignal::install();
+    const auto interval =
+        std::chrono::milliseconds(args.get_uint("interval-ms", 1000));
+    while (!mpcbf::net::ShutdownSignal::requested()) {
+      const auto w = prober.probe(filter);
+      std::cout << "health: score=" << w.saturation_score << " severity="
+                << mpcbf::metrics::to_string(w.severity)
+                << " fill=" << w.level1_fill << " fpr=" << w.measured_fpr
+                << " drift=" << w.fpr_drift << std::endl;
+      mpcbf::net::ShutdownSignal::wait(interval);
+    }
+    if (args.get_bool("prometheus")) {
+      mpcbf::metrics::Registry::global().write_prometheus(std::cout);
+    }
+    std::cout << "health watch: shutdown signal received, exiting\n";
+    return 0;
+  }
+
   const auto s = prober.probe(filter);
 
   std::cout << "severity:              " << mpcbf::metrics::to_string(s.severity)
@@ -455,13 +489,156 @@ int cmd_trace(const mpcbf::util::CliArgs& args) {
   return 0;
 }
 
+// Runs mpcbfd until SIGINT/SIGTERM. Three backing modes:
+//   --dir D      durable: WAL-first mutations, final snapshot on shutdown
+//   --filter F   serve a pre-built snapshot (read-mostly deployments)
+//   (neither)    fresh in-memory filter from the sizing flags
+// --port 0 (the default) binds an ephemeral port; --port-file writes the
+// resolved port for scripted callers (the CI smoke test uses it).
+int cmd_serve(const mpcbf::util::CliArgs& args) {
+  mpcbf::net::ShutdownSignal::install();
+
+  const std::string dir = args.get_string("dir", "");
+  const std::string filter_path = args.get_string("filter", "");
+
+  std::shared_ptr<mpcbf::core::DurableMpcbf<64>> durable;
+  std::shared_ptr<mpcbf::core::Mpcbf<64>> plain;
+  mpcbf::net::FilterBackend backend;
+  if (!dir.empty()) {
+    durable = [&] {
+      try {
+        return mpcbf::core::DurableMpcbf<64>::open_shared(dir);
+      } catch (const std::runtime_error&) {
+        return mpcbf::core::DurableMpcbf<64>::open_shared(
+            dir, durable_config(args));
+      }
+    }();
+    backend = mpcbf::net::make_backend(durable,
+                                       args.get_uint("probes", 512));
+  } else if (!filter_path.empty()) {
+    std::ifstream is(filter_path, std::ios::binary);
+    if (!is) {
+      std::cerr << "cannot open filter file: " << filter_path << "\n";
+      return 1;
+    }
+    plain = std::make_shared<mpcbf::core::Mpcbf<64>>(load_any_filter(is));
+    backend = mpcbf::net::make_backend(plain, args.get_uint("probes", 512));
+  } else {
+    plain = std::make_shared<mpcbf::core::Mpcbf<64>>(durable_config(args));
+    backend = mpcbf::net::make_backend(plain, args.get_uint("probes", 512));
+  }
+
+  mpcbf::net::Server::Options opts;
+  opts.bind_address = args.get_string("bind", "127.0.0.1");
+  opts.port = static_cast<std::uint16_t>(args.get_uint("port", 0));
+  opts.workers = args.get_uint("workers", 2);
+  mpcbf::net::Server server(std::move(backend), opts);
+  server.start();
+
+  std::cout << "mpcbfd listening on " << opts.bind_address << ":"
+            << server.port() << " (" << opts.workers << " workers, "
+            << (durable ? "durable" : "in-memory") << " backend)"
+            << std::endl;
+  const std::string port_file = args.get_string("port-file", "");
+  if (!port_file.empty()) {
+    std::ofstream pf(port_file);
+    pf << server.port() << "\n";
+  }
+
+  mpcbf::net::ShutdownSignal::wait(std::chrono::milliseconds(0));
+  std::cout << "mpcbfd: shutdown signal received, draining" << std::endl;
+  server.stop();
+
+  if (durable) {
+    // In-flight mutations are already journaled (WAL-first); the final
+    // snapshot just compacts recovery to one file read.
+    durable->snapshot();
+    std::cout << "final snapshot at seq " << durable->next_seq() - 1
+              << "\n";
+  }
+  std::cout << "served " << server.requests_served() << " requests on "
+            << server.connections_accepted() << " connections\n";
+  if (args.get_bool("prometheus")) {
+    mpcbf::metrics::Registry::global().write_prometheus(std::cout);
+  } else {
+    std::cout << "--- metrics ---\n";
+    mpcbf::metrics::Registry::global().write_summary(std::cout);
+  }
+  mpcbf::trace::Tracer::global().clear();
+  return 0;
+}
+
+// One client RPC against a running server: batched filter ops read the
+// key file and print verdict counts; admin ops print the decoded reply.
+int cmd_client(const mpcbf::util::CliArgs& args) {
+  mpcbf::net::Client::Options opts;
+  opts.host = args.get_string("host", "127.0.0.1");
+  opts.port = static_cast<std::uint16_t>(args.get_uint("port", 0));
+  if (opts.port == 0) {
+    std::cerr << "client: --port is required\n";
+    return 2;
+  }
+  mpcbf::net::Client client(opts);
+  const std::string op = args.get_string("op", "query");
+
+  if (op == "stats") {
+    const auto s = client.stats();
+    std::cout << "elements:        " << s.elements << "\n"
+              << "memory:          " << s.memory_bits / 8 / 1024 << " KiB\n"
+              << "k / g:           " << s.k << " / " << s.g << "\n"
+              << "b1 / n_max:      " << s.b1 << " / " << s.n_max << "\n"
+              << "stash entries:   " << s.stash_entries << "\n"
+              << "overflow events: " << s.overflow_events << "\n"
+              << "requests served: " << s.requests_served << "\n";
+    return 0;
+  }
+  if (op == "health") {
+    const auto h = client.health();
+    std::cout << "ready:            " << (h.ready ? "yes" : "no") << "\n"
+              << "severity:         " << unsigned(h.severity) << "\n"
+              << "saturation score: " << h.saturation_score << "\n"
+              << "level-1 fill:     " << h.level1_fill << "\n"
+              << "measured FPR:     " << h.measured_fpr << "\n"
+              << "FPR drift:        " << h.fpr_drift << "\n"
+              << "elements:         " << h.elements << "\n";
+    return h.severity >= 2 ? 1 : 0;
+  }
+  if (op == "snapshot") {
+    std::cout << "snapshot at seq " << client.snapshot() << "\n";
+    return 0;
+  }
+
+  const auto keys = read_keys(args.get_string("keys", ""));
+  std::vector<std::uint8_t> verdicts;
+  if (op == "query") {
+    verdicts = client.query(keys);
+  } else if (op == "insert") {
+    verdicts = client.insert(keys);
+  } else if (op == "erase") {
+    verdicts = client.erase(keys);
+  } else {
+    std::cerr << "unknown --op: " << op << "\n";
+    return 2;
+  }
+  std::size_t positive = 0;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    positive += verdicts[i];
+    if (args.get_bool("verbose")) {
+      std::cout << (verdicts[i] ? "+ " : "- ") << keys[i] << "\n";
+    }
+  }
+  std::cout << op << ": " << positive << "/" << keys.size()
+            << " positive\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::cerr << "usage: mpcbf_tool "
                  "<plan|build|query|merge|stats|verify|snapshot|recover|"
-                 "health|trace> [flags]\n";
+                 "health|trace|serve|client> [flags]\n";
     return 2;
   }
   const std::string cmd = argv[1];
@@ -477,6 +654,8 @@ int main(int argc, char** argv) {
     if (cmd == "recover") return cmd_recover(args);
     if (cmd == "health") return cmd_health(args);
     if (cmd == "trace") return cmd_trace(args);
+    if (cmd == "serve") return cmd_serve(args);
+    if (cmd == "client") return cmd_client(args);
     std::cerr << "unknown subcommand: " << cmd << "\n";
     return 2;
   } catch (const std::exception& e) {

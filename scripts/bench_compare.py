@@ -7,8 +7,8 @@ directory and fails (exit 1) when any gated metric regressed by more
 than --tolerance (default 15%).
 
 Only latency-style metrics (name containing "ns") are gated, and only
-for the benches listed in --benches (default: the two the CI perf gate
-watches, micro_ops and fig08_query_time). Improvements and new metrics
+for the benches listed in --benches (default: the three the CI perf
+gate watches, micro_ops, fig08_query_time and server). Improvements and new metrics
 are reported but never fail the gate; a metric present in the baseline
 but missing from the candidate fails it (a silently vanished series is
 how perf coverage rots).
@@ -32,7 +32,7 @@ import json
 import os
 import sys
 
-DEFAULT_BENCHES = "micro_ops,fig08_query_time"
+DEFAULT_BENCHES = "micro_ops,fig08_query_time,server"
 
 
 def load_metrics(directories, bench: str):

@@ -10,15 +10,19 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { stop(); }
+
+void ThreadPool::stop() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_ && workers_.empty()) return;  // already stopped
     stopping_ = true;
   }
   cv_.notify_all();
   for (auto& w : workers_) {
     if (w.joinable()) w.join();
   }
+  workers_.clear();
 }
 
 void ThreadPool::worker_loop() {

@@ -13,6 +13,7 @@
 #include <future>
 #include <mutex>
 #include <queue>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -29,13 +30,26 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
+  /// Drains outstanding tasks and joins all workers, after which
+  /// submit() throws. Idempotent; the destructor calls it. Lets an
+  /// owner (e.g. net::Server during graceful shutdown) end the pool's
+  /// lifetime at a chosen point instead of at scope exit.
+  void stop();
+
   /// Enqueues a task; the returned future resolves when it completes.
+  /// Throws std::runtime_error after stop() — a task submitted to a
+  /// stopped pool would never run, so accepting it silently (or
+  /// crashing, as the old queue-after-notify-exit UB could) is worse
+  /// than failing loudly.
   template <typename F>
   std::future<void> submit(F&& f) {
     auto task = std::make_shared<std::packaged_task<void()>>(std::forward<F>(f));
     std::future<void> fut = task->get_future();
     {
       std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) {
+        throw std::runtime_error("ThreadPool: submit after stop");
+      }
       queue_.emplace([task]() { (*task)(); });
     }
     cv_.notify_one();

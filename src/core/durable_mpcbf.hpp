@@ -36,6 +36,7 @@
 #include <filesystem>
 #include <fstream>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <span>
 #include <sstream>
@@ -100,6 +101,18 @@ class DurableMpcbf {
     return DurableMpcbf(dir, std::nullopt, options);
   }
 
+  /// Shared-ownership open, for owners that hand the filter to
+  /// long-lived capturing callbacks (net::make_backend). The class is
+  /// immovable (the journal pins an fd), so this constructs in place.
+  /// Without `cfg` behaves like open_existing(); with `cfg`, like the
+  /// open-or-create constructor.
+  static std::shared_ptr<DurableMpcbf> open_shared(
+      const std::filesystem::path& dir,
+      std::optional<MpcbfConfig> cfg = std::nullopt, Options options = {}) {
+    return std::shared_ptr<DurableMpcbf>(
+        new DurableMpcbf(dir, cfg, options));
+  }
+
   ~DurableMpcbf() {
     try {
       if (journal_.next_seq() > journal_.base_seq()) {
@@ -133,13 +146,14 @@ class DurableMpcbf {
   /// `ok[i]` receives insert(keys[i])'s return value.
   void insert_batch(std::span<const std::string> keys,
                     std::span<std::uint8_t> ok) {
-    if (keys.size() != ok.size()) {
-      throw std::invalid_argument("insert_batch: size mismatch");
-    }
-    for (const auto& key : keys) {
-      log_op(io::JournalOp::kInsert, key);
-    }
-    filter_.insert_batch(keys, ok);
+    insert_batch_impl<std::string>(keys, ok);
+  }
+  /// string_view flavour — the serving layer decodes requests to views
+  /// into a network buffer and journals/applies them with no per-key
+  /// allocation.
+  void insert_batch(std::span<const std::string_view> keys,
+                    std::span<std::uint8_t> ok) {
+    insert_batch_impl<std::string_view>(keys, ok);
   }
 
   // --- queries (journal-free, same cost as the plain filter) ------------
@@ -152,6 +166,10 @@ class DurableMpcbf {
   }
   /// Batched membership through the underlying engine pipeline.
   void contains_batch(std::span<const std::string> keys,
+                      std::span<std::uint8_t> out) const {
+    filter_.contains_batch(keys, out);
+  }
+  void contains_batch(std::span<const std::string_view> keys,
                       std::span<std::uint8_t> out) const {
     filter_.contains_batch(keys, out);
   }
@@ -263,6 +281,20 @@ class DurableMpcbf {
         journal_(journal_path(dir).string()) {
     if (options_.flush_every == 0) options_.flush_every = 1;
     if (options_.keep_snapshots == 0) options_.keep_snapshots = 1;
+  }
+
+  template <typename Key>
+  void insert_batch_impl(std::span<const Key> keys,
+                         std::span<std::uint8_t> ok) {
+    if (keys.size() != ok.size()) {
+      throw std::invalid_argument("insert_batch: size mismatch");
+    }
+    // WAL invariant for the whole batch: every key is journaled (and
+    // group-commit flushed) before any is applied in memory.
+    for (const auto& key : keys) {
+      log_op(io::JournalOp::kInsert, key);
+    }
+    filter_.insert_batch(keys, ok);
   }
 
   void log_op(io::JournalOp op, std::string_view key) {

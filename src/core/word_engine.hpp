@@ -285,7 +285,13 @@ class PlainWords {
     return words_[w].test(pos);
   }
   void prefetch(std::size_t w, bool for_write) const noexcept {
-    __builtin_prefetch(&words_[w], for_write ? 1 : 0, 1);
+    // GCC requires the rw argument to be a literal constant (clang folds
+    // the ternary even at -O0); branch so both accept it.
+    if (for_write) {
+      __builtin_prefetch(&words_[w], 1, 1);
+    } else {
+      __builtin_prefetch(&words_[w], 0, 1);
+    }
   }
 
   /// Increments the counter at (w, pos), keeping the usage cache in sync.
@@ -361,7 +367,13 @@ class AtomicWords64 {
     words_[w].store(v, std::memory_order_relaxed);
   }
   void prefetch(std::size_t w, bool for_write) const noexcept {
-    __builtin_prefetch(&words_[w], for_write ? 1 : 0, 1);
+    // GCC requires the rw argument to be a literal constant (clang folds
+    // the ternary even at -O0); branch so both accept it.
+    if (for_write) {
+      __builtin_prefetch(&words_[w], 1, 1);
+    } else {
+      __builtin_prefetch(&words_[w], 0, 1);
+    }
   }
 
   /// CAS loop applying all of plan group `s`'s increments (or decrements)

@@ -1,0 +1,149 @@
+#include "net/client.hpp"
+
+#include <thread>
+
+#include "trace/trace.hpp"
+
+namespace mpcbf::net {
+
+void Client::connect() {
+  if (sock_.valid()) return;
+  NetError last("connect: no attempts made");
+  for (unsigned attempt = 0; attempt < options_.connect_attempts;
+       ++attempt) {
+    if (attempt != 0) std::this_thread::sleep_for(options_.retry_backoff);
+    try {
+      sock_ = connect_tcp(options_.host, options_.port,
+                          options_.io_timeout);
+      return;
+    } catch (const NetError& e) {
+      last = e;
+    }
+  }
+  throw last;
+}
+
+std::string Client::round_trip(Opcode op, std::string_view payload) {
+  MPCBF_TRACE_SPAN(span, kNet, "client.round_trip");
+  connect();
+  const std::uint64_t id = next_id_++;
+  sendbuf_.clear();
+  append_frame(sendbuf_, op, 0, id, payload);
+  try {
+    write_all(sock_.fd(), sendbuf_.data(), sendbuf_.size());
+    recvbuf_.clear();
+    for (;;) {
+      const DecodeResult r = decode_frame(recvbuf_);
+      if (r.status == DecodeStatus::kError) {
+        close();
+        throw NetError(std::string("response frame: ") + r.error);
+      }
+      if (r.status == DecodeStatus::kFrame) {
+        const FrameHeader& h = r.frame.header;
+        if ((h.flags & kFlagResponse) == 0 || h.request_id != id ||
+            h.opcode != static_cast<std::uint8_t>(op)) {
+          close();
+          throw NetError("response frame does not match request");
+        }
+        if ((h.flags & kFlagError) != 0) {
+          WireError we;
+          if (const char* err = parse_error(r.frame.payload, we);
+              err != nullptr) {
+            close();
+            throw NetError(err);
+          }
+          // The connection stays usable after a server-side error
+          // reply; only the operation failed.
+          throw RemoteError(we.code, we.message);
+        }
+        return std::string(r.frame.payload);
+      }
+      char chunk[16 * 1024];
+      const std::ptrdiff_t n = read_some(sock_.fd(), chunk, sizeof chunk);
+      if (n == 0) {
+        close();
+        throw NetError("server closed the connection mid-response");
+      }
+      if (n < 0) {
+        close();
+        throw NetError("response timed out");
+      }
+      recvbuf_.append(chunk, static_cast<std::size_t>(n));
+    }
+  } catch (const RemoteError&) {
+    throw;
+  } catch (const NetError&) {
+    close();  // transport state is unknown; force a reconnect
+    throw;
+  }
+}
+
+template <typename Key>
+std::vector<std::uint8_t> Client::batch_op(Opcode op,
+                                           std::span<const Key> keys) {
+  std::string payload;
+  append_key_batch(payload, keys);
+  const std::string reply = round_trip(op, payload);
+  std::vector<std::uint8_t> verdicts;
+  if (const char* err = parse_verdicts(reply, verdicts); err != nullptr) {
+    throw NetError(err);
+  }
+  if (verdicts.size() != keys.size()) {
+    throw NetError("verdict count does not match key count");
+  }
+  return verdicts;
+}
+
+std::vector<std::uint8_t> Client::query(
+    std::span<const std::string> keys) {
+  return batch_op(Opcode::kQuery, keys);
+}
+std::vector<std::uint8_t> Client::query(
+    std::span<const std::string_view> keys) {
+  return batch_op(Opcode::kQuery, keys);
+}
+std::vector<std::uint8_t> Client::insert(
+    std::span<const std::string> keys) {
+  return batch_op(Opcode::kInsert, keys);
+}
+std::vector<std::uint8_t> Client::insert(
+    std::span<const std::string_view> keys) {
+  return batch_op(Opcode::kInsert, keys);
+}
+std::vector<std::uint8_t> Client::erase(
+    std::span<const std::string> keys) {
+  return batch_op(Opcode::kErase, keys);
+}
+std::vector<std::uint8_t> Client::erase(
+    std::span<const std::string_view> keys) {
+  return batch_op(Opcode::kErase, keys);
+}
+
+StatsReply Client::stats() {
+  const std::string reply = round_trip(Opcode::kStats, {});
+  StatsReply s;
+  if (const char* err = parse_reply_pod(reply, s); err != nullptr) {
+    throw NetError(err);
+  }
+  return s;
+}
+
+HealthReply Client::health() {
+  const std::string reply = round_trip(Opcode::kHealth, {});
+  HealthReply h;
+  if (const char* err = parse_reply_pod(reply, h); err != nullptr) {
+    throw NetError(err);
+  }
+  return h;
+}
+
+std::uint64_t Client::snapshot() {
+  const std::string reply = round_trip(Opcode::kSnapshot, {});
+  SnapshotReply s;
+  if (const char* err = parse_reply_pod(reply, s); err != nullptr) {
+    throw NetError(err);
+  }
+  return s.last_seq;
+}
+
+}  // namespace mpcbf::net

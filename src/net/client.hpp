@@ -1,0 +1,105 @@
+// Blocking client for mpcbfd (net/server.hpp).
+//
+// One Client owns one TCP connection and is a strict request/response
+// state machine — not thread-safe; give each thread its own Client (the
+// server pins each connection to one worker, so N clients also spread
+// load across workers). connect() retries with linear backoff;
+// per-operation send/receive deadlines come from SO_SNDTIMEO/RCVTIMEO.
+//
+// The batching API is the intended hot path: a query([...64 keys...])
+// costs one frame each way and runs the server's word-engine batch
+// pipeline, amortizing the syscall + parse overhead that dominates
+// 1-key requests (bench/bench_server.cpp measures the gap).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/protocol.hpp"
+#include "net/socket.hpp"
+
+namespace mpcbf::net {
+
+/// The server answered with a well-formed error reply (the transport is
+/// intact; NetError covers transport failures).
+class RemoteError : public NetError {
+ public:
+  RemoteError(ErrorCode code, const std::string& message)
+      : NetError("server error " +
+                 std::to_string(static_cast<std::uint32_t>(code)) + ": " +
+                 message),
+        code_(code) {}
+  [[nodiscard]] ErrorCode code() const noexcept { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
+class Client {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+    /// connect() attempts before giving up (covers a server that is
+    /// still binding its port when the client races it).
+    unsigned connect_attempts = 10;
+    std::chrono::milliseconds retry_backoff{50};
+    /// Per-syscall send/receive deadline.
+    std::chrono::milliseconds io_timeout{5000};
+  };
+
+  explicit Client(Options options) : options_(std::move(options)) {}
+  ~Client() = default;
+  Client(Client&&) = default;
+  Client& operator=(Client&&) = default;
+
+  /// Connects (with retry/backoff). Throws NetError after the last
+  /// failed attempt. Idempotent once connected.
+  void connect();
+
+  [[nodiscard]] bool connected() const noexcept { return sock_.valid(); }
+  void close() noexcept { sock_.close(); }
+
+  // --- batched filter ops (auto-connect) --------------------------------
+
+  /// Membership verdicts, one byte per key (1 = positive).
+  std::vector<std::uint8_t> query(std::span<const std::string> keys);
+  std::vector<std::uint8_t> query(std::span<const std::string_view> keys);
+
+  /// Inserts; ok[i] mirrors the server-side insert return value.
+  std::vector<std::uint8_t> insert(std::span<const std::string> keys);
+  std::vector<std::uint8_t> insert(std::span<const std::string_view> keys);
+
+  /// Erases; ok[i] false for keys whose counters underflowed.
+  std::vector<std::uint8_t> erase(std::span<const std::string> keys);
+  std::vector<std::uint8_t> erase(std::span<const std::string_view> keys);
+
+  // --- admin ops --------------------------------------------------------
+
+  [[nodiscard]] StatsReply stats();
+  [[nodiscard]] HealthReply health();
+  /// Asks the server to publish a durable snapshot; returns the journal
+  /// watermark. Throws RemoteError(kUnsupported) on memory-only servers.
+  std::uint64_t snapshot();
+
+ private:
+  /// One round trip: frames `payload`, sends, reads the matching
+  /// response frame (id-checked), throws RemoteError on error replies.
+  /// Returns the response payload.
+  std::string round_trip(Opcode op, std::string_view payload);
+
+  template <typename Key>
+  std::vector<std::uint8_t> batch_op(Opcode op, std::span<const Key> keys);
+
+  Options options_;
+  Socket sock_;
+  std::uint64_t next_id_ = 1;
+  std::string sendbuf_;
+  std::string recvbuf_;
+};
+
+}  // namespace mpcbf::net

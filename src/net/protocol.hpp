@@ -1,0 +1,399 @@
+// Wire protocol for mpcbfd — the length-prefixed, CRC32C-framed binary
+// format the filter server and client library speak.
+//
+// Every message (request or response) is one frame:
+//
+//   offset  size  field
+//   0       4     frame magic 0x314E504D ("MPN1", little-endian u32)
+//   4       1     opcode (Opcode enum)
+//   5       1     flags (bit0 = response, bit1 = error)
+//   6       2     reserved (must be 0)
+//   8       8     request id (u64; a response echoes its request's id)
+//   16      4     payload length in bytes (u32)
+//   20      4     CRC32C of the payload bytes (u32)
+//   24      len   payload
+//
+// The header is fixed-size so a reader knows exactly how many bytes to
+// wait for; the CRC covers the payload, so a frame is either delivered
+// intact or rejected before a single payload byte reaches a parser —
+// the same discipline io/crc32c.hpp enforces for snapshots. Requests
+// are batched (one frame carries up to kMaxBatchKeys keys) because the
+// whole point of the serving layer is to amortize the syscall + parse
+// cost over the word-engine batch pipeline; see docs/server.md for
+// batching guidance.
+//
+// Hostile-input hardening mirrors the snapshot loaders: every length
+// field is validated against a cap *before* any allocation
+// (kMaxPayload, kMaxBatchKeys, kMaxKeyLen), and decoded keys are
+// string_views into the connection's read buffer — a request batch is
+// processed with zero per-key allocation.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "io/crc32c.hpp"
+
+namespace mpcbf::net {
+
+inline constexpr std::uint32_t kFrameMagic = 0x314E504Du;  // "MPN1"
+inline constexpr std::size_t kHeaderSize = 24;
+/// Frame payload cap: anything larger is rejected from the header alone,
+/// before allocation (a hostile length field must not become an
+/// allocation bomb — same rule as io::kMaxFramePayload).
+inline constexpr std::uint32_t kMaxPayload = 1u << 24;  // 16 MiB
+/// Keys per batched request.
+inline constexpr std::uint32_t kMaxBatchKeys = 1u << 16;
+/// Bytes per key.
+inline constexpr std::uint32_t kMaxKeyLen = 4096;
+
+enum class Opcode : std::uint8_t {
+  kQuery = 1,     ///< batched membership; reply = verdict per key
+  kInsert = 2,    ///< batched insert; reply = ok flag per key
+  kErase = 3,     ///< batched erase; reply = ok flag per key
+  kStats = 4,     ///< filter layout + counters (StatsReply)
+  kHealth = 5,    ///< readiness + saturation probe (HealthReply)
+  kSnapshot = 6,  ///< force a durable snapshot (SnapshotReply)
+};
+
+[[nodiscard]] constexpr bool opcode_known(std::uint8_t op) noexcept {
+  return op >= 1 && op <= 6;
+}
+
+[[nodiscard]] constexpr const char* to_string(Opcode op) noexcept {
+  switch (op) {
+    case Opcode::kQuery: return "query";
+    case Opcode::kInsert: return "insert";
+    case Opcode::kErase: return "erase";
+    case Opcode::kStats: return "stats";
+    case Opcode::kHealth: return "health";
+    case Opcode::kSnapshot: return "snapshot";
+  }
+  return "?";
+}
+
+inline constexpr std::uint8_t kFlagResponse = 0x1;
+inline constexpr std::uint8_t kFlagError = 0x2;
+
+/// Error codes carried by an error response payload.
+enum class ErrorCode : std::uint32_t {
+  kBadRequest = 1,    ///< frame was intact but its payload is malformed
+  kUnsupported = 2,   ///< opcode not supported by this backend
+  kInternal = 3,      ///< backend threw while serving the request
+  kShuttingDown = 4,  ///< server is draining; retry against another node
+};
+
+struct FrameHeader {
+  std::uint8_t opcode = 0;
+  std::uint8_t flags = 0;
+  std::uint64_t request_id = 0;
+  std::uint32_t payload_len = 0;
+  std::uint32_t payload_crc = 0;
+};
+
+/// A decoded frame; `payload` views into the caller's buffer and is only
+/// valid until that buffer is mutated.
+struct Frame {
+  FrameHeader header;
+  std::string_view payload;
+};
+
+// --- low-level append/read helpers (little-endian PODs, like io/) -------
+
+namespace detail {
+
+template <typename T>
+inline void append_pod(std::string& out, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out.append(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+/// Bounds-checked sequential reader over a payload view. read() returns
+/// false on truncation instead of throwing — the decoder turns that into
+/// a clean protocol error.
+class PayloadReader {
+ public:
+  explicit PayloadReader(std::string_view buf) : buf_(buf) {}
+
+  template <typename T>
+  [[nodiscard]] bool read(T& v) noexcept {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (buf_.size() - pos_ < sizeof v) return false;
+    std::memcpy(&v, buf_.data() + pos_, sizeof v);
+    pos_ += sizeof v;
+    return true;
+  }
+
+  [[nodiscard]] bool read_view(std::size_t len,
+                               std::string_view& out) noexcept {
+    if (buf_.size() - pos_ < len) return false;
+    out = buf_.substr(pos_, len);
+    pos_ += len;
+    return true;
+  }
+
+  [[nodiscard]] bool exhausted() const noexcept {
+    return pos_ == buf_.size();
+  }
+
+ private:
+  std::string_view buf_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace detail
+
+// --- frame encode -------------------------------------------------------
+
+/// Appends one complete frame (header + payload) to `out`. The payload
+/// must already respect kMaxPayload; callers build payloads with the
+/// append_* helpers below, which enforce the caps.
+inline void append_frame(std::string& out, Opcode op, std::uint8_t flags,
+                         std::uint64_t request_id,
+                         std::string_view payload) {
+  detail::append_pod<std::uint32_t>(out, kFrameMagic);
+  detail::append_pod<std::uint8_t>(out, static_cast<std::uint8_t>(op));
+  detail::append_pod<std::uint8_t>(out, flags);
+  detail::append_pod<std::uint16_t>(out, 0);  // reserved
+  detail::append_pod<std::uint64_t>(out, request_id);
+  detail::append_pod<std::uint32_t>(
+      out, static_cast<std::uint32_t>(payload.size()));
+  detail::append_pod<std::uint32_t>(out, io::crc32c(payload));
+  out.append(payload);
+}
+
+// --- frame decode (incremental) ----------------------------------------
+
+enum class DecodeStatus : std::uint8_t {
+  kNeedMore,  ///< buffer holds a prefix of a frame; read more bytes
+  kFrame,     ///< one intact frame decoded; drop `consumed` bytes
+  kError,     ///< stream is unrecoverable (bad magic / CRC / oversized)
+};
+
+struct DecodeResult {
+  DecodeStatus status = DecodeStatus::kNeedMore;
+  Frame frame;               ///< valid when status == kFrame
+  std::size_t consumed = 0;  ///< bytes of `buf` the frame occupied
+  const char* error = nullptr;  ///< static reason when status == kError
+};
+
+/// Attempts to decode one frame from the front of `buf`. Never throws
+/// and never allocates: a torn, truncated, oversized or corrupt stream
+/// yields kNeedMore or kError. On kError the connection must be closed —
+/// after a framing violation the byte stream has no trustworthy
+/// resynchronization point.
+[[nodiscard]] inline DecodeResult decode_frame(std::string_view buf) {
+  DecodeResult r;
+  if (buf.size() < kHeaderSize) return r;  // kNeedMore
+  detail::PayloadReader reader(buf);
+  std::uint32_t magic = 0;
+  std::uint16_t reserved = 0;
+  FrameHeader& h = r.frame.header;
+  (void)reader.read(magic);
+  (void)reader.read(h.opcode);
+  (void)reader.read(h.flags);
+  (void)reader.read(reserved);
+  (void)reader.read(h.request_id);
+  (void)reader.read(h.payload_len);
+  (void)reader.read(h.payload_crc);
+  if (magic != kFrameMagic) {
+    r.status = DecodeStatus::kError;
+    r.error = "bad frame magic";
+    return r;
+  }
+  if (reserved != 0) {
+    r.status = DecodeStatus::kError;
+    r.error = "nonzero reserved field";
+    return r;
+  }
+  if (h.payload_len > kMaxPayload) {
+    // Rejected from the header alone: the payload is never read, let
+    // alone buffered, so an attacker cannot force a 4 GiB allocation.
+    r.status = DecodeStatus::kError;
+    r.error = "payload length over cap";
+    return r;
+  }
+  if (buf.size() < kHeaderSize + h.payload_len) return r;  // kNeedMore
+  const std::string_view payload = buf.substr(kHeaderSize, h.payload_len);
+  if (io::crc32c(payload) != h.payload_crc) {
+    r.status = DecodeStatus::kError;
+    r.error = "payload CRC mismatch";
+    return r;
+  }
+  r.frame.payload = payload;
+  r.consumed = kHeaderSize + h.payload_len;
+  r.status = DecodeStatus::kFrame;
+  return r;
+}
+
+// --- batch payloads -----------------------------------------------------
+//
+// QUERY / INSERT / ERASE request payload:
+//   u32 count, then count x (u32 key_len, key bytes)
+// QUERY / INSERT / ERASE response payload:
+//   u32 count, then count verdict/ok bytes (0 or 1)
+
+template <typename Key>
+inline void append_key_batch(std::string& out, std::span<const Key> keys) {
+  if (keys.size() > kMaxBatchKeys) {
+    throw std::length_error("append_key_batch: too many keys");
+  }
+  detail::append_pod<std::uint32_t>(
+      out, static_cast<std::uint32_t>(keys.size()));
+  for (const auto& key : keys) {
+    if (key.size() > kMaxKeyLen) {
+      throw std::length_error("append_key_batch: key too long");
+    }
+    detail::append_pod<std::uint32_t>(
+        out, static_cast<std::uint32_t>(key.size()));
+    out.append(key.data(), key.size());
+  }
+}
+
+/// Parses a key batch into views over `payload` (zero copies — the views
+/// feed the word-engine batch path directly). Returns nullptr on
+/// success, a static error reason otherwise. Caps are enforced before
+/// the output vector grows past them.
+[[nodiscard]] inline const char* parse_key_batch(
+    std::string_view payload, std::vector<std::string_view>& keys) {
+  keys.clear();
+  detail::PayloadReader reader(payload);
+  std::uint32_t count = 0;
+  if (!reader.read(count)) return "key batch: truncated count";
+  if (count > kMaxBatchKeys) return "key batch: count over cap";
+  // Each key needs at least its 4-byte length prefix: a cheap structural
+  // bound that rejects absurd counts before reserve().
+  if (payload.size() < sizeof(std::uint32_t) * (1 + std::size_t{count})) {
+    return "key batch: count exceeds payload";
+  }
+  keys.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::uint32_t len = 0;
+    if (!reader.read(len)) return "key batch: truncated key length";
+    if (len > kMaxKeyLen) return "key batch: key length over cap";
+    std::string_view key;
+    if (!reader.read_view(len, key)) return "key batch: truncated key";
+    keys.push_back(key);
+  }
+  if (!reader.exhausted()) return "key batch: trailing bytes";
+  return nullptr;
+}
+
+inline void append_verdicts(std::string& out,
+                            std::span<const std::uint8_t> verdicts) {
+  detail::append_pod<std::uint32_t>(
+      out, static_cast<std::uint32_t>(verdicts.size()));
+  out.append(reinterpret_cast<const char*>(verdicts.data()),
+             verdicts.size());
+}
+
+[[nodiscard]] inline const char* parse_verdicts(
+    std::string_view payload, std::vector<std::uint8_t>& out) {
+  out.clear();
+  detail::PayloadReader reader(payload);
+  std::uint32_t count = 0;
+  if (!reader.read(count)) return "verdicts: truncated count";
+  if (count > kMaxBatchKeys) return "verdicts: count over cap";
+  std::string_view bytes;
+  if (!reader.read_view(count, bytes)) return "verdicts: truncated bytes";
+  if (!reader.exhausted()) return "verdicts: trailing bytes";
+  out.assign(bytes.begin(), bytes.end());
+  return nullptr;
+}
+
+// --- fixed replies ------------------------------------------------------
+
+/// STATS response payload (packed little-endian, 64 bytes).
+struct StatsReply {
+  std::uint64_t elements = 0;
+  std::uint64_t memory_bits = 0;
+  std::uint32_t k = 0;
+  std::uint32_t g = 0;
+  std::uint32_t b1 = 0;
+  std::uint32_t n_max = 0;
+  std::uint64_t stash_entries = 0;
+  std::uint64_t overflow_events = 0;
+  std::uint64_t underflow_events = 0;
+  std::uint64_t requests_served = 0;
+};
+static_assert(std::is_trivially_copyable_v<StatsReply> &&
+              sizeof(StatsReply) == 64);
+
+/// HEALTH response payload (packed little-endian, 48 bytes). `ready` is
+/// the servability bit: 1 while the server accepts work, 0 once it is
+/// draining — a load balancer keys on it, `severity` is the filter-
+/// saturation classification (metrics::Severity).
+struct HealthReply {
+  std::uint8_t severity = 0;
+  std::uint8_t ready = 0;
+  std::uint8_t reserved[6] = {};
+  double saturation_score = 0.0;
+  double level1_fill = 0.0;
+  double measured_fpr = 0.0;
+  double fpr_drift = 0.0;
+  std::uint64_t elements = 0;
+};
+static_assert(std::is_trivially_copyable_v<HealthReply> &&
+              sizeof(HealthReply) == 48);
+
+/// SNAPSHOT response payload.
+struct SnapshotReply {
+  std::uint64_t last_seq = 0;
+};
+
+template <typename Reply>
+inline void append_reply_pod(std::string& out, const Reply& reply) {
+  static_assert(std::is_trivially_copyable_v<Reply>);
+  detail::append_pod(out, reply);
+}
+
+template <typename Reply>
+[[nodiscard]] inline const char* parse_reply_pod(std::string_view payload,
+                                                 Reply& out) {
+  static_assert(std::is_trivially_copyable_v<Reply>);
+  detail::PayloadReader reader(payload);
+  if (!reader.read(out)) return "reply: truncated";
+  if (!reader.exhausted()) return "reply: trailing bytes";
+  return nullptr;
+}
+
+// --- error payload ------------------------------------------------------
+
+inline void append_error(std::string& out, ErrorCode code,
+                         std::string_view message) {
+  detail::append_pod<std::uint32_t>(out,
+                                    static_cast<std::uint32_t>(code));
+  const auto len = static_cast<std::uint32_t>(
+      std::min<std::size_t>(message.size(), 512));
+  detail::append_pod<std::uint32_t>(out, len);
+  out.append(message.data(), len);
+}
+
+struct WireError {
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+};
+
+[[nodiscard]] inline const char* parse_error(std::string_view payload,
+                                             WireError& out) {
+  detail::PayloadReader reader(payload);
+  std::uint32_t code = 0;
+  std::uint32_t len = 0;
+  if (!reader.read(code)) return "error reply: truncated code";
+  if (!reader.read(len)) return "error reply: truncated length";
+  if (len > 512) return "error reply: message over cap";
+  std::string_view msg;
+  if (!reader.read_view(len, msg)) return "error reply: truncated message";
+  out.code = static_cast<ErrorCode>(code);
+  out.message.assign(msg);
+  return nullptr;
+}
+
+}  // namespace mpcbf::net

@@ -1,0 +1,454 @@
+#include "net/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "metrics/registry.hpp"
+#include "metrics/timer.hpp"
+#include "trace/trace.hpp"
+
+namespace mpcbf::net {
+
+namespace {
+
+/// Read chunk size. Large enough that a 64-key batch of short keys
+/// arrives in one syscall; small enough that a slow connection does not
+/// pin memory.
+constexpr std::size_t kReadChunk = 64 * 1024;
+
+/// A read buffer may hold at most one maximal frame plus one read chunk
+/// of the next; a peer that streams more without ever completing a
+/// frame is hostile or broken.
+constexpr std::size_t kMaxReadBuffer =
+    kHeaderSize + kMaxPayload + kReadChunk;
+
+}  // namespace
+
+// Per-op serving metrics, registered once into the global registry (the
+// registry owns the cells; references stay valid for the process).
+struct Server::ServerMetrics {
+  metrics::Counter* requests[3];
+  metrics::Counter* keys[3];
+  metrics::Histogram* duration_ns[3];
+  metrics::Counter& connections = metrics::Registry::global().counter(
+      "mpcbf_server_connections_total", "Connections accepted");
+  metrics::Gauge& active = metrics::Registry::global().gauge(
+      "mpcbf_server_active_connections", "Currently open connections");
+  metrics::Counter& proto_errors = metrics::Registry::global().counter(
+      "mpcbf_server_protocol_errors_total",
+      "Connections dropped for framing violations (bad magic/CRC/size)");
+  metrics::Counter& request_errors = metrics::Registry::global().counter(
+      "mpcbf_server_request_errors_total",
+      "Well-framed requests answered with an error reply");
+  metrics::Counter& admin_requests = metrics::Registry::global().counter(
+      "mpcbf_server_admin_requests_total",
+      "STATS/HEALTH/SNAPSHOT requests served");
+  metrics::Histogram& batch_keys = metrics::Registry::global().histogram(
+      "mpcbf_server_batch_keys", "Keys per batched request");
+
+  ServerMetrics() {
+    static constexpr const char* kOps[3] = {"query", "insert", "erase"};
+    for (int i = 0; i < 3; ++i) {
+      requests[i] = &metrics::Registry::global().counter(
+          "mpcbf_server_requests_total", "Requests served by opcode",
+          {{"op", kOps[i]}});
+      keys[i] = &metrics::Registry::global().counter(
+          "mpcbf_server_keys_total", "Keys processed by opcode",
+          {{"op", kOps[i]}});
+      duration_ns[i] = &metrics::Registry::global().histogram(
+          "mpcbf_server_request_duration_ns",
+          "Request service time (decode to encoded reply), ns",
+          {{"op", kOps[i]}});
+    }
+  }
+
+  static ServerMetrics& get() {
+    static ServerMetrics m;
+    return m;
+  }
+};
+
+struct Server::Connection {
+  explicit Connection(Socket s) : sock(std::move(s)) {}
+  Socket sock;
+  std::string rbuf;
+  std::size_t rpos = 0;  ///< parsed prefix of rbuf (compacted lazily)
+  std::string wbuf;
+  std::size_t wpos = 0;  ///< flushed prefix of wbuf
+  // Request-scoped scratch, reused so steady-state serving does not
+  // allocate per request.
+  std::vector<std::string_view> keys;
+  std::vector<std::uint8_t> verdicts;
+  std::string payload;
+  bool dead = false;
+};
+
+struct Server::Worker {
+  std::mutex mu;
+  std::vector<Socket> intake;  ///< accepted sockets awaiting adoption
+  int wake_read = -1;          ///< self-pipe: acceptor/stop -> worker
+  int wake_write = -1;
+  std::vector<std::unique_ptr<Connection>> conns;
+
+  ~Worker() {
+    if (wake_read >= 0) ::close(wake_read);
+    if (wake_write >= 0) ::close(wake_write);
+  }
+
+  void wake() const noexcept {
+    const char b = 1;
+    [[maybe_unused]] const auto n = ::write(wake_write, &b, 1);
+  }
+};
+
+Server::Server(FilterBackend backend, Options options)
+    : backend_(std::move(backend)), options_(std::move(options)) {
+  if (options_.workers == 0) options_.workers = 1;
+  metrics_ = &ServerMetrics::get();
+}
+
+Server::~Server() { stop(); }
+
+bool Server::running() const noexcept {
+  return started_.load(std::memory_order_acquire) &&
+         !stopping_.load(std::memory_order_acquire);
+}
+
+std::uint64_t Server::connections_accepted() const noexcept {
+  return accepted_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Server::requests_served() const noexcept {
+  return served_.load(std::memory_order_relaxed);
+}
+
+void Server::start() {
+  if (started_.exchange(true)) {
+    throw NetError("Server::start: already started");
+  }
+  listener_ = listen_tcp(options_.bind_address, options_.port);
+  set_nonblocking(listener_.fd(), true);
+  port_ = local_port(listener_.fd());
+
+  workers_.reserve(options_.workers);
+  for (std::size_t i = 0; i < options_.workers; ++i) {
+    auto w = std::make_unique<Worker>();
+    int pipefd[2];
+    if (::pipe(pipefd) != 0) {
+      throw NetError(std::string("pipe: ") + std::strerror(errno));
+    }
+    w->wake_read = pipefd[0];
+    w->wake_write = pipefd[1];
+    set_nonblocking(w->wake_read, true);
+    workers_.push_back(std::move(w));
+  }
+  pool_ = std::make_unique<util::ThreadPool>(options_.workers);
+  for (auto& w : workers_) {
+    (void)pool_->submit([this, worker = w.get()] { worker_loop(*worker); });
+  }
+  acceptor_ = std::thread([this] { acceptor_loop(); });
+}
+
+void Server::stop() {
+  if (!started_.load(std::memory_order_acquire)) return;
+  if (stopping_.exchange(true)) {
+    // A second caller still has to wait for the joins below, which the
+    // first caller performs; make stop() safe to call twice by only
+    // joining what is still joinable.
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  for (auto& w : workers_) w->wake();
+  if (pool_) {
+    pool_->stop();  // waits for every worker loop to drain and return
+    pool_.reset();
+  }
+  listener_.close();
+}
+
+void Server::acceptor_loop() {
+  std::size_t next_worker = 0;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd pfd{listener_.fd(), POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, 50);
+    if (rc <= 0) continue;  // timeout/EINTR: re-check the stop flag
+    for (;;) {
+      const int fd = ::accept(listener_.fd(), nullptr, nullptr);
+      if (fd < 0) break;  // EAGAIN (or transient): back to poll
+      Socket conn(fd);
+      set_nonblocking(fd, true);
+      accepted_.fetch_add(1, std::memory_order_relaxed);
+      metrics_->connections.inc();
+      Worker& w = *workers_[next_worker];
+      next_worker = (next_worker + 1) % workers_.size();
+      {
+        std::lock_guard<std::mutex> lock(w.mu);
+        w.intake.push_back(std::move(conn));
+      }
+      w.wake();
+    }
+  }
+}
+
+void Server::worker_loop(Worker& w) {
+  std::vector<pollfd> pfds;
+  const auto drain_deadline_for = [&] {
+    return std::chrono::steady_clock::now() + options_.drain_timeout;
+  };
+  std::chrono::steady_clock::time_point drain_deadline{};
+  bool draining = false;
+
+  for (;;) {
+    // Adopt connections handed over by the acceptor.
+    {
+      std::lock_guard<std::mutex> lock(w.mu);
+      for (auto& sock : w.intake) {
+        w.conns.push_back(
+            std::make_unique<Connection>(std::move(sock)));
+        metrics_->active.add(1.0);
+      }
+      w.intake.clear();
+    }
+
+    const bool stopping = stopping_.load(std::memory_order_acquire);
+    if (stopping && !draining) {
+      draining = true;
+      drain_deadline = drain_deadline_for();
+    }
+    if (draining) {
+      // In-flight work is whatever bytes arrived before the drain began;
+      // serve it, flush it, close. Past the deadline, close regardless.
+      const bool expired =
+          std::chrono::steady_clock::now() >= drain_deadline;
+      for (auto& c : w.conns) {
+        if (c->dead) continue;
+        try {
+          if (!drain_frames(*c) || !flush_writes(*c)) c->dead = true;
+        } catch (const NetError&) {
+          c->dead = true;
+        }
+        if (expired || c->wpos == c->wbuf.size()) c->dead = true;
+      }
+    }
+    // Reap dead connections.
+    std::erase_if(w.conns, [this](const auto& c) {
+      if (c->dead) metrics_->active.add(-1.0);
+      return c->dead;
+    });
+    if (draining && w.conns.empty()) return;
+
+    pfds.clear();
+    pfds.push_back({w.wake_read, POLLIN, 0});
+    for (const auto& c : w.conns) {
+      short events = POLLIN;
+      if (c->wpos < c->wbuf.size()) events |= POLLOUT;
+      pfds.push_back({c->sock.fd(), events, 0});
+    }
+    const int rc = ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()),
+                          draining ? 10 : 100);
+    if (rc < 0 && errno != EINTR) return;  // poll failure: give up loop
+    if (rc <= 0) continue;
+
+    if ((pfds[0].revents & POLLIN) != 0) {
+      char buf[256];
+      while (::read(w.wake_read, buf, sizeof buf) > 0) {
+      }
+    }
+    for (std::size_t i = 0; i < w.conns.size(); ++i) {
+      const short revents = pfds[i + 1].revents;
+      if (revents == 0) continue;
+      service_connection(w, *w.conns[i], revents);
+    }
+  }
+}
+
+void Server::service_connection(Worker& w, Connection& c, short revents) {
+  (void)w;
+  if ((revents & (POLLERR | POLLNVAL)) != 0) {
+    c.dead = true;
+    return;
+  }
+  try {
+    if ((revents & (POLLIN | POLLHUP)) != 0) {
+      for (;;) {
+        const std::size_t old = c.rbuf.size();
+        if (old + kReadChunk > kMaxReadBuffer) {
+          // One frame can never legitimately need this much buffer.
+          metrics_->proto_errors.inc();
+          c.dead = true;
+          return;
+        }
+        c.rbuf.resize(old + kReadChunk);
+        const std::ptrdiff_t n =
+            read_some(c.sock.fd(), c.rbuf.data() + old, kReadChunk);
+        c.rbuf.resize(old + (n > 0 ? static_cast<std::size_t>(n) : 0));
+        if (n == 0) {  // EOF: serve what we have, then close
+          if (!drain_frames(c)) {
+            c.dead = true;
+            return;
+          }
+          (void)flush_writes(c);
+          c.dead = true;
+          return;
+        }
+        if (n < 0) break;  // EAGAIN: drained the socket
+      }
+      if (!drain_frames(c)) {
+        c.dead = true;
+        return;
+      }
+    }
+    if (!flush_writes(c)) c.dead = true;
+  } catch (const NetError&) {
+    c.dead = true;
+  }
+}
+
+bool Server::drain_frames(Connection& c) {
+  for (;;) {
+    const std::string_view unparsed =
+        std::string_view(c.rbuf).substr(c.rpos);
+    const DecodeResult r = decode_frame(unparsed);
+    if (r.status == DecodeStatus::kError) {
+      // The byte stream lost framing; there is no safe resync point.
+      metrics_->proto_errors.inc();
+      return false;
+    }
+    if (r.status == DecodeStatus::kNeedMore) break;
+    serve_frame(c, r.frame);
+    c.rpos += r.consumed;
+  }
+  if (c.rpos > 0) {
+    c.rbuf.erase(0, c.rpos);
+    c.rpos = 0;
+  }
+  return true;
+}
+
+void Server::serve_frame(Connection& c, const Frame& frame) {
+  MPCBF_TRACE_SPAN(span, kNet, "net.request");
+  const std::uint64_t t0 =
+      metrics::kStatsEnabled ? metrics::now_ns() : 0;
+  served_.fetch_add(1, std::memory_order_relaxed);
+  const FrameHeader& h = frame.header;
+  if ((h.flags & kFlagResponse) != 0 || !opcode_known(h.opcode)) {
+    reply_error(c, frame, ErrorCode::kBadRequest,
+                (h.flags & kFlagResponse) != 0
+                    ? "response flag set on a request"
+                    : "unknown opcode");
+    return;
+  }
+  const auto op = static_cast<Opcode>(h.opcode);
+  span.set_arg("opcode", h.opcode);
+  c.payload.clear();
+  try {
+    switch (op) {
+      case Opcode::kQuery:
+      case Opcode::kInsert:
+      case Opcode::kErase: {
+        if (const char* err = parse_key_batch(frame.payload, c.keys);
+            err != nullptr) {
+          reply_error(c, frame, ErrorCode::kBadRequest, err);
+          return;
+        }
+        const auto& hook = op == Opcode::kQuery ? backend_.contains_batch
+                           : op == Opcode::kInsert ? backend_.insert_batch
+                                                   : backend_.erase_batch;
+        if (!hook) {
+          reply_error(c, frame, ErrorCode::kUnsupported,
+                      "opcode not supported by this backend");
+          return;
+        }
+        c.verdicts.assign(c.keys.size(), 0);
+        hook(c.keys, c.verdicts);
+        append_verdicts(c.payload, c.verdicts);
+        const int idx = op == Opcode::kQuery ? 0
+                        : op == Opcode::kInsert ? 1
+                                                : 2;
+        metrics_->requests[idx]->inc();
+        metrics_->keys[idx]->inc(c.keys.size());
+        metrics_->batch_keys.record(c.keys.size());
+        if (metrics::kStatsEnabled) {
+          metrics_->duration_ns[idx]->record(metrics::now_ns() - t0);
+        }
+        break;
+      }
+      case Opcode::kStats: {
+        if (!backend_.stats) {
+          reply_error(c, frame, ErrorCode::kUnsupported,
+                      "stats not supported by this backend");
+          return;
+        }
+        StatsReply s = backend_.stats();
+        s.requests_served = served_.load(std::memory_order_relaxed);
+        append_reply_pod(c.payload, s);
+        metrics_->admin_requests.inc();
+        break;
+      }
+      case Opcode::kHealth: {
+        if (!backend_.health) {
+          reply_error(c, frame, ErrorCode::kUnsupported,
+                      "health not supported by this backend");
+          return;
+        }
+        HealthReply r = backend_.health();
+        r.ready = running() ? 1 : 0;
+        append_reply_pod(c.payload, r);
+        metrics_->admin_requests.inc();
+        break;
+      }
+      case Opcode::kSnapshot: {
+        if (!backend_.snapshot) {
+          reply_error(c, frame, ErrorCode::kUnsupported,
+                      "backend has no durable storage");
+          return;
+        }
+        SnapshotReply r;
+        r.last_seq = backend_.snapshot();
+        append_reply_pod(c.payload, r);
+        metrics_->admin_requests.inc();
+        break;
+      }
+    }
+  } catch (const std::exception& e) {
+    reply_error(c, frame, ErrorCode::kInternal, e.what());
+    return;
+  }
+  append_frame(c.wbuf, op, kFlagResponse, h.request_id, c.payload);
+}
+
+void Server::reply_error(Connection& c, const Frame& frame,
+                         ErrorCode code, std::string_view message) {
+  metrics_->request_errors.inc();
+  c.payload.clear();
+  append_error(c.payload, code, message);
+  append_frame(c.wbuf,
+               opcode_known(frame.header.opcode)
+                   ? static_cast<Opcode>(frame.header.opcode)
+                   : Opcode::kQuery,
+               kFlagResponse | kFlagError, frame.header.request_id,
+               c.payload);
+}
+
+bool Server::flush_writes(Connection& c) {
+  while (c.wpos < c.wbuf.size()) {
+    const std::ptrdiff_t n = write_some(
+        c.sock.fd(), c.wbuf.data() + c.wpos, c.wbuf.size() - c.wpos);
+    if (n < 0) break;  // EAGAIN: poll will report POLLOUT
+    c.wpos += static_cast<std::size_t>(n);
+  }
+  if (c.wpos == c.wbuf.size()) {
+    c.wbuf.clear();
+    c.wpos = 0;
+  } else if (c.wpos > (1u << 20)) {
+    c.wbuf.erase(0, c.wpos);
+    c.wpos = 0;
+  }
+  return true;
+}
+
+}  // namespace mpcbf::net

@@ -1,0 +1,247 @@
+// mpcbfd — the multi-threaded TCP filter server.
+//
+// Architecture (docs/server.md has the operator view):
+//
+//   acceptor thread ──round-robin──▶ N worker event loops (poll(2))
+//                                      │ per-connection read buffer
+//                                      │ decode → dispatch → encode
+//                                      ▼
+//                              FilterBackend (type-erased, the
+//                              FilterHandle idiom of bench_common.hpp)
+//                                      │ shared_mutex: queries shared,
+//                                      │ mutations exclusive
+//                                      ▼
+//                    Mpcbf / DurableMpcbf / ShardedMpcbf batch paths
+//
+// Request pipelining: a connection may send any number of frames without
+// waiting; each worker owns its connections outright, so requests are
+// decoded and served in arrival order and responses are appended to the
+// connection's write buffer in that same order — ordering needs no
+// sequence bookkeeping beyond the echoed request id.
+//
+// Batches decode to string_views into the connection's read buffer and
+// feed the word-engine batch pipeline directly (no per-key allocation);
+// scratch vectors are per-connection and reused across requests.
+//
+// Shutdown: stop() closes the listener, lets every worker finish the
+// requests already buffered, flushes response bytes (bounded by
+// Options::drain_timeout), then joins. Workers run on a util::ThreadPool
+// whose stop() the server drives — which is why submit-after-stop had to
+// become a defined error.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "metrics/health.hpp"
+#include "net/protocol.hpp"
+#include "net/socket.hpp"
+
+namespace mpcbf::net {
+
+/// Type-erased filter backend — the serving-layer sibling of
+/// bench_common.hpp's FilterHandle. Batch hooks receive key views into
+/// the connection's read buffer and write one verdict/ok byte per key.
+/// A null hook makes the server answer that opcode with kUnsupported.
+struct FilterBackend {
+  std::function<void(std::span<const std::string_view>,
+                     std::span<std::uint8_t>)>
+      contains_batch;
+  std::function<void(std::span<const std::string_view>,
+                     std::span<std::uint8_t>)>
+      insert_batch;
+  std::function<void(std::span<const std::string_view>,
+                     std::span<std::uint8_t>)>
+      erase_batch;
+  std::function<StatsReply()> stats;
+  /// Probes the filter's health (HealthProber-backed); the server fills
+  /// in the `ready` bit itself.
+  std::function<HealthReply()> health;
+  /// Forces a durable snapshot; returns the journal watermark. Null for
+  /// memory-only backends.
+  std::function<std::uint64_t()> snapshot;
+};
+
+/// Wraps a concrete filter in a FilterBackend. Works with Mpcbf,
+/// DurableMpcbf and ShardedMpcbf (members are probed, not required —
+/// the publish_filter idiom). All request classes are serialized
+/// through one shared_mutex owned by the wrapper: queries/stats/health
+/// take it shared, mutations and snapshots exclusive, matching the
+/// filters' "const queries are concurrent-safe, mutations are not"
+/// contract.
+template <typename F>
+[[nodiscard]] FilterBackend make_backend(std::shared_ptr<F> f,
+                                         std::size_t health_fpr_probes =
+                                             512) {
+  auto mu = std::make_shared<std::shared_mutex>();
+  auto prober = std::make_shared<metrics::HealthProber>([&] {
+    metrics::HealthProber::Config cfg;
+    cfg.filter_label = "server";
+    cfg.fpr_probes = health_fpr_probes;
+    return cfg;
+  }());
+  FilterBackend b;
+  b.contains_batch = [f, mu](std::span<const std::string_view> keys,
+                             std::span<std::uint8_t> out) {
+    std::shared_lock lock(*mu);
+    f->contains_batch(keys, out);
+  };
+  b.insert_batch = [f, mu](std::span<const std::string_view> keys,
+                           std::span<std::uint8_t> ok) {
+    std::unique_lock lock(*mu);
+    f->insert_batch(keys, ok);
+  };
+  b.erase_batch = [f, mu](std::span<const std::string_view> keys,
+                          std::span<std::uint8_t> ok) {
+    std::unique_lock lock(*mu);
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      ok[i] = f->erase(keys[i]) ? 1 : 0;
+    }
+  };
+  b.stats = [f, mu]() {
+    std::shared_lock lock(*mu);
+    StatsReply s;
+    s.elements = f->size();
+    // DurableMpcbf exposes layout through its in-memory filter; probe
+    // the inner filter when one exists, the wrapped object otherwise.
+    const auto& t = [&]() -> const auto& {
+      if constexpr (requires { f->filter(); }) {
+        return f->filter();
+      } else {
+        return *f;
+      }
+    }();
+    if constexpr (requires { t.memory_bits(); }) {
+      s.memory_bits = t.memory_bits();
+    }
+    if constexpr (requires { t.k(); t.g(); }) {
+      s.k = t.k();
+      s.g = t.g();
+    }
+    if constexpr (requires { t.b1(); t.n_max(); }) {
+      s.b1 = t.b1();
+      s.n_max = t.n_max();
+    }
+    if constexpr (requires { t.stash_size(); }) {
+      s.stash_entries = t.stash_size();
+    }
+    if constexpr (requires { t.overflow_events(); }) {
+      s.overflow_events = t.overflow_events();
+    }
+    if constexpr (requires { t.underflow_events(); }) {
+      s.underflow_events = t.underflow_events();
+    }
+    return s;
+  };
+  b.health = [f, mu, prober]() {
+    std::shared_lock lock(*mu);
+    const auto probe_target = [&]() -> const auto& {
+      // DurableMpcbf is probed through its in-memory filter; everything
+      // else is probed directly.
+      if constexpr (requires { f->filter(); }) {
+        return f->filter();
+      } else {
+        return *f;
+      }
+    }();
+    const metrics::HealthSample s = prober->probe(probe_target);
+    HealthReply r;
+    r.severity = static_cast<std::uint8_t>(s.severity);
+    r.saturation_score = s.saturation_score;
+    r.level1_fill = s.level1_fill;
+    r.measured_fpr = s.measured_fpr;
+    r.fpr_drift = s.fpr_drift;
+    r.elements = s.elements;
+    return r;
+  };
+  if constexpr (requires { f->snapshot(); f->next_seq(); }) {
+    b.snapshot = [f, mu]() {
+      std::unique_lock lock(*mu);
+      f->snapshot();
+      return f->next_seq() - 1;
+    };
+  }
+  return b;
+}
+
+class Server {
+ public:
+  struct Options {
+    std::string bind_address = "127.0.0.1";
+    /// 0 = kernel-assigned ephemeral port; read back via port().
+    std::uint16_t port = 0;
+    /// Worker event loops (and ThreadPool threads). Each connection is
+    /// pinned to one worker for its lifetime.
+    std::size_t workers = 2;
+    /// stop() flushes pending response bytes for at most this long.
+    std::chrono::milliseconds drain_timeout{2000};
+  };
+
+  Server(FilterBackend backend, Options options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens and spawns acceptor + workers. Throws NetError when
+  /// the address is unusable.
+  void start();
+
+  /// Graceful shutdown: stop accepting, serve every request already
+  /// received, flush responses, join all threads. Idempotent.
+  void stop();
+
+  [[nodiscard]] bool running() const noexcept;
+
+  /// The actually bound port (resolves port 0). Valid after start().
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Connections accepted over the server's lifetime.
+  [[nodiscard]] std::uint64_t connections_accepted() const noexcept;
+
+  /// Requests served (all opcodes, error replies included).
+  [[nodiscard]] std::uint64_t requests_served() const noexcept;
+
+ private:
+  struct Connection;
+  struct Worker;
+  struct ServerMetrics;
+
+  void acceptor_loop();
+  void worker_loop(Worker& w);
+  void service_connection(Worker& w, Connection& c, short revents);
+  /// Decodes and serves every complete frame in the read buffer.
+  /// Returns false when the connection must be closed.
+  bool drain_frames(Connection& c);
+  void serve_frame(Connection& c, const Frame& frame);
+  void reply_error(Connection& c, const Frame& frame, ErrorCode code,
+                   std::string_view message);
+  /// Flushes the write buffer; returns false on a dead connection.
+  bool flush_writes(Connection& c);
+
+  FilterBackend backend_;
+  Options options_;
+  Socket listener_;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> served_{0};
+  std::thread acceptor_;
+  std::unique_ptr<util::ThreadPool> pool_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  ServerMetrics* metrics_ = nullptr;  // registry-owned, process lifetime
+};
+
+}  // namespace mpcbf::net

@@ -1,0 +1,91 @@
+#include "net/shutdown.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+
+namespace mpcbf::net {
+namespace {
+
+volatile std::sig_atomic_t g_requested = 0;
+int g_pipe[2] = {-1, -1};
+std::atomic<bool> g_installed{false};
+
+extern "C" void shutdown_handler(int) {
+  g_requested = 1;
+  if (g_pipe[1] >= 0) {
+    const char b = 1;
+    // A full pipe already guarantees wait() wakes; ignore the result.
+    [[maybe_unused]] ssize_t n = ::write(g_pipe[1], &b, 1);
+  }
+}
+
+void make_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+}  // namespace
+
+void ShutdownSignal::install() {
+  bool expected = false;
+  if (!g_installed.compare_exchange_strong(expected, true)) return;
+  if (::pipe(g_pipe) == 0) {
+    make_nonblocking(g_pipe[0]);
+    make_nonblocking(g_pipe[1]);
+  } else {
+    g_pipe[0] = g_pipe[1] = -1;  // requested() polling still works
+  }
+  struct sigaction sa = {};
+  sa.sa_handler = shutdown_handler;
+  ::sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: let blocking syscalls see EINTR
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+}
+
+bool ShutdownSignal::requested() noexcept { return g_requested != 0; }
+
+bool ShutdownSignal::wait(std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (!requested()) {
+    int wait_ms = -1;
+    if (timeout.count() > 0) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - std::chrono::steady_clock::now());
+      if (left.count() <= 0) return requested();
+      wait_ms = static_cast<int>(left.count());
+    }
+    if (g_pipe[0] < 0) {
+      // No pipe (install failed): degrade to coarse polling.
+      struct timespec ts = {0, 50 * 1000 * 1000};
+      ::nanosleep(&ts, nullptr);
+      continue;
+    }
+    struct pollfd pfd = {g_pipe[0], POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, wait_ms);
+    if (rc < 0 && errno != EINTR) return requested();
+    if (rc > 0 && (pfd.revents & POLLIN) != 0) {
+      char drain[64];
+      while (::read(g_pipe[0], drain, sizeof drain) > 0) {
+      }
+    }
+  }
+  return true;
+}
+
+void ShutdownSignal::trigger() noexcept { shutdown_handler(SIGTERM); }
+
+void ShutdownSignal::reset() noexcept {
+  g_requested = 0;
+  if (g_pipe[0] >= 0) {
+    char drain[64];
+    while (::read(g_pipe[0], drain, sizeof drain) > 0) {
+    }
+  }
+}
+
+}  // namespace mpcbf::net

@@ -1,0 +1,37 @@
+// Cooperative SIGINT/SIGTERM handling for long-running tools.
+//
+// Signal handlers may only touch async-signal-safe state, so the
+// handler writes one byte to a self-pipe and sets a sig_atomic_t flag;
+// the main thread blocks in wait() (poll on the pipe) or polls
+// requested() from its own loop. `mpcbf_tool serve` and
+// `mpcbf_tool health --watch` share this so both drain and flush
+// instead of dying mid-write.
+#pragma once
+
+#include <csignal>
+#include <chrono>
+
+namespace mpcbf::net {
+
+class ShutdownSignal {
+ public:
+  /// Installs SIGINT/SIGTERM handlers routing to this process-wide
+  /// latch. Safe to call more than once; later calls are no-ops.
+  static void install();
+
+  /// True once a shutdown signal has been received (async-signal-safe
+  /// flag read; cheap enough for per-iteration polling).
+  static bool requested() noexcept;
+
+  /// Blocks until a signal arrives or `timeout` elapses. Returns true
+  /// when shutdown was requested. A zero timeout waits forever.
+  static bool wait(std::chrono::milliseconds timeout);
+
+  /// Testing hook: trip the latch as if a signal had arrived.
+  static void trigger() noexcept;
+
+  /// Testing hook: re-arm the latch (handlers stay installed).
+  static void reset() noexcept;
+};
+
+}  // namespace mpcbf::net

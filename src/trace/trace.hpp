@@ -41,6 +41,7 @@ enum class Category : std::uint8_t {
   kShard,      ///< ShardedMpcbf fan-out
   kMapReduce,  ///< mapreduce stage execution
   kTool,       ///< CLI / harness driver scopes
+  kNet,        ///< mpcbfd server request handling / client RPCs
 };
 
 [[nodiscard]] constexpr const char* to_string(Category c) noexcept {
@@ -50,6 +51,7 @@ enum class Category : std::uint8_t {
     case Category::kShard: return "shard";
     case Category::kMapReduce: return "mapreduce";
     case Category::kTool: return "tool";
+    case Category::kNet: return "net";
   }
   return "?";
 }

@@ -1,0 +1,311 @@
+// Wire-protocol robustness: frame encode/decode round trips, then a
+// hostile-input sweep over the decoder — truncation at every byte
+// boundary, corrupted CRCs, oversized length fields, torn/garbage
+// streams and cap enforcement in the payload parsers. The decoder's
+// contract is that none of these ever throw, crash or trigger a large
+// allocation: malformed input is kNeedMore, kError or a parse-error
+// string, nothing else.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/protocol.hpp"
+
+namespace {
+
+using namespace mpcbf::net;
+
+std::string make_frame(Opcode op, std::uint8_t flags, std::uint64_t id,
+                       std::string_view payload) {
+  std::string out;
+  append_frame(out, op, flags, id, payload);
+  return out;
+}
+
+TEST(Protocol, FrameRoundTrip) {
+  const std::string frame =
+      make_frame(Opcode::kQuery, kFlagResponse, 42, "hello payload");
+  const DecodeResult r = decode_frame(frame);
+  ASSERT_EQ(r.status, DecodeStatus::kFrame);
+  EXPECT_EQ(r.frame.header.opcode,
+            static_cast<std::uint8_t>(Opcode::kQuery));
+  EXPECT_EQ(r.frame.header.flags, kFlagResponse);
+  EXPECT_EQ(r.frame.header.request_id, 42u);
+  EXPECT_EQ(r.frame.payload, "hello payload");
+  EXPECT_EQ(r.consumed, frame.size());
+}
+
+TEST(Protocol, EmptyPayloadRoundTrip) {
+  const std::string frame = make_frame(Opcode::kStats, 0, 7, "");
+  const DecodeResult r = decode_frame(frame);
+  ASSERT_EQ(r.status, DecodeStatus::kFrame);
+  EXPECT_EQ(r.frame.payload.size(), 0u);
+  EXPECT_EQ(r.consumed, kHeaderSize);
+}
+
+TEST(Protocol, PipelinedFramesDecodeInOrder) {
+  std::string stream;
+  append_frame(stream, Opcode::kQuery, 0, 1, "first");
+  append_frame(stream, Opcode::kInsert, 0, 2, "second");
+  append_frame(stream, Opcode::kErase, 0, 3, "third");
+
+  std::string_view rest = stream;
+  for (std::uint64_t id = 1; id <= 3; ++id) {
+    const DecodeResult r = decode_frame(rest);
+    ASSERT_EQ(r.status, DecodeStatus::kFrame);
+    EXPECT_EQ(r.frame.header.request_id, id);
+    rest.remove_prefix(r.consumed);
+  }
+  EXPECT_TRUE(rest.empty());
+}
+
+// --- truncation sweep ---------------------------------------------------
+
+TEST(Protocol, TruncationAtEveryBoundaryNeedsMore) {
+  const std::string frame =
+      make_frame(Opcode::kInsert, 0, 9, "truncation probe payload");
+  // Every strict prefix of a valid frame must be kNeedMore (a torn read
+  // is normal TCP behaviour), never kError and never a decoded frame.
+  for (std::size_t len = 0; len < frame.size(); ++len) {
+    const DecodeResult r = decode_frame(std::string_view(frame).substr(0, len));
+    EXPECT_EQ(r.status, DecodeStatus::kNeedMore) << "prefix length " << len;
+  }
+}
+
+// --- corruption sweep ---------------------------------------------------
+
+TEST(Protocol, BadMagicIsError) {
+  std::string frame = make_frame(Opcode::kQuery, 0, 1, "x");
+  frame[0] ^= 0x01;
+  const DecodeResult r = decode_frame(frame);
+  ASSERT_EQ(r.status, DecodeStatus::kError);
+  EXPECT_STREQ(r.error, "bad frame magic");
+}
+
+TEST(Protocol, NonzeroReservedIsError) {
+  std::string frame = make_frame(Opcode::kQuery, 0, 1, "x");
+  frame[6] = 1;  // reserved field
+  const DecodeResult r = decode_frame(frame);
+  ASSERT_EQ(r.status, DecodeStatus::kError);
+  EXPECT_STREQ(r.error, "nonzero reserved field");
+}
+
+TEST(Protocol, CorruptPayloadCrcIsError) {
+  std::string frame = make_frame(Opcode::kQuery, 0, 1, "payload bytes");
+  frame.back() ^= 0x40;  // flip a payload bit; CRC no longer matches
+  const DecodeResult r = decode_frame(frame);
+  ASSERT_EQ(r.status, DecodeStatus::kError);
+  EXPECT_STREQ(r.error, "payload CRC mismatch");
+}
+
+TEST(Protocol, CorruptCrcFieldIsError) {
+  std::string frame = make_frame(Opcode::kQuery, 0, 1, "payload bytes");
+  frame[20] ^= 0xFF;  // the CRC field itself
+  const DecodeResult r = decode_frame(frame);
+  ASSERT_EQ(r.status, DecodeStatus::kError);
+}
+
+TEST(Protocol, OversizedLengthRejectedFromHeaderAlone) {
+  // Build a header claiming a payload far over the cap, with only the
+  // header present. The decoder must reject it without waiting for (or
+  // allocating) the claimed bytes — a hostile length field must not
+  // become a 4 GiB buffer.
+  std::string frame = make_frame(Opcode::kQuery, 0, 1, "");
+  const std::uint32_t huge = 0xFFFFFFFFu;
+  std::memcpy(frame.data() + 16, &huge, sizeof huge);
+  const DecodeResult r = decode_frame(frame);
+  ASSERT_EQ(r.status, DecodeStatus::kError);
+  EXPECT_STREQ(r.error, "payload length over cap");
+}
+
+TEST(Protocol, LengthJustOverCapIsError) {
+  std::string frame = make_frame(Opcode::kQuery, 0, 1, "");
+  const std::uint32_t over = kMaxPayload + 1;
+  std::memcpy(frame.data() + 16, &over, sizeof over);
+  EXPECT_EQ(decode_frame(frame).status, DecodeStatus::kError);
+}
+
+TEST(Protocol, GarbageStreamIsErrorOrNeedMore) {
+  // Pure fuzz: random byte strings must never decode to a frame whose
+  // CRC did not actually validate, and must never throw.
+  std::mt19937_64 rng(0xFEEDFACEu);
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::string buf(rng() % 64, '\0');
+    for (auto& c : buf) c = static_cast<char>(rng());
+    const DecodeResult r = decode_frame(buf);
+    if (r.status == DecodeStatus::kFrame) {
+      // Accepting random bytes requires a correct magic AND CRC match —
+      // astronomically unlikely; verify the claim if it ever happens.
+      EXPECT_EQ(mpcbf::io::crc32c(r.frame.payload),
+                r.frame.header.payload_crc);
+    }
+  }
+}
+
+TEST(Protocol, BitFlipFuzzNeverDecodesCorruptPayload) {
+  const std::string base =
+      make_frame(Opcode::kInsert, 0, 77, "the quick brown fox");
+  std::mt19937_64 rng(0xDEADBEEFu);
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::string frame = base;
+    // 1-3 random bit flips anywhere in the frame.
+    const int flips = 1 + static_cast<int>(rng() % 3);
+    for (int i = 0; i < flips; ++i) {
+      frame[rng() % frame.size()] ^= static_cast<char>(1u << (rng() % 8));
+    }
+    const DecodeResult r = decode_frame(frame);
+    if (r.status == DecodeStatus::kFrame) {
+      // A flip confined to header fields the CRC does not cover (opcode,
+      // flags, id) can still decode; the payload must then be intact.
+      EXPECT_EQ(r.frame.payload, "the quick brown fox");
+    }
+  }
+}
+
+// --- batch payload parsers ----------------------------------------------
+
+TEST(Protocol, KeyBatchRoundTrip) {
+  const std::vector<std::string> keys = {"alpha", "", "gamma", "delta"};
+  std::string payload;
+  append_key_batch<std::string>(payload, keys);
+  std::vector<std::string_view> parsed;
+  ASSERT_EQ(parse_key_batch(payload, parsed), nullptr);
+  ASSERT_EQ(parsed.size(), keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(parsed[i], keys[i]);
+  }
+}
+
+TEST(Protocol, KeyBatchCountOverCapRejectedBeforeReserve) {
+  // count = 2^31 with a 4-byte payload: the structural bound
+  // (payload must hold count length prefixes) rejects it before any
+  // reserve() could be asked for gigabytes.
+  std::string payload;
+  detail::append_pod<std::uint32_t>(payload, 0x80000000u);
+  std::vector<std::string_view> parsed;
+  EXPECT_STREQ(parse_key_batch(payload, parsed),
+               "key batch: count over cap");
+}
+
+TEST(Protocol, KeyBatchCountExceedingPayloadRejected) {
+  std::string payload;
+  detail::append_pod<std::uint32_t>(payload, kMaxBatchKeys);  // at cap
+  // ...but no key data follows.
+  std::vector<std::string_view> parsed;
+  EXPECT_STREQ(parse_key_batch(payload, parsed),
+               "key batch: count exceeds payload");
+}
+
+TEST(Protocol, KeyBatchKeyLengthOverCapRejected) {
+  std::string payload;
+  detail::append_pod<std::uint32_t>(payload, 1);
+  detail::append_pod<std::uint32_t>(payload, kMaxKeyLen + 1);
+  payload.append(8, 'x');
+  std::vector<std::string_view> parsed;
+  EXPECT_STREQ(parse_key_batch(payload, parsed),
+               "key batch: key length over cap");
+}
+
+TEST(Protocol, KeyBatchTruncatedKeyRejected) {
+  std::string payload;
+  detail::append_pod<std::uint32_t>(payload, 1);
+  detail::append_pod<std::uint32_t>(payload, 10);
+  payload.append("short");  // 5 < 10 claimed bytes
+  std::vector<std::string_view> parsed;
+  EXPECT_STREQ(parse_key_batch(payload, parsed),
+               "key batch: truncated key");
+}
+
+TEST(Protocol, KeyBatchTrailingBytesRejected) {
+  const std::vector<std::string> keys = {"k"};
+  std::string payload;
+  append_key_batch<std::string>(payload, keys);
+  payload.push_back('\0');
+  std::vector<std::string_view> parsed;
+  EXPECT_STREQ(parse_key_batch(payload, parsed),
+               "key batch: trailing bytes");
+}
+
+TEST(Protocol, KeyBatchTruncationSweepNeverCrashes) {
+  const std::vector<std::string> keys = {"one", "two", "three", "four"};
+  std::string payload;
+  append_key_batch<std::string>(payload, keys);
+  std::vector<std::string_view> parsed;
+  for (std::size_t len = 0; len < payload.size(); ++len) {
+    EXPECT_NE(
+        parse_key_batch(std::string_view(payload).substr(0, len), parsed),
+        nullptr)
+        << "prefix length " << len;
+  }
+}
+
+TEST(Protocol, AppendKeyBatchEnforcesCaps) {
+  std::string out;
+  const std::vector<std::string> long_key = {
+      std::string(kMaxKeyLen + 1, 'x')};
+  EXPECT_THROW(append_key_batch<std::string>(out, long_key),
+               std::length_error);
+}
+
+TEST(Protocol, VerdictsRoundTripAndTruncation) {
+  const std::vector<std::uint8_t> verdicts = {1, 0, 1, 1, 0};
+  std::string payload;
+  append_verdicts(payload, verdicts);
+  std::vector<std::uint8_t> parsed;
+  ASSERT_EQ(parse_verdicts(payload, parsed), nullptr);
+  EXPECT_EQ(parsed, verdicts);
+  for (std::size_t len = 0; len < payload.size(); ++len) {
+    EXPECT_NE(
+        parse_verdicts(std::string_view(payload).substr(0, len), parsed),
+        nullptr);
+  }
+}
+
+TEST(Protocol, StatsReplyRoundTrip) {
+  StatsReply in;
+  in.elements = 123;
+  in.memory_bits = 1 << 20;
+  in.k = 3;
+  in.g = 2;
+  in.stash_entries = 7;
+  std::string payload;
+  append_reply_pod(payload, in);
+  ASSERT_EQ(payload.size(), sizeof(StatsReply));
+  StatsReply out;
+  ASSERT_EQ(parse_reply_pod(payload, out), nullptr);
+  EXPECT_EQ(out.elements, in.elements);
+  EXPECT_EQ(out.memory_bits, in.memory_bits);
+  EXPECT_EQ(out.k, in.k);
+  EXPECT_EQ(out.stash_entries, in.stash_entries);
+
+  payload.pop_back();
+  EXPECT_STREQ(parse_reply_pod(payload, out), "reply: truncated");
+  payload.append(2, '\0');
+  EXPECT_STREQ(parse_reply_pod(payload, out), "reply: trailing bytes");
+}
+
+TEST(Protocol, ErrorPayloadRoundTripAndCaps) {
+  std::string payload;
+  append_error(payload, ErrorCode::kBadRequest, "malformed batch");
+  WireError we;
+  ASSERT_EQ(parse_error(payload, we), nullptr);
+  EXPECT_EQ(we.code, ErrorCode::kBadRequest);
+  EXPECT_EQ(we.message, "malformed batch");
+
+  // Messages are truncated to 512 bytes on encode and capped on decode.
+  std::string big;
+  append_error(big, ErrorCode::kInternal, std::string(4096, 'm'));
+  ASSERT_EQ(parse_error(big, we), nullptr);
+  EXPECT_EQ(we.message.size(), 512u);
+
+  std::string forged;
+  detail::append_pod<std::uint32_t>(forged, 1);
+  detail::append_pod<std::uint32_t>(forged, 100000);  // over cap
+  EXPECT_STREQ(parse_error(forged, we), "error reply: message over cap");
+}
+
+}  // namespace

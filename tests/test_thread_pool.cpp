@@ -53,6 +53,37 @@ TEST(ThreadPool, DestructorDrainsQueue) {
   EXPECT_EQ(done.load(), 50);
 }
 
+TEST(ThreadPool, StopDrainsQueueAndJoins) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 50; ++i) {
+    (void)pool.submit([&done] { done.fetch_add(1); });
+  }
+  pool.stop();
+  EXPECT_EQ(done.load(), 50);
+}
+
+TEST(ThreadPool, SubmitAfterStopThrows) {
+  // A task accepted after stop() would never run; the pool must refuse
+  // it loudly instead of dropping it (net::Server relies on this being
+  // a defined error during shutdown races).
+  ThreadPool pool(2);
+  pool.stop();
+  EXPECT_THROW((void)pool.submit([] {}), std::runtime_error);
+  pool.stop();  // idempotent
+  EXPECT_THROW((void)pool.submit([] {}), std::runtime_error);
+}
+
+TEST(ThreadPool, SubmitAfterDestructorPathStopThrowsConsistently) {
+  ThreadPool pool(1);
+  auto fut = pool.submit([] {});
+  fut.get();
+  pool.stop();
+  // size() reports zero workers once stopped; submit stays an error.
+  EXPECT_EQ(pool.size(), 0u);
+  EXPECT_THROW((void)pool.submit([] {}), std::runtime_error);
+}
+
 TEST(ThreadPool, DefaultThreadsNonZero) {
   EXPECT_GE(ThreadPool::default_threads(), 1u);
 }
