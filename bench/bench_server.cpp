@@ -123,6 +123,42 @@ double concurrent_ns_per_key(const Setup& s, std::size_t clients,
   return best;
 }
 
+/// Failover latency: two servers over the same filter, a
+/// FailoverClient pinned to the first; stop it and time the next query
+/// end to end (detect the dead endpoint, back off, reconnect, serve).
+/// Min over reps — scheduling noise only adds time.
+double failover_first_query_ns(const Setup& s, int reps) {
+  auto mu = std::make_shared<std::shared_mutex>();
+  double best = 1e300;
+  const std::vector<std::string> req{s.keys.front()};
+  for (int rep = 0; rep < reps; ++rep) {
+    net::Server::Options opts;
+    opts.workers = 1;
+    auto sa = std::make_unique<net::Server>(
+        net::make_backend(s.filter, mu), opts);
+    net::Server sb(net::make_backend(s.filter, mu), opts);
+    sa->start();
+    sb.start();
+
+    net::FailoverClient::Options fo;
+    fo.endpoints = {{"127.0.0.1", sa->port()}, {"127.0.0.1", sb.port()}};
+    fo.initial_backoff = std::chrono::milliseconds(1);
+    fo.max_backoff = std::chrono::milliseconds(8);
+    net::FailoverClient fc(fo);
+    if (fc.query(req).size() != 1) throw std::runtime_error("bad reply");
+
+    sa->stop();
+    sa.reset();  // the active endpoint is now refusing connections
+    const auto t0 = metrics::now_ns();
+    if (fc.query(req).size() != 1) throw std::runtime_error("bad reply");
+    const auto ns = static_cast<double>(metrics::now_ns() - t0);
+    if (fc.failovers() == 0) throw std::runtime_error("no failover");
+    best = std::min(best, ns);
+    sb.stop();
+  }
+  return best;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -158,6 +194,10 @@ int main(int argc, char** argv) {
   std::printf("query batch=64 x %zu clients  %10.1f ns/key aggregate\n",
               clients, mt);
 
+  const double failover_ns = failover_first_query_ns(s, reps);
+  std::printf("failover: first query after endpoint death  %10.1f us\n",
+              failover_ns / 1000.0);
+
   const double speedup = rows[0].ns_per_key / rows[2].ns_per_key;
   std::printf("\nbatch-64 speedup over batch-1: %.1fx (gate: >= 5x)\n",
               speedup);
@@ -172,6 +212,7 @@ int main(int argc, char** argv) {
   report.metric("query_batch8_ns_per_key", rows[1].ns_per_key);
   report.metric("query_batch64_ns_per_key", rows[2].ns_per_key);
   report.metric("query_batch64_concurrent_ns_per_key", mt);
+  report.metric("failover_first_query_ns", failover_ns);
   report.metric("batch64_speedup_x", speedup);
   report.write();
 

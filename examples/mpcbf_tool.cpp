@@ -22,10 +22,18 @@
 //   serve --dir D | --filter F | (sizing)     run mpcbfd (docs/server.md)
 //         [--port P] [--bind A] [--workers N] until SIGINT/SIGTERM; durable
 //         [--port-file PATH]                  dirs snapshot on shutdown
+//         [--follow H:P[,H:P...]]             follower: tail a primary's
+//                                             journal (requires --dir);
+//                                             read-only until caught up
 //   client --port P [--host H]                one batched RPC against a
 //          --op query|insert|erase|stats|     running server
-//               health|snapshot
+//               health|snapshot|replstatus
 //          [--keys FILE] [--verbose]
+//   replstatus --port P [--host H]            replication watermarks; exit
+//                                             0 only when caught up
+//   proxy --target-port P [--target-host H]   chaos TCP forwarder
+//         [--port P] [--port-file PATH]       (net/fault_proxy.hpp) for
+//         [--delay-ms N]                      failure-injection tests
 //
 // Key files are newline-separated keys. A "durable dir" is a
 // DurableMpcbf directory (write-ahead journal + checksummed snapshots,
@@ -45,6 +53,8 @@
 #include "metrics/health.hpp"
 #include "model/planner.hpp"
 #include "net/client.hpp"
+#include "net/fault_proxy.hpp"
+#include "net/replication.hpp"
 #include "net/server.hpp"
 #include "net/shutdown.hpp"
 #include "trace/trace.hpp"
@@ -489,10 +499,36 @@ int cmd_trace(const mpcbf::util::CliArgs& args) {
   return 0;
 }
 
-// Runs mpcbfd until SIGINT/SIGTERM. Three backing modes:
+// Splits "host:port[,host:port...]" into endpoints.
+std::vector<mpcbf::net::Endpoint> parse_endpoints(
+    const std::string& spec) {
+  std::vector<mpcbf::net::Endpoint> endpoints;
+  std::stringstream ss(spec);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    const auto colon = item.rfind(':');
+    if (colon == std::string::npos || colon + 1 >= item.size()) {
+      throw std::runtime_error("bad endpoint (want host:port): " + item);
+    }
+    mpcbf::net::Endpoint ep;
+    ep.host = item.substr(0, colon);
+    ep.port = static_cast<std::uint16_t>(
+        std::stoul(item.substr(colon + 1)));
+    endpoints.push_back(std::move(ep));
+  }
+  if (endpoints.empty()) {
+    throw std::runtime_error("no endpoints in: " + spec);
+  }
+  return endpoints;
+}
+
+// Runs mpcbfd until SIGINT/SIGTERM. Backing modes:
 //   --dir D      durable: WAL-first mutations, final snapshot on shutdown
 //   --filter F   serve a pre-built snapshot (read-mostly deployments)
 //   (neither)    fresh in-memory filter from the sizing flags
+//   --dir D --follow H:P[,...]   durable follower: bootstraps from and
+//                tails the primary's journal; serves queries only (the
+//                HEALTH ready bit stays 0 until it has caught up)
 // --port 0 (the default) binds an ephemeral port; --port-file writes the
 // resolved port for scripted callers (the CI smoke test uses it).
 int cmd_serve(const mpcbf::util::CliArgs& args) {
@@ -500,9 +536,16 @@ int cmd_serve(const mpcbf::util::CliArgs& args) {
 
   const std::string dir = args.get_string("dir", "");
   const std::string filter_path = args.get_string("filter", "");
+  const std::string follow = args.get_string("follow", "");
+  if (!follow.empty() && dir.empty()) {
+    std::cerr << "serve: --follow requires --dir (the follower's own "
+                 "durable directory)\n";
+    return 2;
+  }
 
   std::shared_ptr<mpcbf::core::DurableMpcbf<64>> durable;
   std::shared_ptr<mpcbf::core::Mpcbf<64>> plain;
+  std::unique_ptr<mpcbf::net::Replicator> replicator;
   mpcbf::net::FilterBackend backend;
   if (!dir.empty()) {
     durable = [&] {
@@ -513,8 +556,23 @@ int cmd_serve(const mpcbf::util::CliArgs& args) {
             dir, durable_config(args));
       }
     }();
-    backend = mpcbf::net::make_backend(durable,
+    auto mu = std::make_shared<std::shared_mutex>();
+    backend = mpcbf::net::make_backend(durable, mu,
                                        args.get_uint("probes", 512));
+    if (!follow.empty()) {
+      mpcbf::net::Replicator::Options ropts;
+      ropts.primaries = parse_endpoints(follow);
+      replicator = std::make_unique<mpcbf::net::Replicator>(durable, mu,
+                                                            ropts);
+      // A follower is a read-only replica: mutations must go to the
+      // primary, or the sequence streams would fork.
+      backend.insert_batch = nullptr;
+      backend.erase_batch = nullptr;
+      mpcbf::net::Replicator* rp = replicator.get();
+      backend.ready = [rp] { return rp->caught_up(); };
+      backend.repl_status = [rp] { return rp->status(); };
+      replicator->start();
+    }
   } else if (!filter_path.empty()) {
     std::ifstream is(filter_path, std::ios::binary);
     if (!is) {
@@ -537,8 +595,9 @@ int cmd_serve(const mpcbf::util::CliArgs& args) {
 
   std::cout << "mpcbfd listening on " << opts.bind_address << ":"
             << server.port() << " (" << opts.workers << " workers, "
-            << (durable ? "durable" : "in-memory") << " backend)"
-            << std::endl;
+            << (replicator ? "follower"
+                           : (durable ? "durable" : "in-memory"))
+            << " backend)" << std::endl;
   const std::string port_file = args.get_string("port-file", "");
   if (!port_file.empty()) {
     std::ofstream pf(port_file);
@@ -547,6 +606,7 @@ int cmd_serve(const mpcbf::util::CliArgs& args) {
 
   mpcbf::net::ShutdownSignal::wait(std::chrono::milliseconds(0));
   std::cout << "mpcbfd: shutdown signal received, draining" << std::endl;
+  if (replicator) replicator->stop();
   server.stop();
 
   if (durable) {
@@ -607,6 +667,20 @@ int cmd_client(const mpcbf::util::CliArgs& args) {
     std::cout << "snapshot at seq " << client.snapshot() << "\n";
     return 0;
   }
+  if (op == "replstatus") {
+    const auto r = client.repl_status();
+    const char* role = r.role == 1   ? "primary"
+                       : r.role == 2 ? "follower"
+                                     : "none";
+    std::cout << "role:          " << role << "\n"
+              << "caught up:     " << (r.caught_up ? "yes" : "no") << "\n"
+              << "next seq:      " << r.next_seq << "\n"
+              << "acked seq:     " << r.acked_seq << "\n"
+              << "followers:     " << r.followers << "\n"
+              << "min acked seq: " << r.min_acked_seq << "\n"
+              << "lag records:   " << r.lag_records << "\n";
+    return r.caught_up ? 0 : 1;
+  }
 
   const auto keys = read_keys(args.get_string("keys", ""));
   std::vector<std::uint8_t> verdicts;
@@ -632,13 +706,73 @@ int cmd_client(const mpcbf::util::CliArgs& args) {
   return 0;
 }
 
+// Replication watermarks of a running server. Exit code doubles as a
+// poll predicate: 0 only when the node reports caught_up, so scripts
+// can `until mpcbf_tool replstatus --port P; do sleep 0.2; done`.
+int cmd_replstatus(const mpcbf::util::CliArgs& args) {
+  mpcbf::net::Client::Options opts;
+  opts.host = args.get_string("host", "127.0.0.1");
+  opts.port = static_cast<std::uint16_t>(args.get_uint("port", 0));
+  if (opts.port == 0) {
+    std::cerr << "replstatus: --port is required\n";
+    return 2;
+  }
+  mpcbf::net::Client client(opts);
+  const auto r = client.repl_status();
+  const char* role = r.role == 1   ? "primary"
+                     : r.role == 2 ? "follower"
+                                   : "none";
+  std::cout << "role:          " << role << "\n"
+            << "caught up:     " << (r.caught_up ? "yes" : "no") << "\n"
+            << "next seq:      " << r.next_seq << "\n"
+            << "acked seq:     " << r.acked_seq << "\n"
+            << "followers:     " << r.followers << "\n"
+            << "min acked seq: " << r.min_acked_seq << "\n"
+            << "lag records:   " << r.lag_records << "\n";
+  return r.caught_up ? 0 : 1;
+}
+
+// Chaos TCP forwarder between a client and a server, for scripted
+// failure-injection (the CI replication-smoke job routes the insert
+// stream through it). Runs until SIGINT/SIGTERM.
+int cmd_proxy(const mpcbf::util::CliArgs& args) {
+  mpcbf::net::ShutdownSignal::install();
+  mpcbf::net::FaultProxy::Options opts;
+  opts.listen_address = args.get_string("bind", "127.0.0.1");
+  opts.port = static_cast<std::uint16_t>(args.get_uint("port", 0));
+  opts.target_host = args.get_string("target-host", "127.0.0.1");
+  opts.target_port =
+      static_cast<std::uint16_t>(args.get_uint("target-port", 0));
+  if (opts.target_port == 0) {
+    std::cerr << "proxy: --target-port is required\n";
+    return 2;
+  }
+  mpcbf::net::FaultProxy proxy(opts);
+  proxy.start();
+  proxy.set_delay(
+      std::chrono::milliseconds(args.get_uint("delay-ms", 0)));
+  std::cout << "fault proxy " << opts.listen_address << ":"
+            << proxy.port() << " -> " << opts.target_host << ":"
+            << opts.target_port << std::endl;
+  const std::string port_file = args.get_string("port-file", "");
+  if (!port_file.empty()) {
+    std::ofstream pf(port_file);
+    pf << proxy.port() << "\n";
+  }
+  mpcbf::net::ShutdownSignal::wait(std::chrono::milliseconds(0));
+  proxy.stop();
+  std::cout << "proxy forwarded " << proxy.forwarded_bytes()
+            << " bytes over " << proxy.connections() << " connections\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::cerr << "usage: mpcbf_tool "
                  "<plan|build|query|merge|stats|verify|snapshot|recover|"
-                 "health|trace|serve|client> [flags]\n";
+                 "health|trace|serve|client|replstatus|proxy> [flags]\n";
     return 2;
   }
   const std::string cmd = argv[1];
@@ -656,6 +790,8 @@ int main(int argc, char** argv) {
     if (cmd == "trace") return cmd_trace(args);
     if (cmd == "serve") return cmd_serve(args);
     if (cmd == "client") return cmd_client(args);
+    if (cmd == "replstatus") return cmd_replstatus(args);
+    if (cmd == "proxy") return cmd_proxy(args);
     std::cerr << "unknown subcommand: " << cmd << "\n";
     return 2;
   } catch (const std::exception& e) {

@@ -229,6 +229,122 @@ class DurableMpcbf {
     return pending_;
   }
 
+  // --- replication primitives -------------------------------------------
+  //
+  // The journal's monotonic sequence numbers double as the replication
+  // stream: a follower that has applied everything below N asks for
+  // records from N, and a snapshot's watermark tells it where replay
+  // resumes. Followers mirror the primary's sequence numbering exactly
+  // (install_snapshot resets the local journal to watermark + 1), so at
+  // equal watermarks the two directories hold byte-identical snapshots.
+
+  /// One page of the replication stream.
+  struct ReplicationBatch {
+    std::vector<io::JournalRecord> records;
+    std::uint64_t next_seq = 1;  ///< journal position after the batch
+    std::uint64_t base_seq = 1;  ///< compaction floor; from_seq below
+                                 ///< this needs a snapshot bootstrap
+  };
+
+  /// Journal records at or after `from_seq`, bounded by `max_records`
+  /// and (approximately) `max_bytes`. Buffered appends are flushed
+  /// first — a record is only streamed once it is durable here, so a
+  /// follower can never be ahead of the primary's own crash recovery.
+  [[nodiscard]] ReplicationBatch journal_records_from(
+      std::uint64_t from_seq, std::uint32_t max_records,
+      std::uint64_t max_bytes) {
+    MPCBF_TRACE_SPAN(span, kIo, "durable.repl_read");
+    if (pending_ > 0) {
+      journal_.flush(options_.fsync);
+      pending_ = 0;
+    }
+    ReplicationBatch batch;
+    batch.next_seq = journal_.next_seq();
+    batch.base_seq = journal_.base_seq();
+    if (from_seq < batch.base_seq || from_seq >= batch.next_seq) {
+      return batch;  // compacted away (bootstrap) or nothing new
+    }
+    io::JournalScan scan = io::Journal::scan(journal_path(dir_).string());
+    std::uint64_t bytes = 0;
+    for (auto& rec : scan.records) {
+      if (rec.seq < from_seq) continue;
+      if (batch.records.size() >= max_records) break;
+      bytes += 13 + rec.key.size();
+      if (bytes > max_bytes && !batch.records.empty()) break;
+      batch.records.push_back(std::move(rec));
+    }
+    span.set_arg("records", batch.records.size());
+    return batch;
+  }
+
+  /// Serializes the current state into the exact bytes snapshot() would
+  /// publish, without touching disk. Returns {image, watermark}.
+  [[nodiscard]] std::pair<std::string, std::uint64_t>
+  serialize_snapshot() {
+    journal_.flush(options_.fsync);
+    pending_ = 0;
+    const std::uint64_t last_seq = journal_.next_seq() - 1;
+    std::ostringstream os(std::ios::binary);
+    write_snapshot_stream(os, last_seq);
+    return {std::move(os).str(), last_seq};
+  }
+
+  /// Installs a snapshot image received from a primary: validates it
+  /// fully before touching local state, persists the bytes verbatim
+  /// (tmp + fsync + atomic rename, like snapshot()), replaces the
+  /// in-memory filter and resets the journal to watermark + 1 so
+  /// subsequent records mirror the primary's numbering. Returns the
+  /// image's watermark.
+  std::uint64_t install_snapshot(std::string_view image) {
+    MPCBF_TRACE_SPAN(span, kIo, "durable.snapshot_install");
+    std::istringstream is(std::string(image), std::ios::binary);
+    std::istringstream payload(io::read_frame(is));
+    io::expect_magic(payload, kSnapshotMagic);
+    const auto last_seq = io::read_pod<std::uint64_t>(payload);
+    Mpcbf<W> loaded = Mpcbf<W>::load_payload(payload);
+
+    const std::filesystem::path tmp = dir_ / "snapshot.tmp";
+    {
+      std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+      if (!os) {
+        throw std::runtime_error("DurableMpcbf: cannot write " +
+                                 tmp.string());
+      }
+      os.write(image.data(),
+               static_cast<std::streamsize>(image.size()));
+      os.flush();
+      if (!os) {
+        throw std::runtime_error(
+            "DurableMpcbf: snapshot install write failed");
+      }
+    }
+    if (options_.fsync) sync_path(tmp);
+    std::filesystem::rename(tmp, dir_ / snapshot_name(last_seq));
+    if (options_.fsync) sync_path(dir_);
+    journal_.reset(last_seq + 1);
+    pending_ = 0;
+    filter_ = std::move(loaded);
+    prune_snapshots();
+    span.set_arg("watermark", last_seq);
+    return last_seq;
+  }
+
+  /// Applies one replicated record, preserving the WAL invariant
+  /// (journal first, then memory). Rejects anything but the exact next
+  /// sequence number — a gap means the caller lost stream continuity
+  /// and must re-bootstrap, not paper over it.
+  bool apply_replicated(std::uint64_t seq, io::JournalOp op,
+                        std::string_view key) {
+    if (seq != journal_.next_seq()) return false;
+    log_op(op, key);
+    if (op == io::JournalOp::kInsert) {
+      (void)filter_.insert(key);
+    } else {
+      (void)filter_.erase(key);
+    }
+    return true;
+  }
+
   [[nodiscard]] const Mpcbf<W>& filter() const noexcept { return filter_; }
   [[nodiscard]] std::size_t size() const noexcept { return filter_.size(); }
   [[nodiscard]] const std::filesystem::path& dir() const noexcept {
@@ -236,6 +352,9 @@ class DurableMpcbf {
   }
   [[nodiscard]] std::uint64_t next_seq() const noexcept {
     return journal_.next_seq();
+  }
+  [[nodiscard]] std::uint64_t base_seq() const noexcept {
+    return journal_.base_seq();
   }
 
   // --- recovery (static, no instance required) --------------------------

@@ -1,5 +1,6 @@
 #include "net/client.hpp"
 
+#include <random>
 #include <thread>
 
 #include "trace/trace.hpp"
@@ -8,10 +9,12 @@ namespace mpcbf::net {
 
 void Client::connect() {
   if (sock_.valid()) return;
+  const auto deadline =
+      std::chrono::steady_clock::now() + options_.connect_deadline;
+  Backoff backoff(options_.initial_backoff, options_.max_backoff,
+                  options_.backoff_seed);
   NetError last("connect: no attempts made");
-  for (unsigned attempt = 0; attempt < options_.connect_attempts;
-       ++attempt) {
-    if (attempt != 0) std::this_thread::sleep_for(options_.retry_backoff);
+  for (;;) {
     try {
       sock_ = connect_tcp(options_.host, options_.port,
                           options_.io_timeout);
@@ -19,16 +22,24 @@ void Client::connect() {
     } catch (const NetError& e) {
       last = e;
     }
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) throw last;
+    // Jittered exponential spacing, clipped to the remaining budget —
+    // the deadline is a hard ceiling, not a hint.
+    const auto delay = std::min(
+        backoff.next(), std::chrono::duration_cast<std::chrono::milliseconds>(
+                            deadline - now));
+    std::this_thread::sleep_for(delay);
   }
-  throw last;
 }
 
-std::string Client::round_trip(Opcode op, std::string_view payload) {
+std::string Client::round_trip(Opcode op, std::string_view payload,
+                               std::uint8_t flags) {
   MPCBF_TRACE_SPAN(span, kNet, "client.round_trip");
   connect();
   const std::uint64_t id = next_id_++;
   sendbuf_.clear();
-  append_frame(sendbuf_, op, 0, id, payload);
+  append_frame(sendbuf_, op, flags, id, payload);
   try {
     write_all(sock_.fd(), sendbuf_.data(), sendbuf_.size());
     recvbuf_.clear();
@@ -144,6 +155,188 @@ std::uint64_t Client::snapshot() {
     throw NetError(err);
   }
   return s.last_seq;
+}
+
+ReplicateInfo Client::replicate(const ReplicateRequest& req,
+                                std::vector<io::JournalRecord>& records) {
+  std::string payload;
+  append_reply_pod(payload, req);
+  const std::string reply = round_trip(Opcode::kReplicate, payload);
+  ReplicateInfo info;
+  if (const char* err = parse_replicate_reply(reply, info, records);
+      err != nullptr) {
+    throw NetError(err);
+  }
+  return info;
+}
+
+SnapFetchInfo Client::snap_fetch(const SnapFetchRequest& req,
+                                 std::string& bytes) {
+  std::string payload;
+  append_reply_pod(payload, req);
+  const std::string reply = round_trip(Opcode::kSnapFetch, payload);
+  SnapFetchInfo info;
+  std::string_view view;
+  if (const char* err = parse_snapfetch_reply(reply, info, view);
+      err != nullptr) {
+    throw NetError(err);
+  }
+  bytes.assign(view);
+  return info;
+}
+
+ReplStatusReply Client::repl_status() {
+  const std::string reply = round_trip(Opcode::kReplStatus, {});
+  ReplStatusReply r;
+  if (const char* err = parse_reply_pod(reply, r); err != nullptr) {
+    throw NetError(err);
+  }
+  return r;
+}
+
+// --- FailoverClient -----------------------------------------------------
+
+FailoverClient::FailoverClient(Options options)
+    : options_(std::move(options)) {
+  if (options_.endpoints.empty()) {
+    throw NetError("FailoverClient: no endpoints");
+  }
+  session_id_ = options_.session_id;
+  if (session_id_ == 0) {
+    std::random_device rd;
+    session_id_ = (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+    if (session_id_ == 0) session_id_ = 1;
+  }
+}
+
+Client& FailoverClient::ensure_client() {
+  if (!client_ || !client_->connected()) {
+    const Endpoint& ep = options_.endpoints[active_];
+    Client::Options co;
+    co.host = ep.host;
+    co.port = ep.port;
+    co.connect_deadline = options_.connect_deadline;
+    co.initial_backoff = options_.initial_backoff;
+    co.max_backoff = options_.max_backoff;
+    co.backoff_seed = options_.backoff_seed;
+    co.io_timeout = options_.io_timeout;
+    client_.emplace(std::move(co));
+  }
+  return *client_;
+}
+
+void FailoverClient::rotate() {
+  client_.reset();
+  active_ = (active_ + 1) % options_.endpoints.size();
+  ++failovers_;
+}
+
+template <typename Fn>
+auto FailoverClient::with_failover(Fn&& fn)
+    -> decltype(fn(std::declval<Client&>())) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + options_.op_deadline;
+  Backoff backoff(options_.initial_backoff, options_.max_backoff,
+                  options_.backoff_seed ^ session_id_);
+  NetError last("failover: no attempts made");
+  for (;;) {
+    try {
+      return fn(ensure_client());
+    } catch (const RemoteError& e) {
+      // The server answered: every code but "I'm draining, go away" is
+      // an authoritative verdict on the operation itself.
+      if (e.code() != ErrorCode::kShuttingDown) throw;
+      last = e;
+    } catch (const NetError& e) {
+      last = e;
+    }
+    rotate();
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) throw last;
+    const auto delay = std::min(
+        backoff.next(), std::chrono::duration_cast<std::chrono::milliseconds>(
+                            deadline - now));
+    std::this_thread::sleep_for(delay);
+  }
+}
+
+template <typename Key>
+std::vector<std::uint8_t> FailoverClient::query_impl(
+    std::span<const Key> keys) {
+  std::string payload;
+  append_key_batch(payload, keys);
+  return with_failover([&](Client& c) {
+    const std::string reply = c.round_trip(Opcode::kQuery, payload);
+    std::vector<std::uint8_t> verdicts;
+    if (const char* err = parse_verdicts(reply, verdicts);
+        err != nullptr) {
+      throw NetError(err);
+    }
+    if (verdicts.size() != keys.size()) {
+      throw NetError("verdict count does not match key count");
+    }
+    return verdicts;
+  });
+}
+
+template <typename Key>
+std::vector<std::uint8_t> FailoverClient::mutate(
+    Opcode op, std::span<const Key> keys) {
+  // One op_seq per logical mutation: every retry resends the same
+  // sequence number, so the server applies once and replays the cached
+  // reply for the duplicates.
+  const SequencePrefix prefix{session_id_, ++next_op_seq_};
+  std::string payload;
+  append_sequenced_key_batch(payload, prefix, keys);
+  return with_failover([&](Client& c) {
+    const std::string reply = c.round_trip(op, payload, kFlagSequenced);
+    std::vector<std::uint8_t> verdicts;
+    if (const char* err = parse_verdicts(reply, verdicts);
+        err != nullptr) {
+      throw NetError(err);
+    }
+    if (verdicts.size() != keys.size()) {
+      throw NetError("verdict count does not match key count");
+    }
+    return verdicts;
+  });
+}
+
+std::vector<std::uint8_t> FailoverClient::query(
+    std::span<const std::string> keys) {
+  return query_impl(keys);
+}
+std::vector<std::uint8_t> FailoverClient::query(
+    std::span<const std::string_view> keys) {
+  return query_impl(keys);
+}
+std::vector<std::uint8_t> FailoverClient::insert(
+    std::span<const std::string> keys) {
+  return mutate(Opcode::kInsert, keys);
+}
+std::vector<std::uint8_t> FailoverClient::insert(
+    std::span<const std::string_view> keys) {
+  return mutate(Opcode::kInsert, keys);
+}
+std::vector<std::uint8_t> FailoverClient::erase(
+    std::span<const std::string> keys) {
+  return mutate(Opcode::kErase, keys);
+}
+std::vector<std::uint8_t> FailoverClient::erase(
+    std::span<const std::string_view> keys) {
+  return mutate(Opcode::kErase, keys);
+}
+
+StatsReply FailoverClient::stats() {
+  return with_failover([](Client& c) { return c.stats(); });
+}
+
+HealthReply FailoverClient::health() {
+  return with_failover([](Client& c) { return c.health(); });
+}
+
+ReplStatusReply FailoverClient::repl_status() {
+  return with_failover([](Client& c) { return c.repl_status(); });
 }
 
 }  // namespace mpcbf::net

@@ -3,17 +3,29 @@
 // One Client owns one TCP connection and is a strict request/response
 // state machine — not thread-safe; give each thread its own Client (the
 // server pins each connection to one worker, so N clients also spread
-// load across workers). connect() retries with linear backoff;
-// per-operation send/receive deadlines come from SO_SNDTIMEO/RCVTIMEO.
+// load across workers). connect() retries with jittered exponential
+// backoff under a total deadline budget; per-operation send/receive
+// deadlines come from SO_SNDTIMEO/RCVTIMEO.
 //
 // The batching API is the intended hot path: a query([...64 keys...])
 // costs one frame each way and runs the server's word-engine batch
 // pipeline, amortizing the syscall + parse overhead that dominates
 // 1-key requests (bench/bench_server.cpp measures the gap).
+//
+// FailoverClient wraps N endpoints: on a transport failure (or a
+// kShuttingDown reply) it rotates to the next endpoint, again with
+// jittered exponential backoff under a per-operation deadline.
+// Idempotent ops (QUERY/STATS/HEALTH/REPLSTATUS) retry freely;
+// mutations are retried safely because every INSERT/ERASE carries a
+// (session_id, op_seq) SequencePrefix the server dedups — a batch that
+// was applied before the connection died is replayed from the server's
+// reply cache, not applied twice.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <string>
 #include <string_view>
@@ -23,6 +35,36 @@
 #include "net/socket.hpp"
 
 namespace mpcbf::net {
+
+/// Jittered exponential backoff ("equal jitter": half deterministic,
+/// half uniform) with a deterministic xorshift stream so tests can
+/// reproduce schedules. next() doubles the base up to `max`.
+class Backoff {
+ public:
+  Backoff(std::chrono::milliseconds initial,
+          std::chrono::milliseconds max, std::uint64_t seed) noexcept
+      : initial_(initial), max_(max), cur_(initial),
+        state_(seed != 0 ? seed : 0x9E3779B97F4A7C15ull) {}
+
+  [[nodiscard]] std::chrono::milliseconds next() noexcept {
+    const std::int64_t base = std::max<std::int64_t>(cur_.count(), 1);
+    cur_ = std::min(max_, cur_ * 2);
+    state_ ^= state_ << 13;
+    state_ ^= state_ >> 7;
+    state_ ^= state_ << 17;
+    const std::int64_t half = base / 2;
+    return std::chrono::milliseconds(
+        half + static_cast<std::int64_t>(state_ % (base - half + 1)));
+  }
+
+  void reset() noexcept { cur_ = initial_; }
+
+ private:
+  std::chrono::milliseconds initial_;
+  std::chrono::milliseconds max_;
+  std::chrono::milliseconds cur_;
+  std::uint64_t state_;
+};
 
 /// The server answered with a well-formed error reply (the transport is
 /// intact; NetError covers transport failures).
@@ -44,10 +86,15 @@ class Client {
   struct Options {
     std::string host = "127.0.0.1";
     std::uint16_t port = 0;
-    /// connect() attempts before giving up (covers a server that is
-    /// still binding its port when the client races it).
-    unsigned connect_attempts = 10;
-    std::chrono::milliseconds retry_backoff{50};
+    /// Total budget for connect() retries (covers a server that is
+    /// still binding its port when the client races it). Attempts are
+    /// spaced by jittered exponential backoff; the budget, not an
+    /// attempt count, decides when to give up.
+    std::chrono::milliseconds connect_deadline{2000};
+    std::chrono::milliseconds initial_backoff{20};
+    std::chrono::milliseconds max_backoff{500};
+    /// Jitter stream seed; 0 = a fixed default (deterministic).
+    std::uint64_t backoff_seed = 0;
     /// Per-syscall send/receive deadline.
     std::chrono::milliseconds io_timeout{5000};
   };
@@ -86,12 +133,23 @@ class Client {
   /// watermark. Throws RemoteError(kUnsupported) on memory-only servers.
   std::uint64_t snapshot();
 
- private:
+  // --- replication ops (durable servers only) ---------------------------
+
+  /// Pulls one page of journal records; `records` receives the page.
+  ReplicateInfo replicate(const ReplicateRequest& req,
+                          std::vector<io::JournalRecord>& records);
+  /// Fetches one chunk of the primary's consistent snapshot image.
+  SnapFetchInfo snap_fetch(const SnapFetchRequest& req, std::string& bytes);
+  [[nodiscard]] ReplStatusReply repl_status();
+
   /// One round trip: frames `payload`, sends, reads the matching
   /// response frame (id-checked), throws RemoteError on error replies.
-  /// Returns the response payload.
-  std::string round_trip(Opcode op, std::string_view payload);
+  /// Returns the response payload. Public so wrappers (FailoverClient)
+  /// can send flagged frames.
+  std::string round_trip(Opcode op, std::string_view payload,
+                         std::uint8_t flags = 0);
 
+ private:
   template <typename Key>
   std::vector<std::uint8_t> batch_op(Opcode op, std::span<const Key> keys);
 
@@ -100,6 +158,78 @@ class Client {
   std::uint64_t next_id_ = 1;
   std::string sendbuf_;
   std::string recvbuf_;
+};
+
+/// One server address a FailoverClient may talk to.
+struct Endpoint {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+};
+
+/// Multi-endpoint client with automatic failover. Not thread-safe, like
+/// Client. Endpoint rotation triggers on transport failures (NetError)
+/// and kShuttingDown replies; every other RemoteError is authoritative
+/// (the server answered) and is rethrown immediately. Mutations carry a
+/// SequencePrefix so a retry after failover-to-the-same-node can never
+/// double-apply; note that across *distinct* nodes the dedup cache is
+/// per-server — point the endpoint list at one replication group.
+class FailoverClient {
+ public:
+  struct Options {
+    std::vector<Endpoint> endpoints;
+    /// Total budget for one logical operation across all retries.
+    std::chrono::milliseconds op_deadline{10000};
+    std::chrono::milliseconds initial_backoff{20};
+    std::chrono::milliseconds max_backoff{1000};
+    /// Per-endpoint connect budget; keep it well under op_deadline so
+    /// a dead endpoint cannot eat the whole budget.
+    std::chrono::milliseconds connect_deadline{500};
+    std::chrono::milliseconds io_timeout{2000};
+    /// Dedup session id; 0 = derived from std::random_device.
+    std::uint64_t session_id = 0;
+    std::uint64_t backoff_seed = 0;
+  };
+
+  explicit FailoverClient(Options options);
+
+  std::vector<std::uint8_t> query(std::span<const std::string> keys);
+  std::vector<std::uint8_t> query(std::span<const std::string_view> keys);
+  std::vector<std::uint8_t> insert(std::span<const std::string> keys);
+  std::vector<std::uint8_t> insert(std::span<const std::string_view> keys);
+  std::vector<std::uint8_t> erase(std::span<const std::string> keys);
+  std::vector<std::uint8_t> erase(std::span<const std::string_view> keys);
+  [[nodiscard]] StatsReply stats();
+  [[nodiscard]] HealthReply health();
+  [[nodiscard]] ReplStatusReply repl_status();
+
+  /// Index into Options::endpoints the next operation will try first.
+  [[nodiscard]] std::size_t active_endpoint() const noexcept {
+    return active_;
+  }
+  /// Endpoint rotations forced by failures so far.
+  [[nodiscard]] std::uint64_t failovers() const noexcept {
+    return failovers_;
+  }
+  [[nodiscard]] std::uint64_t session_id() const noexcept {
+    return session_id_;
+  }
+
+ private:
+  Client& ensure_client();
+  void rotate();
+  template <typename Fn>
+  auto with_failover(Fn&& fn) -> decltype(fn(std::declval<Client&>()));
+  template <typename Key>
+  std::vector<std::uint8_t> mutate(Opcode op, std::span<const Key> keys);
+  template <typename Key>
+  std::vector<std::uint8_t> query_impl(std::span<const Key> keys);
+
+  Options options_;
+  std::optional<Client> client_;
+  std::size_t active_ = 0;
+  std::uint64_t failovers_ = 0;
+  std::uint64_t session_id_ = 0;
+  std::uint64_t next_op_seq_ = 0;
 };
 
 }  // namespace mpcbf::net

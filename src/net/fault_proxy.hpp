@@ -1,0 +1,122 @@
+// FaultProxy — a chaos TCP forwarder for exercising mpcbfd's failure
+// paths under test.
+//
+// The proxy listens on its own port and forwards byte streams to a
+// target, with injectable faults controlled at runtime:
+//
+//   partition      stop forwarding in both directions and refuse new
+//                  connections (the classic network split)
+//   delay          hold every forwarded chunk for a fixed time
+//   throttle       cap forwarded bytes per 10 ms tick (slow-loris: the
+//                  victim sees a frame arrive one dribble at a time)
+//   truncate_next  forward only N more bytes on each currently open
+//                  connection, then hard-close it (a mid-frame cut)
+//   kill_connections  hard-close every open connection now
+//
+// Faults apply to live traffic — a schedule can flip them while
+// requests are in flight, which is the whole point. The proxy never
+// parses frames; it breaks byte streams, and the protocol layer's CRC
+// framing is what must keep the damage contained.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/socket.hpp"
+
+namespace mpcbf::net {
+
+class FaultProxy {
+ public:
+  struct Options {
+    std::string listen_address = "127.0.0.1";
+    /// 0 = kernel-assigned; read back via port().
+    std::uint16_t port = 0;
+    std::string target_host = "127.0.0.1";
+    std::uint16_t target_port = 0;
+  };
+
+  explicit FaultProxy(Options options);
+  ~FaultProxy();
+
+  FaultProxy(const FaultProxy&) = delete;
+  FaultProxy& operator=(const FaultProxy&) = delete;
+
+  /// Binds and spawns the forwarding thread. Throws NetError when the
+  /// listen address is unusable.
+  void start();
+  /// Closes everything and joins. Idempotent.
+  void stop();
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  // --- chaos controls (thread-safe, apply to live traffic) --------------
+
+  /// Repoints the proxy at a new target (used when a killed primary
+  /// comes back on a different port). Existing connections keep their
+  /// old target; new ones get the new one.
+  void set_target(const std::string& host, std::uint16_t target_port);
+  void set_partitioned(bool on) noexcept {
+    partitioned_.store(on, std::memory_order_release);
+  }
+  void set_delay(std::chrono::milliseconds d) noexcept {
+    delay_ms_.store(d.count(), std::memory_order_release);
+  }
+  /// 0 disables the throttle.
+  void set_throttle_bytes_per_tick(std::size_t n) noexcept {
+    throttle_.store(n, std::memory_order_release);
+  }
+  /// Forward only `bytes` more on each open connection, then cut it.
+  void truncate_open_connections(std::size_t bytes) noexcept;
+  void kill_connections() noexcept {
+    kill_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+  [[nodiscard]] std::uint64_t connections() const noexcept {
+    return connections_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t forwarded_bytes() const noexcept {
+    return forwarded_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t killed() const noexcept {
+    return killed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Pair;
+  void run();
+  void pump(Pair& p, std::size_t budget_bytes);
+
+  Options options_;
+  Socket listener_;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+
+  std::mutex target_mu_;
+
+  std::atomic<bool> partitioned_{false};
+  std::atomic<long long> delay_ms_{0};
+  std::atomic<std::size_t> throttle_{0};
+  std::atomic<std::uint64_t> kill_epoch_{0};
+
+  std::mutex trunc_mu_;
+  bool trunc_pending_ = false;
+  std::size_t trunc_bytes_ = 0;
+
+  std::atomic<std::uint64_t> connections_{0};
+  std::atomic<std::uint64_t> forwarded_{0};
+  std::atomic<std::uint64_t> killed_{0};
+
+  std::vector<std::unique_ptr<Pair>> pairs_;
+  std::thread thread_;
+};
+
+}  // namespace mpcbf::net

@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "io/crc32c.hpp"
+#include "io/journal.hpp"
 
 namespace mpcbf::net {
 
@@ -53,18 +54,28 @@ inline constexpr std::uint32_t kMaxPayload = 1u << 24;  // 16 MiB
 inline constexpr std::uint32_t kMaxBatchKeys = 1u << 16;
 /// Bytes per key.
 inline constexpr std::uint32_t kMaxKeyLen = 4096;
+/// Journal records per REPLICATE reply.
+inline constexpr std::uint32_t kMaxReplicateRecords = 1u << 16;
+/// Snapshot bytes per SNAPFETCH chunk (well under kMaxPayload so the
+/// reply header always fits).
+inline constexpr std::uint32_t kMaxSnapChunk = 4u << 20;  // 4 MiB
+/// Total assembled snapshot size a follower will accept.
+inline constexpr std::uint64_t kMaxSnapshotBytes = 1ull << 30;  // 1 GiB
 
 enum class Opcode : std::uint8_t {
-  kQuery = 1,     ///< batched membership; reply = verdict per key
-  kInsert = 2,    ///< batched insert; reply = ok flag per key
-  kErase = 3,     ///< batched erase; reply = ok flag per key
-  kStats = 4,     ///< filter layout + counters (StatsReply)
-  kHealth = 5,    ///< readiness + saturation probe (HealthReply)
-  kSnapshot = 6,  ///< force a durable snapshot (SnapshotReply)
+  kQuery = 1,      ///< batched membership; reply = verdict per key
+  kInsert = 2,     ///< batched insert; reply = ok flag per key
+  kErase = 3,      ///< batched erase; reply = ok flag per key
+  kStats = 4,      ///< filter layout + counters (StatsReply)
+  kHealth = 5,     ///< readiness + saturation probe (HealthReply)
+  kSnapshot = 6,   ///< force a durable snapshot (SnapshotReply)
+  kReplicate = 7,  ///< tail journal records from a watermark (follower)
+  kSnapFetch = 8,  ///< fetch a consistent snapshot image in chunks
+  kReplStatus = 9, ///< replication role / watermarks (ReplStatusReply)
 };
 
 [[nodiscard]] constexpr bool opcode_known(std::uint8_t op) noexcept {
-  return op >= 1 && op <= 6;
+  return op >= 1 && op <= 9;
 }
 
 [[nodiscard]] constexpr const char* to_string(Opcode op) noexcept {
@@ -75,12 +86,18 @@ enum class Opcode : std::uint8_t {
     case Opcode::kStats: return "stats";
     case Opcode::kHealth: return "health";
     case Opcode::kSnapshot: return "snapshot";
+    case Opcode::kReplicate: return "replicate";
+    case Opcode::kSnapFetch: return "snapfetch";
+    case Opcode::kReplStatus: return "replstatus";
   }
   return "?";
 }
 
 inline constexpr std::uint8_t kFlagResponse = 0x1;
 inline constexpr std::uint8_t kFlagError = 0x2;
+/// Request carries a (session_id, op_seq) SequencePrefix ahead of its
+/// payload; the server dedups, so a retried mutation applies once.
+inline constexpr std::uint8_t kFlagSequenced = 0x4;
 
 /// Error codes carried by an error response payload.
 enum class ErrorCode : std::uint32_t {
@@ -347,6 +364,209 @@ static_assert(std::is_trivially_copyable_v<HealthReply> &&
 struct SnapshotReply {
   std::uint64_t last_seq = 0;
 };
+
+// --- replication payloads -----------------------------------------------
+//
+// REPLICATE request payload (24 bytes): the follower asks for journal
+// records at or after `from_seq`. Requesting from N is the ack for
+// everything below N — the primary tracks it as the follower's durable
+// watermark, so the poll stream needs no separate ack message.
+struct ReplicateRequest {
+  std::uint64_t follower_id = 0;  ///< stable id for lag accounting
+  std::uint64_t from_seq = 1;     ///< first sequence number wanted
+  std::uint32_t max_records = 0;  ///< 0 = server default
+  std::uint32_t max_bytes = 0;    ///< 0 = server default
+};
+static_assert(std::is_trivially_copyable_v<ReplicateRequest> &&
+              sizeof(ReplicateRequest) == 24);
+
+/// REPLICATE response payload: this header, then `count` records of
+/// (seq u64 | op u8 | key_len u32 | key bytes) — the journal's record
+/// layout minus the per-record CRC, which the frame CRC subsumes.
+struct ReplicateInfo {
+  std::uint64_t next_seq = 1;  ///< primary's next journal sequence
+  std::uint64_t base_seq = 1;  ///< primary's journal compaction floor
+  std::uint32_t count = 0;     ///< records following this header
+  std::uint8_t need_snapshot = 0;  ///< 1: from_seq was compacted away
+  std::uint8_t reserved[3] = {};
+};
+static_assert(std::is_trivially_copyable_v<ReplicateInfo> &&
+              sizeof(ReplicateInfo) == 24);
+
+/// SNAPFETCH request payload (16 bytes): one chunk of the primary's
+/// consistent snapshot image, starting at `offset`.
+struct SnapFetchRequest {
+  std::uint64_t offset = 0;
+  std::uint32_t max_bytes = 0;  ///< 0 = server default
+  std::uint32_t reserved = 0;
+};
+static_assert(std::is_trivially_copyable_v<SnapFetchRequest> &&
+              sizeof(SnapFetchRequest) == 16);
+
+/// SNAPFETCH response payload: this header, then `len` image bytes.
+/// `watermark` identifies the image; a different watermark at a nonzero
+/// offset means the image was regenerated and the fetch must restart.
+struct SnapFetchInfo {
+  std::uint64_t watermark = 0;    ///< journal seq the image captures
+  std::uint64_t total_bytes = 0;  ///< full image size
+  std::uint64_t offset = 0;       ///< echo of the requested offset
+  std::uint32_t len = 0;          ///< bytes following this header
+  std::uint32_t reserved = 0;
+};
+static_assert(std::is_trivially_copyable_v<SnapFetchInfo> &&
+              sizeof(SnapFetchInfo) == 32);
+
+/// Replication role reported by REPLSTATUS.
+enum class ReplRole : std::uint8_t {
+  kNone = 0,      ///< memory-only backend, nothing to replicate
+  kPrimary = 1,   ///< durable backend serving REPLICATE/SNAPFETCH
+  kFollower = 2,  ///< tailing another node's journal
+};
+
+/// REPLSTATUS response payload (48 bytes). On a primary, `acked_seq` /
+/// `min_acked_seq` / `lag_records` describe the follower fleet; on a
+/// follower they describe its own position against its upstream.
+struct ReplStatusReply {
+  std::uint8_t role = 0;       ///< ReplRole
+  std::uint8_t caught_up = 0;  ///< 1 when lag_records == 0
+  std::uint8_t reserved[6] = {};
+  std::uint64_t next_seq = 1;       ///< local journal next sequence
+  std::uint64_t acked_seq = 0;      ///< highest locally durable sequence
+  std::uint64_t followers = 0;      ///< registered followers (primary)
+  std::uint64_t min_acked_seq = 0;  ///< slowest follower (primary)
+  std::uint64_t lag_records = 0;    ///< records not yet fleet-durable
+};
+static_assert(std::is_trivially_copyable_v<ReplStatusReply> &&
+              sizeof(ReplStatusReply) == 48);
+
+/// Payload prefix carried by kFlagSequenced mutations (16 bytes).
+struct SequencePrefix {
+  std::uint64_t session_id = 0;  ///< random per client session
+  std::uint64_t op_seq = 0;      ///< monotonic per session; retries reuse
+};
+static_assert(std::is_trivially_copyable_v<SequencePrefix> &&
+              sizeof(SequencePrefix) == 16);
+
+inline void append_replicate_reply(
+    std::string& out, const ReplicateInfo& info,
+    std::span<const io::JournalRecord> records) {
+  if (records.size() > kMaxReplicateRecords) {
+    throw std::length_error("append_replicate_reply: too many records");
+  }
+  ReplicateInfo header = info;
+  header.count = static_cast<std::uint32_t>(records.size());
+  detail::append_pod(out, header);
+  for (const auto& rec : records) {
+    if (rec.key.size() > io::Journal::kMaxKeyLen) {
+      throw std::length_error("append_replicate_reply: key too long");
+    }
+    detail::append_pod<std::uint64_t>(out, rec.seq);
+    detail::append_pod<std::uint8_t>(out,
+                                     static_cast<std::uint8_t>(rec.op));
+    detail::append_pod<std::uint32_t>(
+        out, static_cast<std::uint32_t>(rec.key.size()));
+    out.append(rec.key);
+  }
+}
+
+/// Parses a REPLICATE reply. Caps and structural bounds are enforced
+/// before the record vector grows; records must carry consecutive
+/// sequence numbers (a gap means the stream is not a journal suffix and
+/// must be rejected, not applied). Returns nullptr on success.
+[[nodiscard]] inline const char* parse_replicate_reply(
+    std::string_view payload, ReplicateInfo& info,
+    std::vector<io::JournalRecord>& records) {
+  records.clear();
+  detail::PayloadReader reader(payload);
+  if (!reader.read(info)) return "replicate reply: truncated header";
+  if (info.count > kMaxReplicateRecords) {
+    return "replicate reply: record count over cap";
+  }
+  // Each record needs at least 13 bytes (seq + op + key_len): a cheap
+  // structural bound that rejects absurd counts before reserve().
+  if (payload.size() < sizeof(ReplicateInfo) + 13 * std::size_t{info.count}) {
+    return "replicate reply: count exceeds payload";
+  }
+  records.reserve(info.count);
+  for (std::uint32_t i = 0; i < info.count; ++i) {
+    io::JournalRecord rec;
+    std::uint8_t op = 0;
+    std::uint32_t len = 0;
+    if (!reader.read(rec.seq)) return "replicate reply: truncated seq";
+    if (!reader.read(op)) return "replicate reply: truncated op";
+    if (!reader.read(len)) return "replicate reply: truncated key length";
+    if (op > 1) return "replicate reply: unknown journal op";
+    if (len > io::Journal::kMaxKeyLen) {
+      return "replicate reply: key length over cap";
+    }
+    std::string_view key;
+    if (!reader.read_view(len, key)) {
+      return "replicate reply: truncated key";
+    }
+    if (!records.empty() && rec.seq != records.back().seq + 1) {
+      return "replicate reply: non-consecutive sequence numbers";
+    }
+    rec.op = static_cast<io::JournalOp>(op);
+    rec.key.assign(key);
+    records.push_back(std::move(rec));
+  }
+  if (!reader.exhausted()) return "replicate reply: trailing bytes";
+  return nullptr;
+}
+
+inline void append_snapfetch_reply(std::string& out,
+                                   const SnapFetchInfo& info,
+                                   std::string_view bytes) {
+  if (bytes.size() > kMaxSnapChunk) {
+    throw std::length_error("append_snapfetch_reply: chunk too large");
+  }
+  SnapFetchInfo header = info;
+  header.len = static_cast<std::uint32_t>(bytes.size());
+  detail::append_pod(out, header);
+  out.append(bytes);
+}
+
+/// Parses a SNAPFETCH reply; `bytes` views into `payload`. Returns
+/// nullptr on success.
+[[nodiscard]] inline const char* parse_snapfetch_reply(
+    std::string_view payload, SnapFetchInfo& info,
+    std::string_view& bytes) {
+  detail::PayloadReader reader(payload);
+  if (!reader.read(info)) return "snapfetch reply: truncated header";
+  if (info.len > kMaxSnapChunk) return "snapfetch reply: chunk over cap";
+  if (info.total_bytes > kMaxSnapshotBytes) {
+    return "snapfetch reply: image over cap";
+  }
+  if (info.offset > info.total_bytes ||
+      info.len > info.total_bytes - info.offset) {
+    return "snapfetch reply: chunk outside image";
+  }
+  if (!reader.read_view(info.len, bytes)) {
+    return "snapfetch reply: truncated bytes";
+  }
+  if (!reader.exhausted()) return "snapfetch reply: trailing bytes";
+  return nullptr;
+}
+
+template <typename Key>
+inline void append_sequenced_key_batch(std::string& out,
+                                       const SequencePrefix& prefix,
+                                       std::span<const Key> keys) {
+  detail::append_pod(out, prefix);
+  append_key_batch(out, keys);
+}
+
+/// Splits a kFlagSequenced mutation payload into its SequencePrefix and
+/// the key batch that follows. Returns nullptr on success.
+[[nodiscard]] inline const char* parse_sequenced_key_batch(
+    std::string_view payload, SequencePrefix& prefix,
+    std::vector<std::string_view>& keys) {
+  if (payload.size() < sizeof(SequencePrefix)) {
+    return "sequenced batch: truncated prefix";
+  }
+  std::memcpy(&prefix, payload.data(), sizeof prefix);
+  return parse_key_batch(payload.substr(sizeof prefix), keys);
+}
 
 template <typename Reply>
 inline void append_reply_pod(std::string& out, const Reply& reply) {

@@ -48,6 +48,16 @@ struct Server::ServerMetrics {
   metrics::Counter& admin_requests = metrics::Registry::global().counter(
       "mpcbf_server_admin_requests_total",
       "STATS/HEALTH/SNAPSHOT requests served");
+  metrics::Counter& timeouts = metrics::Registry::global().counter(
+      "mpcbf_server_timeouts_total",
+      "Connections closed after a partial frame stalled past "
+      "frame_timeout");
+  metrics::Counter& repl_requests = metrics::Registry::global().counter(
+      "mpcbf_server_replication_requests_total",
+      "REPLICATE/SNAPFETCH/REPLSTATUS requests served");
+  metrics::Counter& deduped = metrics::Registry::global().counter(
+      "mpcbf_server_deduped_mutations_total",
+      "Sequenced mutations answered from the dedup cache");
   metrics::Histogram& batch_keys = metrics::Registry::global().histogram(
       "mpcbf_server_batch_keys", "Keys per batched request");
 
@@ -86,6 +96,11 @@ struct Server::Connection {
   std::vector<std::uint8_t> verdicts;
   std::string payload;
   bool dead = false;
+  // Slow-loris accounting: when the read buffer ends in a partial
+  // frame, the time that partial first appeared. A peer may idle
+  // between frames forever; it may not stall *inside* one.
+  bool mid_frame = false;
+  std::chrono::steady_clock::time_point partial_since{};
 };
 
 struct Server::Worker {
@@ -234,6 +249,7 @@ void Server::worker_loop(Worker& w) {
         if (expired || c->wpos == c->wbuf.size()) c->dead = true;
       }
     }
+    sweep_stalled(w);
     // Reap dead connections.
     std::erase_if(w.conns, [this](const auto& c) {
       if (c->dead) metrics_->active.add(-1.0);
@@ -326,7 +342,31 @@ bool Server::drain_frames(Connection& c) {
     c.rbuf.erase(0, c.rpos);
     c.rpos = 0;
   }
+  // Partial-frame deadline bookkeeping: the clock starts when a partial
+  // frame first appears and resets whenever the buffer is drained to a
+  // frame boundary.
+  if (c.rbuf.empty()) {
+    c.mid_frame = false;
+  } else if (!c.mid_frame) {
+    c.mid_frame = true;
+    c.partial_since = std::chrono::steady_clock::now();
+  }
   return true;
+}
+
+void Server::sweep_stalled(Worker& w) {
+  if (options_.frame_timeout.count() <= 0) return;
+  const auto now = std::chrono::steady_clock::now();
+  for (auto& c : w.conns) {
+    if (c->dead || !c->mid_frame) continue;
+    if (now - c->partial_since >= options_.frame_timeout) {
+      // A peer stalled mid-frame left the stream in an ambiguous state;
+      // the only safe move is to drop the connection — never to retry
+      // the partial read into the next request.
+      metrics_->timeouts.inc();
+      c->dead = true;
+    }
+  }
 }
 
 void Server::serve_frame(Connection& c, const Frame& frame) {
@@ -350,6 +390,17 @@ void Server::serve_frame(Connection& c, const Frame& frame) {
       case Opcode::kQuery:
       case Opcode::kInsert:
       case Opcode::kErase: {
+        if ((h.flags & kFlagSequenced) != 0) {
+          if (op == Opcode::kQuery) {
+            reply_error(c, frame, ErrorCode::kBadRequest,
+                        "sequenced flag on an idempotent opcode");
+            return;
+          }
+          // Dedup path: fills c.payload (fresh apply or cached replay);
+          // on false an error reply has already been sent.
+          if (!serve_sequenced(c, frame, op)) return;
+          break;
+        }
         if (const char* err = parse_key_batch(frame.payload, c.keys);
             err != nullptr) {
           reply_error(c, frame, ErrorCode::kBadRequest, err);
@@ -396,7 +447,10 @@ void Server::serve_frame(Connection& c, const Frame& frame) {
           return;
         }
         HealthReply r = backend_.health();
-        r.ready = running() ? 1 : 0;
+        // The backend's readiness veto (a follower still catching up)
+        // ANDs with the server's own lifecycle bit.
+        r.ready =
+            running() && (!backend_.ready || backend_.ready()) ? 1 : 0;
         append_reply_pod(c.payload, r);
         metrics_->admin_requests.inc();
         break;
@@ -413,12 +467,120 @@ void Server::serve_frame(Connection& c, const Frame& frame) {
         metrics_->admin_requests.inc();
         break;
       }
+      case Opcode::kReplicate: {
+        if (!backend_.replicate) {
+          reply_error(c, frame, ErrorCode::kUnsupported,
+                      "replication requires a durable backend");
+          return;
+        }
+        ReplicateRequest req;
+        if (const char* err = parse_reply_pod(frame.payload, req);
+            err != nullptr) {
+          reply_error(c, frame, ErrorCode::kBadRequest, err);
+          return;
+        }
+        if (const char* err = backend_.replicate(req, c.payload);
+            err != nullptr) {
+          reply_error(c, frame, ErrorCode::kInternal, err);
+          return;
+        }
+        metrics_->repl_requests.inc();
+        break;
+      }
+      case Opcode::kSnapFetch: {
+        if (!backend_.snap_fetch) {
+          reply_error(c, frame, ErrorCode::kUnsupported,
+                      "replication requires a durable backend");
+          return;
+        }
+        SnapFetchRequest req;
+        if (const char* err = parse_reply_pod(frame.payload, req);
+            err != nullptr) {
+          reply_error(c, frame, ErrorCode::kBadRequest, err);
+          return;
+        }
+        if (const char* err = backend_.snap_fetch(req, c.payload);
+            err != nullptr) {
+          reply_error(c, frame, ErrorCode::kInternal, err);
+          return;
+        }
+        metrics_->repl_requests.inc();
+        break;
+      }
+      case Opcode::kReplStatus: {
+        if (!backend_.repl_status) {
+          reply_error(c, frame, ErrorCode::kUnsupported,
+                      "replication status requires a durable backend");
+          return;
+        }
+        append_reply_pod(c.payload, backend_.repl_status());
+        metrics_->repl_requests.inc();
+        break;
+      }
     }
   } catch (const std::exception& e) {
     reply_error(c, frame, ErrorCode::kInternal, e.what());
     return;
   }
   append_frame(c.wbuf, op, kFlagResponse, h.request_id, c.payload);
+}
+
+bool Server::serve_sequenced(Connection& c, const Frame& frame,
+                             Opcode op) {
+  SequencePrefix prefix;
+  if (const char* err =
+          parse_sequenced_key_batch(frame.payload, prefix, c.keys);
+      err != nullptr) {
+    reply_error(c, frame, ErrorCode::kBadRequest, err);
+    return false;
+  }
+  const auto& hook =
+      op == Opcode::kInsert ? backend_.insert_batch : backend_.erase_batch;
+  if (!hook) {
+    reply_error(c, frame, ErrorCode::kUnsupported,
+                "opcode not supported by this backend");
+    return false;
+  }
+  // The dedup lock is held across the apply so two concurrent retries
+  // of the same op cannot both pass the check; mutations are already
+  // serialized by the backend's exclusive lock, so this adds no new
+  // contention. Lock order is dedup → backend, nowhere reversed.
+  std::lock_guard<std::mutex> lock(dedup_mu_);
+  auto it = dedup_.find(prefix.session_id);
+  if (it != dedup_.end() && it->second.op_seq == prefix.op_seq) {
+    if (it->second.opcode != static_cast<std::uint8_t>(op)) {
+      reply_error(c, frame, ErrorCode::kBadRequest,
+                  "sequence number reused across opcodes");
+      return false;
+    }
+    c.payload = it->second.reply;  // retry: replay, never re-apply
+    metrics_->deduped.inc();
+    return true;
+  }
+  if (it != dedup_.end() && prefix.op_seq < it->second.op_seq) {
+    reply_error(c, frame, ErrorCode::kBadRequest,
+                "stale sequence number");
+    return false;
+  }
+  c.verdicts.assign(c.keys.size(), 0);
+  hook(c.keys, c.verdicts);
+  append_verdicts(c.payload, c.verdicts);
+  if (it == dedup_.end()) {
+    if (dedup_.size() >= kMaxDedupSessions) {
+      // Bounded by eviction: correctness degrades to at-least-once for
+      // a session idle long enough to be evicted, never unbounded RAM.
+      dedup_.erase(dedup_.begin());
+    }
+    it = dedup_.emplace(prefix.session_id, DedupEntry{}).first;
+  }
+  it->second.op_seq = prefix.op_seq;
+  it->second.opcode = static_cast<std::uint8_t>(op);
+  it->second.reply = c.payload;
+  const int idx = op == Opcode::kInsert ? 1 : 2;
+  metrics_->requests[idx]->inc();
+  metrics_->keys[idx]->inc(c.keys.size());
+  metrics_->batch_keys.record(c.keys.size());
+  return true;
 }
 
 void Server::reply_error(Connection& c, const Frame& frame,

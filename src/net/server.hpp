@@ -30,6 +30,7 @@
 // become a defined error.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -41,10 +42,12 @@
 #include <string>
 #include <string_view>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/thread_pool.hpp"
 #include "metrics/health.hpp"
+#include "metrics/registry.hpp"
 #include "net/protocol.hpp"
 #include "net/socket.hpp"
 
@@ -71,20 +74,88 @@ struct FilterBackend {
   /// Forces a durable snapshot; returns the journal watermark. Null for
   /// memory-only backends.
   std::function<std::uint64_t()> snapshot;
+  /// Serves one REPLICATE request: appends the complete reply payload
+  /// to the string, or returns a static error reason. Null for
+  /// memory-only backends.
+  std::function<const char*(const ReplicateRequest&, std::string&)>
+      replicate;
+  /// Serves one SNAPFETCH request (chunked consistent snapshot image).
+  std::function<const char*(const SnapFetchRequest&, std::string&)>
+      snap_fetch;
+  /// Replication role + watermarks for REPLSTATUS.
+  std::function<ReplStatusReply()> repl_status;
+  /// Optional readiness veto ANDed into the HEALTH ready bit — a
+  /// follower keeps it false until it has caught up to its primary.
+  std::function<bool()> ready;
 };
+
+namespace detail {
+
+/// Primary-side replication bookkeeping shared by the make_backend
+/// hooks: the cached consistent snapshot image SNAPFETCH serves, and
+/// the per-follower acked watermarks REPLICATE maintains.
+struct ReplSource {
+  std::mutex mu;
+  std::string snap_image;
+  std::uint64_t snap_watermark = 0;
+  bool snap_valid = false;
+  std::unordered_map<std::uint64_t, std::uint64_t> acked;  // follower→seq
+
+  /// Updates the follower table and the fleet lag gauges; call with a
+  /// fresh view of the journal's next sequence number.
+  void note_follower(std::uint64_t follower_id, std::uint64_t acked_seq,
+                     std::uint64_t next_seq) {
+    std::lock_guard<std::mutex> lock(mu);
+    acked[follower_id] = acked_seq;
+    std::uint64_t min_acked = next_seq - 1;
+    for (const auto& [id, seq] : acked) {
+      min_acked = std::min(min_acked, seq);
+    }
+    auto& reg = metrics::Registry::global();
+    reg.gauge("mpcbf_server_replication_followers",
+              "Followers that have polled REPLICATE")
+        .set(static_cast<double>(acked.size()));
+    reg.gauge("mpcbf_server_replication_min_acked_seq",
+              "Slowest follower's acked journal sequence")
+        .set(static_cast<double>(min_acked));
+    reg.gauge("mpcbf_server_replication_lag_records",
+              "Journal records not yet acked by every follower")
+        .set(static_cast<double>(next_seq - 1 - min_acked));
+  }
+
+  [[nodiscard]] ReplStatusReply status(std::uint64_t next_seq) {
+    std::lock_guard<std::mutex> lock(mu);
+    ReplStatusReply r;
+    r.role = static_cast<std::uint8_t>(ReplRole::kPrimary);
+    r.next_seq = next_seq;
+    r.acked_seq = next_seq - 1;
+    r.followers = acked.size();
+    std::uint64_t min_acked = next_seq - 1;
+    for (const auto& [id, seq] : acked) {
+      min_acked = std::min(min_acked, seq);
+    }
+    r.min_acked_seq = min_acked;
+    r.lag_records = next_seq - 1 - min_acked;
+    r.caught_up = r.lag_records == 0 ? 1 : 0;
+    return r;
+  }
+};
+
+}  // namespace detail
 
 /// Wraps a concrete filter in a FilterBackend. Works with Mpcbf,
 /// DurableMpcbf and ShardedMpcbf (members are probed, not required —
 /// the publish_filter idiom). All request classes are serialized
-/// through one shared_mutex owned by the wrapper: queries/stats/health
-/// take it shared, mutations and snapshots exclusive, matching the
-/// filters' "const queries are concurrent-safe, mutations are not"
-/// contract.
+/// through one shared_mutex: queries/stats/health take it shared,
+/// mutations and snapshots exclusive, matching the filters' "const
+/// queries are concurrent-safe, mutations are not" contract. Pass the
+/// mutex explicitly when another actor (a follower's Replicator)
+/// mutates the filter outside the server's request path and must share
+/// the same exclusion.
 template <typename F>
-[[nodiscard]] FilterBackend make_backend(std::shared_ptr<F> f,
-                                         std::size_t health_fpr_probes =
-                                             512) {
-  auto mu = std::make_shared<std::shared_mutex>();
+[[nodiscard]] FilterBackend make_backend(
+    std::shared_ptr<F> f, std::shared_ptr<std::shared_mutex> mu,
+    std::size_t health_fpr_probes = 512) {
   auto prober = std::make_shared<metrics::HealthProber>([&] {
     metrics::HealthProber::Config cfg;
     cfg.filter_label = "server";
@@ -172,7 +243,103 @@ template <typename F>
       return f->next_seq() - 1;
     };
   }
+  // Durable backends (journal + serializable snapshot) can act as a
+  // replication primary: REPLICATE streams journal records, SNAPFETCH
+  // serves a cached consistent snapshot image, REPLSTATUS reports fleet
+  // watermarks. Lock order: the filter mutex and the ReplSource mutex
+  // are never held together in the replicate hook, and snap_fetch
+  // acquires ReplSource → filter only, so there is no cycle.
+  if constexpr (requires {
+                  f->journal_records_from(std::uint64_t{0},
+                                          std::uint32_t{0},
+                                          std::uint64_t{0});
+                  f->serialize_snapshot();
+                }) {
+    auto repl = std::make_shared<detail::ReplSource>();
+    b.replicate = [f, mu, repl](const ReplicateRequest& req,
+                                std::string& out) -> const char* {
+      const std::uint32_t max_records =
+          std::min(req.max_records != 0 ? req.max_records
+                                        : kMaxReplicateRecords,
+                   kMaxReplicateRecords);
+      const std::uint64_t max_bytes = std::min<std::uint64_t>(
+          req.max_bytes != 0 ? req.max_bytes : (1u << 20),
+          kMaxPayload / 2);
+      typename F::ReplicationBatch batch;
+      {
+        // Exclusive: journal_records_from may flush buffered appends.
+        std::unique_lock lock(*mu);
+        batch = f->journal_records_from(req.from_seq, max_records,
+                                        max_bytes);
+      }
+      ReplicateInfo info;
+      info.next_seq = batch.next_seq;
+      info.base_seq = batch.base_seq;
+      info.need_snapshot = req.from_seq < batch.base_seq ? 1 : 0;
+      if (info.need_snapshot != 0) batch.records.clear();
+      append_replicate_reply(out, info, batch.records);
+      repl->note_follower(req.follower_id,
+                          req.from_seq > 0 ? req.from_seq - 1 : 0,
+                          batch.next_seq);
+      return nullptr;
+    };
+    b.snap_fetch = [f, mu, repl](const SnapFetchRequest& req,
+                                 std::string& out) -> const char* {
+      const std::uint32_t max_bytes = std::min(
+          req.max_bytes != 0 ? req.max_bytes : (1u << 20), kMaxSnapChunk);
+      std::lock_guard<std::mutex> guard(repl->mu);
+      if (req.offset == 0 || !repl->snap_valid) {
+        if (req.offset != 0) {
+          // A mid-fetch request with no cached image cannot be served
+          // consistently; the follower restarts from offset 0.
+          return "snapfetch: no cached image for nonzero offset";
+        }
+        std::unique_lock lock(*mu);
+        auto [image, watermark] = f->serialize_snapshot();
+        repl->snap_image = std::move(image);
+        repl->snap_watermark = watermark;
+        repl->snap_valid = true;
+      }
+      if (req.offset > repl->snap_image.size()) {
+        return "snapfetch: offset beyond image";
+      }
+      SnapFetchInfo info;
+      info.watermark = repl->snap_watermark;
+      info.total_bytes = repl->snap_image.size();
+      info.offset = req.offset;
+      const std::size_t len = std::min<std::size_t>(
+          max_bytes, repl->snap_image.size() - req.offset);
+      append_snapfetch_reply(
+          out, info,
+          std::string_view(repl->snap_image).substr(req.offset, len));
+      // The image cache exists only to keep one fetch consistent; drop
+      // it once the follower has read past the end.
+      if (req.offset + len >= repl->snap_image.size()) {
+        repl->snap_valid = false;
+        repl->snap_image.clear();
+        repl->snap_image.shrink_to_fit();
+      }
+      return nullptr;
+    };
+    b.repl_status = [f, mu, repl]() {
+      std::uint64_t next_seq = 1;
+      {
+        std::shared_lock lock(*mu);
+        next_seq = f->next_seq();
+      }
+      return repl->status(next_seq);
+    };
+  }
   return b;
+}
+
+template <typename F>
+[[nodiscard]] FilterBackend make_backend(std::shared_ptr<F> f,
+                                         std::size_t health_fpr_probes =
+                                             512) {
+  return make_backend(std::move(f),
+                      std::make_shared<std::shared_mutex>(),
+                      health_fpr_probes);
 }
 
 class Server {
@@ -186,6 +353,10 @@ class Server {
     std::size_t workers = 2;
     /// stop() flushes pending response bytes for at most this long.
     std::chrono::milliseconds drain_timeout{2000};
+    /// A connection whose read buffer has held a partial frame for
+    /// longer than this is closed (slow-loris defense) and counted in
+    /// mpcbf_server_timeouts_total. 0 disables the sweep.
+    std::chrono::milliseconds frame_timeout{30000};
   };
 
   Server(FilterBackend backend, Options options);
@@ -225,10 +396,16 @@ class Server {
   /// Returns false when the connection must be closed.
   bool drain_frames(Connection& c);
   void serve_frame(Connection& c, const Frame& frame);
+  /// Sequenced-mutation path: dedups on (session_id, op_seq), replaying
+  /// the cached reply for retries. Returns true when it fully handled
+  /// the frame (reply already appended).
+  bool serve_sequenced(Connection& c, const Frame& frame, Opcode op);
   void reply_error(Connection& c, const Frame& frame, ErrorCode code,
                    std::string_view message);
   /// Flushes the write buffer; returns false on a dead connection.
   bool flush_writes(Connection& c);
+  /// Closes connections stuck mid-frame past Options::frame_timeout.
+  void sweep_stalled(Worker& w);
 
   FilterBackend backend_;
   Options options_;
@@ -242,6 +419,19 @@ class Server {
   std::unique_ptr<util::ThreadPool> pool_;
   std::vector<std::unique_ptr<Worker>> workers_;
   ServerMetrics* metrics_ = nullptr;  // registry-owned, process lifetime
+
+  // Sequenced-mutation dedup: one entry per client session, holding the
+  // last (op_seq, reply) so a failover retry replays instead of
+  // re-applying. Shared across workers — a retried session typically
+  // arrives on a brand-new connection.
+  struct DedupEntry {
+    std::uint64_t op_seq = 0;
+    std::uint8_t opcode = 0;
+    std::string reply;
+  };
+  static constexpr std::size_t kMaxDedupSessions = 4096;
+  std::mutex dedup_mu_;
+  std::unordered_map<std::uint64_t, DedupEntry> dedup_;
 };
 
 }  // namespace mpcbf::net
