@@ -25,6 +25,13 @@
 //         [--follow H:P[,H:P...]]             follower: tail a primary's
 //                                             journal (requires --dir);
 //                                             read-only until caught up
+//         [--elastic]                         chain-of-segments backend that
+//         [--route-bits N] [--grow-score S]   grows online (sizing flags
+//         [--probe-stride N]                  size one segment); with --dir
+//         [--max-segments N]                  the chain is WAL-journaled
+//         [--maintenance-ms MS]               drain/gauge cadence
+//   topology --dir D                          segment chain of an elastic
+//                                             durable dir + CRC digest
 //   client --port P [--host H]                one batched RPC against a
 //          --op query|insert|erase|stats|     running server
 //               health|snapshot|replstatus
@@ -47,6 +54,7 @@
 
 #include "common/cli.hpp"
 #include "core/durable_mpcbf.hpp"
+#include "core/elastic_mpcbf.hpp"
 #include "core/mpcbf.hpp"
 #include "io/crc32c.hpp"
 #include "metrics/export.hpp"
@@ -311,6 +319,63 @@ mpcbf::core::MpcbfConfig durable_config(const mpcbf::util::CliArgs& args) {
   return cfg;
 }
 
+// Elastic chain config: sizing flags describe ONE segment; the chain
+// flags describe when and how far it grows.
+mpcbf::core::ElasticConfig elastic_config(const mpcbf::util::CliArgs& args) {
+  mpcbf::core::ElasticConfig cfg;
+  cfg.segment = durable_config(args);
+  cfg.route_bits =
+      static_cast<unsigned>(args.get_uint("route-bits", 6));
+  cfg.grow_score = args.get_double("grow-score", 70.0);
+  cfg.probe_stride = args.get_uint("probe-stride", 256);
+  cfg.max_segments = args.get_uint("max-segments", 64);
+  return cfg;
+}
+
+// Segment-chain report for an elastic durable dir: per-segment load,
+// bucket ownership counts, and a CRC32C digest of the topology record —
+// the line scripts compare across kill/recover to prove the chain came
+// back byte-identical.
+int cmd_topology(const mpcbf::util::CliArgs& args) {
+  const std::string dir = args.get_string("dir", "");
+  if (dir.empty()) {
+    std::cerr << "topology: --dir is required\n";
+    return 2;
+  }
+  const auto filter = mpcbf::core::DurableElasticMpcbf<64>::recover(dir);
+  std::cout << "segments:       " << filter.live_segments() << " live / "
+            << filter.num_segments() << " total\n"
+            << "route buckets:  " << filter.num_buckets() << "\n"
+            << "grows/retires:  " << filter.grows() << " / "
+            << filter.retires() << "\n"
+            << "elements:       " << filter.size() << "\n"
+            << "memory:         " << filter.memory_bits() / 8 / 1024
+            << " KiB\n"
+            << "model FPR:      " << filter.model_fpr() << "\n"
+            << "valid:          " << (filter.validate() ? "yes" : "NO")
+            << "\n";
+  std::vector<std::size_t> owned(filter.num_segments(), 0);
+  for (std::uint32_t b = 0; b < filter.num_buckets(); ++b) {
+    ++owned[filter.owner(b)];
+  }
+  for (std::size_t i = 0; i < filter.num_segments(); ++i) {
+    const auto* seg = filter.segment(i);
+    if (seg == nullptr) {
+      std::cout << "  segment " << i << ": retired\n";
+      continue;
+    }
+    std::cout << "  segment " << i << ": " << seg->size() << " elements, "
+              << owned[i] << " buckets, score "
+              << filter.segment_score(i) << "\n";
+  }
+  const std::string topo = filter.topology_bytes();
+  char digest[16];
+  std::snprintf(digest, sizeof digest, "%08x",
+                mpcbf::io::crc32c(topo.data(), topo.size()));
+  std::cout << "topology digest: " << digest << "\n";
+  return filter.validate() ? 0 : 1;
+}
+
 int cmd_snapshot(const mpcbf::util::CliArgs& args) {
   const std::string dir = args.get_string("dir", "");
   if (dir.empty()) {
@@ -537,17 +602,65 @@ int cmd_serve(const mpcbf::util::CliArgs& args) {
   const std::string dir = args.get_string("dir", "");
   const std::string filter_path = args.get_string("filter", "");
   const std::string follow = args.get_string("follow", "");
+  const bool elastic = args.get_bool("elastic");
   if (!follow.empty() && dir.empty()) {
     std::cerr << "serve: --follow requires --dir (the follower's own "
                  "durable directory)\n";
     return 2;
   }
+  if (elastic && !follow.empty()) {
+    std::cerr << "serve: --elastic cannot combine with --follow yet "
+                 "(the replication agent speaks flat durable dirs)\n";
+    return 2;
+  }
+  if (elastic && !filter_path.empty()) {
+    std::cerr << "serve: --elastic takes sizing flags or --dir, not "
+                 "--filter\n";
+    return 2;
+  }
 
   std::shared_ptr<mpcbf::core::DurableMpcbf<64>> durable;
   std::shared_ptr<mpcbf::core::Mpcbf<64>> plain;
+  std::shared_ptr<mpcbf::core::DurableElasticMpcbf<64>> elastic_durable;
+  std::shared_ptr<mpcbf::core::ElasticMpcbf<64>> elastic_plain;
+  std::unique_ptr<mpcbf::core::ElasticMaintainer> maintainer;
   std::unique_ptr<mpcbf::net::Replicator> replicator;
   mpcbf::net::FilterBackend backend;
-  if (!dir.empty()) {
+  if (elastic) {
+    // Chain backend: segments split online when the active segment's
+    // health crosses the grow score; a background maintainer drains
+    // cold segments and refreshes the mpcbf_elastic_* gauges under the
+    // same lock the server's mutations take.
+    auto mu = std::make_shared<std::shared_mutex>();
+    const auto interval =
+        std::chrono::milliseconds(args.get_uint("maintenance-ms", 1000));
+    auto& reg = mpcbf::metrics::Registry::global();
+    if (!dir.empty()) {
+      elastic_durable = mpcbf::core::DurableElasticMpcbf<64>::open_shared(
+          dir, elastic_config(args));
+      backend = mpcbf::net::make_backend(elastic_durable, mu,
+                                         args.get_uint("probes", 512));
+      maintainer = std::make_unique<mpcbf::core::ElasticMaintainer>(
+          [elastic_durable, mu, &reg] {
+            std::unique_lock lock(*mu);
+            (void)elastic_durable->compact_once();
+            elastic_durable->publish_metrics(reg);
+          },
+          interval);
+    } else {
+      elastic_plain = std::make_shared<mpcbf::core::ElasticMpcbf<64>>(
+          elastic_config(args));
+      backend = mpcbf::net::make_backend(elastic_plain, mu,
+                                         args.get_uint("probes", 512));
+      maintainer = std::make_unique<mpcbf::core::ElasticMaintainer>(
+          [elastic_plain, mu, &reg] {
+            std::unique_lock lock(*mu);
+            (void)elastic_plain->compact_once();
+            elastic_plain->publish_metrics(reg);
+          },
+          interval);
+    }
+  } else if (!dir.empty()) {
     durable = [&] {
       try {
         return mpcbf::core::DurableMpcbf<64>::open_shared(dir);
@@ -593,11 +706,15 @@ int cmd_serve(const mpcbf::util::CliArgs& args) {
   mpcbf::net::Server server(std::move(backend), opts);
   server.start();
 
+  const char* backend_kind =
+      replicator          ? "follower"
+      : elastic_durable   ? "elastic durable"
+      : elastic_plain     ? "elastic in-memory"
+      : durable           ? "durable"
+                          : "in-memory";
   std::cout << "mpcbfd listening on " << opts.bind_address << ":"
             << server.port() << " (" << opts.workers << " workers, "
-            << (replicator ? "follower"
-                           : (durable ? "durable" : "in-memory"))
-            << " backend)" << std::endl;
+            << backend_kind << " backend)" << std::endl;
   const std::string port_file = args.get_string("port-file", "");
   if (!port_file.empty()) {
     std::ofstream pf(port_file);
@@ -607,6 +724,7 @@ int cmd_serve(const mpcbf::util::CliArgs& args) {
   mpcbf::net::ShutdownSignal::wait(std::chrono::milliseconds(0));
   std::cout << "mpcbfd: shutdown signal received, draining" << std::endl;
   if (replicator) replicator->stop();
+  if (maintainer) maintainer->stop();
   server.stop();
 
   if (durable) {
@@ -615,6 +733,16 @@ int cmd_serve(const mpcbf::util::CliArgs& args) {
     durable->snapshot();
     std::cout << "final snapshot at seq " << durable->next_seq() - 1
               << "\n";
+  }
+  if (elastic_durable) {
+    elastic_durable->snapshot();
+    elastic_durable->publish_metrics(mpcbf::metrics::Registry::global());
+    std::cout << "final snapshot at seq " << elastic_durable->next_seq() - 1
+              << " (" << elastic_durable->filter().live_segments()
+              << " segments)\n";
+  }
+  if (elastic_plain) {
+    elastic_plain->publish_metrics(mpcbf::metrics::Registry::global());
   }
   std::cout << "served " << server.requests_served() << " requests on "
             << server.connections_accepted() << " connections\n";
@@ -772,7 +900,8 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::cerr << "usage: mpcbf_tool "
                  "<plan|build|query|merge|stats|verify|snapshot|recover|"
-                 "health|trace|serve|client|replstatus|proxy> [flags]\n";
+                 "health|trace|serve|client|replstatus|proxy|topology> "
+                 "[flags]\n";
     return 2;
   }
   const std::string cmd = argv[1];
@@ -792,6 +921,7 @@ int main(int argc, char** argv) {
     if (cmd == "client") return cmd_client(args);
     if (cmd == "replstatus") return cmd_replstatus(args);
     if (cmd == "proxy") return cmd_proxy(args);
+    if (cmd == "topology") return cmd_topology(args);
     std::cerr << "unknown subcommand: " << cmd << "\n";
     return 2;
   } catch (const std::exception& e) {

@@ -32,7 +32,7 @@ import json
 import os
 import sys
 
-DEFAULT_BENCHES = "micro_ops,fig08_query_time,server"
+DEFAULT_BENCHES = "micro_ops,fig08_query_time,server,elastic"
 
 
 def load_metrics(directories, bench: str):

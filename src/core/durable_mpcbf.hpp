@@ -336,6 +336,13 @@ class DurableMpcbf {
   bool apply_replicated(std::uint64_t seq, io::JournalOp op,
                         std::string_view key) {
     if (seq != journal_.next_seq()) return false;
+    // Topology ops (kSegmentAdd/kSegmentRetire) belong to elastic
+    // journals; a flat filter cannot apply them, and journaling one
+    // while skipping its effect would fork recovered state from the
+    // primary. Reject so the caller re-bootstraps from a snapshot.
+    if (op != io::JournalOp::kInsert && op != io::JournalOp::kErase) {
+      return false;
+    }
     log_op(op, key);
     if (op == io::JournalOp::kInsert) {
       (void)filter_.insert(key);
@@ -567,8 +574,15 @@ class DurableMpcbf {
         if (rec.seq <= watermark) continue;  // already in the snapshot
         if (rec.op == io::JournalOp::kInsert) {
           (void)filter->insert(rec.key);
-        } else {
+        } else if (rec.op == io::JournalOp::kErase) {
           (void)filter->erase(rec.key);
+        } else {
+          // Topology record from an elastic journal: a flat filter
+          // cannot interpret its payload as a key. Surface the mixup
+          // rather than corrupting state with a bogus erase.
+          throw std::runtime_error(
+              "DurableMpcbf: journal contains segment-topology records "
+              "(elastic filter directory?)");
         }
         ++replayed;
       }

@@ -243,6 +243,7 @@ class Mpcbf {
   [[nodiscard]] unsigned k() const noexcept { return k_; }
   [[nodiscard]] unsigned g() const noexcept { return g_; }
   [[nodiscard]] unsigned n_max() const noexcept { return n_max_; }
+  [[nodiscard]] OverflowPolicy policy() const noexcept { return policy_; }
   [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
   [[nodiscard]] std::size_t memory_bits() const noexcept {
     return store_.size() * W;

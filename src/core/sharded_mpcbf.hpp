@@ -36,11 +36,19 @@ class ShardedMpcbf {
  public:
   /// Splits `cfg.memory_bits` (and `cfg.expected_n`) evenly across
   /// `num_shards` Mpcbf instances. Shard count is clamped to >= 1.
+  /// Both splits round up, so the total provisioned capacity is never
+  /// below what the planner asked for — flooring the per-shard bits
+  /// used to shave up to `num_shards - 1` bits off the FPR budget.
   ShardedMpcbf(const MpcbfConfig& cfg, unsigned num_shards)
       : shard_seed_(util::SplitMix64::mix(cfg.seed ^ 0x5ad5ad5ad5ad5adULL)) {
     if (num_shards == 0) num_shards = 1;
     MpcbfConfig shard_cfg = cfg;
-    shard_cfg.memory_bits = cfg.memory_bits / num_shards;
+    // Ceil-divide across shards, then ceil to a whole word: Mpcbf
+    // floors its word count (l = memory_bits / W), so a fractional
+    // word per shard would otherwise be dropped num_shards times over.
+    const std::size_t per_shard =
+        (cfg.memory_bits + num_shards - 1) / num_shards;
+    shard_cfg.memory_bits = (per_shard + W - 1) / W * W;
     if (cfg.expected_n != 0) {
       shard_cfg.expected_n =
           (cfg.expected_n + num_shards - 1) / num_shards;

@@ -100,8 +100,8 @@ JournalScan Journal::scan(const std::string& path) {
       rec.seq = reader.read_pod<std::uint64_t>();
       const auto op = reader.read_pod<std::uint8_t>();
       const auto key_len = reader.read_pod<std::uint32_t>();
-      if (op > static_cast<std::uint8_t>(JournalOp::kErase) ||
-          key_len > kMaxKeyLen || rec.seq != expected_seq) {
+      if (op > kMaxJournalOp || key_len > kMaxKeyLen ||
+          rec.seq != expected_seq) {
         break;  // corrupt or out-of-sequence: tail ends here
       }
       rec.op = static_cast<JournalOp>(op);

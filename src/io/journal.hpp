@@ -31,7 +31,16 @@ namespace mpcbf::io {
 enum class JournalOp : std::uint8_t {
   kInsert = 0,
   kErase = 1,
+  /// Topology records (ElasticMpcbf): the key field carries an encoded
+  /// segment descriptor, not a filter key. Consumers that only
+  /// understand keyed ops must reject these rather than misapply them.
+  kSegmentAdd = 2,
+  kSegmentRetire = 3,
 };
+
+/// Highest op value scan() accepts; anything above is a corrupt tail.
+inline constexpr std::uint8_t kMaxJournalOp =
+    static_cast<std::uint8_t>(JournalOp::kSegmentRetire);
 
 struct JournalRecord {
   std::uint64_t seq = 0;

@@ -31,6 +31,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -219,17 +220,36 @@ class HealthProber {
       }
     }
 
-    if constexpr (requires {
-                    f.num_words();
-                    f.b1();
-                    f.k();
-                    f.g();
-                  }) {
+    if constexpr (requires { f.model_fpr(); }) {
+      // Composite filters (ElasticMpcbf) know their own closed-form
+      // bound — a chain's FPR is not the flat formula over summed
+      // layout numbers.
+      s.predicted_fpr = f.model_fpr();
+      s.measured_fpr = measure_fpr(f);
+      s.fpr_drift = s.measured_fpr - s.predicted_fpr;
+    } else if constexpr (requires {
+                           f.num_words();
+                           f.b1();
+                           f.k();
+                           f.g();
+                         }) {
       s.predicted_fpr = model::fpr_mpcbf_g(s.elements, f.num_words(),
                                            f.b1(), f.k(), f.g());
       s.measured_fpr = measure_fpr(f);
       s.fpr_drift = s.measured_fpr - s.predicted_fpr;
     }
+
+    // Every component above guards its denominator, but keep the gauge
+    // contract (finite values only — a NaN would poison the Prometheus
+    // export and every comparison downstream) robust against filters
+    // with odd duck-typed accessors: scrub non-finite ratios to 0.
+    s.level1_fill = finite_or_zero(s.level1_fill);
+    s.hierarchy_utilization = finite_or_zero(s.hierarchy_utilization);
+    s.stash_pressure = finite_or_zero(s.stash_pressure);
+    s.overflow_rate = finite_or_zero(s.overflow_rate);
+    s.predicted_fpr = finite_or_zero(s.predicted_fpr);
+    s.measured_fpr = finite_or_zero(s.measured_fpr);
+    s.fpr_drift = finite_or_zero(s.fpr_drift);
 
     const double worst =
         std::max({s.level1_fill, s.hierarchy_utilization,
@@ -244,6 +264,10 @@ class HealthProber {
   }
 
  private:
+  [[nodiscard]] static double finite_or_zero(double v) noexcept {
+    return std::isfinite(v) ? v : 0.0;
+  }
+
   /// Empirical FPR: queries cfg_.fpr_probes synthetic keys drawn from a
   /// namespace no workload generator uses; every positive is (with
   /// overwhelming probability) a false positive.

@@ -3,6 +3,7 @@
 #include <random>
 #include <thread>
 
+#include "common/rng.hpp"
 #include "trace/trace.hpp"
 
 namespace mpcbf::net {
@@ -236,8 +237,16 @@ auto FailoverClient::with_failover(Fn&& fn)
     -> decltype(fn(std::declval<Client&>())) {
   const auto deadline =
       std::chrono::steady_clock::now() + options_.op_deadline;
-  Backoff backoff(options_.initial_backoff, options_.max_backoff,
-                  options_.backoff_seed ^ session_id_);
+  // Seed 0 keeps Backoff's per-instance entropy. An explicit seed is
+  // mixed with the session id through SplitMix64 so concurrent sessions
+  // sharing one configured seed still jitter apart — the old plain XOR
+  // collapsed to the sentinel whenever the two values collided.
+  std::uint64_t seed = 0;
+  if (options_.backoff_seed != 0) {
+    seed = util::SplitMix64::mix(options_.backoff_seed ^ session_id_);
+    if (seed == 0) seed = 1;
+  }
+  Backoff backoff(options_.initial_backoff, options_.max_backoff, seed);
   NetError last("failover: no attempts made");
   for (;;) {
     try {

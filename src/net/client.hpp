@@ -26,6 +26,7 @@
 #include <chrono>
 #include <cstdint>
 #include <optional>
+#include <random>
 #include <span>
 #include <string>
 #include <string_view>
@@ -37,14 +38,26 @@
 namespace mpcbf::net {
 
 /// Jittered exponential backoff ("equal jitter": half deterministic,
-/// half uniform) with a deterministic xorshift stream so tests can
-/// reproduce schedules. next() doubles the base up to `max`.
+/// half uniform). A non-zero seed gives a deterministic xorshift
+/// stream so tests can reproduce schedules; seed 0 draws per-instance
+/// entropy — jitter exists to decorrelate a fleet's retries, and a
+/// shared fixed stream would march every default-configured client
+/// through identical schedules on a mass reconnect. next() doubles the
+/// base up to `max`.
 class Backoff {
  public:
   Backoff(std::chrono::milliseconds initial,
           std::chrono::milliseconds max, std::uint64_t seed) noexcept
       : initial_(initial), max_(max), cur_(initial),
-        state_(seed != 0 ? seed : 0x9E3779B97F4A7C15ull) {}
+        state_(seed != 0 ? seed : entropy_seed()) {}
+
+  /// A never-zero per-instance seed from std::random_device.
+  [[nodiscard]] static std::uint64_t entropy_seed() noexcept {
+    std::random_device rd;
+    const std::uint64_t s =
+        (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+    return s != 0 ? s : 0x9E3779B97F4A7C15ull;
+  }
 
   [[nodiscard]] std::chrono::milliseconds next() noexcept {
     const std::int64_t base = std::max<std::int64_t>(cur_.count(), 1);
@@ -93,7 +106,9 @@ class Client {
     std::chrono::milliseconds connect_deadline{2000};
     std::chrono::milliseconds initial_backoff{20};
     std::chrono::milliseconds max_backoff{500};
-    /// Jitter stream seed; 0 = a fixed default (deterministic).
+    /// Jitter stream seed; 0 (the default) draws fresh per-instance
+    /// entropy so fleet retries stay decorrelated. Set non-zero for a
+    /// reproducible schedule in tests.
     std::uint64_t backoff_seed = 0;
     /// Per-syscall send/receive deadline.
     std::chrono::milliseconds io_timeout{5000};

@@ -495,7 +495,7 @@ inline void append_replicate_reply(
     if (!reader.read(rec.seq)) return "replicate reply: truncated seq";
     if (!reader.read(op)) return "replicate reply: truncated op";
     if (!reader.read(len)) return "replicate reply: truncated key length";
-    if (op > 1) return "replicate reply: unknown journal op";
+    if (op > io::kMaxJournalOp) return "replicate reply: unknown journal op";
     if (len > io::Journal::kMaxKeyLen) {
       return "replicate reply: key length over cap";
     }

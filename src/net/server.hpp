@@ -217,7 +217,7 @@ template <typename F>
   };
   b.health = [f, mu, prober]() {
     std::shared_lock lock(*mu);
-    const auto probe_target = [&]() -> const auto& {
+    const auto& probe_target = [&]() -> const auto& {
       // DurableMpcbf is probed through its in-memory filter; everything
       // else is probed directly.
       if constexpr (requires { f->filter(); }) {

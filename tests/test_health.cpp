@@ -6,6 +6,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -50,6 +51,35 @@ TEST(Health, EmptyFilterScoresZeroAndOk) {
   EXPECT_DOUBLE_EQ(s.saturation_score, 0.0);
   EXPECT_EQ(s.severity, Severity::kOk);
   EXPECT_EQ(prober.alarms(), 0u);
+}
+
+TEST(Health, FreshFilterProducesNoNaNAnywhere) {
+  // Regression: probing a freshly-constructed (or degenerate) filter
+  // must never leak NaN/Inf into the sample, the score, or the exported
+  // gauges — a NaN score silently disables the alarm comparisons and a
+  // NaN gauge poisons Prometheus rate() queries. Every ratio field is
+  // scrubbed through finite_or_zero() before scoring.
+  auto filter = make_filter(1 << 12, 64);  // fresh: zero elements
+  Registry reg;
+  HealthProber::Config cfg;
+  cfg.registry = &reg;
+  cfg.fpr_probes = 0;  // zero-probe path: measured FPR must be 0, not 0/0
+  HealthProber prober(std::move(cfg));
+  const HealthSample s = prober.probe(filter);
+
+  for (const double v :
+       {s.level1_fill, s.hierarchy_utilization, s.stash_pressure,
+        s.overflow_rate, s.predicted_fpr, s.measured_fpr, s.fpr_drift,
+        s.saturation_score}) {
+    EXPECT_TRUE(std::isfinite(v)) << v;
+  }
+  EXPECT_DOUBLE_EQ(s.measured_fpr, 0.0);
+  EXPECT_EQ(s.severity, Severity::kOk);
+
+  std::ostringstream os;
+  reg.write_prometheus(os);
+  EXPECT_EQ(os.str().find("nan"), std::string::npos);
+  EXPECT_EQ(os.str().find("inf"), std::string::npos);
 }
 
 TEST(Health, LoadedFilterReportsFillAndUtilization) {

@@ -402,6 +402,50 @@ TEST(Net, StopDrainsBufferedRequestsAndIsIdempotent) {
       NetError);
 }
 
+TEST(Net, BackoffNonZeroSeedIsDeterministic) {
+  // An explicit seed must reproduce the exact schedule — tests and
+  // simulations rely on it.
+  Backoff a(std::chrono::milliseconds(20), std::chrono::milliseconds(500),
+            0xDEADBEEFull);
+  Backoff b(std::chrono::milliseconds(20), std::chrono::milliseconds(500),
+            0xDEADBEEFull);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(a.next().count(), b.next().count()) << "step " << i;
+  }
+}
+
+TEST(Net, BackoffSeedZeroDecorrelatesInstances) {
+  // Regression: seed 0 used to fall back to one shared fixed default,
+  // marching every default-configured client through identical jitter —
+  // exactly the synchronized-retry stampede the jitter exists to break.
+  // With per-instance entropy, two seed-0 instances should disagree on
+  // at least one step of a 32-step schedule (the chance of a full
+  // collision with independent 64-bit states is negligible).
+  Backoff a(std::chrono::milliseconds(64), std::chrono::milliseconds(4096),
+            0);
+  Backoff b(std::chrono::milliseconds(64), std::chrono::milliseconds(4096),
+            0);
+  bool diverged = false;
+  for (int i = 0; i < 32 && !diverged; ++i) {
+    diverged = a.next().count() != b.next().count();
+  }
+  EXPECT_TRUE(diverged);
+  // Schedules stay inside the equal-jitter envelope either way.
+  Backoff c(std::chrono::milliseconds(100), std::chrono::milliseconds(100),
+            0);
+  for (int i = 0; i < 8; ++i) {
+    const auto d = c.next().count();
+    EXPECT_GE(d, 50);
+    EXPECT_LE(d, 100);
+  }
+}
+
+TEST(Net, BackoffEntropySeedNeverZero) {
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_NE(Backoff::entropy_seed(), 0u);
+  }
+}
+
 TEST(Net, ShutdownSignalLatchAndWait) {
   ShutdownSignal::install();
   ShutdownSignal::reset();

@@ -94,6 +94,28 @@ TEST(ShardedMpcbf, KeysSpreadAcrossShards) {
   EXPECT_EQ(f.memory_bits(), (1u << 19) / 4 * 4);
 }
 
+TEST(ShardedMpcbf, MemorySplitNeverDropsRequestedBits) {
+  // Regression: the even split used to floor memory_bits / num_shards,
+  // and Mpcbf floors again to whole words, so a non-divisible request
+  // silently lost up to num_shards * (W - 1) bits of FPR budget. The
+  // split must round up at both steps: total provisioned bits >= the
+  // requested bits, for every awkward shard count.
+  for (const unsigned shards : {3u, 5u, 7u, 12u}) {
+    for (const std::size_t bits :
+         {std::size_t{1} << 16, (std::size_t{1} << 16) + 1,
+          std::size_t{100003}, std::size_t{12345}}) {
+      MpcbfConfig cfg = base_config(100);
+      cfg.memory_bits = bits;
+      ShardedMpcbf<64> f(cfg, shards);
+      EXPECT_GE(f.memory_bits(), bits)
+          << shards << " shards over " << bits << " bits";
+      // Each shard holds whole words, so the overshoot is bounded by
+      // one word per shard plus the ceil-divide remainder.
+      EXPECT_LE(f.memory_bits(), bits + shards * 64 + shards);
+    }
+  }
+}
+
 TEST(ShardedMpcbf, ConcurrentMixedWorkload) {
   constexpr int kThreads = 4;
   constexpr int kKeysPerThread = 1500;
