@@ -22,6 +22,13 @@
 //   serve --dir D | --filter F | (sizing)     run mpcbfd (docs/server.md)
 //         [--port P] [--bind A] [--workers N] until SIGINT/SIGTERM; durable
 //         [--port-file PATH]                  dirs snapshot on shutdown
+//         [--admin-port P] [--admin-bind A]   HTTP admin plane (/metrics,
+//         [--admin-port-file PATH]            /healthz, /readyz, /statusz,
+//                                             /tracez) on a separate port
+//         [--log-level L] [--log-file PATH]   structured logging; L one of
+//         [--log-json]                        debug|info|warn|error|off
+//         [--slow-request-threshold-us N]     record requests over N us to
+//                                             /tracez and the log
 //         [--follow H:P[,H:P...]]             follower: tail a primary's
 //                                             journal (requires --dir);
 //                                             read-only until caught up
@@ -53,6 +60,7 @@
 #include <vector>
 
 #include "common/cli.hpp"
+#include "common/log.hpp"
 #include "core/durable_mpcbf.hpp"
 #include "core/elastic_mpcbf.hpp"
 #include "core/mpcbf.hpp"
@@ -62,6 +70,7 @@
 #include "model/planner.hpp"
 #include "net/client.hpp"
 #include "net/fault_proxy.hpp"
+#include "net/http.hpp"
 #include "net/replication.hpp"
 #include "net/server.hpp"
 #include "net/shutdown.hpp"
@@ -599,6 +608,30 @@ std::vector<mpcbf::net::Endpoint> parse_endpoints(
 int cmd_serve(const mpcbf::util::CliArgs& args) {
   mpcbf::net::ShutdownSignal::install();
 
+  // Logging first, so every later subsystem (backend open, replication,
+  // the servers) emits through the configured sink. The library default
+  // is warn; a daemon wants its lifecycle lines, so serve defaults to
+  // info.
+  {
+    auto& logger = mpcbf::log::Logger::global();
+    mpcbf::log::Level lvl = mpcbf::log::Level::kInfo;
+    const std::string level_str = args.get_string("log-level", "info");
+    if (!mpcbf::log::parse_level(level_str, lvl)) {
+      std::cerr << "serve: bad --log-level (want "
+                   "debug|info|warn|error|off): " << level_str << "\n";
+      return 2;
+    }
+    logger.set_level(lvl);
+    if (args.get_bool("log-json")) {
+      logger.set_format(mpcbf::log::Logger::Format::kJson);
+    }
+    const std::string log_file = args.get_string("log-file", "");
+    if (!log_file.empty() && !logger.open_file(log_file)) {
+      std::cerr << "serve: cannot open --log-file " << log_file << "\n";
+      return 2;
+    }
+  }
+
   const std::string dir = args.get_string("dir", "");
   const std::string filter_path = args.get_string("filter", "");
   const std::string follow = args.get_string("follow", "");
@@ -626,6 +659,7 @@ int cmd_serve(const mpcbf::util::CliArgs& args) {
   std::unique_ptr<mpcbf::core::ElasticMaintainer> maintainer;
   std::unique_ptr<mpcbf::net::Replicator> replicator;
   mpcbf::net::FilterBackend backend;
+  std::function<void(std::string&)> status_extra;  // extra /statusz lines
   if (elastic) {
     // Chain backend: segments split online when the active segment's
     // health crosses the grow score; a background maintainer drains
@@ -647,6 +681,16 @@ int cmd_serve(const mpcbf::util::CliArgs& args) {
             elastic_durable->publish_metrics(reg);
           },
           interval);
+      status_extra = [elastic_durable, mu](std::string& out) {
+        std::shared_lock lock(*mu);
+        const auto& f = elastic_durable->filter();
+        out += "elastic_segments: " +
+               std::to_string(f.live_segments()) + "\n";
+        out += "elastic_grows: " + std::to_string(f.grows()) + "\n";
+        out += "elastic_retires: " + std::to_string(f.retires()) + "\n";
+        out += "journal_next_seq: " +
+               std::to_string(elastic_durable->next_seq()) + "\n";
+      };
     } else {
       elastic_plain = std::make_shared<mpcbf::core::ElasticMpcbf<64>>(
           elastic_config(args));
@@ -659,6 +703,15 @@ int cmd_serve(const mpcbf::util::CliArgs& args) {
             elastic_plain->publish_metrics(reg);
           },
           interval);
+      status_extra = [elastic_plain, mu](std::string& out) {
+        std::shared_lock lock(*mu);
+        out += "elastic_segments: " +
+               std::to_string(elastic_plain->live_segments()) + "\n";
+        out += "elastic_grows: " +
+               std::to_string(elastic_plain->grows()) + "\n";
+        out += "elastic_retires: " +
+               std::to_string(elastic_plain->retires()) + "\n";
+      };
     }
   } else if (!dir.empty()) {
     durable = [&] {
@@ -672,6 +725,11 @@ int cmd_serve(const mpcbf::util::CliArgs& args) {
     auto mu = std::make_shared<std::shared_mutex>();
     backend = mpcbf::net::make_backend(durable, mu,
                                        args.get_uint("probes", 512));
+    status_extra = [durable, mu](std::string& out) {
+      std::shared_lock lock(*mu);
+      out += "journal_next_seq: " +
+             std::to_string(durable->next_seq()) + "\n";
+    };
     if (!follow.empty()) {
       mpcbf::net::Replicator::Options ropts;
       ropts.primaries = parse_endpoints(follow);
@@ -699,10 +757,19 @@ int cmd_serve(const mpcbf::util::CliArgs& args) {
     backend = mpcbf::net::make_backend(plain, args.get_uint("probes", 512));
   }
 
+  // The admin plane needs the backend's introspection hooks after the
+  // data plane takes ownership of `backend`; std::function copies are
+  // cheap and share the underlying state.
+  const auto health_fn = backend.health;
+  const auto ready_fn = backend.ready;
+  const auto repl_fn = backend.repl_status;
+
   mpcbf::net::Server::Options opts;
   opts.bind_address = args.get_string("bind", "127.0.0.1");
   opts.port = static_cast<std::uint16_t>(args.get_uint("port", 0));
   opts.workers = args.get_uint("workers", 2);
+  opts.slow_request_threshold = std::chrono::microseconds(
+      args.get_int("slow-request-threshold-us", -1));
   mpcbf::net::Server server(std::move(backend), opts);
   server.start();
 
@@ -721,11 +788,43 @@ int cmd_serve(const mpcbf::util::CliArgs& args) {
     pf << server.port() << "\n";
   }
 
+  // Optional admin plane on its own port: /metrics, /healthz, /readyz,
+  // /statusz, /tracez (docs/observability.md).
+  std::unique_ptr<mpcbf::net::AdminServer> admin;
+  if (args.has("admin-port")) {
+    mpcbf::net::AdminServer::Options aopts;
+    aopts.bind_address = args.get_string("admin-bind", "127.0.0.1");
+    aopts.port =
+        static_cast<std::uint16_t>(args.get_uint("admin-port", 0));
+    admin = std::make_unique<mpcbf::net::AdminServer>(aopts);
+    mpcbf::net::AdminEndpoints eps;
+    eps.health = health_fn;
+    mpcbf::net::Server* sp = &server;
+    eps.ready = [sp, ready_fn] {
+      return sp->running() && (!ready_fn || ready_fn());
+    };
+    eps.repl_status = repl_fn;
+    eps.backend_kind = backend_kind;
+    eps.status_extra = status_extra;
+    eps.slow_ring = &server.slow_ring();
+    mpcbf::net::register_admin_endpoints(*admin, std::move(eps));
+    admin->start();
+    std::cout << "admin plane on " << aopts.bind_address << ":"
+              << admin->port() << std::endl;
+    const std::string admin_port_file =
+        args.get_string("admin-port-file", "");
+    if (!admin_port_file.empty()) {
+      std::ofstream pf(admin_port_file);
+      pf << admin->port() << "\n";
+    }
+  }
+
   mpcbf::net::ShutdownSignal::wait(std::chrono::milliseconds(0));
   std::cout << "mpcbfd: shutdown signal received, draining" << std::endl;
   if (replicator) replicator->stop();
   if (maintainer) maintainer->stop();
   server.stop();
+  if (admin) admin->stop();
 
   if (durable) {
     // In-flight mutations are already journaled (WAL-first); the final

@@ -1,0 +1,240 @@
+#!/usr/bin/env python3
+"""Validate Prometheus text exposition format (version 0.0.4).
+
+A promtool-style grammar check for the /metrics endpoint and the
+--prometheus dumps, so CI catches exposition regressions without
+shipping promtool itself. Reads from a file argument or stdin:
+
+    curl -s http://127.0.0.1:$PORT/metrics | python3 scripts/check_prometheus.py
+    python3 scripts/check_prometheus.py metrics.txt
+
+Checks:
+  * line grammar: comments (# HELP / # TYPE), samples, blank lines
+  * metric and label names match the Prometheus charset
+  * label values are well-formed (balanced quotes, valid escapes)
+  * sample values parse as floats; nan/inf rejected (--allow-nan to
+    permit them; mpcbf never legitimately exports either)
+  * TYPE declared at most once per metric, before its samples
+  * no duplicate series (same name + label set)
+  * histograms: *_bucket cumulative counts are monotonic in le,
+    the +Inf bucket exists and equals *_count
+  * counters (by _total convention and declared TYPE) are >= 0
+
+Exit 0 when clean; 1 with one diagnostic per line on stderr otherwise.
+"""
+
+import math
+import re
+import sys
+
+METRIC_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)"      # metric name
+    r"(?:\{(.*)\})?"                     # optional label block
+    r"\s+(\S+)"                          # value
+    r"(?:\s+(-?\d+))?$"                  # optional timestamp
+)
+TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+def parse_labels(raw, errors, lineno):
+    """Parses the inside of a {...} label block into a sorted tuple."""
+    labels = []
+    i = 0
+    n = len(raw)
+    while i < n:
+        m = re.match(r'\s*([a-zA-Z_][a-zA-Z0-9_]*)\s*=\s*"', raw[i:])
+        if not m:
+            errors.append(f"line {lineno}: malformed label block: {{{raw}}}")
+            return None
+        name = m.group(1)
+        i += m.end()
+        value = []
+        while i < n:
+            ch = raw[i]
+            if ch == "\\":
+                if i + 1 >= n or raw[i + 1] not in '\\"n':
+                    errors.append(
+                        f"line {lineno}: bad escape in label value")
+                    return None
+                value.append(raw[i:i + 2])
+                i += 2
+            elif ch == '"':
+                i += 1
+                break
+            else:
+                value.append(ch)
+                i += 1
+        else:
+            errors.append(f"line {lineno}: unterminated label value")
+            return None
+        labels.append((name, "".join(value)))
+        rest = raw[i:].lstrip()
+        if rest.startswith(","):
+            i = n - len(rest) + 1
+        elif rest == "":
+            break
+        else:
+            errors.append(f"line {lineno}: junk after label: {rest!r}")
+            return None
+    return tuple(sorted(labels))
+
+
+def check(text, allow_nan=False):
+    errors = []
+    types = {}          # metric family -> declared type
+    helped = set()
+    seen_series = {}    # (name, labels) -> lineno
+    samples = []        # (name, labels, value, lineno)
+    sampled_families = set()
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if line == "":
+            continue
+        if line != line.rstrip("\r"):
+            errors.append(f"line {lineno}: carriage return in line")
+            line = line.rstrip("\r")
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] in ("HELP", "TYPE"):
+                if len(parts) < 3 or not METRIC_RE.match(parts[2]):
+                    errors.append(
+                        f"line {lineno}: malformed # {parts[1]} line")
+                    continue
+                name = parts[2]
+                if parts[1] == "HELP":
+                    if name in helped:
+                        errors.append(
+                            f"line {lineno}: duplicate HELP for {name}")
+                    helped.add(name)
+                else:
+                    if len(parts) < 4 or parts[3] not in TYPES:
+                        errors.append(
+                            f"line {lineno}: bad TYPE for {name}")
+                        continue
+                    if name in types:
+                        errors.append(
+                            f"line {lineno}: duplicate TYPE for {name}")
+                    if name in sampled_families:
+                        errors.append(
+                            f"line {lineno}: TYPE for {name} after samples")
+                    types[name] = parts[3]
+            # other comments are legal and ignored
+            continue
+
+        m = SAMPLE_RE.match(line)
+        if not m:
+            errors.append(f"line {lineno}: unparseable sample: {line!r}")
+            continue
+        name, raw_labels, raw_value = m.group(1), m.group(2), m.group(3)
+        labels = ()
+        if raw_labels:
+            labels = parse_labels(raw_labels, errors, lineno)
+            if labels is None:
+                continue
+            for lname, _ in labels:
+                if not LABEL_RE.match(lname) or lname.startswith("__"):
+                    errors.append(
+                        f"line {lineno}: bad label name {lname!r}")
+        try:
+            value = float(raw_value)
+        except ValueError:
+            errors.append(
+                f"line {lineno}: bad sample value {raw_value!r}")
+            continue
+        if not allow_nan and (math.isnan(value) or math.isinf(value)):
+            errors.append(
+                f"line {lineno}: non-finite value {raw_value} for {name}")
+
+        key = (name, labels)
+        if key in seen_series:
+            errors.append(
+                f"line {lineno}: duplicate series {name}{dict(labels)} "
+                f"(first at line {seen_series[key]})")
+        seen_series[key] = lineno
+
+        family = re.sub(r"_(bucket|count|sum)$", "", name)
+        sampled_families.add(family)
+        sampled_families.add(name)
+        samples.append((name, labels, value, lineno))
+
+        declared = types.get(family) or types.get(name)
+        if declared == "counter" and value < 0:
+            errors.append(
+                f"line {lineno}: counter {name} is negative ({value})")
+
+    check_histograms(samples, types, errors)
+    return errors
+
+
+def le_sort_key(le):
+    return math.inf if le == "+Inf" else float(le)
+
+
+def check_histograms(samples, types, errors):
+    buckets = {}   # (family, labels-without-le) -> [(le, value, lineno)]
+    counts = {}    # (family, labels) -> value
+    for name, labels, value, lineno in samples:
+        if name.endswith("_bucket"):
+            family = name[: -len("_bucket")]
+            le = dict(labels).get("le")
+            if le is None:
+                errors.append(
+                    f"line {lineno}: {name} sample without le label")
+                continue
+            base = tuple(kv for kv in labels if kv[0] != "le")
+            buckets.setdefault((family, base), []).append(
+                (le, value, lineno))
+        elif name.endswith("_count"):
+            counts[(name[: -len("_count")], labels)] = value
+
+    for (family, base), entries in buckets.items():
+        try:
+            entries.sort(key=lambda e: le_sort_key(e[0]))
+        except ValueError:
+            errors.append(f"histogram {family}: unparseable le bound")
+            continue
+        prev = -1.0
+        for le, value, lineno in entries:
+            if value < prev:
+                errors.append(
+                    f"line {lineno}: histogram {family} bucket le={le} "
+                    f"not monotonic ({value} < {prev})")
+            prev = value
+        les = [e[0] for e in entries]
+        if "+Inf" not in les:
+            errors.append(f"histogram {family}: missing +Inf bucket")
+        else:
+            inf_value = next(v for le, v, _ in entries if le == "+Inf")
+            count = counts.get((family, base))
+            if count is not None and count != inf_value:
+                errors.append(
+                    f"histogram {family}: +Inf bucket {inf_value} != "
+                    f"_count {count}")
+
+
+def main(argv):
+    allow_nan = "--allow-nan" in argv
+    paths = [a for a in argv[1:] if not a.startswith("--")]
+    if paths:
+        with open(paths[0], "r", encoding="utf-8") as f:
+            text = f.read()
+    else:
+        text = sys.stdin.read()
+    if not text.strip():
+        print("check_prometheus: empty input", file=sys.stderr)
+        return 1
+    errors = check(text, allow_nan=allow_nan)
+    for e in errors:
+        print(f"check_prometheus: {e}", file=sys.stderr)
+    if errors:
+        return 1
+    n_series = len([l for l in text.splitlines()
+                    if l and not l.startswith("#")])
+    print(f"check_prometheus: OK ({n_series} samples)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

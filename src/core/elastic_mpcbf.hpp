@@ -79,6 +79,7 @@
 #include <unistd.h>
 #endif
 
+#include "common/log.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 #include "core/mpcbf.hpp"
@@ -291,6 +292,10 @@ class ElasticMpcbf {
       chains_[owned[i]].push_back(t);
     }
     ++grows_;
+    MPCBF_LOG_INFO("elastic.grow", log::u64("source", source),
+                   log::u64("new_segment", t),
+                   log::u64("buckets_moved", owned.size() - owned.size() / 2),
+                   log::u64("segments", segments_.size()));
     MPCBF_TRACE_INSTANT(kCore, "elastic.grow", "segments",
                         segments_.size());
     return t;
@@ -356,6 +361,9 @@ class ElasticMpcbf {
     attempts_[retired] = 0;
     recheck_floor_[retired] = 0;
     ++retires_;
+    MPCBF_LOG_INFO("elastic.retire", log::u64("retired", retired),
+                   log::u64("into", into),
+                   log::u64("live_segments", live_segments()));
     MPCBF_TRACE_INSTANT(kCore, "elastic.retire", "segments",
                         live_segments());
     return true;

@@ -5,6 +5,7 @@
 #include <istream>
 #include <stdexcept>
 
+#include "common/log.hpp"
 #include "io/binary.hpp"
 #include "io/crc32c.hpp"
 #include "metrics/registry.hpp"
@@ -139,6 +140,10 @@ Journal::Journal(std::string path) : path_(std::move(path)) {
     std::filesystem::resize_file(path_, s.valid_bytes);
     repaired_bytes_ = s.total_bytes - s.valid_bytes;
     JournalMetrics::get().repaired.inc(repaired_bytes_);
+    MPCBF_LOG_WARN("journal.tail_repaired", log::str("path", path_),
+                   log::u64("truncated_bytes", repaired_bytes_),
+                   log::u64("valid_bytes", s.valid_bytes),
+                   log::u64("records_kept", s.records.size()));
   }
   base_seq_ = s.base_seq;
   next_seq_ = s.base_seq + s.records.size();

@@ -34,13 +34,38 @@ void Client::connect() {
   }
 }
 
+std::uint64_t Client::next_trace_id() noexcept {
+  if (trace_state_ == 0) {
+    trace_state_ = options_.trace_seed != 0 ? options_.trace_seed
+                                            : Backoff::entropy_seed();
+  }
+  trace_state_ += 0x9E3779B97F4A7C15ull;  // SplitMix64 stream increment
+  const std::uint64_t id = util::SplitMix64::mix(trace_state_);
+  return id != 0 ? id : 1;
+}
+
 std::string Client::round_trip(Opcode op, std::string_view payload,
-                               std::uint8_t flags) {
+                               std::uint8_t flags,
+                               std::uint64_t trace_id) {
   MPCBF_TRACE_SPAN(span, kNet, "client.round_trip");
   connect();
   const std::uint64_t id = next_id_++;
+  if (trace_id == 0 && options_.stamp_trace_ids) {
+    trace_id = next_trace_id();
+  }
   sendbuf_.clear();
-  append_frame(sendbuf_, op, flags, id, payload);
+  if (trace_id != 0) {
+    // The trace id rides as the first payload bytes under kFlagTraced;
+    // the server strips it before parsing the real payload.
+    last_trace_id_ = trace_id;
+    span.set_arg("trace_id", trace_id);
+    tracebuf_.clear();
+    append_trace_prefix(tracebuf_, TracePrefix{trace_id});
+    tracebuf_.append(payload);
+    append_frame(sendbuf_, op, flags | kFlagTraced, id, tracebuf_);
+  } else {
+    append_frame(sendbuf_, op, flags, id, payload);
+  }
   try {
     write_all(sock_.fd(), sendbuf_.data(), sendbuf_.size());
     recvbuf_.clear();
@@ -210,6 +235,13 @@ FailoverClient::FailoverClient(Options options)
   }
 }
 
+std::uint64_t FailoverClient::next_trace_id() noexcept {
+  trace_state_ += 0x9E3779B97F4A7C15ull;
+  const std::uint64_t id =
+      util::SplitMix64::mix(session_id_ ^ trace_state_);
+  return id != 0 ? id : 1;
+}
+
 Client& FailoverClient::ensure_client() {
   if (!client_ || !client_->connected()) {
     const Endpoint& ep = options_.endpoints[active_];
@@ -221,6 +253,9 @@ Client& FailoverClient::ensure_client() {
     co.max_backoff = options_.max_backoff;
     co.backoff_seed = options_.backoff_seed;
     co.io_timeout = options_.io_timeout;
+    // The failover layer stamps one id per logical op itself; the
+    // inner client must not burn ids per attempt.
+    co.stamp_trace_ids = options_.stamp_trace_ids;
     client_.emplace(std::move(co));
   }
   return *client_;
@@ -274,8 +309,14 @@ std::vector<std::uint8_t> FailoverClient::query_impl(
     std::span<const Key> keys) {
   std::string payload;
   append_key_batch(payload, keys);
+  // One trace id per logical query: every failover retry resends the
+  // same id, so the server-side spans of all attempts correlate.
+  const std::uint64_t tid =
+      options_.stamp_trace_ids ? next_trace_id() : 0;
+  if (tid != 0) last_trace_id_ = tid;
   return with_failover([&](Client& c) {
-    const std::string reply = c.round_trip(Opcode::kQuery, payload);
+    const std::string reply =
+        c.round_trip(Opcode::kQuery, payload, 0, tid);
     std::vector<std::uint8_t> verdicts;
     if (const char* err = parse_verdicts(reply, verdicts);
         err != nullptr) {
@@ -297,8 +338,12 @@ std::vector<std::uint8_t> FailoverClient::mutate(
   const SequencePrefix prefix{session_id_, ++next_op_seq_};
   std::string payload;
   append_sequenced_key_batch(payload, prefix, keys);
+  const std::uint64_t tid =
+      options_.stamp_trace_ids ? next_trace_id() : 0;
+  if (tid != 0) last_trace_id_ = tid;
   return with_failover([&](Client& c) {
-    const std::string reply = c.round_trip(op, payload, kFlagSequenced);
+    const std::string reply =
+        c.round_trip(op, payload, kFlagSequenced, tid);
     std::vector<std::uint8_t> verdicts;
     if (const char* err = parse_verdicts(reply, verdicts);
         err != nullptr) {

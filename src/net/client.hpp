@@ -112,6 +112,14 @@ class Client {
     std::uint64_t backoff_seed = 0;
     /// Per-syscall send/receive deadline.
     std::chrono::milliseconds io_timeout{5000};
+    /// Stamp every request with a kFlagTraced 8-byte trace-id prefix so
+    /// the server's request span, slow-request record and log line
+    /// correlate back to this client. On by default — the cost is 8
+    /// payload bytes per request.
+    bool stamp_trace_ids = true;
+    /// Trace-id stream seed; 0 (the default) draws per-instance entropy.
+    /// Set non-zero for reproducible ids in tests.
+    std::uint64_t trace_seed = 0;
   };
 
   explicit Client(Options options) : options_(std::move(options)) {}
@@ -160,18 +168,32 @@ class Client {
   /// One round trip: frames `payload`, sends, reads the matching
   /// response frame (id-checked), throws RemoteError on error replies.
   /// Returns the response payload. Public so wrappers (FailoverClient)
-  /// can send flagged frames.
+  /// can send flagged frames. `trace_id` overrides the auto-stamped id
+  /// (retries of one logical op resend the same id); 0 means "stamp per
+  /// Options::stamp_trace_ids".
   std::string round_trip(Opcode op, std::string_view payload,
-                         std::uint8_t flags = 0);
+                         std::uint8_t flags = 0,
+                         std::uint64_t trace_id = 0);
+
+  /// Trace id stamped on the most recent request (0 when stamping is
+  /// off) — what to grep for in the server's log and /tracez.
+  [[nodiscard]] std::uint64_t last_trace_id() const noexcept {
+    return last_trace_id_;
+  }
 
  private:
   template <typename Key>
   std::vector<std::uint8_t> batch_op(Opcode op, std::span<const Key> keys);
 
+  std::uint64_t next_trace_id() noexcept;
+
   Options options_;
   Socket sock_;
   std::uint64_t next_id_ = 1;
+  std::uint64_t trace_state_ = 0;
+  std::uint64_t last_trace_id_ = 0;
   std::string sendbuf_;
+  std::string tracebuf_;
   std::string recvbuf_;
 };
 
@@ -203,6 +225,9 @@ class FailoverClient {
     /// Dedup session id; 0 = derived from std::random_device.
     std::uint64_t session_id = 0;
     std::uint64_t backoff_seed = 0;
+    /// Stamp one trace id per *logical* operation — every failover
+    /// retry of that operation resends the same id, mirroring op_seq.
+    bool stamp_trace_ids = true;
   };
 
   explicit FailoverClient(Options options);
@@ -228,10 +253,16 @@ class FailoverClient {
   [[nodiscard]] std::uint64_t session_id() const noexcept {
     return session_id_;
   }
+  /// Trace id stamped on the most recent query/insert/erase (all its
+  /// retries share it); 0 before the first op or with stamping off.
+  [[nodiscard]] std::uint64_t last_trace_id() const noexcept {
+    return last_trace_id_;
+  }
 
  private:
   Client& ensure_client();
   void rotate();
+  std::uint64_t next_trace_id() noexcept;
   template <typename Fn>
   auto with_failover(Fn&& fn) -> decltype(fn(std::declval<Client&>()));
   template <typename Key>
@@ -245,6 +276,8 @@ class FailoverClient {
   std::uint64_t failovers_ = 0;
   std::uint64_t session_id_ = 0;
   std::uint64_t next_op_seq_ = 0;
+  std::uint64_t trace_state_ = 0;
+  std::uint64_t last_trace_id_ = 0;
 };
 
 }  // namespace mpcbf::net

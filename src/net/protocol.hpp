@@ -98,6 +98,12 @@ inline constexpr std::uint8_t kFlagError = 0x2;
 /// Request carries a (session_id, op_seq) SequencePrefix ahead of its
 /// payload; the server dedups, so a retried mutation applies once.
 inline constexpr std::uint8_t kFlagSequenced = 0x4;
+/// Request carries an 8-byte TracePrefix as the *first* payload bytes
+/// (ahead of the SequencePrefix when both flags are set): the client's
+/// trace id, which the server attaches to its request span, its
+/// slow-request record and its log line — one id follows the operation
+/// across the process boundary.
+inline constexpr std::uint8_t kFlagTraced = 0x8;
 
 /// Error codes carried by an error response payload.
 enum class ErrorCode : std::uint32_t {
@@ -327,7 +333,7 @@ inline void append_verdicts(std::string& out,
 
 // --- fixed replies ------------------------------------------------------
 
-/// STATS response payload (packed little-endian, 64 bytes).
+/// STATS response payload (packed little-endian, 72 bytes).
 struct StatsReply {
   std::uint64_t elements = 0;
   std::uint64_t memory_bits = 0;
@@ -339,9 +345,10 @@ struct StatsReply {
   std::uint64_t overflow_events = 0;
   std::uint64_t underflow_events = 0;
   std::uint64_t requests_served = 0;
+  std::uint64_t uptime_seconds = 0;  ///< server process uptime
 };
 static_assert(std::is_trivially_copyable_v<StatsReply> &&
-              sizeof(StatsReply) == 64);
+              sizeof(StatsReply) == 72);
 
 /// HEALTH response payload (packed little-endian, 48 bytes). `ready` is
 /// the servability bit: 1 while the server accepts work, 0 once it is
@@ -446,6 +453,39 @@ struct SequencePrefix {
 };
 static_assert(std::is_trivially_copyable_v<SequencePrefix> &&
               sizeof(SequencePrefix) == 16);
+
+/// Payload prefix carried by kFlagTraced requests (8 bytes). Retries of
+/// one logical operation reuse the trace id, like SequencePrefix::op_seq
+/// — the id names the operation, not the attempt.
+struct TracePrefix {
+  std::uint64_t trace_id = 0;  ///< nonzero, client-chosen
+};
+static_assert(std::is_trivially_copyable_v<TracePrefix> &&
+              sizeof(TracePrefix) == 8);
+
+inline void append_trace_prefix(std::string& out,
+                                const TracePrefix& prefix) {
+  detail::append_pod(out, prefix);
+}
+
+/// Splits a kFlagTraced payload into its TracePrefix and the remainder
+/// (which parses exactly as the untraced payload would — key batch,
+/// request POD, or empty). `rest` views into `payload`. Returns nullptr
+/// on success; a payload shorter than the prefix is rejected byte-for-
+/// byte, same as parse_sequenced_key_batch.
+[[nodiscard]] inline const char* parse_trace_prefix(
+    std::string_view payload, TracePrefix& prefix,
+    std::string_view& rest) {
+  if (payload.size() < sizeof(TracePrefix)) {
+    return "traced request: truncated trace prefix";
+  }
+  std::memcpy(&prefix, payload.data(), sizeof prefix);
+  if (prefix.trace_id == 0) {
+    return "traced request: zero trace id";
+  }
+  rest = payload.substr(sizeof prefix);
+  return nullptr;
+}
 
 inline void append_replicate_reply(
     std::string& out, const ReplicateInfo& info,

@@ -2,6 +2,7 @@
 
 #include <random>
 
+#include "common/log.hpp"
 #include "metrics/registry.hpp"
 #include "trace/trace.hpp"
 
@@ -79,6 +80,8 @@ void Replicator::publish_gauges(bool connected) const {
 
 void Replicator::bootstrap(Client& client) {
   MPCBF_TRACE_SPAN(span, kNet, "repl.bootstrap");
+  MPCBF_LOG_INFO("repl.bootstrap_begin",
+                 log::u64("follower_id", options_.follower_id));
   std::string image;
   std::uint64_t watermark = 0;
   std::uint64_t total = 0;
@@ -113,6 +116,8 @@ void Replicator::bootstrap(Client& client) {
     acked_seq_.store(local_->next_seq() - 1, std::memory_order_release);
   }
   bootstraps_.fetch_add(1, std::memory_order_relaxed);
+  MPCBF_LOG_INFO("repl.bootstrap_done", log::u64("watermark", watermark),
+                 log::u64("image_bytes", image.size()));
   span.set_arg("watermark", watermark);
 }
 
@@ -139,6 +144,9 @@ std::size_t Replicator::poll_once() {
     // its old replica, carrying writes that were never replicated).
     // The primary's history wins — discard the fork by re-syncing from
     // its snapshot image, which rewinds our journal to its watermark.
+    MPCBF_LOG_WARN("repl.fork_discard",
+                   log::u64("local_next_seq", req.from_seq),
+                   log::u64("primary_next_seq", info.next_seq));
     bootstrap(client);
     caught_up_.store(false, std::memory_order_release);
     publish_gauges(true);
@@ -159,6 +167,8 @@ std::size_t Replicator::poll_once() {
         // A gap means stream continuity is lost (e.g. the local journal
         // was repaired behind our back); re-sync from a snapshot.
         force_bootstrap_ = true;
+        MPCBF_LOG_WARN("repl.stream_gap", log::u64("record_seq", rec.seq),
+                       log::u64("expected_seq", local_->next_seq()));
         throw NetError("replicate stream gap; forcing bootstrap");
       }
     }

@@ -8,6 +8,8 @@
 #include <cstring>
 #include <utility>
 
+#include "common/log.hpp"
+#include "metrics/build_info.hpp"
 #include "metrics/registry.hpp"
 #include "metrics/timer.hpp"
 #include "trace/trace.hpp"
@@ -34,7 +36,10 @@ constexpr std::size_t kMaxReadBuffer =
 struct Server::ServerMetrics {
   metrics::Counter* requests[3];
   metrics::Counter* keys[3];
-  metrics::Histogram* duration_ns[3];
+  /// Service-time histograms for every served opcode, indexed by
+  /// opcode - 1 (REPLICATE/SNAPFETCH/REPLSTATUS included — replication
+  /// tail latency is an operator signal, not an implementation detail).
+  metrics::Histogram* duration_ns[9];
   metrics::Counter& connections = metrics::Registry::global().counter(
       "mpcbf_server_connections_total", "Connections accepted");
   metrics::Gauge& active = metrics::Registry::global().gauge(
@@ -70,10 +75,12 @@ struct Server::ServerMetrics {
       keys[i] = &metrics::Registry::global().counter(
           "mpcbf_server_keys_total", "Keys processed by opcode",
           {{"op", kOps[i]}});
-      duration_ns[i] = &metrics::Registry::global().histogram(
+    }
+    for (std::uint8_t op = 1; op <= 9; ++op) {
+      duration_ns[op - 1] = &metrics::Registry::global().histogram(
           "mpcbf_server_request_duration_ns",
           "Request service time (decode to encoded reply), ns",
-          {{"op", kOps[i]}});
+          {{"op", to_string(static_cast<Opcode>(op))}});
     }
   }
 
@@ -84,8 +91,10 @@ struct Server::ServerMetrics {
 };
 
 struct Server::Connection {
-  explicit Connection(Socket s) : sock(std::move(s)) {}
+  explicit Connection(Socket s)
+      : sock(std::move(s)), peer(peer_id(sock.fd())) {}
   Socket sock;
+  std::uint64_t peer = 0;  ///< packed IPv4 ip:port (slow-ring/log form)
   std::string rbuf;
   std::size_t rpos = 0;  ///< parsed prefix of rbuf (compacted lazily)
   std::string wbuf;
@@ -167,6 +176,9 @@ void Server::start() {
     (void)pool_->submit([this, worker = w.get()] { worker_loop(*worker); });
   }
   acceptor_ = std::thread([this] { acceptor_loop(); });
+  MPCBF_LOG_INFO("server.start", log::str("bind", options_.bind_address),
+                 log::u64("port", port_),
+                 log::u64("workers", options_.workers));
 }
 
 void Server::stop() {
@@ -175,6 +187,9 @@ void Server::stop() {
     // A second caller still has to wait for the joins below, which the
     // first caller performs; make stop() safe to call twice by only
     // joining what is still joinable.
+  } else {
+    MPCBF_LOG_INFO("server.drain", log::u64("port", port_),
+                   log::u64("requests_served", requests_served()));
   }
   if (acceptor_.joinable()) acceptor_.join();
   for (auto& w : workers_) w->wake();
@@ -332,6 +347,9 @@ bool Server::drain_frames(Connection& c) {
     if (r.status == DecodeStatus::kError) {
       // The byte stream lost framing; there is no safe resync point.
       metrics_->proto_errors.inc();
+      MPCBF_LOG_WARN("server.protocol_error",
+                     log::str("reason", r.error),
+                     log::str("peer", format_peer(c.peer)));
       return false;
     }
     if (r.status == DecodeStatus::kNeedMore) break;
@@ -364,6 +382,9 @@ void Server::sweep_stalled(Worker& w) {
       // the only safe move is to drop the connection — never to retry
       // the partial read into the next request.
       metrics_->timeouts.inc();
+      MPCBF_LOG_WARN("server.frame_timeout",
+                     log::str("peer", format_peer(c->peer)),
+                     log::u64("buffered_bytes", c->rbuf.size()));
       c->dead = true;
     }
   }
@@ -371,8 +392,9 @@ void Server::sweep_stalled(Worker& w) {
 
 void Server::serve_frame(Connection& c, const Frame& frame) {
   MPCBF_TRACE_SPAN(span, kNet, "net.request");
+  const bool slow_capture = options_.slow_request_threshold.count() >= 0;
   const std::uint64_t t0 =
-      metrics::kStatsEnabled ? metrics::now_ns() : 0;
+      (metrics::kStatsEnabled || slow_capture) ? metrics::now_ns() : 0;
   served_.fetch_add(1, std::memory_order_relaxed);
   const FrameHeader& h = frame.header;
   if ((h.flags & kFlagResponse) != 0 || !opcode_known(h.opcode)) {
@@ -384,7 +406,23 @@ void Server::serve_frame(Connection& c, const Frame& frame) {
   }
   const auto op = static_cast<Opcode>(h.opcode);
   span.set_arg("opcode", h.opcode);
+  // Traced requests carry the client's trace id as the first payload
+  // bytes; strip the prefix so every downstream parser sees the plain
+  // payload, and open the request span under the propagated id.
+  Frame f = frame;
+  TracePrefix trace;
+  if ((h.flags & kFlagTraced) != 0) {
+    std::string_view rest;
+    if (const char* err = parse_trace_prefix(frame.payload, trace, rest);
+        err != nullptr) {
+      reply_error(c, frame, ErrorCode::kBadRequest, err);
+      return;
+    }
+    f.payload = rest;
+    span.set_arg("trace_id", trace.trace_id);
+  }
   c.payload.clear();
+  std::size_t batch_keys = 0;
   try {
     switch (op) {
       case Opcode::kQuery:
@@ -398,10 +436,11 @@ void Server::serve_frame(Connection& c, const Frame& frame) {
           }
           // Dedup path: fills c.payload (fresh apply or cached replay);
           // on false an error reply has already been sent.
-          if (!serve_sequenced(c, frame, op)) return;
+          if (!serve_sequenced(c, f, op)) return;
+          batch_keys = c.keys.size();
           break;
         }
-        if (const char* err = parse_key_batch(frame.payload, c.keys);
+        if (const char* err = parse_key_batch(f.payload, c.keys);
             err != nullptr) {
           reply_error(c, frame, ErrorCode::kBadRequest, err);
           return;
@@ -417,15 +456,13 @@ void Server::serve_frame(Connection& c, const Frame& frame) {
         c.verdicts.assign(c.keys.size(), 0);
         hook(c.keys, c.verdicts);
         append_verdicts(c.payload, c.verdicts);
+        batch_keys = c.keys.size();
         const int idx = op == Opcode::kQuery ? 0
                         : op == Opcode::kInsert ? 1
                                                 : 2;
         metrics_->requests[idx]->inc();
         metrics_->keys[idx]->inc(c.keys.size());
         metrics_->batch_keys.record(c.keys.size());
-        if (metrics::kStatsEnabled) {
-          metrics_->duration_ns[idx]->record(metrics::now_ns() - t0);
-        }
         break;
       }
       case Opcode::kStats: {
@@ -436,6 +473,8 @@ void Server::serve_frame(Connection& c, const Frame& frame) {
         }
         StatsReply s = backend_.stats();
         s.requests_served = served_.load(std::memory_order_relaxed);
+        s.uptime_seconds = static_cast<std::uint64_t>(
+            metrics::process_uptime_seconds());
         append_reply_pod(c.payload, s);
         metrics_->admin_requests.inc();
         break;
@@ -474,7 +513,7 @@ void Server::serve_frame(Connection& c, const Frame& frame) {
           return;
         }
         ReplicateRequest req;
-        if (const char* err = parse_reply_pod(frame.payload, req);
+        if (const char* err = parse_reply_pod(f.payload, req);
             err != nullptr) {
           reply_error(c, frame, ErrorCode::kBadRequest, err);
           return;
@@ -494,7 +533,7 @@ void Server::serve_frame(Connection& c, const Frame& frame) {
           return;
         }
         SnapFetchRequest req;
-        if (const char* err = parse_reply_pod(frame.payload, req);
+        if (const char* err = parse_reply_pod(f.payload, req);
             err != nullptr) {
           reply_error(c, frame, ErrorCode::kBadRequest, err);
           return;
@@ -519,10 +558,39 @@ void Server::serve_frame(Connection& c, const Frame& frame) {
       }
     }
   } catch (const std::exception& e) {
+    MPCBF_LOG_ERROR("server.request_failed",
+                    log::str("op", to_string(op)),
+                    log::str("error", e.what()),
+                    log::hex("trace_id", trace.trace_id),
+                    log::str("peer", format_peer(c.peer)));
     reply_error(c, frame, ErrorCode::kInternal, e.what());
     return;
   }
   append_frame(c.wbuf, op, kFlagResponse, h.request_id, c.payload);
+  const std::uint64_t dur =
+      (metrics::kStatsEnabled || slow_capture) ? metrics::now_ns() - t0
+                                               : 0;
+  if (metrics::kStatsEnabled) {
+    metrics_->duration_ns[h.opcode - 1]->record(dur);
+  }
+  if (slow_capture &&
+      dur >= static_cast<std::uint64_t>(
+                 options_.slow_request_threshold.count()) *
+                 1000) {
+    SlowRequest r;
+    r.start_ns = t0;
+    r.duration_ns = dur;
+    r.trace_id = trace.trace_id;
+    r.peer = c.peer;
+    r.batch_keys = static_cast<std::uint32_t>(batch_keys);
+    r.opcode = h.opcode;
+    slow_ring_.record(r);
+    MPCBF_LOG_WARN("server.slow_request", log::str("op", to_string(op)),
+                   log::u64("duration_ns", dur),
+                   log::u64("batch_keys", r.batch_keys),
+                   log::hex("trace_id", trace.trace_id),
+                   log::str("peer", format_peer(c.peer)));
+  }
 }
 
 bool Server::serve_sequenced(Connection& c, const Frame& frame,

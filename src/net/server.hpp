@@ -49,6 +49,7 @@
 #include "metrics/health.hpp"
 #include "metrics/registry.hpp"
 #include "net/protocol.hpp"
+#include "net/slow_ring.hpp"
 #include "net/socket.hpp"
 
 namespace mpcbf::net {
@@ -357,6 +358,11 @@ class Server {
     /// longer than this is closed (slow-loris defense) and counted in
     /// mpcbf_server_timeouts_total. 0 disables the sweep.
     std::chrono::milliseconds frame_timeout{30000};
+    /// Requests served slower than this are captured in the
+    /// slow-request ring (slow_ring()) and logged, rate-limited, with
+    /// their trace id. Negative disables capture; 0 captures every
+    /// request (tests, fine-grained debugging).
+    std::chrono::microseconds slow_request_threshold{-1};
   };
 
   Server(FilterBackend backend, Options options);
@@ -383,6 +389,12 @@ class Server {
 
   /// Requests served (all opcodes, error replies included).
   [[nodiscard]] std::uint64_t requests_served() const noexcept;
+
+  /// The slow-request ring /tracez renders. Populated only when
+  /// Options::slow_request_threshold is >= 0.
+  [[nodiscard]] const SlowRequestRing& slow_ring() const noexcept {
+    return slow_ring_;
+  }
 
  private:
   struct Connection;
@@ -419,6 +431,7 @@ class Server {
   std::unique_ptr<util::ThreadPool> pool_;
   std::vector<std::unique_ptr<Worker>> workers_;
   ServerMetrics* metrics_ = nullptr;  // registry-owned, process lifetime
+  SlowRequestRing slow_ring_;
 
   // Sequenced-mutation dedup: one entry per client session, holding the
   // last (op_seq, reply) so a failover retry replays instead of

@@ -1,0 +1,123 @@
+// Slow-request capture: a fixed-size, lock-free ring of the most recent
+// over-threshold requests, feeding /tracez (Chrome trace JSON) and the
+// slow-request log line.
+//
+// Writers are server workers on the request path, so recording must not
+// block: a writer claims a slot with one fetch_add and publishes it
+// under a per-slot seqlock (version odd while the slot is being
+// rewritten, even when stable; every field is a relaxed atomic so a
+// concurrent reader's discarded torn read is not a data race). Readers
+// (/tracez, tests) copy slots and drop any whose version changed
+// mid-copy — a scrape never delays a request.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace mpcbf::net {
+
+/// One captured request, as /tracez consumers see it.
+struct SlowRequest {
+  std::uint64_t seq = 0;         ///< capture order (monotonic)
+  std::uint64_t start_ns = 0;    ///< metrics::now_ns() at decode
+  std::uint64_t duration_ns = 0;
+  std::uint64_t trace_id = 0;    ///< 0 when the request was untraced
+  std::uint64_t peer = 0;        ///< packed IPv4 (ip << 16 | port); 0 unknown
+  std::uint32_t batch_keys = 0;  ///< keys in the batch (0 for admin ops)
+  std::uint8_t opcode = 0;
+};
+
+class SlowRequestRing {
+ public:
+  static constexpr std::size_t kCapacity = 256;  // power of two
+
+  /// Lock-free; called by any worker. The ring keeps the newest
+  /// kCapacity entries, overwriting the oldest.
+  void record(const SlowRequest& r) noexcept {
+    const std::uint64_t seq =
+        next_.fetch_add(1, std::memory_order_relaxed);
+    Slot& s = slots_[seq & (kCapacity - 1)];
+    s.version.fetch_add(1, std::memory_order_acq_rel);  // odd: rewriting
+    s.seq.store(seq + 1, std::memory_order_relaxed);
+    s.start_ns.store(r.start_ns, std::memory_order_relaxed);
+    s.duration_ns.store(r.duration_ns, std::memory_order_relaxed);
+    s.trace_id.store(r.trace_id, std::memory_order_relaxed);
+    s.peer.store(r.peer, std::memory_order_relaxed);
+    s.packed.store(pack(r.batch_keys, r.opcode),
+                   std::memory_order_relaxed);
+    s.version.fetch_add(1, std::memory_order_release);  // even: stable
+  }
+
+  /// Consistent copies of every stable slot, oldest first. Slots being
+  /// rewritten during the copy are skipped, not blocked on.
+  [[nodiscard]] std::vector<SlowRequest> snapshot() const {
+    std::vector<SlowRequest> out;
+    out.reserve(kCapacity);
+    for (const Slot& s : slots_) {
+      const std::uint64_t v1 = s.version.load(std::memory_order_acquire);
+      if (v1 == 0 || (v1 & 1) != 0) continue;  // empty or mid-rewrite
+      SlowRequest r;
+      r.seq = s.seq.load(std::memory_order_relaxed);
+      r.start_ns = s.start_ns.load(std::memory_order_relaxed);
+      r.duration_ns = s.duration_ns.load(std::memory_order_relaxed);
+      r.trace_id = s.trace_id.load(std::memory_order_relaxed);
+      r.peer = s.peer.load(std::memory_order_relaxed);
+      const std::uint64_t packed =
+          s.packed.load(std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (s.version.load(std::memory_order_relaxed) != v1) continue;
+      r.batch_keys = static_cast<std::uint32_t>(packed >> 8);
+      r.opcode = static_cast<std::uint8_t>(packed & 0xFF);
+      r.seq -= 1;  // undo the nonzero bias
+      out.push_back(r);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const SlowRequest& a, const SlowRequest& b) {
+                return a.seq < b.seq;
+              });
+    return out;
+  }
+
+  /// Requests captured over the ring's lifetime (including overwritten
+  /// ones).
+  [[nodiscard]] std::uint64_t recorded() const noexcept {
+    return next_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  [[nodiscard]] static constexpr std::uint64_t pack(
+      std::uint32_t batch_keys, std::uint8_t opcode) noexcept {
+    return (static_cast<std::uint64_t>(batch_keys) << 8) | opcode;
+  }
+
+  struct Slot {
+    std::atomic<std::uint64_t> version{0};  ///< seqlock: odd = rewriting
+    std::atomic<std::uint64_t> seq{0};      ///< capture seq + 1 (0 = empty)
+    std::atomic<std::uint64_t> start_ns{0};
+    std::atomic<std::uint64_t> duration_ns{0};
+    std::atomic<std::uint64_t> trace_id{0};
+    std::atomic<std::uint64_t> peer{0};
+    std::atomic<std::uint64_t> packed{0};   ///< batch_keys << 8 | opcode
+  };
+
+  std::atomic<std::uint64_t> next_{0};
+  std::array<Slot, kCapacity> slots_{};
+};
+
+/// Renders a packed IPv4 peer ("a.b.c.d:port"); "-" for 0/unknown.
+[[nodiscard]] inline std::string format_peer(std::uint64_t peer) {
+  if (peer == 0) return "-";
+  const auto ip = static_cast<std::uint32_t>(peer >> 16);
+  const auto port = static_cast<std::uint16_t>(peer & 0xFFFF);
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u:%u", (ip >> 24) & 0xFF,
+                (ip >> 16) & 0xFF, (ip >> 8) & 0xFF, ip & 0xFF, port);
+  return std::string(buf);
+}
+
+}  // namespace mpcbf::net

@@ -62,6 +62,17 @@ Socket listen_tcp(const std::string& host, std::uint16_t port,
   return sock;
 }
 
+std::uint64_t peer_id(int fd) noexcept {
+  sockaddr_in addr{};
+  socklen_t len = sizeof addr;
+  if (::getpeername(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0 ||
+      addr.sin_family != AF_INET) {
+    return 0;
+  }
+  return (static_cast<std::uint64_t>(ntohl(addr.sin_addr.s_addr)) << 16) |
+         ntohs(addr.sin_port);
+}
+
 std::uint16_t local_port(int fd) {
   sockaddr_in addr{};
   socklen_t len = sizeof addr;

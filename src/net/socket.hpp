@@ -54,6 +54,11 @@ class Socket {
 /// The locally bound port of a listening/connected socket.
 [[nodiscard]] std::uint16_t local_port(int fd);
 
+/// The connected peer as a packed IPv4 id (`ip << 16 | port`), the
+/// compact form the slow-request ring stores; 0 when unavailable.
+/// Render with format_peer (net/slow_ring.hpp).
+[[nodiscard]] std::uint64_t peer_id(int fd) noexcept;
+
 /// One blocking connect attempt with send/receive timeouts applied to
 /// the resulting socket. Throws NetError on failure.
 [[nodiscard]] Socket connect_tcp(const std::string& host,

@@ -288,6 +288,76 @@ TEST(Protocol, StatsReplyRoundTrip) {
   EXPECT_STREQ(parse_reply_pod(payload, out), "reply: trailing bytes");
 }
 
+TEST(Protocol, TracePrefixRoundTrip) {
+  TracePrefix in;
+  in.trace_id = 0xfeedface12345678ull;
+  std::string payload;
+  append_trace_prefix(payload, in);
+  payload += "body";
+  ASSERT_EQ(payload.size(), sizeof(TracePrefix) + 4);
+
+  TracePrefix out;
+  std::string_view rest;
+  ASSERT_EQ(parse_trace_prefix(payload, out, rest), nullptr);
+  EXPECT_EQ(out.trace_id, in.trace_id);
+  EXPECT_EQ(rest, "body");
+
+  // Empty body after the prefix is legal (HEALTH/STATS carry none).
+  std::string bare;
+  append_trace_prefix(bare, in);
+  ASSERT_EQ(parse_trace_prefix(bare, out, rest), nullptr);
+  EXPECT_TRUE(rest.empty());
+}
+
+TEST(Protocol, TracePrefixTruncationSweepRejected) {
+  TracePrefix in;
+  in.trace_id = 42;
+  std::string payload;
+  append_trace_prefix(payload, in);
+  TracePrefix out;
+  std::string_view rest;
+  for (std::size_t len = 0; len < sizeof(TracePrefix); ++len) {
+    EXPECT_NE(parse_trace_prefix(std::string_view(payload).substr(0, len),
+                                 out, rest),
+              nullptr)
+        << "truncated prefix of " << len << " bytes parsed";
+  }
+}
+
+TEST(Protocol, TracePrefixZeroIdRejected) {
+  std::string payload(sizeof(TracePrefix), '\0');
+  TracePrefix out;
+  std::string_view rest;
+  EXPECT_STREQ(parse_trace_prefix(payload, out, rest),
+               "traced request: zero trace id");
+}
+
+TEST(Protocol, TracedAndSequencedPrefixesCompose) {
+  // Wire order when both flags are set: TracePrefix first, then the
+  // SequencePrefix, then the batch — the order the server strips them.
+  TracePrefix trace;
+  trace.trace_id = 0xa1b2c3d4e5f60718ull;
+  SequencePrefix seq{77, 5};
+  const std::vector<std::string> keys = {"k1", "k2"};
+  std::string payload;
+  append_trace_prefix(payload, trace);
+  append_sequenced_key_batch(payload, seq,
+                             std::span<const std::string>(keys));
+
+  TracePrefix t2;
+  std::string_view after_trace;
+  ASSERT_EQ(parse_trace_prefix(payload, t2, after_trace), nullptr);
+  EXPECT_EQ(t2.trace_id, trace.trace_id);
+  SequencePrefix s2;
+  std::vector<std::string_view> parsed;
+  ASSERT_EQ(parse_sequenced_key_batch(after_trace, s2, parsed), nullptr);
+  EXPECT_EQ(s2.session_id, seq.session_id);
+  EXPECT_EQ(s2.op_seq, seq.op_seq);
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0], "k1");
+  EXPECT_EQ(parsed[1], "k2");
+}
+
 TEST(Protocol, ErrorPayloadRoundTripAndCaps) {
   std::string payload;
   append_error(payload, ErrorCode::kBadRequest, "malformed batch");
