@@ -6,12 +6,15 @@ results/json/BENCH_<name>.json reports against a committed baseline
 directory and fails (exit 1) when any gated metric regressed by more
 than --tolerance (default 15%).
 
-Only latency-style metrics (name containing "ns") are gated, and only
-for the benches listed in --benches (default: the three the CI perf
-gate watches, micro_ops, fig08_query_time and server). Improvements and new metrics
-are reported but never fail the gate; a metric present in the baseline
-but missing from the candidate fails it (a silently vanished series is
-how perf coverage rots).
+Two metric families are gated, for the benches listed in --benches
+(default: the ones the CI perf gate watches): latency-style metrics
+(name containing "ns") fail on an INCREASE beyond tolerance, and
+throughput-style metrics (name containing "qps") fail on a DECREASE
+beyond tolerance — the server saturation curve reports qps series so a
+scalability regression trips the gate even when per-key latency holds.
+Improvements and new metrics are reported but never fail the gate; a
+metric present in the baseline but missing from the candidate fails it
+(a silently vanished series is how perf coverage rots).
 
 Both --baseline and --candidate may be given multiple times; each
 metric is reduced to its minimum across the runs before comparing.
@@ -35,9 +38,16 @@ import sys
 DEFAULT_BENCHES = "micro_ops,fig08_query_time,server,elastic"
 
 
+def is_throughput(name: str) -> bool:
+    """qps series gate on decrease; everything else gated is ns/op."""
+    return "qps" in name
+
+
 def load_metrics(directories, bench: str):
-    """Per-metric minimum across every directory holding this bench's
-    report. Returns (metrics-or-None, paths-searched)."""
+    """Best value per metric across every directory holding this
+    bench's report: minimum for ns/op series, maximum for qps series —
+    interference only ever adds latency and removes throughput.
+    Returns (metrics-or-None, paths-searched)."""
     merged = None
     paths = []
     for directory in directories:
@@ -52,16 +62,22 @@ def load_metrics(directories, bench: str):
             merged = metrics
         else:
             for name, value in metrics.items():
-                merged[name] = min(merged.get(name, value), value)
+                if name not in merged:
+                    merged[name] = value
+                elif is_throughput(name):
+                    merged[name] = max(merged[name], value)
+                else:
+                    merged[name] = min(merged[name], value)
     return merged, paths
 
 
 def gated_metrics(report: dict):
-    """ns/op series only — counts, rates, and RSS are not latency gates."""
+    """ns/op and qps series — counts, ratios, and RSS are not gates."""
     return {
         name: value
         for name, value in report.get("metrics", {}).items()
-        if "ns" in name and isinstance(value, (int, float))
+        if ("ns" in name or "qps" in name)
+        and isinstance(value, (int, float))
     }
 
 
@@ -103,7 +119,14 @@ def main() -> int:
                 continue
             delta = (cand_val - base_val) / base_val
             status = "ok"
-            if delta > args.tolerance:
+            if is_throughput(name):
+                if -delta > args.tolerance:
+                    status = "REGRESSED"
+                    failures.append(
+                        f"{bench}/{name}: {base_val:.2f} -> {cand_val:.2f} "
+                        f"qps ({delta * 100.0:.1f}% < -"
+                        f"{args.tolerance * 100.0:.0f}%)")
+            elif delta > args.tolerance:
                 status = "REGRESSED"
                 failures.append(
                     f"{bench}/{name}: {base_val:.2f} -> {cand_val:.2f} "

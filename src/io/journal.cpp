@@ -93,6 +93,10 @@ JournalScan Journal::scan(const std::string& path) {
   result.base_seq = read_pod<std::uint64_t>(in);
   result.valid_bytes = kHeaderBytes;
 
+  // Sequence numbers must be strictly increasing from base_seq but may
+  // skip values: a sharded server's per-shard WALs share one global
+  // counter, so each file holds a gappy subsequence. A *decrease* is
+  // still corruption and ends the valid prefix.
   std::uint64_t expected_seq = result.base_seq;
   while (static_cast<std::uint64_t>(in.tellg()) < result.total_bytes) {
     JournalRecord rec;
@@ -102,7 +106,7 @@ JournalScan Journal::scan(const std::string& path) {
       const auto op = reader.read_pod<std::uint8_t>();
       const auto key_len = reader.read_pod<std::uint32_t>();
       if (op > kMaxJournalOp || key_len > kMaxKeyLen ||
-          rec.seq != expected_seq) {
+          rec.seq < expected_seq) {
         break;  // corrupt or out-of-sequence: tail ends here
       }
       rec.op = static_cast<JournalOp>(op);
@@ -115,10 +119,11 @@ JournalScan Journal::scan(const std::string& path) {
     } catch (const std::runtime_error&) {
       break;  // truncated mid-record
     }
+    expected_seq = rec.seq + 1;
     result.records.push_back(std::move(rec));
     result.valid_bytes = static_cast<std::uint64_t>(in.tellg());
-    ++expected_seq;
   }
+  result.next_seq = expected_seq;
   result.tail_torn = result.valid_bytes != result.total_bytes;
   JournalMetrics::get().replayed.inc(result.records.size());
   return result;
@@ -146,7 +151,7 @@ Journal::Journal(std::string path) : path_(std::move(path)) {
                    log::u64("records_kept", s.records.size()));
   }
   base_seq_ = s.base_seq;
-  next_seq_ = s.base_seq + s.records.size();
+  next_seq_ = s.next_seq;
   out_.open(path_, std::ios::binary | std::ios::app);
   if (!out_) {
     throw std::runtime_error("journal: cannot open for append: " + path_);
@@ -171,10 +176,19 @@ void Journal::write_header(std::uint64_t base_seq) {
 }
 
 std::uint64_t Journal::append(JournalOp op, std::string_view key) {
+  const std::uint64_t seq = next_seq_;
+  append_at(seq, op, key);
+  return seq;
+}
+
+void Journal::append_at(std::uint64_t seq, JournalOp op,
+                        std::string_view key) {
   if (key.size() > kMaxKeyLen) {
     throw std::invalid_argument("journal: key too long");
   }
-  const std::uint64_t seq = next_seq_;
+  if (seq < next_seq_) {
+    throw std::invalid_argument("journal: sequence going backwards");
+  }
   ChecksumWriter writer(out_);
   writer.write_pod<std::uint64_t>(seq);
   writer.write_pod<std::uint8_t>(static_cast<std::uint8_t>(op));
@@ -184,9 +198,8 @@ std::uint64_t Journal::append(JournalOp op, std::string_view key) {
   if (!out_) {
     throw std::runtime_error("journal: append failed: " + path_);
   }
-  ++next_seq_;
+  next_seq_ = seq + 1;
   JournalMetrics::get().appends.inc();
-  return seq;
 }
 
 void Journal::flush(bool sync) {

@@ -5,17 +5,22 @@
 //   header:  magic "MPCBJNL1" (8) | version u32 | reserved u32 | base_seq u64
 //   record:  seq u64 | op u8 | key_len u32 | key bytes | crc32c u32
 //
-// The record CRC covers seq..key bytes. Records carry globally
-// monotonic sequence numbers starting at the header's base_seq; a
-// snapshot that compacts the journal rewrites the header with the next
-// sequence number, so replay after a crash between snapshot-rename and
-// journal-truncate can tell already-applied records apart (they fall at
-// or below the snapshot's watermark).
+// The record CRC covers seq..key bytes. Records carry strictly
+// increasing sequence numbers starting at or above the header's
+// base_seq; a snapshot that compacts the journal rewrites the header
+// with the next sequence number, so replay after a crash between
+// snapshot-rename and journal-truncate can tell already-applied records
+// apart (they fall at or below the snapshot's watermark). A flat
+// filter's journal numbers records consecutively (append()); the
+// per-shard WALs of a sharded server share one global sequence counter,
+// so each shard's file holds a strictly increasing but *gappy*
+// subsequence (append_at()) — the union across shards is the
+// consecutive stream.
 //
 // Torn-tail semantics: a crash mid-append leaves a partial or
 // CRC-broken record at the end of the file. open() replays the longest
-// valid prefix — every record must parse, CRC-check, and carry the
-// expected consecutive sequence number — and physically truncates
+// valid prefix — every record must parse, CRC-check, and carry a
+// sequence number no lower than expected — and physically truncates
 // whatever follows. A corrupted *header* is not repairable and throws:
 // silently treating it as empty would forget acknowledged writes.
 #pragma once
@@ -55,6 +60,7 @@ struct JournalRecord {
 struct JournalScan {
   std::vector<JournalRecord> records;  ///< longest valid prefix
   std::uint64_t base_seq = 1;          ///< header watermark
+  std::uint64_t next_seq = 1;          ///< last record's seq + 1 (or base_seq)
   std::uint64_t valid_bytes = 0;       ///< offset where the valid prefix ends
   std::uint64_t total_bytes = 0;       ///< physical file size
   bool tail_torn = false;              ///< bytes past valid_bytes existed
@@ -79,6 +85,13 @@ class Journal {
   /// Appends one record and returns its sequence number. Buffered; call
   /// flush() to make it durable.
   std::uint64_t append(JournalOp op, std::string_view key);
+
+  /// Appends one record under an externally assigned sequence number —
+  /// the sharded server's per-shard WALs draw from one global counter,
+  /// so a shard file advances in strictly increasing but non-contiguous
+  /// steps. `seq` must be >= next_seq(); going backwards would break the
+  /// monotonicity the scanner (and replication) rely on.
+  void append_at(std::uint64_t seq, JournalOp op, std::string_view key);
 
   /// Flushes buffered appends to the OS; with `sync`, fsyncs to stable
   /// storage as well.

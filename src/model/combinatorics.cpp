@@ -11,13 +11,26 @@ namespace {
 // [0,1], the pmf tail bounds the remaining contribution.
 constexpr double kTailEpsilon = 1e-16;
 
+// glibc's lgamma writes the process-global `signgam`, so concurrent
+// health probes from shard workers race on it. All arguments here are
+// >= 1, where the gamma function is positive, so the sign output of the
+// reentrant variant can be discarded.
+double lgamma_safe(double x) {
+#if defined(__GLIBC__) || defined(__APPLE__)
+  int sign = 0;
+  return ::lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
+
 }  // namespace
 
 double log_binomial_coefficient(std::uint64_t n, std::uint64_t j) {
   if (j > n) throw std::invalid_argument("log_binomial_coefficient: j > n");
-  return std::lgamma(static_cast<double>(n) + 1.0) -
-         std::lgamma(static_cast<double>(j) + 1.0) -
-         std::lgamma(static_cast<double>(n - j) + 1.0);
+  return lgamma_safe(static_cast<double>(n) + 1.0) -
+         lgamma_safe(static_cast<double>(j) + 1.0) -
+         lgamma_safe(static_cast<double>(n - j) + 1.0);
 }
 
 double binomial_pmf(std::uint64_t n, double p, std::uint64_t j) {
@@ -58,7 +71,7 @@ double poisson_pmf(double lambda, std::uint64_t j) {
   if (lambda < 0.0) return 0.0;
   if (lambda == 0.0) return j == 0 ? 1.0 : 0.0;
   const double lp = static_cast<double>(j) * std::log(lambda) - lambda -
-                    std::lgamma(static_cast<double>(j) + 1.0);
+                    lgamma_safe(static_cast<double>(j) + 1.0);
   return std::exp(lp);
 }
 
@@ -141,7 +154,7 @@ double expect_poisson(double lambda,
   double acc = 0.0;
   const double log_lambda = std::log(lambda);
   const double lpmf_mode = static_cast<double>(mode) * log_lambda - lambda -
-                           std::lgamma(static_cast<double>(mode) + 1.0);
+                           lgamma_safe(static_cast<double>(mode) + 1.0);
   {
     double l = lpmf_mode;
     for (std::uint64_t j = mode;; --j) {

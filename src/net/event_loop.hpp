@@ -1,0 +1,208 @@
+// Readiness event loop for the serving stack: epoll on Linux, poll(2)
+// elsewhere, plus an eventfd/self-pipe wake channel.
+//
+// Both mpcbfd workers and the admin listener used to poll(2) with a
+// fixed 50 ms tick so that stop flags and cross-thread hand-offs were
+// noticed "soon". That burns a wakeup every tick on an idle process and
+// adds up to 50 ms of latency to anything delivered between ticks. An
+// EventLoop instead blocks indefinitely (timeout -1) until either a
+// registered fd turns ready or another thread calls wake() — idle means
+// zero loop iterations, and hand-offs (new connection adopted, SPSC
+// ring message, stop request) are delivered at syscall latency.
+//
+// Level-triggered on purpose: connection handlers read/write as much as
+// they can per iteration and rely on re-arming semantics being "still
+// ready? fire again", which makes partial reads impossible to lose.
+// wait() drains the wake channel internally; a wake with no ready fds
+// returns 0 events, which callers treat as "check your queues".
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#ifdef __linux__
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#else
+#include <algorithm>
+#include <poll.h>
+#endif
+#include <unistd.h>
+
+namespace mpcbf::net {
+
+class EventLoop {
+ public:
+  struct Event {
+    void* data = nullptr;
+    bool readable = false;
+    bool writable = false;
+    /// EPOLLERR/EPOLLHUP (or POLLERR/POLLHUP/POLLNVAL): the fd is dead
+    /// or half-closed; handlers should read to EOF and tear down.
+    bool error = false;
+  };
+
+  EventLoop() {
+#ifdef __linux__
+    epfd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    if (epfd_ < 0) throw std::runtime_error("EventLoop: epoll_create1");
+    wakefd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    if (wakefd_ < 0) {
+      ::close(epfd_);
+      throw std::runtime_error("EventLoop: eventfd");
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.ptr = const_cast<char*>(&kWakeTag);
+    if (::epoll_ctl(epfd_, EPOLL_CTL_ADD, wakefd_, &ev) != 0) {
+      ::close(wakefd_);
+      ::close(epfd_);
+      throw std::runtime_error("EventLoop: epoll_ctl wakefd");
+    }
+#else
+    int fds[2];
+    if (::pipe(fds) != 0) throw std::runtime_error("EventLoop: pipe");
+    wakefd_ = fds[0];
+    wakewr_ = fds[1];
+#endif
+  }
+
+  ~EventLoop() {
+#ifdef __linux__
+    ::close(wakefd_);
+    ::close(epfd_);
+#else
+    ::close(wakefd_);
+    ::close(wakewr_);
+#endif
+  }
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  void add(int fd, bool want_write, void* data) { ctl(fd, want_write, data, /*add=*/true); }
+  void mod(int fd, bool want_write, void* data) { ctl(fd, want_write, data, /*add=*/false); }
+
+  void del(int fd) {
+#ifdef __linux__
+    ::epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, nullptr);
+#else
+    for (std::size_t i = 0; i < pollfds_.size(); ++i) {
+      if (pollfds_[i].fd == fd) {
+        pollfds_.erase(pollfds_.begin() + static_cast<long>(i));
+        polldata_.erase(polldata_.begin() + static_cast<long>(i));
+        return;
+      }
+    }
+#endif
+  }
+
+  /// Thread-safe: wakes a wait() blocked in another thread. Coalesces —
+  /// any number of wakes before the next wait() cost one loop iteration.
+  void wake() {
+    const std::uint64_t one = 1;
+#ifdef __linux__
+    [[maybe_unused]] auto n = ::write(wakefd_, &one, sizeof one);
+#else
+    [[maybe_unused]] auto n = ::write(wakewr_, &one, 1);
+#endif
+  }
+
+  /// Blocks until an fd is ready, wake() is called, or `timeout_ms`
+  /// elapses (-1 = forever). Returns the ready events (the wake channel
+  /// is drained internally and never reported). Every return increments
+  /// the iteration counter — the idle-wakeup test asserts this stays
+  /// flat while the process has nothing to do.
+  int wait(std::vector<Event>& out, int timeout_ms) {
+    out.clear();
+#ifdef __linux__
+    epoll_event evs[64];
+    const int n = ::epoll_wait(epfd_, evs, 64, timeout_ms);
+    if (n < 0) return 0;  // EINTR
+    iterations_.fetch_add(1, std::memory_order_relaxed);
+    for (int i = 0; i < n; ++i) {
+      if (evs[i].data.ptr == const_cast<char*>(&kWakeTag)) {
+        std::uint64_t junk;
+        while (::read(wakefd_, &junk, sizeof junk) > 0) {
+        }
+        continue;
+      }
+      Event e;
+      e.data = evs[i].data.ptr;
+      e.readable = (evs[i].events & EPOLLIN) != 0;
+      e.writable = (evs[i].events & EPOLLOUT) != 0;
+      e.error = (evs[i].events & (EPOLLERR | EPOLLHUP)) != 0;
+      out.push_back(e);
+    }
+#else
+    std::vector<pollfd> fds = pollfds_;
+    fds.push_back(pollfd{wakefd_, POLLIN, 0});
+    const int n = ::poll(fds.data(), fds.size(), timeout_ms);
+    if (n < 0) return 0;  // EINTR
+    iterations_.fetch_add(1, std::memory_order_relaxed);
+    if (fds.back().revents & POLLIN) {
+      char junk[64];
+      while (::read(wakefd_, junk, sizeof junk) > 0) {
+      }
+    }
+    for (std::size_t i = 0; i + 1 < fds.size(); ++i) {
+      if (fds[i].revents == 0) continue;
+      Event e;
+      e.data = polldata_[i];
+      e.readable = (fds[i].revents & POLLIN) != 0;
+      e.writable = (fds[i].revents & POLLOUT) != 0;
+      e.error = (fds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
+      out.push_back(e);
+    }
+#endif
+    return static_cast<int>(out.size());
+  }
+
+  /// Loop iterations completed (wait() returns). Thread-safe read.
+  [[nodiscard]] std::uint64_t iterations() const noexcept {
+    return iterations_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr char kWakeTag = 0;  // sentinel address for the wake fd
+
+  void ctl(int fd, bool want_write, void* data, bool add) {
+#ifdef __linux__
+    epoll_event ev{};
+    ev.events = EPOLLIN | (want_write ? EPOLLOUT : 0u);
+    ev.data.ptr = data;
+    if (::epoll_ctl(epfd_, add ? EPOLL_CTL_ADD : EPOLL_CTL_MOD, fd, &ev) !=
+        0) {
+      throw std::runtime_error("EventLoop: epoll_ctl");
+    }
+#else
+    const short events =
+        static_cast<short>(POLLIN | (want_write ? POLLOUT : 0));
+    if (!add) {
+      for (std::size_t i = 0; i < pollfds_.size(); ++i) {
+        if (pollfds_[i].fd == fd) {
+          pollfds_[i].events = events;
+          polldata_[i] = data;
+          return;
+        }
+      }
+    }
+    pollfds_.push_back(pollfd{fd, events, 0});
+    polldata_.push_back(data);
+#endif
+  }
+
+#ifdef __linux__
+  int epfd_ = -1;
+#else
+  int wakewr_ = -1;
+  std::vector<pollfd> pollfds_;
+  std::vector<void*> polldata_;
+#endif
+  int wakefd_ = -1;
+  std::atomic<std::uint64_t> iterations_{0};
+};
+
+}  // namespace mpcbf::net

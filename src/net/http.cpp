@@ -1,12 +1,13 @@
 #include "net/http.hpp"
 
-#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
+#include <limits>
 #include <sstream>
 #include <utility>
 
@@ -51,7 +52,8 @@ struct AdminServer::Conn {
   std::string rbuf;
   std::string wbuf;
   std::size_t wpos = 0;
-  bool responded = false;  ///< reply buffered; close once flushed
+  bool responded = false;   ///< reply buffered; close once flushed
+  bool want_write = false;  ///< EPOLLOUT currently armed
   bool dead = false;
   std::chrono::steady_clock::time_point since =
       std::chrono::steady_clock::now();
@@ -72,6 +74,8 @@ void AdminServer::start() {
   listener_ = listen_tcp(options_.bind_address, options_.port);
   set_nonblocking(listener_.fd(), true);
   port_ = local_port(listener_.fd());
+  loop_ = std::make_unique<EventLoop>();
+  loop_->add(listener_.fd(), false, nullptr);
   thread_ = std::thread([this] { service_loop(); });
   MPCBF_LOG_INFO("admin.start",
                  log::str("bind", options_.bind_address),
@@ -81,87 +85,122 @@ void AdminServer::start() {
 void AdminServer::stop() {
   if (!started_.load(std::memory_order_acquire)) return;
   stopping_.store(true, std::memory_order_release);
+  if (loop_) loop_->wake();  // unblock a wait(-1) on the idle plane
   if (thread_.joinable()) thread_.join();
   listener_.close();
 }
 
 void AdminServer::service_loop() {
   std::vector<std::unique_ptr<Conn>> conns;
-  std::vector<pollfd> pfds;
+  std::vector<EventLoop::Event> events;
   while (!stopping_.load(std::memory_order_acquire)) {
-    pfds.clear();
-    pfds.push_back({listener_.fd(), POLLIN, 0});
+    // Block indefinitely when idle; a finite timeout exists only while
+    // a connection is mid-request (slow-loris sweep needs a clock).
+    int timeout_ms = -1;
+    const auto now = std::chrono::steady_clock::now();
+    auto earliest = std::chrono::steady_clock::time_point::max();
     for (const auto& c : conns) {
-      short events = POLLIN;
-      if (c->wpos < c->wbuf.size()) events |= POLLOUT;
-      pfds.push_back({c->sock.fd(), events, 0});
-    }
-    const int rc =
-        ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), 50);
-    if (rc < 0 && errno != EINTR) return;
-
-    if ((pfds[0].revents & POLLIN) != 0) {
-      for (;;) {
-        const int fd = ::accept(listener_.fd(), nullptr, nullptr);
-        if (fd < 0) break;
-        Socket sock(fd);
-        if (conns.size() >= options_.max_connections) {
-          continue;  // over cap: close immediately (Socket dtor)
-        }
-        set_nonblocking(fd, true);
-        conns.push_back(std::make_unique<Conn>(std::move(sock)));
+      if (!c->dead && !c->responded) {
+        earliest = std::min(earliest, c->since + options_.header_timeout);
       }
     }
+    if (earliest != std::chrono::steady_clock::time_point::max()) {
+      const auto wait_ms = std::chrono::duration_cast<
+                               std::chrono::milliseconds>(earliest - now)
+                               .count() +
+                           1;
+      timeout_ms = static_cast<int>(std::clamp<long long>(
+          wait_ms, 1, std::numeric_limits<int>::max()));
+    }
+    (void)loop_->wait(events, timeout_ms);
+    if (stopping_.load(std::memory_order_acquire)) break;
 
-    for (std::size_t i = 0; i < conns.size(); ++i) {
-      Conn& c = *conns[i];
-      const short revents = i + 1 < pfds.size() ? pfds[i + 1].revents : 0;
-      if ((revents & (POLLERR | POLLNVAL)) != 0) {
-        c.dead = true;
+    for (const auto& e : events) {
+      if (e.data == nullptr) {  // listener
+        for (;;) {
+          const int fd = ::accept(listener_.fd(), nullptr, nullptr);
+          if (fd < 0) break;
+          Socket sock(fd);
+          if (conns.size() >= options_.max_connections) {
+            continue;  // over cap: close immediately (Socket dtor)
+          }
+          set_nonblocking(fd, true);
+          auto conn = std::make_unique<Conn>(std::move(sock));
+          loop_->add(conn->sock.fd(), false, conn.get());
+          conns.push_back(std::move(conn));
+        }
         continue;
       }
+      Conn& c = *static_cast<Conn*>(e.data);
+      if (c.dead) continue;
       try {
-        if ((revents & (POLLIN | POLLHUP)) != 0 && !c.responded) {
-          for (;;) {
-            const std::size_t old = c.rbuf.size();
-            if (old + kReadChunk > kMaxRequestBytes + kReadChunk) {
-              // Headers over the cap: answer 431 and stop reading. The
-              // buffer never grows past cap + one chunk.
-              respond(c, HttpRequest{},
-                      HttpResponse{431, "text/plain; charset=utf-8",
-                                   "request header fields too large\n"});
-              break;
+        if (e.readable || e.error) {
+          if (c.responded) {
+            // Level-triggered readability after the response is built
+            // (pipelined bytes, FIN): drain and discard so the loop
+            // does not spin while the reply flushes.
+            char junk[kReadChunk];
+            std::ptrdiff_t n;
+            while ((n = read_some(c.sock.fd(), junk, sizeof junk)) > 0) {
             }
-            c.rbuf.resize(old + kReadChunk);
-            const std::ptrdiff_t n =
-                read_some(c.sock.fd(), c.rbuf.data() + old, kReadChunk);
-            c.rbuf.resize(old + (n > 0 ? static_cast<std::size_t>(n) : 0));
-            if (n == 0) {  // EOF before a full request
-              c.dead = true;
-              break;
+            if (n == 0 && c.wpos == c.wbuf.size()) c.dead = true;
+          } else {
+            for (;;) {
+              const std::size_t old = c.rbuf.size();
+              if (old + kReadChunk > kMaxRequestBytes + kReadChunk) {
+                // Headers over the cap: answer 431 and stop reading.
+                // The buffer never grows past cap + one chunk.
+                respond(c, HttpRequest{},
+                        HttpResponse{431, "text/plain; charset=utf-8",
+                                     "request header fields too large\n"});
+                break;
+              }
+              c.rbuf.resize(old + kReadChunk);
+              const std::ptrdiff_t n =
+                  read_some(c.sock.fd(), c.rbuf.data() + old, kReadChunk);
+              c.rbuf.resize(old +
+                            (n > 0 ? static_cast<std::size_t>(n) : 0));
+              if (n == 0) {  // EOF before a full request
+                c.dead = true;
+                break;
+              }
+              if (n < 0) break;  // EAGAIN
             }
-            if (n < 0) break;  // EAGAIN
+            if (!c.dead && !c.responded) (void)try_serve(c);
           }
-          if (!c.dead && !c.responded) (void)try_serve(c);
         }
         // Flush.
-        while (c.wpos < c.wbuf.size()) {
-          const std::ptrdiff_t n = write_some(
-              c.sock.fd(), c.wbuf.data() + c.wpos, c.wbuf.size() - c.wpos);
+        while (!c.dead && c.wpos < c.wbuf.size()) {
+          const std::ptrdiff_t n =
+              write_some(c.sock.fd(), c.wbuf.data() + c.wpos,
+                         c.wbuf.size() - c.wpos);
           if (n < 0) break;
           c.wpos += static_cast<std::size_t>(n);
         }
         if (c.responded && c.wpos == c.wbuf.size()) c.dead = true;
+        if (!c.dead) {
+          const bool want = c.wpos < c.wbuf.size();
+          if (want != c.want_write) {
+            c.want_write = want;
+            loop_->mod(c.sock.fd(), want, &c);
+          }
+        }
       } catch (const NetError&) {
         c.dead = true;
       }
-      if (!c.dead && !c.responded &&
-          std::chrono::steady_clock::now() - c.since >
-              options_.header_timeout) {
-        c.dead = true;  // slow-loris: never completed the header
+    }
+
+    const auto after = std::chrono::steady_clock::now();
+    for (auto& c : conns) {
+      if (!c->dead && !c->responded &&
+          after - c->since > options_.header_timeout) {
+        c->dead = true;  // slow-loris: never completed the header
       }
     }
-    std::erase_if(conns, [](const auto& c) { return c->dead; });
+    std::erase_if(conns, [this](const auto& c) {
+      if (c->dead) loop_->del(c->sock.fd());
+      return c->dead;
+    });
   }
 }
 

@@ -7,10 +7,12 @@
 // the connection, so connection state is one request), request line +
 // headers capped at kMaxRequestBytes before any allocation grows past
 // it — the same hostile-input discipline as protocol.hpp's frame caps.
-// One thread runs accept + poll for all admin connections; admin
-// traffic is orders of magnitude below the data plane, and a single
-// loop keeps the plane allocation-capped and lock-free on the data
-// path's hot threads.
+// One thread runs a readiness event loop (EventLoop: epoll on Linux)
+// for accept and all admin connections; admin traffic is orders of
+// magnitude below the data plane, and a single loop keeps the plane
+// allocation-capped and lock-free on the data path's hot threads. Idle
+// means blocked indefinitely — stop() and new events are delivered via
+// the loop's wake channel, never a periodic tick.
 //
 // Endpoints are injected as handlers (register_admin_endpoints wires
 // the standard set), so the server class itself knows nothing about
@@ -28,6 +30,7 @@
 #include <thread>
 #include <vector>
 
+#include "net/event_loop.hpp"
 #include "net/protocol.hpp"
 #include "net/slow_ring.hpp"
 #include "net/socket.hpp"
@@ -97,6 +100,13 @@ class AdminServer {
     return served_.load(std::memory_order_relaxed);
   }
 
+  /// Event-loop iterations of the service thread. An idle admin plane's
+  /// count stays flat (no periodic tick) — asserted by the
+  /// no-idle-wakeups test.
+  [[nodiscard]] std::uint64_t loop_iterations() const noexcept {
+    return loop_ ? loop_->iterations() : 0;
+  }
+
  private:
   struct Conn;
 
@@ -113,6 +123,7 @@ class AdminServer {
   std::atomic<bool> started_{false};
   std::atomic<bool> stopping_{false};
   std::atomic<std::uint64_t> served_{0};
+  std::unique_ptr<EventLoop> loop_;
   std::thread thread_;
 };
 

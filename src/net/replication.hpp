@@ -43,6 +43,40 @@
 
 namespace mpcbf::net {
 
+/// Where a follower's replicated records land. The tailing loop only
+/// needs three operations — the resume point, gap-checked apply, and
+/// snapshot install — so it is expressed as an interface rather than a
+/// concrete DurableMpcbf + shared_mutex pair. The classic single-filter
+/// follower wraps exactly that pair (make_replication_sink); a future
+/// sharded follower would fan records out to per-shard owners behind the
+/// same three calls without touching the Replicator.
+///
+/// Thread contract: the Replicator calls every method from its one
+/// tailing thread; implementations own whatever exclusion they need
+/// against their serving side (the default sink takes the backend's
+/// shared_mutex internally).
+class ReplicationSink {
+ public:
+  virtual ~ReplicationSink() = default;
+  /// Next sequence number the local store expects. Doubles as the ack
+  /// watermark: polling from N acknowledges everything below N.
+  [[nodiscard]] virtual std::uint64_t next_seq() = 0;
+  /// Applies one replicated record (journal first, then memory).
+  /// Returns false on a sequence gap — the caller must re-bootstrap.
+  virtual bool apply(std::uint64_t seq, io::JournalOp op,
+                     std::string_view key) = 0;
+  /// Installs a full snapshot image fetched from the primary, rewinding
+  /// the local journal to the image's watermark.
+  virtual void install_snapshot(const std::string& image) = 0;
+};
+
+/// The standard sink: one durable filter guarded by the same
+/// shared_mutex the serving backend uses (make_backend's explicit-mutex
+/// overload), so replica apply and request serving exclude each other.
+[[nodiscard]] std::shared_ptr<ReplicationSink> make_replication_sink(
+    std::shared_ptr<core::DurableMpcbf<64>> local,
+    std::shared_ptr<std::shared_mutex> mu);
+
 class Replicator {
  public:
   struct Options {
@@ -64,10 +98,11 @@ class Replicator {
     std::uint64_t follower_id = 0;
   };
 
-  /// `local` is the follower's durable filter; `mu` must be the same
-  /// shared_mutex the serving backend uses (make_backend's explicit-
-  /// mutex overload), so replica apply and request serving exclude each
-  /// other.
+  /// Tails `options.primaries` into `sink`.
+  Replicator(std::shared_ptr<ReplicationSink> sink, Options options);
+
+  /// Convenience overload for the standard single-filter follower:
+  /// equivalent to Replicator(make_replication_sink(local, mu), options).
   Replicator(std::shared_ptr<core::DurableMpcbf<64>> local,
              std::shared_ptr<std::shared_mutex> mu, Options options);
   ~Replicator();
@@ -124,8 +159,7 @@ class Replicator {
   /// stopping.
   bool interruptible_sleep(std::chrono::milliseconds d);
 
-  std::shared_ptr<core::DurableMpcbf<64>> local_;
-  std::shared_ptr<std::shared_mutex> mu_;
+  std::shared_ptr<ReplicationSink> sink_;
   Options options_;
 
   std::optional<Client> client_;
