@@ -42,12 +42,26 @@
 //         [--probe-stride N]                  size one segment); with --dir
 //         [--max-segments N]                  the chain is WAL-journaled
 //         [--maintenance-ms MS]               drain/gauge cadence
+//         [--namespaces]                      multi-tenant registry: clients
+//         [--ns-root DIR]                     create/drop namespaces over
+//                                             the wire (docs/server.md);
+//                                             durable namespaces live under
+//                                             DIR/ns-<name>/ (default --dir)
 //   topology --dir D                          segment chain of an elastic
 //                                             durable dir + CRC digest
 //   client --port P [--host H]                one batched RPC against a
-//          --op query|insert|erase|stats|     running server
-//               health|snapshot|replstatus
+//          --op query|insert|erase|est_count| running server
+//               stats|health|snapshot|
+//               replstatus
 //          [--keys FILE] [--verbose]
+//          [--ns NAME]                        scope filter ops to a namespace
+//   ns <create|drop|list|tick>                namespace admin against a
+//      --port P [--host H]                    running server
+//      create: --name N [--kind memory|durable|decay|durable-decay]
+//              [--memory-bits B] [--k K] [--g G] [--expected-n N]
+//              [--generations G] [--tick-interval-ms MS]
+//              [--max-keys N] [--max-memory-bytes B]
+//      drop/tick: --name N
 //   replstatus --port P [--host H]            replication watermarks; exit
 //                                             0 only when caught up
 //   proxy --target-port P [--target-host H]   chaos TCP forwarder
@@ -80,6 +94,7 @@
 #include "net/client.hpp"
 #include "net/fault_proxy.hpp"
 #include "net/http.hpp"
+#include "net/namespace_registry.hpp"
 #include "net/replication.hpp"
 #include "net/server.hpp"
 #include "net/shutdown.hpp"
@@ -889,6 +904,29 @@ int cmd_serve(const mpcbf::util::CliArgs& args) {
     backend = mpcbf::net::make_backend(plain, args.get_uint("probes", 512));
   }
 
+  // Multi-tenant registry: wire-created namespaces, each its own filter
+  // backend. Flat server only — shard ownership and per-namespace
+  // backends do not compose.
+  std::shared_ptr<mpcbf::net::NamespaceRegistry> registry;
+  if (args.get_bool("namespaces")) {
+    if (cores > 1) {
+      std::cerr << "serve: --namespaces cannot combine with --cores "
+                << cores << " (the registry needs the flat server)\n";
+      return 2;
+    }
+    mpcbf::net::NamespaceRegistry::Options nopts;
+    // Durable namespaces default to living next to the server's own
+    // durable state; --ns-root overrides (and is the only way to get
+    // durable namespaces on an otherwise in-memory server).
+    nopts.root_dir = args.get_string("ns-root", dir);
+    registry = std::make_shared<mpcbf::net::NamespaceRegistry>(nopts);
+    auto base_extra = status_extra;
+    status_extra = [registry, base_extra](std::string& out) {
+      if (base_extra) base_extra(out);
+      registry->status_lines(out);
+    };
+  }
+
   // The admin plane needs the backend's introspection hooks after the
   // data plane takes ownership of `backend`; std::function copies are
   // cheap and share the underlying state.
@@ -907,6 +945,7 @@ int cmd_serve(const mpcbf::util::CliArgs& args) {
           ? std::make_unique<mpcbf::net::Server>(std::move(shard_set), opts)
           : std::make_unique<mpcbf::net::Server>(std::move(backend), opts);
   mpcbf::net::Server& server = *server_ptr;
+  if (registry) server.set_namespace_registry(registry);
   server.start();
 
   const char* backend_kind =
@@ -924,7 +963,9 @@ int cmd_serve(const mpcbf::util::CliArgs& args) {
   } else {
     std::cout << opts.workers << " workers, ";
   }
-  std::cout << backend_kind << " backend)" << std::endl;
+  std::cout << backend_kind << " backend";
+  if (registry) std::cout << ", namespaces enabled";
+  std::cout << ")" << std::endl;
   const std::string port_file = args.get_string("port-file", "");
   if (!port_file.empty()) {
     std::ofstream pf(port_file);
@@ -1016,6 +1057,8 @@ int cmd_client(const mpcbf::util::CliArgs& args) {
     return 2;
   }
   mpcbf::net::Client client(opts);
+  const std::string ns = args.get_string("ns", "");
+  if (!ns.empty()) client.set_namespace(ns);
   const std::string op = args.get_string("op", "query");
 
   if (op == "stats") {
@@ -1060,6 +1103,21 @@ int cmd_client(const mpcbf::util::CliArgs& args) {
   }
 
   const auto keys = read_keys(args.get_string("keys", ""));
+  if (op == "est_count") {
+    const auto counts = client.est_count(keys);
+    std::size_t positive = 0;
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      positive += counts[i] > 0 ? 1 : 0;
+      total += counts[i];
+      if (args.get_bool("verbose")) {
+        std::cout << counts[i] << " " << keys[i] << "\n";
+      }
+    }
+    std::cout << "est_count: " << positive << "/" << keys.size()
+              << " positive, " << total << " total occurrences\n";
+    return 0;
+  }
   std::vector<std::uint8_t> verdicts;
   if (op == "query") {
     verdicts = client.query(keys);
@@ -1081,6 +1139,107 @@ int cmd_client(const mpcbf::util::CliArgs& args) {
   std::cout << op << ": " << positive << "/" << keys.size()
             << " positive\n";
   return 0;
+}
+
+const char* ns_kind_name(std::uint8_t kind) {
+  switch (static_cast<mpcbf::net::NsKind>(kind)) {
+    case mpcbf::net::NsKind::kMemory: return "memory";
+    case mpcbf::net::NsKind::kDurable: return "durable";
+    case mpcbf::net::NsKind::kDecay: return "decay";
+    case mpcbf::net::NsKind::kDurableDecay: return "durable-decay";
+  }
+  return "?";
+}
+
+// Namespace administration against a running server:
+//   ns create --port P --name sessions --kind decay --generations 4 ...
+//   ns drop   --port P --name sessions
+//   ns list   --port P
+//   ns tick   --port P --name sessions
+int cmd_ns(const std::string& action, const mpcbf::util::CliArgs& args) {
+  mpcbf::net::Client::Options opts;
+  opts.host = args.get_string("host", "127.0.0.1");
+  opts.port = static_cast<std::uint16_t>(args.get_uint("port", 0));
+  if (opts.port == 0) {
+    std::cerr << "ns " << action << ": --port is required\n";
+    return 2;
+  }
+  mpcbf::net::Client client(opts);
+
+  if (action == "list") {
+    const auto rows = client.ns_list();
+    std::cout << rows.size() << " namespace" << (rows.size() == 1 ? "" : "s")
+              << "\n";
+    for (const auto& row : rows) {
+      std::cout << "  " << row.name << ": kind=" << ns_kind_name(row.info.kind)
+                << " elements=" << row.info.elements
+                << " memory_bits=" << row.info.memory_bits;
+      if (row.info.decay_generations != 0) {
+        std::cout << " generations="
+                  << unsigned(row.info.decay_generations)
+                  << " ticks=" << row.info.decay_ticks;
+      }
+      if (row.info.max_keys != 0) {
+        std::cout << " max_keys=" << row.info.max_keys;
+      }
+      if (row.info.quota_rejections != 0) {
+        std::cout << " quota_rejections=" << row.info.quota_rejections;
+      }
+      std::cout << "\n";
+    }
+    return 0;
+  }
+
+  const std::string name = args.get_string("name", "");
+  if (name.empty()) {
+    std::cerr << "ns " << action << ": --name is required\n";
+    return 2;
+  }
+  if (action == "create") {
+    mpcbf::net::NsConfigWire cfg;
+    const std::string kind = args.get_string("kind", "memory");
+    if (kind == "memory") {
+      cfg.kind = static_cast<std::uint8_t>(mpcbf::net::NsKind::kMemory);
+    } else if (kind == "durable") {
+      cfg.kind = static_cast<std::uint8_t>(mpcbf::net::NsKind::kDurable);
+    } else if (kind == "decay") {
+      cfg.kind = static_cast<std::uint8_t>(mpcbf::net::NsKind::kDecay);
+    } else if (kind == "durable-decay") {
+      cfg.kind =
+          static_cast<std::uint8_t>(mpcbf::net::NsKind::kDurableDecay);
+    } else {
+      std::cerr << "ns create: bad --kind (want "
+                   "memory|durable|decay|durable-decay): " << kind << "\n";
+      return 2;
+    }
+    cfg.k = static_cast<std::uint8_t>(args.get_uint("k", 3));
+    cfg.g = static_cast<std::uint8_t>(args.get_uint("g", 1));
+    cfg.decay_generations =
+        static_cast<std::uint8_t>(args.get_uint("generations", 0));
+    cfg.tick_interval_ms =
+        static_cast<std::uint32_t>(args.get_uint("tick-interval-ms", 0));
+    cfg.memory_bits = args.get_uint("memory-bits", 1 << 20);
+    cfg.expected_n = args.get_uint("expected-n", 0);
+    cfg.max_keys = args.get_uint("max-keys", 0);
+    cfg.max_memory_bytes = args.get_uint("max-memory-bytes", 0);
+    client.ns_create(name, cfg);
+    std::cout << "created namespace " << name << " ("
+              << ns_kind_name(cfg.kind) << ")\n";
+    return 0;
+  }
+  if (action == "drop") {
+    client.ns_drop(name);
+    std::cout << "dropped namespace " << name << "\n";
+    return 0;
+  }
+  if (action == "tick") {
+    const std::uint64_t ticks = client.ns_tick(name);
+    std::cout << "namespace " << name << " at decay tick " << ticks << "\n";
+    return 0;
+  }
+  std::cerr << "ns: unknown action (want create|drop|list|tick): "
+            << action << "\n";
+  return 2;
 }
 
 // Replication watermarks of a running server. Exit code doubles as a
@@ -1149,11 +1308,25 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::cerr << "usage: mpcbf_tool "
                  "<plan|build|query|merge|stats|verify|snapshot|recover|"
-                 "health|trace|serve|client|replstatus|proxy|topology> "
+                 "health|trace|serve|client|ns|replstatus|proxy|topology> "
                  "[flags]\n";
     return 2;
   }
   const std::string cmd = argv[1];
+  if (cmd == "ns") {
+    if (argc < 3) {
+      std::cerr << "usage: mpcbf_tool ns <create|drop|list|tick> "
+                   "--port P [flags]\n";
+      return 2;
+    }
+    mpcbf::util::CliArgs ns_args(argc - 2, argv + 2);
+    try {
+      return cmd_ns(argv[2], ns_args);
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 1;
+    }
+  }
   mpcbf::util::CliArgs args(argc - 1, argv + 1);
   try {
     if (cmd == "plan") return cmd_plan(args);

@@ -35,7 +35,7 @@ import json
 import os
 import sys
 
-DEFAULT_BENCHES = "micro_ops,fig08_query_time,server,elastic"
+DEFAULT_BENCHES = "micro_ops,fig08_query_time,server,elastic,multitenant"
 
 
 def is_throughput(name: str) -> bool:

@@ -12,6 +12,10 @@ Checks:
   * line grammar: comments (# HELP / # TYPE), samples, blank lines
   * metric and label names match the Prometheus charset
   * label values are well-formed (balanced quotes, valid escapes)
+  * no duplicate label names within one label block (per-namespace
+    series like mpcbf_ns_elements{ns="..."} made labeled exports the
+    common case, and {ns="a",ns="b"} would otherwise slip through as
+    one sorted key)
   * sample values parse as floats; nan/inf rejected (--allow-nan to
     permit them; mpcbf never legitimately exports either)
   * TYPE declared at most once per metric, before its samples
@@ -68,6 +72,10 @@ def parse_labels(raw, errors, lineno):
                 i += 1
         else:
             errors.append(f"line {lineno}: unterminated label value")
+            return None
+        if any(existing == name for existing, _ in labels):
+            errors.append(
+                f"line {lineno}: duplicate label name {name!r} in block")
             return None
         labels.append((name, "".join(value)))
         rest = raw[i:].lstrip()

@@ -1,0 +1,50 @@
+// Eager physical-page release for buffers about to be freed.
+//
+// Freeing a drained segment's word array hands the bytes back to the
+// allocator, but glibc keeps small-and-medium chunks resident in its
+// arena indefinitely — a server that grew to N segments and compacted
+// back down still holds the peak RSS. madvise(MADV_DONTNEED) on the
+// buffer's page-aligned interior returns the physical pages to the OS
+// immediately while leaving the mapping (and the allocator's chunk
+// bookkeeping around the buffer) untouched: the region stays valid
+// memory that simply rereads as zeroes, which is fine for a buffer
+// whose next event is its own free().
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/mman.h>
+#include <unistd.h>
+#endif
+
+namespace mpcbf::util {
+
+/// Drops the resident pages fully inside [p, p+n): the range is rounded
+/// *inward* to page boundaries so bytes the allocator may own just
+/// outside the buffer are never touched. Returns the bytes advised (0
+/// when no full page fits or the platform lacks madvise). The caller
+/// must treat the buffer's contents as destroyed.
+inline std::size_t drop_resident_pages(void* p, std::size_t n) noexcept {
+#if defined(__unix__) || defined(__APPLE__)
+  if (p == nullptr || n == 0) return 0;
+  static const auto page =
+      static_cast<std::uintptr_t>(::sysconf(_SC_PAGESIZE));
+  const auto addr = reinterpret_cast<std::uintptr_t>(p);
+  const std::uintptr_t first = (addr + page - 1) & ~(page - 1);
+  const std::uintptr_t last = (addr + n) & ~(page - 1);
+  if (last <= first) return 0;
+  if (::madvise(reinterpret_cast<void*>(first), last - first,
+                MADV_DONTNEED) != 0) {
+    return 0;
+  }
+  return last - first;
+#else
+  (void)p;
+  (void)n;
+  return 0;
+#endif
+}
+
+}  // namespace mpcbf::util

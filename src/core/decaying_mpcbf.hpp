@@ -1,0 +1,663 @@
+// DecayingMpcbf — sliding-window TTL semantics on the shared word
+// engine, so bounded-lifetime workloads age out stale entries without
+// ever issuing an explicit ERASE.
+//
+// The window is G fixed-shape MPCBF generations (core/mpcbf.hpp), all
+// sharing one layout and hash seed. Inserts land in the newest
+// generation only; queries consult every generation (a key is present
+// while *any* generation remembers it); decay_tick() retires the oldest
+// generation and starts a fresh one in its slot. An entry inserted once
+// therefore survives between G-1 and G ticks — the classic
+// sliding-window Bloom construction (cf. Dynamic Partition Bloom
+// Filters, arXiv:1901.06493), here inheriting the paper's
+// multi-partitioned counter words per generation.
+//
+// Why this keeps FPR flat under an infinite insert stream: a plain CBF
+// only accumulates — its fill factor, and with it the false-positive
+// rate, grows monotonically toward saturation. Here the live state is
+// capped at whatever arrived in the last G tick windows, so the
+// steady-state fill (and the union-bound FPR across generations,
+// model_fpr()) is a function of the *rate*, not of total stream length.
+// tests/test_decay.cpp locks in exactly that: an insert soak holds the
+// decayed filter's measured FPR within model bounds while the no-decay
+// control saturates.
+//
+// Generation rotation reuses storage: the retired generation is
+// clear()ed in place and becomes the new current one, so a tick is O(l)
+// zeroing with zero allocation and the memory footprint is constant for
+// the filter's lifetime.
+//
+// Thread-safety: same contract as Mpcbf — concurrent const queries are
+// safe, mutations (including decay_tick) need external serialization.
+// The serving layer wraps namespaces in a shared_mutex already.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/mpcbf.hpp"
+#include "io/crc32c.hpp"
+#include "io/journal.hpp"
+#include "metrics/registry.hpp"
+#include "trace/trace.hpp"
+
+#ifdef __unix__
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace mpcbf::core {
+
+struct DecayConfig {
+  /// Shape of each window generation (every generation is identical).
+  MpcbfConfig generation;
+  /// Window depth: an entry survives generations-1 .. generations ticks.
+  unsigned generations = 4;
+};
+
+template <unsigned W = 64>
+class DecayingMpcbf {
+ public:
+  /// Cap on the window depth a config (or a hostile snapshot length
+  /// field) may request.
+  static constexpr unsigned kMaxGenerations = 64;
+  static constexpr char kMagic[9] = "MPCBDKY1";
+
+  explicit DecayingMpcbf(const DecayConfig& cfg) : cfg_(cfg) {
+    if (cfg.generations < 2 || cfg.generations > kMaxGenerations) {
+      throw std::invalid_argument(
+          "DecayingMpcbf: generations must be in [2, " +
+          std::to_string(kMaxGenerations) + "]");
+    }
+    gens_.reserve(cfg.generations);
+    for (unsigned i = 0; i < cfg.generations; ++i) {
+      gens_.push_back(std::make_unique<Mpcbf<W>>(cfg.generation));
+    }
+  }
+
+  // --- mutations ---------------------------------------------------------
+
+  /// Inserts into the newest generation. Returns that generation's
+  /// insert verdict (overflow policy applies per generation).
+  bool insert(std::string_view key) { return gens_.back()->insert(key); }
+
+  /// Erases one prior insert, newest generation that still counts the
+  /// key first — explicit deletion stays available even though decay is
+  /// the intended retirement path.
+  bool erase(std::string_view key) {
+    for (auto it = gens_.rbegin(); it != gens_.rend(); ++it) {
+      if ((*it)->count(key) > 0) return (*it)->erase(key);
+    }
+    return false;
+  }
+
+  /// Retires the oldest generation and starts a fresh one in its slot
+  /// (storage reused in place). Returns the tick ordinal just applied
+  /// (1-based).
+  std::uint64_t decay_tick() {
+    MPCBF_TRACE_SPAN(span, kCore, "decay.tick");
+    auto oldest = std::move(gens_.front());
+    gens_.erase(gens_.begin());
+    oldest->clear();
+    gens_.push_back(std::move(oldest));
+    ++ticks_;
+    span.set_arg("tick", ticks_);
+    return ticks_;
+  }
+
+  void clear() {
+    for (auto& g : gens_) g->clear();
+    ticks_ = 0;
+  }
+
+  // --- queries -----------------------------------------------------------
+
+  /// Membership across the window: positive while any generation
+  /// remembers the key.
+  [[nodiscard]] bool contains(std::string_view key) const {
+    for (auto it = gens_.rbegin(); it != gens_.rend(); ++it) {
+      if ((*it)->contains(key)) return true;
+    }
+    return false;
+  }
+
+  /// Min-counter frequency estimate summed across generations — the
+  /// window-total multiplicity (each insert lives in exactly one
+  /// generation, so the sum never undercounts correctly inserted keys).
+  [[nodiscard]] std::uint32_t count(std::string_view key) const {
+    std::uint64_t total = 0;
+    for (const auto& g : gens_) total += g->count(key);
+    return total > 0xFFFFFFFFull ? 0xFFFFFFFFu
+                                 : static_cast<std::uint32_t>(total);
+  }
+
+  void contains_batch(std::span<const std::string> keys,
+                      std::span<std::uint8_t> out) const {
+    contains_batch_impl<std::string>(keys, out);
+  }
+  void contains_batch(std::span<const std::string_view> keys,
+                      std::span<std::uint8_t> out) const {
+    contains_batch_impl<std::string_view>(keys, out);
+  }
+  void insert_batch(std::span<const std::string> keys,
+                    std::span<std::uint8_t> ok) {
+    gens_.back()->insert_batch(keys, ok);
+  }
+  void insert_batch(std::span<const std::string_view> keys,
+                    std::span<std::uint8_t> ok) {
+    gens_.back()->insert_batch(keys, ok);
+  }
+
+  // --- introspection -----------------------------------------------------
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    std::size_t total = 0;
+    for (const auto& g : gens_) total += g->size();
+    return total;
+  }
+  [[nodiscard]] std::size_t memory_bits() const noexcept {
+    std::size_t total = 0;
+    for (const auto& g : gens_) total += g->memory_bits();
+    return total;
+  }
+  [[nodiscard]] std::size_t num_words() const noexcept {
+    std::size_t total = 0;
+    for (const auto& g : gens_) total += g->num_words();
+    return total;
+  }
+  [[nodiscard]] unsigned k() const noexcept { return gens_.front()->k(); }
+  [[nodiscard]] unsigned g() const noexcept { return gens_.front()->g(); }
+  [[nodiscard]] unsigned b1() const noexcept { return gens_.front()->b1(); }
+  [[nodiscard]] unsigned n_max() const noexcept {
+    return gens_.front()->n_max();
+  }
+  [[nodiscard]] std::uint64_t seed() const noexcept {
+    return gens_.front()->seed();
+  }
+  [[nodiscard]] std::uint64_t overflow_events() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& g : gens_) total += g->overflow_events();
+    return total;
+  }
+  [[nodiscard]] std::uint64_t underflow_events() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& g : gens_) total += g->underflow_events();
+    return total;
+  }
+  [[nodiscard]] std::size_t stash_size() const noexcept {
+    std::size_t total = 0;
+    for (const auto& g : gens_) total += g->stash_size();
+    return total;
+  }
+  [[nodiscard]] unsigned generations() const noexcept {
+    return static_cast<unsigned>(gens_.size());
+  }
+  [[nodiscard]] std::uint64_t ticks() const noexcept { return ticks_; }
+  [[nodiscard]] const DecayConfig& config() const noexcept { return cfg_; }
+  /// Generation i, oldest first (i = generations()-1 is the insert
+  /// target). Diagnostic use.
+  [[nodiscard]] const Mpcbf<W>& generation(std::size_t i) const {
+    return *gens_.at(i);
+  }
+
+  /// Merged occupancy across generations (position-wise histogram sums;
+  /// all generations share one geometry) — feeds HealthProber.
+  [[nodiscard]] typename Mpcbf<W>::FillReport fill_report() const {
+    typename Mpcbf<W>::FillReport merged;
+    merged.hierarchy_histogram.assign(W - b1() + 1, 0);
+    for (const auto& g : gens_) {
+      const auto r = g->fill_report();
+      for (std::size_t u = 0; u < r.hierarchy_histogram.size(); ++u) {
+        merged.hierarchy_histogram[u] += r.hierarchy_histogram[u];
+      }
+      if (r.counter_histogram.size() > merged.counter_histogram.size()) {
+        merged.counter_histogram.resize(r.counter_histogram.size(), 0);
+      }
+      for (std::size_t c = 0; c < r.counter_histogram.size(); ++c) {
+        merged.counter_histogram[c] += r.counter_histogram[c];
+      }
+      merged.total_positions += r.total_positions;
+    }
+    if (merged.counter_histogram.empty()) {
+      merged.counter_histogram.resize(1, merged.total_positions);
+    }
+    return merged;
+  }
+
+  /// Closed-form FPR bound for the window: a query false-positives when
+  /// *any* generation does, so 1 - prod(1 - f_gen) — the union bound
+  /// the decay soak test compares measurements against.
+  [[nodiscard]] double model_fpr() const {
+    double none = 1.0;
+    for (const auto& g : gens_) {
+      none *= 1.0 - model::fpr_mpcbf_g(g->size(), g->num_words(), g->b1(),
+                                       g->k(), g->g());
+    }
+    return 1.0 - none;
+  }
+
+  [[nodiscard]] bool validate() const {
+    if (gens_.size() != cfg_.generations) return false;
+    for (const auto& g : gens_) {
+      if (!g->validate()) return false;
+    }
+    return true;
+  }
+
+  // --- serialization -----------------------------------------------------
+
+  /// Bare payload (magic + body) for embedding in durable snapshots.
+  void save_payload(std::ostream& os) const {
+    io::write_magic(os, kMagic);
+    io::write_pod<std::uint32_t>(os,
+                                 static_cast<std::uint32_t>(gens_.size()));
+    io::write_pod<std::uint64_t>(os, ticks_);
+    for (const auto& g : gens_) g->save_payload(os);
+  }
+
+  static DecayingMpcbf load_payload(std::istream& is) {
+    io::expect_magic(is, kMagic);
+    const auto count = io::read_pod<std::uint32_t>(is);
+    if (count < 2 || count > kMaxGenerations) {
+      throw std::runtime_error(
+          "DecayingMpcbf::load: generation count out of range");
+    }
+    const auto ticks = io::read_pod<std::uint64_t>(is);
+    std::vector<std::unique_ptr<Mpcbf<W>>> gens;
+    gens.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      gens.push_back(
+          std::make_unique<Mpcbf<W>>(Mpcbf<W>::load_payload(is)));
+      if (i > 0 && !gens.front()->compatible(*gens.back())) {
+        throw std::runtime_error(
+            "DecayingMpcbf::load: generations disagree on layout");
+      }
+    }
+    DecayingMpcbf f(std::move(gens), ticks);
+    return f;
+  }
+
+ private:
+  DecayingMpcbf(std::vector<std::unique_ptr<Mpcbf<W>>> gens,
+                std::uint64_t ticks)
+      : gens_(std::move(gens)), ticks_(ticks) {
+    cfg_.generations = static_cast<unsigned>(gens_.size());
+    const Mpcbf<W>& g0 = *gens_.front();
+    cfg_.generation.memory_bits = g0.memory_bits();
+    cfg_.generation.k = g0.k();
+    cfg_.generation.g = g0.g();
+    cfg_.generation.n_max = g0.n_max();
+    cfg_.generation.policy = g0.policy();
+    cfg_.generation.seed = g0.seed();
+  }
+
+  template <class Key>
+  void contains_batch_impl(std::span<const Key> keys,
+                           std::span<std::uint8_t> out) const {
+    if (keys.size() != out.size()) {
+      throw std::invalid_argument("contains_batch: size mismatch");
+    }
+    // Newest generation first through the engine's batch pipeline, then
+    // only the misses re-probe older generations — the hot path for a
+    // recency-skewed workload stays one batched pass.
+    gens_.back()->contains_batch(keys, out);
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      if (out[i]) continue;
+      for (std::size_t gi = gens_.size() - 1; gi-- > 0;) {
+        if (gens_[gi]->contains(keys[i])) {
+          out[i] = 1;
+          break;
+        }
+      }
+    }
+  }
+
+  DecayConfig cfg_;
+  std::vector<std::unique_ptr<Mpcbf<W>>> gens_;  // oldest first
+  std::uint64_t ticks_ = 0;
+};
+
+// --- DurableDecayingMpcbf -----------------------------------------------
+//
+// Crash-safe wrapper mirroring DurableMpcbf (same directory layout,
+// snapshot naming, watermark model), with decay ticks first-classed in
+// the WAL exactly like the elastic topology ops: a tick is journaled as
+// a kDecayTick record (key = LE u64 tick ordinal) *before* the rotation
+// is applied, and replay rotates at the record's sequence position — so
+// a recovered window is byte-identical to the crashed process's,
+// including which generation each surviving key lives in.
+
+namespace detail {
+
+inline std::string encode_decay_tick(std::uint64_t tick) {
+  std::string s(8, '\0');
+  std::memcpy(s.data(), &tick, 8);
+  return s;
+}
+
+inline bool decode_decay_tick(std::string_view key, std::uint64_t& tick) {
+  if (key.size() != 8) return false;
+  std::memcpy(&tick, key.data(), 8);
+  return true;
+}
+
+}  // namespace detail
+
+template <unsigned W = 64>
+class DurableDecayingMpcbf {
+ public:
+  static constexpr char kSnapshotMagic[9] = "MPCBDKD1";
+
+  struct Options {
+    std::size_t flush_every = 1;
+    bool fsync = true;
+    std::size_t keep_snapshots = 2;
+    /// Test-only crash injection, as DurableMpcbf::Options::crash_hook.
+    std::function<void(std::string_view)> crash_hook;
+  };
+
+  DurableDecayingMpcbf(const std::filesystem::path& dir,
+                       const DecayConfig& cfg, Options options = {})
+      : dir_(dir),
+        options_(options),
+        filter_(recover(dir, &cfg)),
+        journal_(journal_path(dir).string()) {
+    if (options_.flush_every == 0) options_.flush_every = 1;
+    if (options_.keep_snapshots == 0) options_.keep_snapshots = 1;
+  }
+
+  static std::shared_ptr<DurableDecayingMpcbf> open_shared(
+      const std::filesystem::path& dir, const DecayConfig& cfg,
+      Options options = {}) {
+    return std::shared_ptr<DurableDecayingMpcbf>(
+        new DurableDecayingMpcbf(dir, cfg, options));
+  }
+
+  ~DurableDecayingMpcbf() {
+    try {
+      if (journal_.next_seq() > journal_.base_seq()) {
+        journal_.flush(options_.fsync);
+      }
+    } catch (...) {
+      // Destructor must not throw; the unflushed tail is the loss
+      // window the flush policy already admits.
+    }
+  }
+
+  DurableDecayingMpcbf(const DurableDecayingMpcbf&) = delete;
+  DurableDecayingMpcbf& operator=(const DurableDecayingMpcbf&) = delete;
+
+  // --- mutations (journaled, WAL-first) ----------------------------------
+
+  bool insert(std::string_view key) {
+    log_op(io::JournalOp::kInsert, key);
+    return filter_.insert(key);
+  }
+
+  bool erase(std::string_view key) {
+    log_op(io::JournalOp::kErase, key);
+    return filter_.erase(key);
+  }
+
+  void insert_batch(std::span<const std::string> keys,
+                    std::span<std::uint8_t> ok) {
+    insert_batch_impl<std::string>(keys, ok);
+  }
+  void insert_batch(std::span<const std::string_view> keys,
+                    std::span<std::uint8_t> ok) {
+    insert_batch_impl<std::string_view>(keys, ok);
+  }
+
+  /// Journals then applies one window rotation. Returns the tick
+  /// ordinal. The record is flushed with the same group-commit policy
+  /// as mutations — a tick acknowledged by flush() survives any crash.
+  std::uint64_t decay_tick() {
+    log_op(io::JournalOp::kDecayTick,
+           detail::encode_decay_tick(filter_.ticks() + 1));
+    return filter_.decay_tick();
+  }
+
+  // --- queries -----------------------------------------------------------
+
+  [[nodiscard]] bool contains(std::string_view key) const {
+    return filter_.contains(key);
+  }
+  [[nodiscard]] std::uint32_t count(std::string_view key) const {
+    return filter_.count(key);
+  }
+  void contains_batch(std::span<const std::string> keys,
+                      std::span<std::uint8_t> out) const {
+    filter_.contains_batch(keys, out);
+  }
+  void contains_batch(std::span<const std::string_view> keys,
+                      std::span<std::uint8_t> out) const {
+    filter_.contains_batch(keys, out);
+  }
+
+  void flush() {
+    journal_.flush(options_.fsync);
+    pending_ = 0;
+  }
+
+  /// Snapshot with the DurableMpcbf publish discipline: write-temp →
+  /// flush → fsync → atomic rename → dir fsync → journal truncate.
+  void snapshot() {
+    MPCBF_TRACE_SPAN(span, kIo, "decay.snapshot");
+    journal_.flush(options_.fsync);
+    pending_ = 0;
+    const std::uint64_t last_seq = journal_.next_seq() - 1;
+    const std::filesystem::path tmp = dir_ / "snapshot.tmp";
+    {
+      std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+      if (!os) {
+        throw std::runtime_error("DurableDecayingMpcbf: cannot write " +
+                                 tmp.string());
+      }
+      std::ostringstream payload;
+      io::write_magic(payload, kSnapshotMagic);
+      io::write_pod<std::uint64_t>(payload, last_seq);
+      filter_.save_payload(payload);
+      io::write_frame(os, payload.str());
+      os.flush();
+      if (!os) {
+        throw std::runtime_error(
+            "DurableDecayingMpcbf: snapshot write failed");
+      }
+    }
+    crash_point("snapshot:post-temp-write");
+    if (options_.fsync) sync_path(tmp);
+    crash_point("snapshot:pre-rename");
+    std::filesystem::rename(tmp, dir_ / snapshot_name(last_seq));
+    if (options_.fsync) sync_path(dir_);
+    crash_point("snapshot:post-rename");
+    journal_.reset(last_seq + 1);
+    crash_point("snapshot:post-journal-reset");
+    prune_snapshots();
+  }
+
+  [[nodiscard]] const DecayingMpcbf<W>& filter() const noexcept {
+    return filter_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return filter_.size(); }
+  [[nodiscard]] std::uint64_t ticks() const noexcept {
+    return filter_.ticks();
+  }
+  [[nodiscard]] const std::filesystem::path& dir() const noexcept {
+    return dir_;
+  }
+  [[nodiscard]] std::uint64_t next_seq() const noexcept {
+    return journal_.next_seq();
+  }
+  [[nodiscard]] std::size_t pending_records() const noexcept {
+    return pending_;
+  }
+
+  // --- recovery ----------------------------------------------------------
+
+  /// Newest valid snapshot + replay above its watermark; decay ticks
+  /// replay as rotations at their exact sequence positions. Pass
+  /// cfg == nullptr to require a usable snapshot.
+  static DecayingMpcbf<W> recover(const std::filesystem::path& dir,
+                                  const DecayConfig* cfg = nullptr) {
+    MPCBF_TRACE_SPAN(span, kIo, "decay.recover");
+    std::filesystem::create_directories(dir);
+    std::optional<DecayingMpcbf<W>> filter;
+    std::uint64_t watermark = 0;
+    for (const auto& path : snapshot_files(dir)) {
+      try {
+        std::ifstream is(path, std::ios::binary);
+        if (!is) continue;
+        std::istringstream payload(io::read_frame(is));
+        io::expect_magic(payload, kSnapshotMagic);
+        const auto last_seq = io::read_pod<std::uint64_t>(payload);
+        filter.emplace(DecayingMpcbf<W>::load_payload(payload));
+        watermark = last_seq;
+        break;  // newest valid snapshot wins
+      } catch (const std::runtime_error&) {
+        continue;  // corrupt snapshot: fall back to an older one
+      }
+    }
+    if (!filter) {
+      if (cfg == nullptr) {
+        throw std::runtime_error(
+            "DurableDecayingMpcbf: no loadable snapshot in " +
+            dir.string() + " and no config to start from");
+      }
+      filter.emplace(*cfg);
+    } else if (cfg != nullptr) {
+      if (filter->generations() != cfg->generations ||
+          filter->seed() != cfg->generation.seed) {
+        throw std::runtime_error(
+            "DurableDecayingMpcbf: snapshot window does not match config");
+      }
+    }
+    const io::JournalScan scan =
+        io::Journal::scan(journal_path(dir).string());
+    if (scan.base_seq > watermark + 1) {
+      throw std::runtime_error(
+          "DurableDecayingMpcbf: journal was compacted past the newest "
+          "loadable snapshot; state is unrecoverable without it");
+    }
+    for (const auto& rec : scan.records) {
+      if (rec.seq <= watermark) continue;
+      switch (rec.op) {
+        case io::JournalOp::kInsert:
+          (void)filter->insert(rec.key);
+          break;
+        case io::JournalOp::kErase:
+          (void)filter->erase(rec.key);
+          break;
+        case io::JournalOp::kDecayTick: {
+          std::uint64_t tick = 0;
+          if (detail::decode_decay_tick(rec.key, tick)) {
+            (void)filter->decay_tick();
+          }
+          break;
+        }
+        case io::JournalOp::kSegmentAdd:
+        case io::JournalOp::kSegmentRetire:
+          throw std::runtime_error(
+              "DurableDecayingMpcbf: journal contains segment-topology "
+              "records (elastic filter directory?)");
+      }
+    }
+    return std::move(*filter);
+  }
+
+  static std::filesystem::path journal_path(
+      const std::filesystem::path& dir) {
+    return dir / "journal.wal";
+  }
+
+  static std::vector<std::filesystem::path> snapshot_files(
+      const std::filesystem::path& dir) {
+    std::vector<std::filesystem::path> files;
+    if (!std::filesystem::is_directory(dir)) return files;
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+      const std::string name = entry.path().filename().string();
+      if (name.starts_with("snapshot-") && name.ends_with(".mpcbf")) {
+        files.push_back(entry.path());
+      }
+    }
+    std::sort(files.begin(), files.end(),
+              [](const auto& a, const auto& b) {
+                return a.filename().string() > b.filename().string();
+              });
+    return files;
+  }
+
+ private:
+  template <typename Key>
+  void insert_batch_impl(std::span<const Key> keys,
+                         std::span<std::uint8_t> ok) {
+    if (keys.size() != ok.size()) {
+      throw std::invalid_argument("insert_batch: size mismatch");
+    }
+    for (const auto& key : keys) {
+      log_op(io::JournalOp::kInsert, key);
+    }
+    filter_.insert_batch(keys, ok);
+  }
+
+  void log_op(io::JournalOp op, std::string_view key) {
+    crash_point("journal:pre-append");
+    journal_.append(op, key);
+    ++pending_;
+    crash_point("journal:post-append");
+    if (pending_ >= options_.flush_every) {
+      journal_.flush(options_.fsync);
+      pending_ = 0;
+      crash_point("journal:post-flush");
+    }
+  }
+
+  void crash_point(std::string_view point) {
+    if (options_.crash_hook) options_.crash_hook(point);
+  }
+
+  static std::string snapshot_name(std::uint64_t seq) {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "snapshot-%016llx.mpcbf",
+                  static_cast<unsigned long long>(seq));
+    return buf;
+  }
+
+  void prune_snapshots() const {
+    const auto files = snapshot_files(dir_);
+    for (std::size_t i = options_.keep_snapshots; i < files.size(); ++i) {
+      std::error_code ec;
+      std::filesystem::remove(files[i], ec);  // best-effort cleanup
+    }
+  }
+
+  static void sync_path(const std::filesystem::path& p) {
+#ifdef __unix__
+    const int fd = ::open(p.c_str(), O_RDONLY);
+    if (fd >= 0) {
+      ::fsync(fd);
+      ::close(fd);
+    }
+#else
+    (void)p;
+#endif
+  }
+
+  std::filesystem::path dir_;
+  Options options_;
+  DecayingMpcbf<W> filter_;
+  io::Journal journal_;
+  std::size_t pending_ = 0;
+};
+
+}  // namespace mpcbf::core

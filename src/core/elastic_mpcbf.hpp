@@ -252,6 +252,7 @@ class ElasticMpcbf {
     pending_growth_.reset();
     grows_ = 0;
     retires_ = 0;
+    reclaimed_bytes_ = 0;
   }
 
   // --- growth / drain control -------------------------------------------
@@ -357,12 +358,16 @@ class ElasticMpcbf {
         });
       }
     }
+    // Return the husk's memory to the OS now: free() alone parks the
+    // words in the allocator arena and the chain keeps its peak RSS.
+    reclaimed_bytes_ += segments_[retired]->release_storage();
     segments_[retired].reset();
     attempts_[retired] = 0;
     recheck_floor_[retired] = 0;
     ++retires_;
     MPCBF_LOG_INFO("elastic.retire", log::u64("retired", retired),
                    log::u64("into", into),
+                   log::u64("reclaimed_bytes", reclaimed_bytes_),
                    log::u64("live_segments", live_segments()));
     MPCBF_TRACE_INSTANT(kCore, "elastic.retire", "segments",
                         live_segments());
@@ -510,6 +515,11 @@ class ElasticMpcbf {
   }
   [[nodiscard]] std::uint64_t grows() const noexcept { return grows_; }
   [[nodiscard]] std::uint64_t retires() const noexcept { return retires_; }
+  /// Heap bytes of drained segments returned to the OS (process
+  /// lifetime; not persisted, like the access-stats counters).
+  [[nodiscard]] std::uint64_t reclaimed_bytes() const noexcept {
+    return reclaimed_bytes_;
+  }
 
   /// Saturation score of one segment under the growth prober (0-100);
   /// retired slots read 0.
@@ -542,6 +552,13 @@ class ElasticMpcbf {
     reg.gauge("mpcbf_elastic_retires_total",
               "Cold segments drained and merged away", {{"filter", label}})
         .set(static_cast<double>(retires_));
+    auto& reclaimed = reg.counter(
+        "mpcbf_elastic_reclaimed_bytes_total",
+        "Drained-segment heap bytes returned to the OS",
+        {{"filter", label}});
+    if (reclaimed_bytes_ > reclaimed.value()) {
+      reclaimed.inc(reclaimed_bytes_ - reclaimed.value());
+    }
     reg.gauge("mpcbf_elastic_model_fpr",
               "Chain-level closed-form FPR bound", {{"filter", label}})
         .set(model_fpr());
@@ -911,6 +928,7 @@ class ElasticMpcbf {
   std::vector<std::vector<std::uint32_t>> chains_;  // per-bucket, oldest first
   std::uint64_t grows_ = 0;
   std::uint64_t retires_ = 0;
+  std::uint64_t reclaimed_bytes_ = 0;  // process-lifetime, not persisted
   bool auto_grow_ = true;
   std::optional<ElasticTopologyOp> pending_growth_;
   mutable std::unique_ptr<metrics::HealthProber> prober_;
@@ -1213,6 +1231,10 @@ class DurableElasticMpcbf {
         (void)filter_.retire_into(retired, into);
         return true;
       }
+      case io::JournalOp::kDecayTick:
+        // Decay ticks belong to DurableDecayingMpcbf journals; an
+        // elastic follower must reject rather than misapply them.
+        return false;
     }
     return false;
   }
@@ -1312,6 +1334,10 @@ class DurableElasticMpcbf {
           }
           break;
         }
+        case io::JournalOp::kDecayTick:
+          throw std::runtime_error(
+              "DurableElasticMpcbf: journal contains decay-tick records "
+              "(decaying filter directory?)");
       }
     }
     return std::move(*filter);

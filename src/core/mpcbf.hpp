@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "bitvec/word_bitset.hpp"
+#include "common/page_reclaim.hpp"
 #include "common/string_hash.hpp"
 #include "core/hcbf.hpp"
 #include "core/word_engine.hpp"
@@ -231,6 +232,29 @@ class Mpcbf {
     size_ = 0;
     overflow_events_ = 0;
     underflow_events_ = 0;
+  }
+
+  /// Releases the word and usage arrays eagerly: the page-aligned
+  /// interior's resident pages are dropped via madvise(MADV_DONTNEED)
+  /// and the heap buffers freed, so a retired segment's memory returns
+  /// to the OS now rather than lingering in the allocator arena.
+  /// Returns the heap bytes released. The filter holds no storage
+  /// afterwards — its only remaining legal operation is destruction.
+  std::size_t release_storage() noexcept {
+    auto& words = store_.words();
+    auto& usage = store_.usage();
+    const std::size_t bytes =
+        words.capacity() * sizeof(bits::WordBitset<W>) +
+        usage.capacity() * sizeof(std::uint16_t);
+    util::drop_resident_pages(words.data(),
+                              words.size() * sizeof(bits::WordBitset<W>));
+    util::drop_resident_pages(usage.data(),
+                              usage.size() * sizeof(std::uint16_t));
+    std::vector<bits::WordBitset<W>>().swap(words);
+    std::vector<std::uint16_t>().swap(usage);
+    stash_.clear();
+    size_ = 0;
+    return bytes;
   }
 
   // --- introspection ----------------------------------------------------

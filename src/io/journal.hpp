@@ -41,11 +41,16 @@ enum class JournalOp : std::uint8_t {
   /// understand keyed ops must reject these rather than misapply them.
   kSegmentAdd = 2,
   kSegmentRetire = 3,
+  /// Decay-tick record (DecayingMpcbf): the key field carries the LE u64
+  /// tick ordinal. Replay rotates the sliding window exactly where the
+  /// live filter did, so recovery is byte-identical; like the topology
+  /// ops, keyed-only consumers must reject it.
+  kDecayTick = 4,
 };
 
 /// Highest op value scan() accepts; anything above is a corrupt tail.
 inline constexpr std::uint8_t kMaxJournalOp =
-    static_cast<std::uint8_t>(JournalOp::kSegmentRetire);
+    static_cast<std::uint8_t>(JournalOp::kDecayTick);
 
 struct JournalRecord {
   std::uint64_t seq = 0;

@@ -115,12 +115,22 @@ std::string Client::round_trip(Opcode op, std::string_view payload,
   }
 }
 
+std::string Client::scoped_payload(std::uint8_t& flags) const {
+  std::string payload;
+  if (!ns_.empty()) {
+    append_ns_prefix(payload, ns_);
+    flags |= kFlagNamespaced;
+  }
+  return payload;
+}
+
 template <typename Key>
 std::vector<std::uint8_t> Client::batch_op(Opcode op,
                                            std::span<const Key> keys) {
-  std::string payload;
+  std::uint8_t flags = 0;
+  std::string payload = scoped_payload(flags);
   append_key_batch(payload, keys);
-  const std::string reply = round_trip(op, payload);
+  const std::string reply = round_trip(op, payload, flags);
   std::vector<std::uint8_t> verdicts;
   if (const char* err = parse_verdicts(reply, verdicts); err != nullptr) {
     throw NetError(err);
@@ -156,8 +166,73 @@ std::vector<std::uint8_t> Client::erase(
   return batch_op(Opcode::kErase, keys);
 }
 
+template <typename Key>
+std::vector<std::uint32_t> Client::count_op(std::span<const Key> keys) {
+  std::uint8_t flags = 0;
+  std::string payload = scoped_payload(flags);
+  append_key_batch(payload, keys);
+  const std::string reply = round_trip(Opcode::kEstCount, payload, flags);
+  std::vector<std::uint32_t> counts;
+  if (const char* err = parse_counts(reply, counts); err != nullptr) {
+    throw NetError(err);
+  }
+  if (counts.size() != keys.size()) {
+    throw NetError("count count does not match key count");
+  }
+  return counts;
+}
+
+std::vector<std::uint32_t> Client::est_count(
+    std::span<const std::string> keys) {
+  return count_op(keys);
+}
+std::vector<std::uint32_t> Client::est_count(
+    std::span<const std::string_view> keys) {
+  return count_op(keys);
+}
+
+void Client::ns_create(std::string_view name, const NsConfigWire& cfg) {
+  std::string payload;
+  append_ns_create(payload, name, cfg);
+  const std::string reply = round_trip(Opcode::kNsCreate, payload);
+  if (!reply.empty()) {
+    throw NetError("nscreate reply: unexpected payload");
+  }
+}
+
+void Client::ns_drop(std::string_view name) {
+  std::string payload;
+  append_ns_prefix(payload, name);
+  const std::string reply = round_trip(Opcode::kNsDrop, payload);
+  if (!reply.empty()) {
+    throw NetError("nsdrop reply: unexpected payload");
+  }
+}
+
+std::vector<NsRow> Client::ns_list() {
+  const std::string reply = round_trip(Opcode::kNsList, {});
+  std::vector<NsRow> rows;
+  if (const char* err = parse_ns_list_reply(reply, rows); err != nullptr) {
+    throw NetError(err);
+  }
+  return rows;
+}
+
+std::uint64_t Client::ns_tick(std::string_view name) {
+  std::string payload;
+  append_ns_prefix(payload, name);
+  const std::string reply = round_trip(Opcode::kNsTick, payload);
+  NsTickReply r;
+  if (const char* err = parse_reply_pod(reply, r); err != nullptr) {
+    throw NetError(err);
+  }
+  return r.ticks;
+}
+
 StatsReply Client::stats() {
-  const std::string reply = round_trip(Opcode::kStats, {});
+  std::uint8_t flags = 0;
+  const std::string payload = scoped_payload(flags);
+  const std::string reply = round_trip(Opcode::kStats, payload, flags);
   StatsReply s;
   if (const char* err = parse_reply_pod(reply, s); err != nullptr) {
     throw NetError(err);
@@ -166,7 +241,9 @@ StatsReply Client::stats() {
 }
 
 HealthReply Client::health() {
-  const std::string reply = round_trip(Opcode::kHealth, {});
+  std::uint8_t flags = 0;
+  const std::string payload = scoped_payload(flags);
+  const std::string reply = round_trip(Opcode::kHealth, payload, flags);
   HealthReply h;
   if (const char* err = parse_reply_pod(reply, h); err != nullptr) {
     throw NetError(err);
@@ -175,7 +252,9 @@ HealthReply Client::health() {
 }
 
 std::uint64_t Client::snapshot() {
-  const std::string reply = round_trip(Opcode::kSnapshot, {});
+  std::uint8_t flags = 0;
+  const std::string payload = scoped_payload(flags);
+  const std::string reply = round_trip(Opcode::kSnapshot, payload, flags);
   SnapshotReply s;
   if (const char* err = parse_reply_pod(reply, s); err != nullptr) {
     throw NetError(err);

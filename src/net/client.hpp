@@ -148,6 +148,34 @@ class Client {
   std::vector<std::uint8_t> erase(std::span<const std::string> keys);
   std::vector<std::uint8_t> erase(std::span<const std::string_view> keys);
 
+  /// Min-counter occurrence estimates, one u32 per key (0 = definitely
+  /// absent; counting-filter semantics otherwise: never under the true
+  /// multiplicity except after saturation clamps).
+  std::vector<std::uint32_t> est_count(std::span<const std::string> keys);
+  std::vector<std::uint32_t> est_count(
+      std::span<const std::string_view> keys);
+
+  // --- namespaces -------------------------------------------------------
+
+  /// Scopes every subsequent filter op (query/insert/erase/est_count)
+  /// and per-filter admin op (stats/health/snapshot) to a server-side
+  /// namespace: frames gain kFlagNamespaced and a name prefix. An empty
+  /// name reverts to the server's default (un-namespaced) filter.
+  void set_namespace(std::string name) { ns_ = std::move(name); }
+  [[nodiscard]] const std::string& current_namespace() const noexcept {
+    return ns_;
+  }
+
+  /// Creates a namespace; throws RemoteError (kNamespaceExists,
+  /// kQuotaExceeded, ...) on rejection.
+  void ns_create(std::string_view name, const NsConfigWire& cfg);
+  /// Drops a namespace and its durable directory.
+  void ns_drop(std::string_view name);
+  /// All namespaces, name-sorted.
+  [[nodiscard]] std::vector<NsRow> ns_list();
+  /// Forces one decay tick; returns the namespace's new tick ordinal.
+  std::uint64_t ns_tick(std::string_view name);
+
   // --- admin ops --------------------------------------------------------
 
   [[nodiscard]] StatsReply stats();
@@ -184,10 +212,17 @@ class Client {
  private:
   template <typename Key>
   std::vector<std::uint8_t> batch_op(Opcode op, std::span<const Key> keys);
+  template <typename Key>
+  std::vector<std::uint32_t> count_op(std::span<const Key> keys);
+
+  /// Starts a request payload: the namespace prefix when scoped (also
+  /// setting kFlagNamespaced in `flags`), else empty.
+  std::string scoped_payload(std::uint8_t& flags) const;
 
   std::uint64_t next_trace_id() noexcept;
 
   Options options_;
+  std::string ns_;
   Socket sock_;
   std::uint64_t next_id_ = 1;
   std::uint64_t trace_state_ = 0;

@@ -62,6 +62,10 @@ inline constexpr std::uint32_t kMaxReplicateRecords = 1u << 16;
 inline constexpr std::uint32_t kMaxSnapChunk = 4u << 20;  // 4 MiB
 /// Total assembled snapshot size a follower will accept.
 inline constexpr std::uint64_t kMaxSnapshotBytes = 1ull << 30;  // 1 GiB
+/// Bytes per namespace name (NamespacePrefix / NSCREATE / NSDROP).
+inline constexpr std::uint32_t kMaxNamespaceLen = 64;
+/// Namespaces one server will host; NSCREATE past this is rejected.
+inline constexpr std::uint32_t kMaxNamespaces = 256;
 
 enum class Opcode : std::uint8_t {
   kQuery = 1,      ///< batched membership; reply = verdict per key
@@ -73,11 +77,19 @@ enum class Opcode : std::uint8_t {
   kReplicate = 7,  ///< tail journal records from a watermark (follower)
   kSnapFetch = 8,  ///< fetch a consistent snapshot image in chunks
   kReplStatus = 9, ///< replication role / watermarks (ReplStatusReply)
+  kEstCount = 10,  ///< batched min-counter frequency estimate (u32/key)
+  kNsCreate = 11,  ///< create a namespace (name + NsConfigWire)
+  kNsDrop = 12,    ///< drop a namespace and its backend state
+  kNsList = 13,    ///< enumerate namespaces (NsRowWire per namespace)
+  kNsTick = 14,    ///< force one decay tick on a namespace (NsTickReply)
 };
 
 [[nodiscard]] constexpr bool opcode_known(std::uint8_t op) noexcept {
-  return op >= 1 && op <= 9;
+  return op >= 1 && op <= 14;
 }
+
+/// Highest opcode value; sizes per-opcode metric arrays.
+inline constexpr std::uint8_t kMaxOpcode = 14;
 
 [[nodiscard]] constexpr const char* to_string(Opcode op) noexcept {
   switch (op) {
@@ -90,6 +102,11 @@ enum class Opcode : std::uint8_t {
     case Opcode::kReplicate: return "replicate";
     case Opcode::kSnapFetch: return "snapfetch";
     case Opcode::kReplStatus: return "replstatus";
+    case Opcode::kEstCount: return "est_count";
+    case Opcode::kNsCreate: return "nscreate";
+    case Opcode::kNsDrop: return "nsdrop";
+    case Opcode::kNsList: return "nslist";
+    case Opcode::kNsTick: return "nstick";
   }
   return "?";
 }
@@ -105,6 +122,14 @@ inline constexpr std::uint8_t kFlagSequenced = 0x4;
 /// slow-request record and its log line — one id follows the operation
 /// across the process boundary.
 inline constexpr std::uint8_t kFlagTraced = 0x8;
+/// Request targets a named namespace: the payload carries a
+/// NamespacePrefix (u8 length + name bytes) *after* the TracePrefix and
+/// *before* the SequencePrefix — the trace id names the operation, the
+/// namespace names the routing target, and the dedup state is scoped to
+/// whatever the route resolves to. The name is length- and
+/// charset-validated before any lookup, like every other hostile-input
+/// check in this header.
+inline constexpr std::uint8_t kFlagNamespaced = 0x10;
 
 /// Error codes carried by an error response payload.
 enum class ErrorCode : std::uint32_t {
@@ -112,6 +137,9 @@ enum class ErrorCode : std::uint32_t {
   kUnsupported = 2,   ///< opcode not supported by this backend
   kInternal = 3,      ///< backend threw while serving the request
   kShuttingDown = 4,  ///< server is draining; retry against another node
+  kQuotaExceeded = 5,     ///< namespace key/memory quota would be exceeded
+  kUnknownNamespace = 6,  ///< NamespacePrefix names no registered namespace
+  kNamespaceExists = 7,   ///< NSCREATE of a name already registered
 };
 
 struct FrameHeader {
@@ -485,6 +513,218 @@ inline void append_trace_prefix(std::string& out,
     return "traced request: zero trace id";
   }
   rest = payload.substr(sizeof prefix);
+  return nullptr;
+}
+
+// --- namespaces ---------------------------------------------------------
+//
+// A namespaced request (kFlagNamespaced) carries its target namespace as
+// a payload prefix: u8 name_len | name bytes. Names are restricted to
+// [A-Za-z0-9_.-] so they are safe verbatim as Prometheus label values,
+// directory-name components (`dir/ns-<name>/`) and log fields — the
+// validation happens at decode time, before any registry lookup or
+// allocation keyed on the name.
+
+/// True iff `name` is a wire-legal namespace name (1..kMaxNamespaceLen
+/// bytes of [A-Za-z0-9_.-], not starting with a dot so `ns-<name>`
+/// directories can never be `ns-.` / `ns-..` path tricks).
+[[nodiscard]] inline bool namespace_name_valid(
+    std::string_view name) noexcept {
+  if (name.empty() || name.size() > kMaxNamespaceLen) return false;
+  if (name.front() == '.') return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '.' ||
+                    c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+inline void append_ns_prefix(std::string& out, std::string_view name) {
+  if (!namespace_name_valid(name)) {
+    throw std::invalid_argument("append_ns_prefix: invalid namespace name");
+  }
+  detail::append_pod<std::uint8_t>(out,
+                                   static_cast<std::uint8_t>(name.size()));
+  out.append(name.data(), name.size());
+}
+
+/// Splits a kFlagNamespaced payload into its namespace name and the
+/// remainder (which parses exactly as the un-namespaced payload would).
+/// Both views alias `payload`. Returns nullptr on success.
+[[nodiscard]] inline const char* parse_ns_prefix(std::string_view payload,
+                                                 std::string_view& name,
+                                                 std::string_view& rest) {
+  detail::PayloadReader reader(payload);
+  std::uint8_t len = 0;
+  if (!reader.read(len)) return "namespaced request: truncated prefix";
+  if (!reader.read_view(len, name)) {
+    return "namespaced request: truncated name";
+  }
+  if (!namespace_name_valid(name)) {
+    return "namespaced request: invalid namespace name";
+  }
+  rest = payload.substr(1 + std::size_t{len});
+  return nullptr;
+}
+
+// EST_COUNT response payload: u32 count, then count x u32 min-counter
+// estimates (one per request key, in request order).
+
+inline void append_counts(std::string& out,
+                          std::span<const std::uint32_t> counts) {
+  if (counts.size() > kMaxBatchKeys) {
+    throw std::length_error("append_counts: too many counts");
+  }
+  detail::append_pod<std::uint32_t>(
+      out, static_cast<std::uint32_t>(counts.size()));
+  for (const auto c : counts) detail::append_pod<std::uint32_t>(out, c);
+}
+
+[[nodiscard]] inline const char* parse_counts(
+    std::string_view payload, std::vector<std::uint32_t>& out) {
+  out.clear();
+  detail::PayloadReader reader(payload);
+  std::uint32_t count = 0;
+  if (!reader.read(count)) return "counts: truncated count";
+  if (count > kMaxBatchKeys) return "counts: count over cap";
+  if (payload.size() < sizeof(std::uint32_t) * (1 + std::size_t{count})) {
+    return "counts: count exceeds payload";
+  }
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::uint32_t v = 0;
+    if (!reader.read(v)) return "counts: truncated value";
+    out.push_back(v);
+  }
+  if (!reader.exhausted()) return "counts: trailing bytes";
+  return nullptr;
+}
+
+/// Backend kind a namespace is created with (NsConfigWire::kind).
+enum class NsKind : std::uint8_t {
+  kMemory = 0,         ///< Mpcbf, no persistence
+  kDurable = 1,        ///< DurableMpcbf under dir/ns-<name>/
+  kDecay = 2,          ///< DecayingMpcbf sliding window, no persistence
+  kDurableDecay = 3,   ///< DurableDecayingMpcbf under dir/ns-<name>/
+};
+
+/// NSCREATE request payload: u8 name_len | name | NsConfigWire (packed
+/// little-endian, 40 bytes). Zero quota fields mean unlimited.
+struct NsConfigWire {
+  std::uint8_t kind = 0;   ///< NsKind
+  std::uint8_t k = 3;      ///< hash functions per element
+  std::uint8_t g = 1;      ///< memory accesses per op
+  std::uint8_t decay_generations = 0;  ///< sliding-window depth (decay kinds)
+  /// Automatic decay cadence: the registry's ticker rotates the window
+  /// every this many milliseconds. 0 = manual (NSTICK) only. Ignored for
+  /// non-decay kinds.
+  std::uint32_t tick_interval_ms = 0;
+  std::uint64_t memory_bits = 1u << 20;
+  std::uint64_t expected_n = 0;        ///< 0 = derive from memory_bits
+  std::uint64_t max_keys = 0;          ///< quota; 0 = unlimited
+  std::uint64_t max_memory_bytes = 0;  ///< quota; 0 = unlimited
+};
+static_assert(std::is_trivially_copyable_v<NsConfigWire> &&
+              sizeof(NsConfigWire) == 40);
+
+/// One NSLIST reply row's fixed part (follows u8 name_len | name).
+struct NsRowWire {
+  std::uint8_t kind = 0;               ///< NsKind
+  std::uint8_t decay_generations = 0;
+  std::uint8_t reserved[6] = {};
+  std::uint64_t elements = 0;
+  std::uint64_t memory_bits = 0;
+  std::uint64_t max_keys = 0;
+  std::uint64_t max_memory_bytes = 0;
+  std::uint64_t decay_ticks = 0;
+  std::uint64_t quota_rejections = 0;
+};
+static_assert(std::is_trivially_copyable_v<NsRowWire> &&
+              sizeof(NsRowWire) == 56);
+
+inline void append_ns_create(std::string& out, std::string_view name,
+                             const NsConfigWire& cfg) {
+  append_ns_prefix(out, name);
+  detail::append_pod(out, cfg);
+}
+
+[[nodiscard]] inline const char* parse_ns_create(std::string_view payload,
+                                                 std::string_view& name,
+                                                 NsConfigWire& cfg) {
+  std::string_view rest;
+  if (const char* err = parse_ns_prefix(payload, name, rest)) return err;
+  detail::PayloadReader reader(rest);
+  if (!reader.read(cfg)) return "nscreate: truncated config";
+  if (!reader.exhausted()) return "nscreate: trailing bytes";
+  if (cfg.kind > static_cast<std::uint8_t>(NsKind::kDurableDecay)) {
+    return "nscreate: unknown backend kind";
+  }
+  return nullptr;
+}
+
+/// NSDROP / NSTICK request payload is exactly a namespace prefix.
+[[nodiscard]] inline const char* parse_ns_drop(std::string_view payload,
+                                               std::string_view& name) {
+  std::string_view rest;
+  if (const char* err = parse_ns_prefix(payload, name, rest)) return err;
+  if (!rest.empty()) return "nsdrop: trailing bytes";
+  return nullptr;
+}
+
+/// NSTICK response payload: the tick ordinal the forced decay rotation
+/// produced (1-based, monotonic per namespace).
+struct NsTickReply {
+  std::uint64_t ticks = 0;
+};
+static_assert(std::is_trivially_copyable_v<NsTickReply> &&
+              sizeof(NsTickReply) == 8);
+
+/// One decoded NSLIST row.
+struct NsRow {
+  std::string name;
+  NsRowWire info;
+};
+
+inline void append_ns_list_reply(std::string& out,
+                                 std::span<const NsRow> rows) {
+  if (rows.size() > kMaxNamespaces) {
+    throw std::length_error("append_ns_list_reply: too many rows");
+  }
+  detail::append_pod<std::uint32_t>(
+      out, static_cast<std::uint32_t>(rows.size()));
+  for (const auto& row : rows) {
+    append_ns_prefix(out, row.name);
+    detail::append_pod(out, row.info);
+  }
+}
+
+[[nodiscard]] inline const char* parse_ns_list_reply(
+    std::string_view payload, std::vector<NsRow>& rows) {
+  rows.clear();
+  detail::PayloadReader reader(payload);
+  std::uint32_t count = 0;
+  if (!reader.read(count)) return "nslist reply: truncated count";
+  if (count > kMaxNamespaces) return "nslist reply: count over cap";
+  // Each row needs at least its name length byte plus the fixed part.
+  if (payload.size() <
+      sizeof(std::uint32_t) + (1 + sizeof(NsRowWire)) * std::size_t{count}) {
+    return "nslist reply: count exceeds payload";
+  }
+  rows.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::uint8_t len = 0;
+    if (!reader.read(len)) return "nslist reply: truncated name length";
+    std::string_view name;
+    if (!reader.read_view(len, name)) return "nslist reply: truncated name";
+    if (!namespace_name_valid(name)) return "nslist reply: invalid name";
+    NsRow row;
+    row.name.assign(name);
+    if (!reader.read(row.info)) return "nslist reply: truncated row";
+    rows.push_back(std::move(row));
+  }
+  if (!reader.exhausted()) return "nslist reply: trailing bytes";
   return nullptr;
 }
 

@@ -12,6 +12,7 @@
 
 #include "common/log.hpp"
 #include "metrics/build_info.hpp"
+#include "net/namespace_registry.hpp"
 #include "metrics/registry.hpp"
 #include "metrics/timer.hpp"
 #include "trace/trace.hpp"
@@ -43,12 +44,12 @@ constexpr std::size_t kRingCapacity = 1024;
 // Per-op serving metrics, registered once into the global registry (the
 // registry owns the cells; references stay valid for the process).
 struct Server::ServerMetrics {
-  metrics::Counter* requests[3];
-  metrics::Counter* keys[3];
+  metrics::Counter* requests[4];
+  metrics::Counter* keys[4];
   /// Service-time histograms for every served opcode, indexed by
   /// opcode - 1 (REPLICATE/SNAPFETCH/REPLSTATUS included — replication
   /// tail latency is an operator signal, not an implementation detail).
-  metrics::Histogram* duration_ns[9];
+  metrics::Histogram* duration_ns[kMaxOpcode];
   metrics::Counter& connections = metrics::Registry::global().counter(
       "mpcbf_server_connections_total", "Connections accepted");
   metrics::Gauge& active = metrics::Registry::global().gauge(
@@ -76,8 +77,9 @@ struct Server::ServerMetrics {
       "mpcbf_server_batch_keys", "Keys per batched request");
 
   ServerMetrics() {
-    static constexpr const char* kOps[3] = {"query", "insert", "erase"};
-    for (int i = 0; i < 3; ++i) {
+    static constexpr const char* kOps[4] = {"query", "insert", "erase",
+                                            "est_count"};
+    for (int i = 0; i < 4; ++i) {
       requests[i] = &metrics::Registry::global().counter(
           "mpcbf_server_requests_total", "Requests served by opcode",
           {{"op", kOps[i]}});
@@ -85,7 +87,7 @@ struct Server::ServerMetrics {
           "mpcbf_server_keys_total", "Keys processed by opcode",
           {{"op", kOps[i]}});
     }
-    for (std::uint8_t op = 1; op <= 9; ++op) {
+    for (std::uint8_t op = 1; op <= kMaxOpcode; ++op) {
       duration_ns[op - 1] = &metrics::Registry::global().histogram(
           "mpcbf_server_request_duration_ns",
           "Request service time (decode to encoded reply), ns",
@@ -111,7 +113,8 @@ struct Server::SubBatch {
   std::vector<std::string_view> keys;
   /// Positions in the original batch — the gather map.
   std::vector<std::uint32_t> idx;
-  std::vector<std::uint8_t> out;  ///< per-key verdicts
+  std::vector<std::uint8_t> out;       ///< per-key verdicts
+  std::vector<std::uint32_t> counts;   ///< per-key estimates (EST_COUNT)
   // Admin results (one variant used per opcode).
   StatsReply stats{};
   HealthReply health{};
@@ -164,6 +167,7 @@ struct Server::Connection {
   // allocate per request.
   std::vector<std::string_view> keys;
   std::vector<std::uint8_t> verdicts;
+  std::vector<std::uint32_t> counts;
   std::string payload;
   ShardSplit split;
   /// In-flight requests in arrival order; replies are emitted strictly
@@ -235,6 +239,15 @@ Server::Server(ShardSet shards, Options options)
 }
 
 Server::~Server() { stop(); }
+
+void Server::set_namespace_registry(
+    std::shared_ptr<NamespaceRegistry> registry) {
+  if (sharded_) {
+    throw NetError(
+        "Server: namespaces require the flat server (--cores 1)");
+  }
+  registry_ = std::move(registry);
+}
 
 bool Server::running() const noexcept {
   return started_.load(std::memory_order_acquire) &&
@@ -668,6 +681,40 @@ void Server::serve_frame(Worker& w, Connection& c, const Frame& frame) {
     f.payload = rest;
     span.set_arg("trace_id", trace.trace_id);
   }
+  // Namespaced routing: strip the NamespacePrefix and resolve the
+  // target backend. The resolved shared_ptr pins the namespace for the
+  // rest of the request, so a concurrent NSDROP cannot free filter
+  // state under a hook that is still running.
+  const FilterBackend* be = &backend_;
+  std::shared_ptr<const FilterBackend> ns_backend;
+  std::string_view ns_name;
+  if ((h.flags & kFlagNamespaced) != 0) {
+    std::string_view rest;
+    if (const char* err = parse_ns_prefix(f.payload, ns_name, rest);
+        err != nullptr) {
+      reply_error(w, c, frame, ErrorCode::kBadRequest, err);
+      return;
+    }
+    f.payload = rest;
+    if (op == Opcode::kNsCreate || op == Opcode::kNsDrop ||
+        op == Opcode::kNsList || op == Opcode::kNsTick) {
+      reply_error(w, c, frame, ErrorCode::kBadRequest,
+                  "namespace admin opcodes are not namespaced");
+      return;
+    }
+    if (registry_ == nullptr) {
+      reply_error(w, c, frame, ErrorCode::kUnsupported,
+                  "server has no namespace registry");
+      return;
+    }
+    ns_backend = registry_->resolve(ns_name);
+    if (ns_backend == nullptr) {
+      reply_error(w, c, frame, ErrorCode::kUnknownNamespace,
+                  "unknown namespace");
+      return;
+    }
+    be = ns_backend.get();
+  }
   c.payload.clear();
   std::size_t batch_keys = 0;
   try {
@@ -683,7 +730,7 @@ void Server::serve_frame(Worker& w, Connection& c, const Frame& frame) {
           }
           // Dedup path: fills c.payload (fresh apply or cached replay);
           // on false an error reply has already been sent.
-          if (!serve_sequenced(w, c, f, op)) return;
+          if (!serve_sequenced(w, c, f, op, *be)) return;
           batch_keys = c.keys.size();
           break;
         }
@@ -692,13 +739,20 @@ void Server::serve_frame(Worker& w, Connection& c, const Frame& frame) {
           reply_error(w, c, frame, ErrorCode::kBadRequest, err);
           return;
         }
-        const auto& hook = op == Opcode::kQuery ? backend_.contains_batch
-                           : op == Opcode::kInsert ? backend_.insert_batch
-                                                   : backend_.erase_batch;
+        const auto& hook = op == Opcode::kQuery ? be->contains_batch
+                           : op == Opcode::kInsert ? be->insert_batch
+                                                   : be->erase_batch;
         if (!hook) {
           reply_error(w, c, frame, ErrorCode::kUnsupported,
                       "opcode not supported by this backend");
           return;
+        }
+        if (op == Opcode::kInsert && be->admit) {
+          if (const char* err = be->admit(c.keys.size());
+              err != nullptr) {
+            reply_error(w, c, frame, ErrorCode::kQuotaExceeded, err);
+            return;
+          }
         }
         c.verdicts.assign(c.keys.size(), 0);
         hook(c.keys, c.verdicts);
@@ -713,12 +767,12 @@ void Server::serve_frame(Worker& w, Connection& c, const Frame& frame) {
         break;
       }
       case Opcode::kStats: {
-        if (!backend_.stats) {
+        if (!be->stats) {
           reply_error(w, c, frame, ErrorCode::kUnsupported,
                       "stats not supported by this backend");
           return;
         }
-        StatsReply s = backend_.stats();
+        StatsReply s = be->stats();
         s.requests_served = served_.load(std::memory_order_relaxed);
         s.uptime_seconds = static_cast<std::uint64_t>(
             metrics::process_uptime_seconds());
@@ -727,34 +781,33 @@ void Server::serve_frame(Worker& w, Connection& c, const Frame& frame) {
         break;
       }
       case Opcode::kHealth: {
-        if (!backend_.health) {
+        if (!be->health) {
           reply_error(w, c, frame, ErrorCode::kUnsupported,
                       "health not supported by this backend");
           return;
         }
-        HealthReply r = backend_.health();
+        HealthReply r = be->health();
         // The backend's readiness veto (a follower still catching up)
         // ANDs with the server's own lifecycle bit.
-        r.ready =
-            running() && (!backend_.ready || backend_.ready()) ? 1 : 0;
+        r.ready = running() && (!be->ready || be->ready()) ? 1 : 0;
         append_reply_pod(c.payload, r);
         metrics_->admin_requests.inc();
         break;
       }
       case Opcode::kSnapshot: {
-        if (!backend_.snapshot) {
+        if (!be->snapshot) {
           reply_error(w, c, frame, ErrorCode::kUnsupported,
                       "backend has no durable storage");
           return;
         }
         SnapshotReply r;
-        r.last_seq = backend_.snapshot();
+        r.last_seq = be->snapshot();
         append_reply_pod(c.payload, r);
         metrics_->admin_requests.inc();
         break;
       }
       case Opcode::kReplicate: {
-        if (!backend_.replicate) {
+        if (!be->replicate) {
           reply_error(w, c, frame, ErrorCode::kUnsupported,
                       "replication requires a durable backend");
           return;
@@ -765,7 +818,7 @@ void Server::serve_frame(Worker& w, Connection& c, const Frame& frame) {
           reply_error(w, c, frame, ErrorCode::kBadRequest, err);
           return;
         }
-        if (const char* err = backend_.replicate(req, c.payload);
+        if (const char* err = be->replicate(req, c.payload);
             err != nullptr) {
           reply_error(w, c, frame, ErrorCode::kInternal, err);
           return;
@@ -774,7 +827,7 @@ void Server::serve_frame(Worker& w, Connection& c, const Frame& frame) {
         break;
       }
       case Opcode::kSnapFetch: {
-        if (!backend_.snap_fetch) {
+        if (!be->snap_fetch) {
           reply_error(w, c, frame, ErrorCode::kUnsupported,
                       "replication requires a durable backend");
           return;
@@ -785,7 +838,7 @@ void Server::serve_frame(Worker& w, Connection& c, const Frame& frame) {
           reply_error(w, c, frame, ErrorCode::kBadRequest, err);
           return;
         }
-        if (const char* err = backend_.snap_fetch(req, c.payload);
+        if (const char* err = be->snap_fetch(req, c.payload);
             err != nullptr) {
           reply_error(w, c, frame, ErrorCode::kInternal, err);
           return;
@@ -794,13 +847,114 @@ void Server::serve_frame(Worker& w, Connection& c, const Frame& frame) {
         break;
       }
       case Opcode::kReplStatus: {
-        if (!backend_.repl_status) {
+        if (!be->repl_status) {
           reply_error(w, c, frame, ErrorCode::kUnsupported,
                       "replication status requires a durable backend");
           return;
         }
-        append_reply_pod(c.payload, backend_.repl_status());
+        append_reply_pod(c.payload, be->repl_status());
         metrics_->repl_requests.inc();
+        break;
+      }
+      case Opcode::kEstCount: {
+        if (const char* err = parse_key_batch(f.payload, c.keys);
+            err != nullptr) {
+          reply_error(w, c, frame, ErrorCode::kBadRequest, err);
+          return;
+        }
+        if (!be->est_count) {
+          reply_error(w, c, frame, ErrorCode::kUnsupported,
+                      "count estimation not supported by this backend");
+          return;
+        }
+        c.counts.assign(c.keys.size(), 0);
+        be->est_count(c.keys, c.counts);
+        append_counts(c.payload, c.counts);
+        batch_keys = c.keys.size();
+        metrics_->requests[3]->inc();
+        metrics_->keys[3]->inc(c.keys.size());
+        metrics_->batch_keys.record(c.keys.size());
+        break;
+      }
+      case Opcode::kNsCreate: {
+        if (registry_ == nullptr) {
+          reply_error(w, c, frame, ErrorCode::kUnsupported,
+                      "server has no namespace registry");
+          return;
+        }
+        std::string_view name;
+        NsConfigWire cfg;
+        if (const char* err = parse_ns_create(f.payload, name, cfg);
+            err != nullptr) {
+          reply_error(w, c, frame, ErrorCode::kBadRequest, err);
+          return;
+        }
+        ErrorCode code = ErrorCode::kBadRequest;
+        if (const std::string err = registry_->create(name, cfg, code);
+            !err.empty()) {
+          reply_error(w, c, frame, code, err);
+          return;
+        }
+        metrics_->admin_requests.inc();
+        break;  // success reply has an empty payload
+      }
+      case Opcode::kNsDrop: {
+        if (registry_ == nullptr) {
+          reply_error(w, c, frame, ErrorCode::kUnsupported,
+                      "server has no namespace registry");
+          return;
+        }
+        std::string_view name;
+        if (const char* err = parse_ns_drop(f.payload, name);
+            err != nullptr) {
+          reply_error(w, c, frame, ErrorCode::kBadRequest, err);
+          return;
+        }
+        ErrorCode code = ErrorCode::kBadRequest;
+        if (const std::string err = registry_->drop(name, code);
+            !err.empty()) {
+          reply_error(w, c, frame, code, err);
+          return;
+        }
+        metrics_->admin_requests.inc();
+        break;
+      }
+      case Opcode::kNsList: {
+        if (registry_ == nullptr) {
+          reply_error(w, c, frame, ErrorCode::kUnsupported,
+                      "server has no namespace registry");
+          return;
+        }
+        if (!f.payload.empty()) {
+          reply_error(w, c, frame, ErrorCode::kBadRequest,
+                      "nslist: trailing bytes");
+          return;
+        }
+        append_ns_list_reply(c.payload, registry_->list());
+        metrics_->admin_requests.inc();
+        break;
+      }
+      case Opcode::kNsTick: {
+        if (registry_ == nullptr) {
+          reply_error(w, c, frame, ErrorCode::kUnsupported,
+                      "server has no namespace registry");
+          return;
+        }
+        std::string_view name;
+        if (const char* err = parse_ns_drop(f.payload, name);
+            err != nullptr) {
+          reply_error(w, c, frame, ErrorCode::kBadRequest, err);
+          return;
+        }
+        NsTickReply r;
+        ErrorCode code = ErrorCode::kBadRequest;
+        if (const std::string err = registry_->tick(name, r.ticks, code);
+            !err.empty()) {
+          reply_error(w, c, frame, code, err);
+          return;
+        }
+        append_reply_pod(c.payload, r);
+        metrics_->admin_requests.inc();
         break;
       }
     }
@@ -841,7 +995,7 @@ void Server::serve_frame(Worker& w, Connection& c, const Frame& frame) {
 }
 
 bool Server::serve_sequenced(Worker& w, Connection& c, const Frame& frame,
-                             Opcode op) {
+                             Opcode op, const FilterBackend& be) {
   SequencePrefix prefix;
   if (const char* err =
           parse_sequenced_key_batch(frame.payload, prefix, c.keys);
@@ -850,7 +1004,7 @@ bool Server::serve_sequenced(Worker& w, Connection& c, const Frame& frame,
     return false;
   }
   const auto& hook =
-      op == Opcode::kInsert ? backend_.insert_batch : backend_.erase_batch;
+      op == Opcode::kInsert ? be.insert_batch : be.erase_batch;
   if (!hook) {
     reply_error(w, c, frame, ErrorCode::kUnsupported,
                 "opcode not supported by this backend");
@@ -876,6 +1030,14 @@ bool Server::serve_sequenced(Worker& w, Connection& c, const Frame& frame,
     reply_error(w, c, frame, ErrorCode::kBadRequest,
                 "stale sequence number");
     return false;
+  }
+  // Quota-gate after the replay check: a retry of an already-applied
+  // insert replays its cached reply and must never be re-judged.
+  if (op == Opcode::kInsert && be.admit) {
+    if (const char* err = be.admit(c.keys.size()); err != nullptr) {
+      reply_error(w, c, frame, ErrorCode::kQuotaExceeded, err);
+      return false;
+    }
   }
   c.verdicts.assign(c.keys.size(), 0);
   hook(c.keys, c.verdicts);
@@ -976,6 +1138,13 @@ void Server::serve_frame_sharded(Worker& w, Connection& c,
     }
     f.payload = rest;
     span.set_arg("trace_id", trace.trace_id);
+  }
+  if ((h.flags & kFlagNamespaced) != 0) {
+    // Namespaces are a flat-server feature: shard ownership and the
+    // registry's per-namespace locking do not compose (yet).
+    reply_error(w, c, frame, ErrorCode::kUnsupported,
+                "sharded server does not support namespaces");
+    return;
   }
 
   // Synchronous completions (inline fast path, admin replies served
@@ -1284,6 +1453,86 @@ void Server::serve_frame_sharded(Worker& w, Connection& c,
       record(0);
       return;
     }
+    case Opcode::kEstCount: {
+      if (const char* err = parse_key_batch(f.payload, c.keys);
+          err != nullptr) {
+        reply_error(w, c, frame, ErrorCode::kBadRequest, err);
+        return;
+      }
+      if (!own.est_count) {
+        reply_error(w, c, frame, ErrorCode::kUnsupported,
+                    "count estimation not supported by this backend");
+        return;
+      }
+      c.split.reset(nshards);
+      split_by_shard(c.keys, nshards, c.split);
+      metrics_->requests[3]->inc();
+      metrics_->keys[3]->inc(c.keys.size());
+      metrics_->batch_keys.record(c.keys.size());
+
+      // Same fast path as kQuery: all keys owned here → serve inline.
+      if (c.keys.empty() ||
+          (c.split.active == 1 && c.split.solo == w.index)) {
+        c.counts.assign(c.keys.size(), 0);
+        try {
+          if (!c.keys.empty()) own.est_count(c.keys, c.counts);
+        } catch (const std::exception& e) {
+          MPCBF_LOG_ERROR("server.request_failed",
+                          log::str("op", to_string(op)),
+                          log::str("error", e.what()),
+                          log::hex("trace_id", trace.trace_id),
+                          log::str("peer", format_peer(c.peer)));
+          reply_error(w, c, frame, ErrorCode::kInternal, e.what());
+          return;
+        }
+        w.shard_requests->inc();
+        w.shard_keys->inc(c.keys.size());
+        c.payload.clear();
+        append_counts(c.payload, c.counts);
+        complete_now(w, c, h.opcode, kFlagResponse, h.request_id,
+                     c.payload);
+        record(static_cast<std::uint32_t>(c.keys.size()));
+        return;
+      }
+
+      auto job = new_job();
+      job->batch_keys = static_cast<std::uint32_t>(c.keys.size());
+      std::size_t total = 0;
+      for (const auto key : c.keys) total += key.size();
+      job->keybuf.reserve(total);
+      for (const auto key : c.keys) job->keybuf.append(key);
+      job->keys.reserve(c.keys.size());
+      std::size_t off = 0;
+      for (const auto key : c.keys) {
+        job->keys.emplace_back(job->keybuf.data() + off, key.size());
+        off += key.size();
+      }
+      job->subs.reserve(c.split.active);
+      for (std::uint32_t s = 0; s < nshards; ++s) {
+        if (c.split.idx[s].empty()) continue;
+        job->subs.emplace_back();
+        SubBatch& sub = job->subs.back();
+        sub.job = job.get();
+        sub.shard = s;
+        sub.op = h.opcode;
+        sub.idx = c.split.idx[s];
+        sub.keys.reserve(sub.idx.size());
+        for (const auto i : sub.idx) sub.keys.push_back(job->keys[i]);
+        sub.counts.assign(sub.idx.size(), 0);
+      }
+      PendingReply* jp = job.get();
+      c.pipeline.push_back(std::move(job));
+      dispatch(jp);
+      return;
+    }
+    case Opcode::kNsCreate:
+    case Opcode::kNsDrop:
+    case Opcode::kNsList:
+    case Opcode::kNsTick: {
+      reply_error(w, c, frame, ErrorCode::kUnsupported,
+                  "namespace administration requires the flat server");
+      return;
+    }
   }
 }
 
@@ -1320,6 +1569,11 @@ void Server::execute_sub(Worker& w, SubBatch& sub) {
       case Opcode::kReplicate:
         sub.tail = s.journal_tail(sub.tail_from, sub.tail_max_records,
                                   sub.tail_max_bytes);
+        break;
+      case Opcode::kEstCount:
+        s.est_count(sub.keys, sub.counts);
+        w.shard_requests->inc();
+        w.shard_keys->inc(sub.keys.size());
         break;
       default:
         sub.error = "internal: unexpected sub-batch opcode";
@@ -1420,6 +1674,16 @@ void Server::finalize_job(Worker& w, PendingReply& job) {
           }
         }
         append_verdicts(out, verdicts);
+        break;
+      }
+      case Opcode::kEstCount: {
+        std::vector<std::uint32_t> counts(job.batch_keys, 0);
+        for (const auto& sub : job.subs) {
+          for (std::size_t i = 0; i < sub.idx.size(); ++i) {
+            counts[sub.idx[i]] = sub.counts[i];
+          }
+        }
+        append_counts(out, counts);
         break;
       }
       case Opcode::kStats: {
@@ -1629,7 +1893,8 @@ void Server::note_served(PendingReply& job) {
   const bool slow_capture = options_.slow_request_threshold.count() >= 0;
   if (!metrics::kStatsEnabled && !slow_capture) return;
   const std::uint64_t dur = metrics::now_ns() - job.t0;
-  if (metrics::kStatsEnabled && job.opcode >= 1 && job.opcode <= 9) {
+  if (metrics::kStatsEnabled && job.opcode >= 1 &&
+      job.opcode <= kMaxOpcode) {
     metrics_->duration_ns[job.opcode - 1]->record(dur);
   }
   if (slow_capture &&

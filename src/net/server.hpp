@@ -81,6 +81,8 @@
 
 namespace mpcbf::net {
 
+class NamespaceRegistry;
+
 /// Type-erased filter backend — the serving-layer sibling of
 /// bench_common.hpp's FilterHandle. Batch hooks receive key views into
 /// the connection's read buffer and write one verdict/ok byte per key.
@@ -95,6 +97,17 @@ struct FilterBackend {
   std::function<void(std::span<const std::string_view>,
                      std::span<std::uint8_t>)>
       erase_batch;
+  /// EST_COUNT: per-key min-counter frequency estimate. Null when the
+  /// wrapped filter has no count() (plain Bloom semantics).
+  std::function<void(std::span<const std::string_view>,
+                     std::span<std::uint32_t>)>
+      est_count;
+  /// Pre-insert quota gate: given the incoming batch size, returns a
+  /// static error reason when admitting it would breach the namespace's
+  /// key quota, nullptr to admit. Checked before insert_batch so a
+  /// quota breach is a clean wire-level rejection (kQuotaExceeded), not
+  /// a half-applied batch. Null = no quota (the default backend).
+  std::function<const char*(std::size_t incoming_keys)> admit;
   std::function<StatsReply()> stats;
   /// Probes the filter's health (HealthProber-backed); the server fills
   /// in the `ready` bit itself.
@@ -247,10 +260,11 @@ struct ReplSource {
 template <typename F>
 [[nodiscard]] FilterBackend make_backend(
     std::shared_ptr<F> f, std::shared_ptr<std::shared_mutex> mu,
-    std::size_t health_fpr_probes = 512) {
+    std::size_t health_fpr_probes = 512,
+    std::string filter_label = "server") {
   auto prober = std::make_shared<metrics::HealthProber>([&] {
     metrics::HealthProber::Config cfg;
-    cfg.filter_label = "server";
+    cfg.filter_label = std::move(filter_label);
     cfg.fpr_probes = health_fpr_probes;
     return cfg;
   }());
@@ -272,6 +286,18 @@ template <typename F>
       ok[i] = f->erase(keys[i]) ? 1 : 0;
     }
   };
+  if constexpr (requires {
+                  { f->count(std::string_view{}) }
+                  -> std::convertible_to<std::uint32_t>;
+                }) {
+    b.est_count = [f, mu](std::span<const std::string_view> keys,
+                          std::span<std::uint32_t> out) {
+      std::shared_lock lock(*mu);
+      for (std::size_t i = 0; i < keys.size(); ++i) {
+        out[i] = f->count(keys[i]);
+      }
+    };
+  }
   b.stats = [f, mu]() {
     std::shared_lock lock(*mu);
     return detail::probe_stats(*f);
@@ -401,6 +427,10 @@ struct ShardBackend {
   std::function<void(std::span<const std::string_view>,
                      std::span<std::uint8_t>)>
       erase_batch;
+  /// EST_COUNT against this shard's keys (min-counter estimate).
+  std::function<void(std::span<const std::string_view>,
+                     std::span<std::uint32_t>)>
+      est_count;
   std::function<StatsReply()> stats;
   std::function<HealthReply()> health;
   /// Durable snapshot of this shard; returns its journal watermark
@@ -469,6 +499,17 @@ template <typename F>
       ok[i] = f->erase(keys[i]) ? 1 : 0;
     }
   };
+  if constexpr (requires {
+                  { f->count(std::string_view{}) }
+                  -> std::convertible_to<std::uint32_t>;
+                }) {
+    b.est_count = [f](std::span<const std::string_view> keys,
+                      std::span<std::uint32_t> out) {
+      for (std::size_t i = 0; i < keys.size(); ++i) {
+        out[i] = f->count(keys[i]);
+      }
+    };
+  }
   b.stats = [f]() { return detail::probe_stats(*f); };
   b.health = [f, prober]() { return detail::probe_health(*prober, *f); };
   if constexpr (requires { f->snapshot(); f->next_seq(); }) {
@@ -529,6 +570,13 @@ class Server {
   /// count (thread-per-core is the whole point).
   Server(ShardSet shards, Options options);
   ~Server();
+
+  /// Attaches the multi-tenant namespace registry (flat mode only; the
+  /// sharded server answers namespaced frames with kUnsupported). Call
+  /// before start(). Namespaced data frames route to the named
+  /// namespace's backend; NSCREATE/NSDROP/NSLIST/NSTICK administer the
+  /// registry over the wire.
+  void set_namespace_registry(std::shared_ptr<NamespaceRegistry> registry);
 
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
@@ -591,9 +639,10 @@ class Server {
   void serve_frame(Worker& w, Connection& c, const Frame& frame);
   /// Sequenced-mutation path: dedups on (session_id, op_seq), replaying
   /// the cached reply for retries. Returns true when it fully handled
-  /// the frame (reply already appended).
+  /// the frame (reply already appended). `be` is the route target — the
+  /// default backend or a namespace's.
   bool serve_sequenced(Worker& w, Connection& c, const Frame& frame,
-                       Opcode op);
+                       Opcode op, const FilterBackend& be);
   void reply_error(Worker& w, Connection& c, const Frame& frame,
                    ErrorCode code, std::string_view message);
   /// Flushes the write buffer; returns false on a dead connection.
@@ -627,6 +676,7 @@ class Server {
   void note_served(PendingReply& job);
 
   FilterBackend backend_;
+  std::shared_ptr<NamespaceRegistry> registry_;
   ShardSet shards_;
   bool sharded_ = false;
   Options options_;

@@ -187,6 +187,43 @@ TEST(ElasticMpcbf, DrainMergesOwnerlessSegment) {
   EXPECT_TRUE(f.validate());
 }
 
+TEST(ElasticMpcbf, DrainReclaimsSegmentStorage) {
+  // Same shape as DrainMergesOwnerlessSegment, now watching the memory
+  // side: a drained husk's word storage goes back to the OS, the
+  // lifetime counter records it, and the exported
+  // mpcbf_elastic_reclaimed_bytes_total series stays monotonic across
+  // republishes.
+  auto cfg = small_cfg(1);
+  ElasticMpcbf<64> f(cfg);
+  for (const auto& k : keys(500)) f.insert(k);
+  EXPECT_EQ(f.reclaimed_bytes(), 0u);
+  ASSERT_EQ(f.grow_from(0), 1u);
+  ASSERT_EQ(f.grow_from(0), 2u);
+  ASSERT_TRUE(f.compact_once().has_value());
+
+  // At least the retired segment's word array (memory_bits / 8).
+  EXPECT_GE(f.reclaimed_bytes(), cfg.segment.memory_bits / 8);
+
+  mpcbf::metrics::Registry reg;
+  f.publish_metrics(reg, "t");
+  std::ostringstream os;
+  reg.write_prometheus(os);
+  EXPECT_NE(os.str().find("mpcbf_elastic_reclaimed_bytes_total"),
+            std::string::npos);
+  const double exported =
+      reg.counter("mpcbf_elastic_reclaimed_bytes_total", "",
+                  {{"filter", "t"}})
+          .value();
+  EXPECT_EQ(exported, static_cast<double>(f.reclaimed_bytes()));
+  // Republishing must not double-count (delta-inc publish discipline).
+  f.publish_metrics(reg, "t");
+  f.publish_metrics(reg, "t");
+  EXPECT_EQ(reg.counter("mpcbf_elastic_reclaimed_bytes_total", "",
+                        {{"filter", "t"}})
+                .value(),
+            exported);
+}
+
 TEST(ElasticMpcbf, SaveLoadRoundTrip) {
   ElasticMpcbf<64> f(small_cfg());
   for (const auto& k : keys(1400)) f.insert(k);

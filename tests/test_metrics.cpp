@@ -195,6 +195,68 @@ TEST(Registry, LabelValueEscaping) {
             std::string::npos);
 }
 
+TEST(Registry, LabeledFamilyExportsOneHeaderManySeries) {
+  // The per-namespace export pattern: one family, one series per
+  // tenant. The exposition must carry exactly one HELP/TYPE pair for
+  // the family with every labeled series grouped under it — a second
+  // TYPE line (or a series separated from its header) trips Prometheus
+  // ingestion and scripts/check_prometheus.py.
+  Registry reg;
+  reg.gauge("ns_elements", "Elements per namespace", {{"ns", "sessions"}})
+      .set(3);
+  reg.gauge("ns_elements", "Elements per namespace", {{"ns", "urls"}})
+      .set(7);
+  reg.counter("ns_ticks_total", "Ticks", {{"ns", "sessions"}}).inc(2);
+  std::ostringstream os;
+  reg.write_prometheus(os);
+  const std::string text = os.str();
+
+  std::size_t type_lines = 0;
+  for (std::size_t pos = 0;
+       (pos = text.find("# TYPE ns_elements ", pos)) != std::string::npos;
+       ++pos) {
+    ++type_lines;
+  }
+  EXPECT_EQ(type_lines, 1u);
+  const auto type_at = text.find("# TYPE ns_elements gauge");
+  const auto s1 = text.find("ns_elements{ns=\"sessions\"} 3");
+  const auto s2 = text.find("ns_elements{ns=\"urls\"} 7");
+  ASSERT_NE(type_at, std::string::npos);
+  ASSERT_NE(s1, std::string::npos);
+  ASSERT_NE(s2, std::string::npos);
+  // Both series sit in the family's block: after its TYPE line and
+  // before whatever family header comes next (counters export before
+  // gauges, so the block's end may also be the end of the text).
+  auto block_end = text.find("# HELP ", type_at + 1);
+  if (block_end == std::string::npos) block_end = text.size();
+  EXPECT_GT(s1, type_at);
+  EXPECT_LT(s1, block_end);
+  EXPECT_GT(s2, type_at);
+  EXPECT_LT(s2, block_end);
+  EXPECT_NE(text.find("ns_ticks_total{ns=\"sessions\"} 2"),
+            std::string::npos);
+}
+
+TEST(Registry, RepublishedLabeledCountersStayMonotonic) {
+  // NamespaceRegistry republishes cumulative per-tenant counters every
+  // ticker period with `if (cum > value) inc(cum - value)`. Lock the
+  // idempotence of that pattern: re-publishing an unchanged cumulative
+  // must not inflate the series.
+  Registry reg;
+  const auto publish = [&](std::uint64_t cum) {
+    auto& c = reg.counter("ns_rejects_total", "", {{"ns", "a"}});
+    if (cum > c.value()) c.inc(cum - c.value());
+  };
+  publish(5);
+  publish(5);
+  publish(5);
+  EXPECT_EQ(reg.counter("ns_rejects_total", "", {{"ns", "a"}}).value(),
+            5u);
+  publish(9);
+  EXPECT_EQ(reg.counter("ns_rejects_total", "", {{"ns", "a"}}).value(),
+            9u);
+}
+
 TEST(Registry, RejectsInvalidMetricNames) {
   Registry reg;
   // Valid per the Prometheus grammar [a-zA-Z_:][a-zA-Z0-9_:]*.

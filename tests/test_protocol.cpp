@@ -378,4 +378,185 @@ TEST(Protocol, ErrorPayloadRoundTripAndCaps) {
   EXPECT_STREQ(parse_error(forged, we), "error reply: message over cap");
 }
 
+TEST(Protocol, NsPrefixRoundTripAndNameValidation) {
+  std::string payload;
+  append_ns_prefix(payload, "tenant-0.prod_A");
+  payload += "rest-bytes";
+  std::string_view name;
+  std::string_view rest;
+  ASSERT_EQ(parse_ns_prefix(payload, name, rest), nullptr);
+  EXPECT_EQ(name, "tenant-0.prod_A");
+  EXPECT_EQ(rest, "rest-bytes");
+
+  // The encoder enforces the same charset the decoder does.
+  std::string out;
+  EXPECT_THROW(append_ns_prefix(out, ""), std::invalid_argument);
+  EXPECT_THROW(append_ns_prefix(out, "has space"), std::invalid_argument);
+  EXPECT_THROW(append_ns_prefix(out, "sla/sh"), std::invalid_argument);
+  EXPECT_THROW(append_ns_prefix(out, ".leading-dot"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      append_ns_prefix(out, std::string(kMaxNamespaceLen + 1, 'a')),
+      std::invalid_argument);
+  // Boundary: exactly kMaxNamespaceLen is legal.
+  append_ns_prefix(out, std::string(kMaxNamespaceLen, 'a'));
+}
+
+TEST(Protocol, NsPrefixHostileInputsRejected) {
+  std::string_view name;
+  std::string_view rest;
+  EXPECT_STREQ(parse_ns_prefix("", name, rest),
+               "namespaced request: truncated prefix");
+
+  std::string truncated;
+  detail::append_pod<std::uint8_t>(truncated, 5);
+  truncated += "abc";  // 3 < 5 claimed bytes
+  EXPECT_STREQ(parse_ns_prefix(truncated, name, rest),
+               "namespaced request: truncated name");
+
+  // Decoder-side charset enforcement: a forged frame cannot smuggle a
+  // `ns-..` path component past the registry.
+  const std::vector<std::string> bads = {"a b", "..", "a\nb",
+                                         std::string("a\0b", 3)};
+  for (const std::string& bad : bads) {
+    std::string forged;
+    detail::append_pod<std::uint8_t>(
+        forged, static_cast<std::uint8_t>(bad.size()));
+    forged += bad;
+    EXPECT_STREQ(parse_ns_prefix(forged, name, rest),
+                 "namespaced request: invalid namespace name")
+        << "name " << bad;
+  }
+}
+
+TEST(Protocol, CountsRoundTripAndHostileInputs) {
+  const std::vector<std::uint32_t> counts = {0, 1, 7, 0xFFFFFFFFu};
+  std::string payload;
+  append_counts(payload, counts);
+  std::vector<std::uint32_t> parsed;
+  ASSERT_EQ(parse_counts(payload, parsed), nullptr);
+  EXPECT_EQ(parsed, counts);
+
+  for (std::size_t len = 0; len < payload.size(); ++len) {
+    EXPECT_NE(
+        parse_counts(std::string_view(payload).substr(0, len), parsed),
+        nullptr)
+        << "prefix length " << len;
+  }
+  std::string trailing = payload;
+  trailing.push_back('\0');
+  EXPECT_STREQ(parse_counts(trailing, parsed), "counts: trailing bytes");
+
+  std::string forged;
+  detail::append_pod<std::uint32_t>(forged, kMaxBatchKeys + 1);
+  EXPECT_STREQ(parse_counts(forged, parsed), "counts: count over cap");
+}
+
+TEST(Protocol, NsCreateRoundTripAndTruncationSweep) {
+  NsConfigWire cfg;
+  cfg.kind = static_cast<std::uint8_t>(NsKind::kDurableDecay);
+  cfg.decay_generations = 6;
+  cfg.tick_interval_ms = 30000;
+  cfg.memory_bits = 1u << 22;
+  cfg.expected_n = 100000;
+  cfg.max_keys = 1u << 20;
+  cfg.max_memory_bytes = 1u << 24;
+
+  std::string payload;
+  append_ns_create(payload, "sessions", cfg);
+  std::string_view name;
+  NsConfigWire parsed;
+  ASSERT_EQ(parse_ns_create(payload, name, parsed), nullptr);
+  EXPECT_EQ(name, "sessions");
+  EXPECT_EQ(parsed.kind, cfg.kind);
+  EXPECT_EQ(parsed.decay_generations, cfg.decay_generations);
+  EXPECT_EQ(parsed.tick_interval_ms, cfg.tick_interval_ms);
+  EXPECT_EQ(parsed.memory_bits, cfg.memory_bits);
+  EXPECT_EQ(parsed.expected_n, cfg.expected_n);
+  EXPECT_EQ(parsed.max_keys, cfg.max_keys);
+  EXPECT_EQ(parsed.max_memory_bytes, cfg.max_memory_bytes);
+
+  for (std::size_t len = 0; len < payload.size(); ++len) {
+    EXPECT_NE(parse_ns_create(std::string_view(payload).substr(0, len),
+                              name, parsed),
+              nullptr)
+        << "prefix length " << len;
+  }
+  std::string trailing = payload;
+  trailing.push_back('\0');
+  EXPECT_STREQ(parse_ns_create(trailing, name, parsed),
+               "nscreate: trailing bytes");
+
+  // An out-of-range kind is rejected at decode, pre-registry.
+  std::string bad_kind_payload;
+  NsConfigWire bad = cfg;
+  bad.kind = static_cast<std::uint8_t>(NsKind::kDurableDecay) + 1;
+  append_ns_create(bad_kind_payload, "sessions", bad);
+  EXPECT_STREQ(parse_ns_create(bad_kind_payload, name, parsed),
+               "nscreate: unknown backend kind");
+}
+
+TEST(Protocol, NsDropPayloadIsExactlyAPrefix) {
+  std::string payload;
+  append_ns_prefix(payload, "sessions");
+  std::string_view name;
+  ASSERT_EQ(parse_ns_drop(payload, name), nullptr);
+  EXPECT_EQ(name, "sessions");
+
+  payload.push_back('\0');
+  EXPECT_STREQ(parse_ns_drop(payload, name), "nsdrop: trailing bytes");
+}
+
+TEST(Protocol, NsListReplyRoundTripAndHostileInputs) {
+  std::vector<NsRow> rows(2);
+  rows[0].name = "abuse";
+  rows[0].info.kind = static_cast<std::uint8_t>(NsKind::kDecay);
+  rows[0].info.decay_generations = 4;
+  rows[0].info.elements = 123;
+  rows[0].info.memory_bits = 1u << 20;
+  rows[0].info.decay_ticks = 17;
+  rows[1].name = "urls";
+  rows[1].info.max_keys = 1000;
+  rows[1].info.quota_rejections = 3;
+
+  std::string payload;
+  append_ns_list_reply(payload, rows);
+  std::vector<NsRow> parsed;
+  ASSERT_EQ(parse_ns_list_reply(payload, parsed), nullptr);
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].name, "abuse");
+  EXPECT_EQ(parsed[0].info.decay_ticks, 17u);
+  EXPECT_EQ(parsed[0].info.elements, 123u);
+  EXPECT_EQ(parsed[1].name, "urls");
+  EXPECT_EQ(parsed[1].info.max_keys, 1000u);
+  EXPECT_EQ(parsed[1].info.quota_rejections, 3u);
+
+  for (std::size_t len = 0; len < payload.size(); ++len) {
+    EXPECT_NE(parse_ns_list_reply(
+                  std::string_view(payload).substr(0, len), parsed),
+              nullptr)
+        << "prefix length " << len;
+  }
+  std::string trailing = payload;
+  trailing.push_back('\0');
+  EXPECT_STREQ(parse_ns_list_reply(trailing, parsed),
+               "nslist reply: trailing bytes");
+
+  // A forged count past the namespace cap fails the structural bound
+  // before any reserve().
+  std::string forged;
+  detail::append_pod<std::uint32_t>(forged, kMaxNamespaces + 1);
+  EXPECT_STREQ(parse_ns_list_reply(forged, parsed),
+               "nslist reply: count over cap");
+
+  // A row whose name fails validation poisons the whole reply.
+  std::string bad_row;
+  detail::append_pod<std::uint32_t>(bad_row, 1);
+  detail::append_pod<std::uint8_t>(bad_row, 2);
+  bad_row += "..";
+  bad_row.append(sizeof(NsRowWire), '\0');
+  EXPECT_STREQ(parse_ns_list_reply(bad_row, parsed),
+               "nslist reply: invalid name");
+}
+
 }  // namespace
